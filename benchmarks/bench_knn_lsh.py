@@ -1,0 +1,83 @@
+"""Section 3.3 — LSH for kNN in low dimensions, without a tree.
+
+Paper: "LSH has traditionally been used for similarity search in very high
+dimensions but can potentially also be used for finding nearest neighbors in
+low dimensions.  Crucially, LSH avoids a tree structure."
+
+Reproduction: kNN(10) on clustered 3-d points.  We measure (a) recall vs the
+exact answer, (b) candidates examined vs a full scan, and (c) node tests vs
+the KD-tree — quantifying the open question the paper poses.  Shape
+assertions: recall ≥ 0.9, candidate sets well below n, zero tree-node tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.spatial_lsh import SpatialLSH
+from repro.datasets.points import gaussian_cluster_points
+from repro.geometry.aabb import AABB
+from repro.indexes.kdtree import KDTree
+from repro.indexes.linear_scan import LinearScan
+
+from conftest import emit
+
+UNIVERSE = AABB((0, 0, 0), (100, 100, 100))
+N = 20_000
+K = 10
+PROBES = 50
+
+
+def test_lsh_knn_low_dimensions(benchmark):
+    items = gaussian_cluster_points(N, UNIVERSE, clusters=12, seed=2)
+    # Clustered data defeats the uniform-density width formula; measure the
+    # kNN radius on a sample instead (2x mean kth distance).
+    width = SpatialLSH.estimate_bucket_width(items, k=K, sample=15, seed=1)
+    lsh = SpatialLSH(dims=3, num_tables=12, hashes_per_table=3, bucket_width=width, seed=3)
+    lsh.bulk_load(items)
+    kdtree = KDTree(bucket_size=16)
+    kdtree.bulk_load(items)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+
+    rng = np.random.default_rng(4)
+    query_points = [tuple(rng.uniform(10, 90, 3)) for _ in range(PROBES)]
+
+    def run_lsh():
+        return [lsh.knn(point, K) for point in query_points]
+
+    lsh_answers = benchmark.pedantic(run_lsh, rounds=1, iterations=1)
+
+    recalls = []
+    for point, approx in zip(query_points, lsh_answers):
+        exact = {eid for _, eid in oracle.knn(point, K)}
+        recalls.append(len(exact & {eid for _, eid in approx}) / K)
+    recall = float(np.mean(recalls))
+
+    lsh_candidates = lsh.counters.elem_tests / PROBES
+    for point in query_points:
+        kdtree.knn(point, K)
+    kd_node_tests = kdtree.counters.node_tests / PROBES
+
+    emit(
+        f"LSH kNN in 3-d — {N} clustered points, k={K}, {PROBES} probes:\n"
+        + format_table(
+            ["metric", "value"],
+            [
+                ["recall@10 vs exact", recall],
+                ["LSH candidates/query", lsh_candidates],
+                ["scan candidates/query", float(N)],
+                ["LSH hash probes/query", lsh.counters.hash_probes / PROBES],
+                ["LSH tree-node tests", lsh.counters.node_tests],
+                ["KD-tree node tests/query", kd_node_tests],
+            ],
+        )
+        + "\npaper: 'LSH avoids a tree structure' — open question quantified"
+    )
+
+    assert recall >= 0.9, f"recall too low: {recall:.2f}"
+    # Clustered 3-d data: pruning is real but milder than in high dimensions;
+    # the candidate set must still exclude the large majority of elements.
+    assert lsh_candidates < N / 3, "LSH must prune most of the dataset"
+    assert lsh.counters.node_tests == 0, "LSH must not traverse any tree"

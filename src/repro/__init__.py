@@ -1,0 +1,94 @@
+"""repro — spatial data management for the simulation sciences.
+
+A full reproduction of the systems landscape of *Spatial Data Management
+Challenges in the Simulation Sciences* (Heinis, Tauheed, Ailamaki — EDBT
+2014): the surveyed indexes, the storage substrates behind the paper's
+experiments, the simulation workloads that motivate them, and the paper's
+proposed grid-based research direction as a working library.
+
+Quick start::
+
+    from repro import AABB, RTree, UniformGrid
+    from repro.datasets import uniform_boxes
+
+    items = uniform_boxes(n=10_000, universe=AABB((0, 0, 0), (100, 100, 100)), seed=1)
+    index = UniformGrid()
+    index.bulk_load(items)
+    hits = index.range_query(AABB((10, 10, 10), (20, 20, 20)))
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every reproduced figure.
+"""
+
+from repro.geometry import AABB, Capsule, Point, Segment, Sphere
+from repro.instrumentation import Counters, DiskCostModel, MemoryCostModel, TimeBreakdown
+from repro.indexes import (
+    CRTree,
+    DiskRTree,
+    KDTree,
+    LinearScan,
+    LooseOctree,
+    Octree,
+    QuadTree,
+    RPlusTree,
+    RStarTree,
+    RTree,
+    SpatialIndex,
+)
+from repro.core import (
+    AdaptiveSimulationIndex,
+    GridCostModel,
+    MaintenanceCosts,
+    MultiResolutionGrid,
+    SpatialLSH,
+    UniformGrid,
+    UpdateEconomics,
+    optimal_cell_size,
+)
+from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
+from repro.mesh import DLS, FLAT, Mesh, Octopus
+from repro.sim import TimeSteppedSimulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AABB",
+    "Point",
+    "Sphere",
+    "Segment",
+    "Capsule",
+    "Counters",
+    "DiskCostModel",
+    "MemoryCostModel",
+    "TimeBreakdown",
+    "SpatialIndex",
+    "LinearScan",
+    "RTree",
+    "RStarTree",
+    "RPlusTree",
+    "DiskRTree",
+    "CRTree",
+    "KDTree",
+    "QuadTree",
+    "Octree",
+    "LooseOctree",
+    "UniformGrid",
+    "MultiResolutionGrid",
+    "SpatialLSH",
+    "AdaptiveSimulationIndex",
+    "GridCostModel",
+    "optimal_cell_size",
+    "MaintenanceCosts",
+    "UpdateEconomics",
+    "LURTree",
+    "BufferedRTree",
+    "BottomUpRTree",
+    "ThrowawayIndex",
+    "TPRIndex",
+    "Mesh",
+    "DLS",
+    "Octopus",
+    "FLAT",
+    "TimeSteppedSimulation",
+    "__version__",
+]

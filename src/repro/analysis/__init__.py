@@ -1,0 +1,16 @@
+"""Result analysis and report formatting for the benchmark harness."""
+
+from repro.analysis.reporting import format_table, percent_bar
+from repro.analysis.breakdown import (
+    coarse_breakdown_rows,
+    disk_vs_memory_report,
+    memory_breakdown_report,
+)
+
+__all__ = [
+    "format_table",
+    "percent_bar",
+    "disk_vs_memory_report",
+    "memory_breakdown_report",
+    "coarse_breakdown_rows",
+]

@@ -1,0 +1,66 @@
+"""Figure 2/3-style breakdown reports from counters and cost models."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table, percent_bar
+from repro.instrumentation.costmodel import (
+    READING,
+    DiskCostModel,
+    MemoryCostModel,
+    TimeBreakdown,
+)
+from repro.instrumentation.counters import Counters
+
+
+def coarse_breakdown_rows(label: str, breakdown: TimeBreakdown) -> list[list[object]]:
+    """Rows of (label, reading %, computing %, total s) — the Figure 2 axes."""
+    coarse = breakdown.coarse()
+    return [
+        [
+            label,
+            coarse.percent(READING),
+            coarse.percent("computations"),
+            coarse.total(),
+        ]
+    ]
+
+
+def disk_vs_memory_report(
+    disk_counters: Counters,
+    memory_counters: Counters,
+    disk_model: DiskCostModel | None = None,
+    memory_model: MemoryCostModel | None = None,
+) -> str:
+    """The Figure 2 comparison: reading vs computing, disk vs memory."""
+    disk_model = disk_model if disk_model is not None else DiskCostModel()
+    memory_model = memory_model if memory_model is not None else MemoryCostModel()
+    disk = disk_model.breakdown(disk_counters).coarse()
+    memory = memory_model.breakdown(memory_counters).coarse()
+    rows = []
+    for label, coarse in (("R-Tree on Disk", disk), ("R-Tree in Memory", memory)):
+        rows.append(
+            [
+                label,
+                coarse.percent(READING),
+                coarse.percent("computations"),
+                coarse.total(),
+                percent_bar(coarse.fraction(READING), width=20),
+            ]
+        )
+    return format_table(
+        ["configuration", "reading %", "computing %", "modeled s", "reading share"],
+        rows,
+    )
+
+
+def memory_breakdown_report(
+    counters: Counters, model: MemoryCostModel | None = None
+) -> str:
+    """The Figure 3 four-way in-memory breakdown."""
+    model = model if model is not None else MemoryCostModel()
+    breakdown = model.breakdown(counters)
+    rows = [
+        [category, breakdown.percent(category), seconds]
+        for category, seconds in breakdown.seconds.items()
+    ]
+    return format_table(["category", "% of time", "modeled s"], rows)

@@ -1,0 +1,54 @@
+"""Plain-text tables and bars for benchmark output.
+
+The harness prints the same rows/series the paper's figures show; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a header rule.
+
+    Numeric cells are right-aligned; floats are rendered with 4 significant
+    digits unless already strings.
+    """
+    rendered: list[list[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], numeric_row: Sequence[object] | None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric_row is not None and isinstance(numeric_row[i], (int, float)):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = [line(list(headers), None), line(["-" * w for w in widths], None)]
+    for original, row in zip(rows, rendered):
+        out.append(line(row, original))
+    return "\n".join(out)
+
+
+def percent_bar(fraction: float, width: int = 40) -> str:
+    """``####....`` bar for a [0, 1] fraction."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(width * fraction))
+    return "#" * filled + "." * (width - filled)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,159 @@
+"""The adaptive simulation index — the paper's "new point in the design
+space" (Section 5).
+
+"What is needed are spatial indexes for memory that support large-scale
+updates. ... a spatial index that executes spatial queries and the spatial
+join faster than without index, but at the same time is faster to update or
+rebuild.  The new indexes will ultimately trade off query execution time for
+substantially faster index build time."
+
+:class:`AdaptiveSimulationIndex` wraps a :class:`~repro.core.uniform_grid.UniformGrid`
+(chosen per the paper's conclusion that grid-based designs fit both
+challenges) and drives it with the Section 4.1 economics: at every simulation
+step the caller hands over the step's motion, and the facade either applies
+incremental updates, rebuilds the grid, or drops to scan mode, whichever the
+calibrated :class:`~repro.core.amortization.MaintenanceCosts` predicts to be
+cheapest for the announced query load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.amortization import MaintenanceCosts, Strategy, UpdateEconomics
+from repro.core.uniform_grid import UniformGrid
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, KNNResult, SpatialIndex
+from repro.indexes.linear_scan import LinearScan
+from repro.instrumentation.counters import Counters
+
+
+class AdaptiveSimulationIndex(SpatialIndex):
+    """Grid-backed index that re-decides its maintenance strategy per step.
+
+    Parameters
+    ----------
+    universe:
+        Simulation universe (required: simulations know their domain).
+    cell_size:
+        Grid resolution; defaults to the analytical model's optimum when a
+        hint about query extent is supplied at bulk load, else the density
+        heuristic.
+    costs:
+        Calibrated per-step economics.  Without it the facade stays in
+        incremental-update mode (the grid's strong suit) and records what it
+        would have decided once costs become available.
+    """
+
+    def __init__(
+        self,
+        universe: AABB,
+        cell_size: float | None = None,
+        costs: MaintenanceCosts | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        self._grid = UniformGrid(universe=universe, cell_size=cell_size, counters=self.counters)
+        self._scan = LinearScan(counters=self.counters)
+        self._economics = UpdateEconomics(costs) if costs is not None else None
+        self._active: SpatialIndex = self._grid
+        self._items: dict[int, AABB] = {}
+        self._grid_stale = False
+        self.strategy_history: list[Strategy] = []
+
+    @property
+    def active_strategy(self) -> Strategy:
+        if self._active is self._scan:
+            return Strategy.SCAN
+        return Strategy.UPDATE
+
+    def set_costs(self, costs: MaintenanceCosts) -> None:
+        self._economics = UpdateEconomics(costs)
+
+    # -- SpatialIndex surface ----------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        materialized = list(items)
+        self._items = dict(materialized)
+        self._grid.bulk_load(materialized)
+        self._scan.bulk_load(materialized)
+        self._active = self._grid
+
+    def insert(self, eid: int, box: AABB) -> None:
+        self._items[eid] = box
+        self._grid.insert(eid, box)
+        self._scan.insert(eid, box)
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._items:
+            raise KeyError(f"element {eid} not in index")
+        del self._items[eid]
+        self._grid.delete(eid, box)
+        self._scan.delete(eid, box)
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        self._items[eid] = new_box
+        self._grid.update(eid, old_box, new_box)
+        self._scan.update(eid, old_box, new_box)
+
+    def range_query(self, box: AABB) -> list[int]:
+        return self._active.range_query(box)
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        return self._active.knn(point, k)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- the per-step decision -----------------------------------------------------
+
+    def step(
+        self,
+        moves: Sequence[tuple[int, AABB, AABB]],
+        expected_queries: int,
+    ) -> Strategy:
+        """Apply one simulation step's motion under the cheapest strategy.
+
+        ``moves`` are ``(eid, old_box, new_box)``; ``expected_queries`` is
+        the announced analysis/monitoring query count for this step.
+        Returns the chosen strategy (also appended to
+        :attr:`strategy_history`).
+        """
+        changed_fraction = len(moves) / max(len(self._items), 1)
+        if self._economics is None:
+            strategy = Strategy.UPDATE
+        else:
+            strategy = self._economics.choose(changed_fraction, expected_queries)
+
+        if strategy is Strategy.SCAN:
+            # Keep only the scan structure current; the grid will be rebuilt
+            # on the next non-scan step.
+            for eid, old_box, new_box in moves:
+                self._items[eid] = new_box
+                self._scan.update(eid, old_box, new_box)
+            self._active = self._scan
+            self._grid_stale = True
+        elif strategy is Strategy.REBUILD:
+            for eid, old_box, new_box in moves:
+                self._items[eid] = new_box
+                self._scan.update(eid, old_box, new_box)
+            self._grid.bulk_load(list(self._items.items()))
+            self._active = self._grid
+            self._grid_stale = False
+        else:
+            if getattr(self, "_grid_stale", False):
+                # Coming back from scan mode: refresh the grid wholesale.
+                for eid, old_box, new_box in moves:
+                    self._items[eid] = new_box
+                    self._scan.update(eid, old_box, new_box)
+                self._grid.bulk_load(list(self._items.items()))
+                self._grid_stale = False
+            else:
+                for eid, old_box, new_box in moves:
+                    self._items[eid] = new_box
+                    self._grid.update(eid, old_box, new_box)
+                    self._scan.update(eid, old_box, new_box)
+            self._active = self._grid
+
+        self.strategy_history.append(strategy)
+        return strategy

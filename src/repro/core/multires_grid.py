@@ -1,0 +1,188 @@
+"""Multi-resolution grid: "several uniform grids each with a different
+resolution" (§3.3).
+
+The paper's answer to the resolution dilemma: one grid cannot suit both tiny
+and huge elements (or queries), so keep a small stack of uniform grids whose
+cell sizes shrink geometrically.  Every element lives in exactly **one**
+grid — the finest whose cells are still at least as large as the element,
+which caps replication at 2^d cells per element — and each query is executed
+on every populated level ("queries may be split and each part ... is executed
+on the grid with the best suited resolution").
+
+Updates inherit the uniform grid's economics: an element that moves without
+leaving its cells costs an in-place write; level migration only happens when
+an element's *size* changes materially.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Sequence
+
+from repro.geometry.aabb import AABB, union_all
+from repro.core.uniform_grid import UniformGrid
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+
+class MultiResolutionGrid(SpatialIndex):
+    """A stack of uniform grids with geometrically shrinking cells.
+
+    Parameters
+    ----------
+    universe:
+        Indexed region (derived from the first bulk load when omitted).
+    levels:
+        Number of grids.
+    coarsest_cell:
+        Cell side of level 0; level L uses ``coarsest_cell / ratio**L``.
+        Defaults to ``universe_extent / 4``.
+    ratio:
+        Geometric shrink factor between levels (default 4).
+    """
+
+    def __init__(
+        self,
+        universe: AABB | None = None,
+        levels: int = 4,
+        coarsest_cell: float | None = None,
+        ratio: float = 4.0,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        if ratio <= 1.0:
+            raise ValueError(f"ratio must be > 1, got {ratio}")
+        self.levels = levels
+        self.ratio = ratio
+        self._universe = universe
+        self._coarsest_cell = coarsest_cell
+        self._grids: list[UniformGrid] | None = None
+        self._level_of: dict[int, int] = {}
+        self._boxes: dict[int, AABB] = {}
+
+    # -- configuration ------------------------------------------------------------
+
+    def _ensure_grids(self, items: list[Item]) -> None:
+        if self._grids is not None:
+            return
+        if self._universe is None:
+            hull = union_all(box for _, box in items)
+            self._universe = hull.expanded(max(hull.margin() * 0.005, 1e-9))
+        if self._coarsest_cell is None:
+            self._coarsest_cell = max(self._universe.extents()) / 4.0
+        self._grids = []
+        for level in range(self.levels):
+            cell = self._coarsest_cell / (self.ratio**level)
+            self._grids.append(
+                UniformGrid(universe=self._universe, cell_size=cell, counters=self.counters)
+            )
+
+    def _level_for(self, box: AABB) -> int:
+        """Finest level whose cells still cover the element's extent."""
+        assert self._grids is not None and self._coarsest_cell is not None
+        extent = max(box.extents())
+        if extent <= 0.0:
+            return self.levels - 1
+        # cells at level L have side coarsest/ratio^L; need side >= extent.
+        raw = math.log(self._coarsest_cell / extent, self.ratio)
+        return max(0, min(self.levels - 1, int(math.floor(raw))))
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        materialized = validate_items(items)
+        self._grids = None
+        self._level_of = {}
+        self._boxes = {}
+        if not materialized:
+            return
+        self._ensure_grids(materialized)
+        assert self._grids is not None
+        per_level: list[list[Item]] = [[] for _ in range(self.levels)]
+        for eid, box in materialized:
+            level = self._level_for(box)
+            per_level[level].append((eid, box))
+            self._level_of[eid] = level
+            self._boxes[eid] = box
+        for level, level_items in enumerate(per_level):
+            if level_items:
+                self._grids[level].bulk_load(level_items)
+
+    def insert(self, eid: int, box: AABB) -> None:
+        if eid in self._boxes:
+            raise ValueError(f"element {eid} already present")
+        self._ensure_grids([(eid, box)])
+        assert self._grids is not None
+        level = self._level_for(box)
+        self._grids[level].insert(eid, box)
+        self._level_of[eid] = level
+        self._boxes[eid] = box
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._boxes or self._boxes[eid] != box:
+            raise KeyError(f"element {eid} with box {box} not in index")
+        assert self._grids is not None
+        self._grids[self._level_of[eid]].delete(eid, box)
+        del self._level_of[eid]
+        del self._boxes[eid]
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        if eid not in self._boxes or self._boxes[eid] != old_box:
+            raise KeyError(f"element {eid} with box {old_box} not in index")
+        assert self._grids is not None
+        new_level = self._level_for(new_box)
+        old_level = self._level_of[eid]
+        if new_level == old_level:
+            self._grids[old_level].update(eid, old_box, new_box)
+        else:
+            self._grids[old_level].delete(eid, old_box)
+            self._grids[new_level].insert(eid, new_box)
+            self._level_of[eid] = new_level
+        self._boxes[eid] = new_box
+        self.counters.updates += 1
+
+    # -- queries -------------------------------------------------------------------------
+
+    def range_query(self, box: AABB) -> list[int]:
+        if self._grids is None:
+            return []
+        results: list[int] = []
+        for grid in self._grids:
+            if len(grid):
+                results.extend(grid.range_query(box))
+        return results
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        if k <= 0 or not self._boxes or self._grids is None:
+            return []
+        merged: list[tuple[float, int]] = []
+        for grid in self._grids:
+            if len(grid):
+                merged.extend(grid.knn(point, k))
+        return heapq.nsmallest(k, merged)
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    # -- introspection --------------------------------------------------------------------
+
+    def level_populations(self) -> list[int]:
+        if self._grids is None:
+            return []
+        return [len(grid) for grid in self._grids]
+
+    @property
+    def cell_switches(self) -> int:
+        if self._grids is None:
+            return 0
+        return sum(grid.cell_switches for grid in self._grids)
+
+    def memory_bytes(self) -> int:
+        if self._grids is None:
+            return 0
+        return sum(grid.memory_bytes() for grid in self._grids)

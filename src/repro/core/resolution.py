@@ -1,0 +1,148 @@
+"""The analytical grid-resolution model the paper calls for.
+
+"Choosing the proper resolution, however, is difficult: a too coarse grained
+grid means that too many elements need to be tested for intersection. ...
+Clearly, the optimal resolution depends on the distribution of location and
+size of the spatial elements and an analytical model needs to be developed to
+determine it for a given dataset."  (§3.3)
+
+The model prices a range query of side ``q`` on a grid of cell side ``c``
+over ``n`` elements of average extent ``e`` uniformly spread through a
+universe of side ``u`` (per axis):
+
+* probed cells       P(c) = Π_axis (q/c + 2)            — the cell window;
+* candidate tests    T(c) = n · Π_axis min(1, (q + e + 2c) / u)
+                                                        — elements whose cells
+                                                          fall in the window;
+* replication        R(c) = Π_axis (e/c + 1)            — entries per element,
+                                                          charged to updates
+                                                          and memory.
+
+``cost(c) = P·cell_cost + T·test_cost + R·n·replica_weight`` is unimodal in
+``c`` for these terms, so a golden-section search over ``log c`` finds the
+optimum reliably.  The defaults take per-operation costs from the calibrated
+memory cost model so the optimum is consistent with the rest of the harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.aabb import AABB
+
+
+def default_cell_size(n: int, universe: AABB, target_per_cell: float = 2.0) -> float:
+    """Heuristic cell size giving ~``target_per_cell`` elements per cell."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    volume = universe.volume()
+    if volume <= 0.0:
+        # Degenerate universe (e.g. co-planar data): fall back to the largest
+        # extent over a cube-root cell count.
+        side = max(universe.extents())
+        return max(side / max(round(n ** (1.0 / universe.dims)), 1), 1e-9)
+    cells = max(n / target_per_cell, 1.0)
+    return (volume / cells) ** (1.0 / universe.dims)
+
+
+@dataclass
+class GridCostModel:
+    """Analytical per-query cost of a uniform grid, in abstract op units.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.
+    universe_extent:
+        Universe side length per axis (cube assumed; pass the max extent for
+        irregular universes).
+    avg_element_extent:
+        Mean element bounding-box side.
+    avg_query_extent:
+        Mean range-query side (the paper notes the optimum depends on the
+        query size "which cannot be known a priori" — the multi-resolution
+        grid handles mixtures; this model prices one size).
+    dims:
+        Dimensionality.
+    cell_probe_cost / elem_test_cost / replica_weight:
+        Relative op costs; defaults follow the calibrated memory model
+        (a probe ≈ a hash lookup, a test ≈ an MBR comparison, a replica
+        charges amortized update/memory overhead).
+    """
+
+    n: int
+    universe_extent: float
+    avg_element_extent: float
+    avg_query_extent: float
+    dims: int = 3
+    cell_probe_cost: float = 4.0
+    elem_test_cost: float = 12.0
+    replica_weight: float = 2.0
+
+    def probed_cells(self, cell_size: float) -> float:
+        return (self.avg_query_extent / cell_size + 2.0) ** self.dims
+
+    def candidate_tests(self, cell_size: float) -> float:
+        reach = self.avg_query_extent + self.avg_element_extent + 2.0 * cell_size
+        per_axis = min(1.0, reach / self.universe_extent)
+        return self.n * per_axis**self.dims
+
+    def replication(self, cell_size: float) -> float:
+        return (self.avg_element_extent / cell_size + 1.0) ** self.dims
+
+    def query_cost(self, cell_size: float) -> float:
+        """Abstract cost of one range query at the given resolution."""
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        probes = self.probed_cells(cell_size) * self.cell_probe_cost
+        tests = self.candidate_tests(cell_size) * self.elem_test_cost
+        replicas = self.replication(cell_size) * self.replica_weight
+        return probes + tests + replicas
+
+    def optimal_cell_size(self) -> float:
+        """Golden-section search for the cost-minimizing cell side."""
+        lo = max(self.avg_element_extent / 64.0, self.universe_extent * 1e-6, 1e-12)
+        hi = self.universe_extent
+        return _golden_section(lambda c: self.query_cost(c), lo, hi)
+
+
+def optimal_cell_size(
+    n: int,
+    universe: AABB,
+    avg_element_extent: float,
+    avg_query_extent: float,
+) -> float:
+    """Convenience wrapper building the model from a universe box."""
+    model = GridCostModel(
+        n=n,
+        universe_extent=max(universe.extents()),
+        avg_element_extent=avg_element_extent,
+        avg_query_extent=avg_query_extent,
+        dims=universe.dims,
+    )
+    return model.optimal_cell_size()
+
+
+def _golden_section(fn, lo: float, hi: float, iterations: int = 80) -> float:
+    """Minimize a unimodal ``fn`` over ``[lo, hi]`` in log space."""
+    log_lo = math.log(lo)
+    log_hi = math.log(hi)
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = log_lo, log_hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc = fn(math.exp(c))
+    fd = fn(math.exp(d))
+    for _ in range(iterations):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = fn(math.exp(c))
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = fn(math.exp(d))
+        if b - a < 1e-9:
+            break
+    return math.exp((a + b) / 2.0)

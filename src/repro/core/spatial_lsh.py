@@ -1,0 +1,266 @@
+"""Spatial locality-sensitive hashing for kNN in low dimensions.
+
+"A possible approach for kNN queries could be to use locality sensitive
+hashing (LSH). ... Crucially, LSH avoids a tree structure to organize the
+data and instead uses several (spatial) hash functions to index each spatial
+element."  (§3.3)
+
+Classic p-stable LSH (Datar et al. 2004): each of ``num_tables`` tables hashes
+a point through ``hashes_per_table`` functions ``h(p) = ⌊(a·p + b) / w⌋`` with
+Gaussian ``a`` and uniform ``b``; the concatenated signature addresses a
+bucket.  Nearby points collide with high probability, so a kNN probe collects
+the query's buckets (plus multi-probe perturbations when undersupplied) and
+ranks candidates by true distance.
+
+The massive-update tie-in the paper hints at: hashing is stateless, so an
+element move costs ``num_tables`` bucket relocations — constant, no
+rebalancing — and buckets are flat arrays, trivially cache-aligned.
+
+kNN through LSH is *approximate by construction*; :meth:`SpatialLSH.knn`
+therefore exposes a recall-oriented contract (documented below) and the
+benchmark measures recall against the exact answer, which is how the paper's
+open question "can it be used in low dimensions?" gets a quantitative answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+_POINT_BYTES_PER_DIM = 8
+
+
+class SpatialLSH(SpatialIndex):
+    """p-stable LSH over element centroids.
+
+    Volumetric elements are hashed by their box centre; range queries fall
+    back to testing the candidate buckets covering the query (grid-like), so
+    the structure remains a drop-in :class:`SpatialIndex` — but its purpose
+    (and its benchmark) is kNN.
+
+    Parameters
+    ----------
+    num_tables:
+        Independent hash tables L (more tables → higher recall, more memory).
+    hashes_per_table:
+        Concatenated hash functions m per table (more → fewer collisions).
+    bucket_width:
+        The quantization width w; should be on the order of the expected kNN
+        distance.  Use :meth:`suggest_bucket_width` for a data-driven choice.
+    seed:
+        RNG seed for the hash family.
+    """
+
+    def __init__(
+        self,
+        dims: int = 3,
+        num_tables: int = 8,
+        hashes_per_table: int = 2,
+        bucket_width: float = 1.0,
+        seed: int = 7,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if num_tables < 1 or hashes_per_table < 1:
+            raise ValueError("num_tables and hashes_per_table must be >= 1")
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.dims = dims
+        self.num_tables = num_tables
+        self.hashes_per_table = hashes_per_table
+        self.bucket_width = bucket_width
+        rng = np.random.default_rng(seed)
+        # Projection matrix per table: (hashes_per_table, dims).
+        self._projections = [
+            rng.normal(size=(hashes_per_table, dims)) for _ in range(num_tables)
+        ]
+        self._offsets = [
+            rng.uniform(0.0, bucket_width, size=hashes_per_table) for _ in range(num_tables)
+        ]
+        self._tables: list[dict[tuple[int, ...], list[int]]] = [
+            {} for _ in range(num_tables)
+        ]
+        self._boxes: dict[int, AABB] = {}
+
+    @staticmethod
+    def suggest_bucket_width(n: int, universe: AABB, k: int = 10) -> float:
+        """w ≈ 2× the expected kth-neighbour distance under uniform density.
+
+        With p-stable hashing, points at distance r collide with high
+        probability when ``w ≳ 2r``; sizing w to the bare kNN radius loses
+        the far half of the neighbour set (measured recall ~0.85 vs ~0.99).
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        volume = universe.volume()
+        if volume <= 0.0:
+            return max(universe.extents()) / max(n, 1)
+        density = n / volume
+        # Radius of a ball expected to contain k points (3-d constant folded).
+        radius = (k / (density * 4.19)) ** (1.0 / universe.dims)
+        return 2.0 * radius
+
+    @staticmethod
+    def estimate_bucket_width(
+        items: "Sequence[Item]", k: int = 10, sample: int = 15, seed: int = 0
+    ) -> float:
+        """Data-driven w: 2× the mean kth-neighbour distance on a sample.
+
+        The closed-form :meth:`suggest_bucket_width` assumes uniform density;
+        clustered simulation data has query points in sparse regions whose
+        kNN radius is far larger, so measuring beats deriving.  Costs
+        ``sample`` exact kNN scans at build time — negligible against the
+        query volume LSH serves.
+        """
+        import numpy as np
+
+        from repro.indexes.linear_scan import LinearScan
+
+        materialized = list(items)
+        if not materialized:
+            raise ValueError("cannot estimate a bucket width from no items")
+        oracle = LinearScan()
+        oracle.bulk_load(materialized)
+        hull_lo = [min(box.lo[i] for _, box in materialized) for i in range(materialized[0][1].dims)]
+        hull_hi = [max(box.hi[i] for _, box in materialized) for i in range(materialized[0][1].dims)]
+        rng = np.random.default_rng(seed)
+        distances = []
+        for _ in range(sample):
+            point = tuple(rng.uniform(hull_lo, hull_hi))
+            neighbours = oracle.knn(point, k)
+            distances.append(neighbours[-1][0] if neighbours else 1.0)
+        return 2.0 * float(np.mean(distances))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        materialized = validate_items(items)
+        self._tables = [{} for _ in range(self.num_tables)]
+        self._boxes = {}
+        for eid, box in materialized:
+            self._add(eid, box)
+
+    def insert(self, eid: int, box: AABB) -> None:
+        if eid in self._boxes:
+            raise ValueError(f"element {eid} already present")
+        self._add(eid, box)
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._boxes or self._boxes[eid] != box:
+            raise KeyError(f"element {eid} with box {box} not in index")
+        self._drop(eid, box)
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        """Constant work: at most ``num_tables`` bucket moves."""
+        if eid not in self._boxes or self._boxes[eid] != old_box:
+            raise KeyError(f"element {eid} with box {old_box} not in index")
+        old_keys = self._signatures(old_box.center())
+        new_keys = self._signatures(new_box.center())
+        for table, old_key, new_key in zip(self._tables, old_keys, new_keys):
+            if old_key == new_key:
+                continue
+            bucket = table.get(old_key, [])
+            if eid in bucket:
+                bucket.remove(eid)
+                if not bucket:
+                    del table[old_key]
+            table.setdefault(new_key, []).append(eid)
+        self._boxes[eid] = new_box
+        self.counters.updates += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        """Approximate kNN: rank the union of colliding buckets.
+
+        Recall contract: with the default (L=8, m=2) family and a bucket
+        width near the true kNN distance, recall@10 on clustered data is
+        ≥ 0.9 (measured in ``benchmarks/bench_knn_lsh.py``).  When the
+        buckets supply fewer than ``k`` candidates the search multi-probes
+        neighbouring buckets, and as a last resort scans — so the result is
+        never *smaller* than the exact answer would allow.
+        """
+        if k <= 0 or not self._boxes:
+            return []
+        counters = self.counters
+        point = tuple(point)
+        candidates = self._collect_candidates(point, k)
+        if len(candidates) < k:
+            # Degenerate hash coverage: fall back to scanning (counted).
+            candidates = set(self._boxes)
+        scored: list[tuple[float, int]] = []
+        for eid in candidates:
+            counters.elem_tests += 1
+            scored.append((self._boxes[eid].min_distance_to_point(point), eid))
+        return heapq.nsmallest(k, scored)
+
+    def range_query(self, box: AABB) -> list[int]:
+        """Exact range results via candidate filtering.
+
+        LSH buckets are not space-exhaustive, so correctness requires testing
+        every element whose signature *could* collide; we conservatively scan
+        all elements (bucket pruning for ranges is not an LSH strength — the
+        paper proposes LSH specifically for kNN).
+        """
+        counters = self.counters
+        results = []
+        for eid, elem_box in self._boxes.items():
+            counters.elem_tests += 1
+            if elem_box.intersects(box):
+                results.append(eid)
+        counters.bytes_touched += len(self._boxes) * (box.dims * _POINT_BYTES_PER_DIM + 8)
+        return results
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _signatures(self, point: Sequence[float]) -> list[tuple[int, ...]]:
+        p = np.asarray(point, dtype=float)
+        keys = []
+        for projection, offset in zip(self._projections, self._offsets):
+            raw = (projection @ p + offset) / self.bucket_width
+            keys.append(tuple(int(v) for v in np.floor(raw)))
+        return keys
+
+    def _add(self, eid: int, box: AABB) -> None:
+        for table, key in zip(self._tables, self._signatures(box.center())):
+            table.setdefault(key, []).append(eid)
+        self._boxes[eid] = box
+
+    def _drop(self, eid: int, box: AABB) -> None:
+        for table, key in zip(self._tables, self._signatures(box.center())):
+            bucket = table.get(key, [])
+            if eid in bucket:
+                bucket.remove(eid)
+                if not bucket:
+                    del table[key]
+        del self._boxes[eid]
+
+    def _collect_candidates(self, point: Sequence[float], k: int) -> set[int]:
+        counters = self.counters
+        candidates: set[int] = set()
+        base_keys = self._signatures(point)
+        for table, key in zip(self._tables, base_keys):
+            counters.hash_probes += 1
+            candidates.update(table.get(key, ()))
+        if len(candidates) >= k:
+            return candidates
+        # Multi-probe: perturb each signature coordinate by ±1.
+        for table, key in zip(self._tables, base_keys):
+            for axis in range(len(key)):
+                for delta in (-1, 1):
+                    probe = list(key)
+                    probe[axis] += delta
+                    counters.hash_probes += 1
+                    candidates.update(table.get(tuple(probe), ()))
+        return candidates

@@ -1,0 +1,248 @@
+"""A single uniform grid — the paper's primary in-memory candidate.
+
+"One direction to develop novel spatial indexes for main memory may be to use
+a single uniform grid and therefore to avoid the tree structure needed for
+access."  (§3.3)
+
+Design points realized here:
+
+* **No tree traversal.**  A range query computes the overlapped cell window
+  arithmetically and tests only the elements in those cells; the counters
+  show zero ``node_tests``.
+* **Cheap massive updates.**  "the small movement means that only few
+  elements switch grid cell in every step, thereby requiring few updates to
+  the data structure" (§4.3): :meth:`UniformGrid.update` relocates an element
+  only when its cell set changes; otherwise it rewrites the stored box in
+  place.  :attr:`cell_switches` counts how often relocation was actually
+  needed, which the massive-update benchmarks report.
+* **Replication-aware.**  Volumetric elements are registered in every cell
+  they overlap; queries deduplicate.  The resolution model
+  (:mod:`repro.core.resolution`) balances replication against probe counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Sequence
+
+from repro.geometry.aabb import AABB, union_all
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+_BOX_BYTES_PER_DIM = 16
+
+CellKey = tuple[int, ...]
+
+
+class UniformGrid(SpatialIndex):
+    """Hash-addressed uniform grid over a fixed universe.
+
+    Parameters
+    ----------
+    universe:
+        The indexed region.  Elements outside are clamped into edge cells
+        (queries remain correct; see ``_cell_range``).
+    cell_size:
+        Cell side length, uniform across axes.  Use
+        :func:`repro.core.resolution.optimal_cell_size` to pick it.
+    """
+
+    def __init__(
+        self,
+        universe: AABB | None = None,
+        cell_size: float | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._universe = universe
+        self._cell_size = cell_size
+        self._cells: dict[CellKey, dict[int, AABB]] = {}
+        self._boxes: dict[int, AABB] = {}
+        self._cells_of: dict[int, tuple[CellKey, ...]] = {}
+        self.cell_switches = 0
+        self.in_place_updates = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def universe(self) -> AABB | None:
+        return self._universe
+
+    @property
+    def cell_size(self) -> float | None:
+        return self._cell_size
+
+    def _ensure_configured(self, items: list[Item]) -> None:
+        if self._universe is None:
+            hull = union_all(box for _, box in items)
+            self._universe = hull.expanded(max(hull.margin() * 0.005, 1e-9))
+        if self._cell_size is None:
+            # Default heuristic: aim for ~2 elements per occupied cell.
+            from repro.core.resolution import default_cell_size
+
+            self._cell_size = default_cell_size(len(items), self._universe)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        materialized = validate_items(items)
+        self._cells = {}
+        self._boxes = {}
+        self._cells_of = {}
+        self.cell_switches = 0
+        self.in_place_updates = 0
+        if not materialized:
+            return
+        self._ensure_configured(materialized)
+        for eid, box in materialized:
+            self._place(eid, box)
+
+    def insert(self, eid: int, box: AABB) -> None:
+        if eid in self._boxes:
+            raise ValueError(f"element {eid} already present")
+        self._ensure_configured([(eid, box)])
+        self._place(eid, box)
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._boxes or self._boxes[eid] != box:
+            raise KeyError(f"element {eid} with box {box} not in index")
+        self._unplace(eid)
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        """Relocate only when the covered cell set changes (the §4.3 win)."""
+        if eid not in self._boxes or self._boxes[eid] != old_box:
+            raise KeyError(f"element {eid} with box {old_box} not in index")
+        new_cells = tuple(self._covered_cells(new_box))
+        old_cells = self._cells_of[eid]
+        if new_cells == old_cells:
+            self._boxes[eid] = new_box
+            for key in old_cells:
+                self._cells[key][eid] = new_box
+            self.in_place_updates += 1
+        else:
+            self._unplace(eid)
+            self._place(eid, new_box)
+            self.cell_switches += 1
+        self.counters.updates += 1
+
+    # -- queries --------------------------------------------------------------------
+
+    def range_query(self, box: AABB) -> list[int]:
+        if not self._boxes:
+            return []
+        counters = self.counters
+        dims = box.dims
+        seen: set[int] = set()
+        results: list[int] = []
+        for key in self._cell_range(box):
+            counters.cells_probed += 1
+            bucket = self._cells.get(key)
+            if not bucket:
+                continue
+            counters.bytes_touched += len(bucket) * (dims * _BOX_BYTES_PER_DIM + 8)
+            for eid, elem_box in bucket.items():
+                if eid in seen:
+                    continue
+                counters.elem_tests += 1
+                if elem_box.intersects(box):
+                    seen.add(eid)
+                    results.append(eid)
+        return results
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        """Expanding-window kNN: probe growing cell rings until k confirmed."""
+        if k <= 0 or not self._boxes or self._universe is None:
+            return []
+        assert self._cell_size is not None
+        counters = self.counters
+        point = tuple(point)
+        radius = self._cell_size
+        limit = self._universe.max_distance_to_point(point) + self._cell_size
+        while True:
+            probe = AABB.from_center(point, radius)
+            candidates = self.range_query(probe)
+            scored = []
+            for eid in candidates:
+                dist = self._boxes[eid].min_distance_to_point(point)
+                scored.append((dist, eid))
+                counters.heap_ops += 1
+            confirmed = [(d, e) for d, e in scored if d <= radius]
+            if len(confirmed) >= k:
+                return heapq.nsmallest(k, scored)
+            if radius > limit:
+                scored.sort()
+                return scored[:k]
+            radius *= 2.0
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def occupied_cells(self) -> int:
+        return sum(1 for bucket in self._cells.values() if bucket)
+
+    @property
+    def replication_factor(self) -> float:
+        """Stored entries per distinct element (1.0 = each in one cell)."""
+        if not self._boxes:
+            return 0.0
+        stored = sum(len(cells) for cells in self._cells_of.values())
+        return stored / len(self._boxes)
+
+    def memory_bytes(self) -> int:
+        if not self._boxes:
+            return 0
+        dims = self._universe.dims if self._universe else 3
+        stored = sum(len(cells) for cells in self._cells_of.values())
+        return stored * (dims * _BOX_BYTES_PER_DIM + 8) + len(self._cells) * 16
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _coord(self, value: float, axis: int) -> int:
+        assert self._universe is not None and self._cell_size is not None
+        raw = int(math.floor((value - self._universe.lo[axis]) / self._cell_size))
+        top = int(math.ceil(self._universe.extents()[axis] / self._cell_size)) - 1
+        return max(0, min(raw, max(top, 0)))
+
+    def _covered_cells(self, box: AABB) -> Iterable[CellKey]:
+        dims = box.dims
+        lo = [self._coord(box.lo[axis], axis) for axis in range(dims)]
+        hi = [self._coord(box.hi[axis], axis) for axis in range(dims)]
+        return _iter_window(lo, hi)
+
+    def _cell_range(self, box: AABB) -> Iterable[CellKey]:
+        return self._covered_cells(box)
+
+    def _place(self, eid: int, box: AABB) -> None:
+        keys = tuple(self._covered_cells(box))
+        for key in keys:
+            self._cells.setdefault(key, {})[eid] = box
+        self._boxes[eid] = box
+        self._cells_of[eid] = keys
+
+    def _unplace(self, eid: int) -> None:
+        for key in self._cells_of.pop(eid):
+            bucket = self._cells.get(key)
+            if bucket is not None:
+                bucket.pop(eid, None)
+                if not bucket:
+                    del self._cells[key]
+        del self._boxes[eid]
+
+
+def _iter_window(lo: list[int], hi: list[int]) -> Iterable[CellKey]:
+    """All integer coordinate tuples in the inclusive window [lo, hi]."""
+    if len(lo) == 1:
+        for i in range(lo[0], hi[0] + 1):
+            yield (i,)
+        return
+    for i in range(lo[0], hi[0] + 1):
+        for tail in _iter_window(lo[1:], hi[1:]):
+            yield (i, *tail)

@@ -1,0 +1,52 @@
+"""Synthetic dataset and workload generators.
+
+The paper's experiments use a Blue Brain neuroscience dataset (500 k neurons
+modeled as thousands of cylinders each, 200 M elements) and a neural
+plasticity trace (everything moves 0.04 µm per step).  Neither is public, so
+this package generates statistically matching substitutes at configurable
+scale — see DESIGN.md §2 for the substitution argument.
+
+* :mod:`~repro.datasets.points` — uniform / Gaussian-clustered points and
+  boxes, the generic index workloads;
+* :mod:`~repro.datasets.neuroscience` — branched neuron morphologies built
+  from capsule segments, matching the paper's dataset shape;
+* :mod:`~repro.datasets.trajectories` — per-step motion models (Brownian
+  plasticity jitter, predictable linear motion, mixtures) driving the
+  massive-update experiments;
+* :mod:`~repro.datasets.meshgen` — structured tetrahedral meshes (convex and
+  concave) for the DLS / OCTOPUS experiments;
+* :mod:`~repro.datasets.queries` — range-query workload generators with
+  paper-style selectivities.
+"""
+
+from repro.datasets.points import (
+    clustered_boxes,
+    gaussian_cluster_points,
+    uniform_boxes,
+    uniform_points,
+)
+from repro.datasets.neuroscience import NeuronDataset, generate_neurons
+from repro.datasets.vascular import generate_arterial_tree
+from repro.datasets.trajectories import (
+    BrownianMotion,
+    LinearMotion,
+    PlasticityMotion,
+    apply_moves,
+)
+from repro.datasets.queries import range_queries_for_selectivity, random_range_queries
+
+__all__ = [
+    "uniform_points",
+    "uniform_boxes",
+    "gaussian_cluster_points",
+    "clustered_boxes",
+    "NeuronDataset",
+    "generate_neurons",
+    "generate_arterial_tree",
+    "BrownianMotion",
+    "LinearMotion",
+    "PlasticityMotion",
+    "apply_moves",
+    "range_queries_for_selectivity",
+    "random_range_queries",
+]

@@ -1,0 +1,119 @@
+"""Generic point and box workload generators.
+
+Everything is driven by an explicit seed (``numpy.random.default_rng``), so
+benchmark runs are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_points(n: int, universe: AABB, seed: int | np.random.Generator = 0) -> list[Item]:
+    """``n`` degenerate (point) boxes uniformly distributed in ``universe``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = _rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    coords = rng.uniform(lo, hi, size=(n, universe.dims))
+    return [(i, AABB(row, row)) for i, row in enumerate(coords)]
+
+
+def uniform_boxes(
+    n: int,
+    universe: AABB,
+    min_extent: float = 0.05,
+    max_extent: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> list[Item]:
+    """``n`` boxes with uniform centres and uniform per-axis extents.
+
+    Extents are clamped so boxes stay inside ``universe``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0 <= min_extent <= max_extent:
+        raise ValueError(f"need 0 <= min_extent <= max_extent, got {min_extent}, {max_extent}")
+    rng = _rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    centers = rng.uniform(lo, hi, size=(n, universe.dims))
+    extents = rng.uniform(min_extent, max_extent, size=(n, universe.dims))
+    box_lo = np.clip(centers - extents / 2.0, lo, hi)
+    box_hi = np.clip(centers + extents / 2.0, lo, hi)
+    return [(i, AABB(box_lo[i], box_hi[i])) for i in range(n)]
+
+
+def gaussian_cluster_points(
+    n: int,
+    universe: AABB,
+    clusters: int = 8,
+    spread_fraction: float = 0.05,
+    seed: int | np.random.Generator = 0,
+) -> list[Item]:
+    """Clustered points: ``clusters`` Gaussian blobs inside ``universe``.
+
+    Simulation datasets (neural tissue, galaxy formation) are strongly
+    clustered; this is the standard non-uniform workload.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    rng = _rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    extent = hi - lo
+    centers = rng.uniform(lo + 0.1 * extent, hi - 0.1 * extent, size=(clusters, universe.dims))
+    assignment = rng.integers(0, clusters, size=n)
+    sigma = extent * spread_fraction
+    coords = centers[assignment] + rng.normal(0.0, 1.0, size=(n, universe.dims)) * sigma
+    coords = np.clip(coords, lo, hi)
+    return [(i, AABB(row, row)) for i, row in enumerate(coords)]
+
+
+def clustered_boxes(
+    n: int,
+    universe: AABB,
+    clusters: int = 8,
+    min_extent: float = 0.05,
+    max_extent: float = 1.0,
+    spread_fraction: float = 0.05,
+    elongation: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> list[Item]:
+    """Clustered volumetric boxes, optionally elongated along a random axis.
+
+    ``elongation > 1`` stretches each box along one axis — producing the
+    narrow elements behind the paper's Figure 4 pathology (data-oriented
+    partitions that "extend massively in one or several dimensions").
+    """
+    if elongation < 1.0:
+        raise ValueError(f"elongation must be >= 1, got {elongation}")
+    rng = _rng(seed)
+    points = gaussian_cluster_points(
+        n, universe, clusters=clusters, spread_fraction=spread_fraction, seed=rng
+    )
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    items: list[Item] = []
+    for eid, point_box in points:
+        center = np.asarray(point_box.lo)
+        extents = rng.uniform(min_extent, max_extent, size=universe.dims)
+        if elongation > 1.0:
+            axis = int(rng.integers(0, universe.dims))
+            extents[axis] *= elongation
+        box_lo = np.clip(center - extents / 2.0, lo, hi)
+        box_hi = np.clip(center + extents / 2.0, lo, hi)
+        items.append((eid, AABB(box_lo, box_hi)))
+    return items

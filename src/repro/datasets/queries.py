@@ -1,0 +1,61 @@
+"""Range-query workload generators with paper-style selectivities.
+
+The Figure 2/3 experiment executes "200 queries with a selectivity of
+5×10⁻⁴ % at random locations".  Selectivity here is the fraction of the
+universe volume a (cubic) query covers; the generator converts a requested
+selectivity into a query side length for a given universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+
+def random_range_queries(
+    count: int,
+    universe: AABB,
+    extent: float,
+    seed: int | np.random.Generator = 0,
+) -> list[AABB]:
+    """``count`` cubic queries of side ``extent`` at uniform random centres."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if extent < 0:
+        raise ValueError(f"extent must be >= 0, got {extent}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    centers = rng.uniform(lo, hi, size=(count, universe.dims))
+    half = extent / 2.0
+    queries = []
+    for center in centers:
+        q_lo = np.maximum(center - half, lo)
+        q_hi = np.minimum(center + half, hi)
+        queries.append(AABB(q_lo, q_hi))
+    return queries
+
+
+def selectivity_to_extent(selectivity: float, universe: AABB) -> float:
+    """Query side length so that volume(query)/volume(universe) = selectivity.
+
+    ``selectivity`` is a fraction (the paper's "5×10⁻⁴ %" is 5e-6).
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    volume = universe.volume()
+    if volume <= 0.0:
+        raise ValueError("universe has zero volume")
+    return (selectivity * volume) ** (1.0 / universe.dims)
+
+
+def range_queries_for_selectivity(
+    count: int,
+    universe: AABB,
+    selectivity: float,
+    seed: int | np.random.Generator = 0,
+) -> list[AABB]:
+    """Cubic queries sized for a volume ``selectivity`` (paper: 5e-6)."""
+    extent = selectivity_to_extent(selectivity, universe)
+    return random_range_queries(count, universe, extent, seed=seed)

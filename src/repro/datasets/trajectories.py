@@ -1,0 +1,170 @@
+"""Per-step motion models for the massive-update experiments.
+
+Section 4.1's measured trace: "In each of the one thousand simulation steps
+..., all elements move, but only by 0.04 µm (in a universe with volume of
+285 µm³) on average with less than 0.5 % of elements moving more than
+0.1 µm."  :class:`PlasticityMotion` matches those statistics exactly (3-d
+Gaussian jitter whose displacement magnitude is Maxwell-distributed: with
+σ = mean·√(π/8), the mean is 0.04 and P(>0.1) ≈ 0.04 %).
+
+:class:`LinearMotion` provides the *predictable* trajectories that TPR-style
+indexes assume — included so the moving-object benchmark can show exactly why
+"these approaches do not work well for simulations" when the motion is
+instead Brownian.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+# One step's motion: (eid, old_box, new_box).
+Move = tuple[int, AABB, AABB]
+
+
+class MotionModel(Protocol):
+    """Produces one step of motion for a set of items."""
+
+    def step(self, items: dict[int, AABB]) -> list[Move]: ...
+
+
+class BrownianMotion:
+    """Gaussian jitter: every element moves a small random amount per step.
+
+    ``sigma`` is the per-axis standard deviation; displacement magnitudes
+    follow a Maxwell distribution with mean ``2σ√(2/π) ≈ 1.596σ``.
+    ``moving_fraction < 1`` moves only a random subset — the §4.1 crossover
+    sweep's control knob.
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        universe: AABB,
+        moving_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if not 0.0 <= moving_fraction <= 1.0:
+            raise ValueError(f"moving_fraction must be in [0,1], got {moving_fraction}")
+        self.sigma = sigma
+        self.universe = universe
+        self.moving_fraction = moving_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def step(self, items: dict[int, AABB]) -> list[Move]:
+        if not items:
+            return []
+        eids = list(items)
+        if self.moving_fraction < 1.0:
+            count = int(round(len(eids) * self.moving_fraction))
+            chosen = self._rng.choice(len(eids), size=count, replace=False)
+            eids = [eids[i] for i in chosen]
+        lo = np.asarray(self.universe.lo)
+        hi = np.asarray(self.universe.hi)
+        moves: list[Move] = []
+        deltas = self._rng.normal(0.0, self.sigma, size=(len(eids), self.universe.dims))
+        for eid, delta in zip(eids, deltas):
+            old = items[eid]
+            new_lo = np.clip(np.asarray(old.lo) + delta, lo, hi)
+            new_hi = np.clip(np.asarray(old.hi) + delta, lo, hi)
+            # Preserve extents when clipping pinched one side.
+            extent = np.asarray(old.hi) - np.asarray(old.lo)
+            new_hi = np.minimum(new_lo + extent, hi)
+            new_lo = np.maximum(new_hi - extent, lo)
+            moves.append((eid, old, AABB(new_lo, new_hi)))
+        return moves
+
+
+class PlasticityMotion(BrownianMotion):
+    """The paper's neural-plasticity trace statistics, exactly.
+
+    Mean displacement 0.04 µm with <0.5 % of elements beyond 0.1 µm: a 3-d
+    Gaussian with σ = 0.04·√(π/8) ≈ 0.02507 gives Maxwell-mean 0.04 and
+    P(|d| > 0.1) ≈ 0.0004.
+    """
+
+    MEAN_DISPLACEMENT_UM = 0.04
+    TAIL_THRESHOLD_UM = 0.1
+
+    def __init__(self, universe: AABB, moving_fraction: float = 1.0, seed: int = 0) -> None:
+        sigma = self.MEAN_DISPLACEMENT_UM * math.sqrt(math.pi / 8.0)
+        super().__init__(
+            sigma=sigma, universe=universe, moving_fraction=moving_fraction, seed=seed
+        )
+
+
+class LinearMotion:
+    """Constant-velocity motion — the predictable case TPR-trees index.
+
+    Velocities are drawn once; each step translates every element by its
+    velocity (bouncing off the universe walls), so trajectory-based indexes
+    need no updates until a bounce.
+    """
+
+    def __init__(self, speed: float, universe: AABB, seed: int = 0) -> None:
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed}")
+        self.speed = speed
+        self.universe = universe
+        self._rng = np.random.default_rng(seed)
+        self._velocities: dict[int, np.ndarray] = {}
+
+    def velocity_of(self, eid: int) -> np.ndarray:
+        if eid not in self._velocities:
+            v = self._rng.normal(size=self.universe.dims)
+            norm = np.linalg.norm(v)
+            if norm < 1e-12:
+                norm = 1.0
+            self._velocities[eid] = v / norm * self.speed
+        return self._velocities[eid]
+
+    def step(self, items: dict[int, AABB]) -> list[Move]:
+        lo = np.asarray(self.universe.lo)
+        hi = np.asarray(self.universe.hi)
+        moves: list[Move] = []
+        for eid, old in items.items():
+            velocity = self.velocity_of(eid)
+            new_lo = np.asarray(old.lo) + velocity
+            new_hi = np.asarray(old.hi) + velocity
+            # Bounce on the universe walls, reflecting the velocity.
+            for axis in range(self.universe.dims):
+                if new_lo[axis] < lo[axis] or new_hi[axis] > hi[axis]:
+                    velocity[axis] = -velocity[axis]
+                    new_lo[axis] = min(max(new_lo[axis], lo[axis]), hi[axis])
+                    new_hi[axis] = min(max(new_hi[axis], lo[axis]), hi[axis])
+            extent = np.asarray(old.hi) - np.asarray(old.lo)
+            new_hi = np.minimum(new_lo + extent, hi)
+            new_lo = np.maximum(new_hi - extent, lo)
+            moves.append((eid, old, AABB(new_lo, new_hi)))
+        return moves
+
+
+def apply_moves(items: dict[int, AABB], moves: Sequence[Move]) -> None:
+    """Apply one step's motion to the id → box dictionary in place."""
+    for eid, _, new_box in moves:
+        items[eid] = new_box
+
+
+def displacement_stats(moves: Sequence[Move]) -> tuple[float, float]:
+    """(mean displacement, fraction beyond PlasticityMotion's 0.1 threshold).
+
+    Used by tests to verify the generated trace matches the paper's numbers.
+    """
+    if not moves:
+        return (0.0, 0.0)
+    displacements = []
+    for _, old, new in moves:
+        old_center = old.center()
+        new_center = new.center()
+        displacements.append(
+            math.sqrt(sum((a - b) ** 2 for a, b in zip(old_center, new_center)))
+        )
+    mean = sum(displacements) / len(displacements)
+    tail = sum(1 for d in displacements if d > PlasticityMotion.TAIL_THRESHOLD_UM)
+    return (mean, tail / len(displacements))

@@ -1,0 +1,113 @@
+"""Synthetic arterial trees — the paper's CFD motivating domain.
+
+Section 1 cites "the human arterial tree [9] in computational fluid dynamics
+research" among the fine-grained models being simulated.  This generator
+grows a bifurcating vessel tree of capsule segments:
+
+* each vessel runs several segments with gentle curvature, then bifurcates;
+* daughter radii follow **Murray's law** (r₀³ = r₁³ + r₂³ with an asymmetry
+  ratio), the standard physiological branching rule;
+* recursion stops at a minimum radius, yielding the heavy-tailed element-size
+  distribution (aorta ≫ arterioles) that stresses multi-resolution indexing —
+  a natural workload for :class:`~repro.core.multires_grid.MultiResolutionGrid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.neuroscience import NeuronDataset
+from repro.geometry.aabb import AABB
+from repro.geometry.primitives import Capsule
+
+
+def generate_arterial_tree(
+    root_radius: float = 2.0,
+    min_radius: float = 0.1,
+    segment_length_factor: float = 8.0,
+    asymmetry: float = 0.8,
+    universe: AABB | None = None,
+    seed: int = 0,
+) -> NeuronDataset:
+    """Grow a bifurcating arterial tree of capsule segments.
+
+    Returns a :class:`~repro.datasets.neuroscience.NeuronDataset` (the
+    container is shape-agnostic): ``capsules`` hold the vessel segments and
+    ``neuron_of`` maps each segment to its *branch generation*, so analyses
+    can group by vessel calibre.
+
+    Parameters
+    ----------
+    root_radius / min_radius:
+        Radius of the trunk and the termination threshold; the ratio fixes
+        tree depth (Murray's law shrinks radii by ~0.79 per symmetric split).
+    segment_length_factor:
+        Vessel segment length as a multiple of its radius (vessels are long
+        relative to their calibre — the elongated-element regime).
+    asymmetry:
+        Daughter flow split q/(1−q)… expressed as the radius ratio of the
+        minor daughter to the major one (1.0 = symmetric tree).
+    """
+    if not 0 < min_radius < root_radius:
+        raise ValueError("need 0 < min_radius < root_radius")
+    if not 0.0 < asymmetry <= 1.0:
+        raise ValueError(f"asymmetry must be in (0, 1], got {asymmetry}")
+    rng = np.random.default_rng(seed)
+    if universe is None:
+        # Total tree span scales with the trunk's geometric series of lengths.
+        span = root_radius * segment_length_factor * 6.0
+        universe = AABB((0.0, 0.0, 0.0), (span, span, span))
+
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    dataset = NeuronDataset(universe=universe)
+    eid = 0
+
+    start = np.asarray(universe.center(), dtype=float)
+    start[2] = lo[2] + root_radius  # trunk enters from the floor, like an aorta
+    # Work queue: (position, direction, radius, generation).
+    queue = [(start, np.array([0.0, 0.0, 1.0]), root_radius, 0)]
+    while queue:
+        position, direction, radius, generation = queue.pop()
+        if radius < min_radius:
+            continue
+        # Run 2-4 gently curving segments before bifurcating.
+        runs = int(rng.integers(2, 5))
+        for _ in range(runs):
+            direction = _bend(direction, rng, sigma=0.15)
+            length = radius * segment_length_factor * float(rng.uniform(0.8, 1.2))
+            end = np.clip(position + direction * length, lo + radius, hi - radius)
+            if np.linalg.norm(end - position) < 0.5 * length:
+                # Pinned against the universe wall: turn back inward.
+                direction = _normalize(np.asarray(universe.center()) - position)
+                end = np.clip(position + direction * length, lo + radius, hi - radius)
+            dataset.capsules[eid] = Capsule(position, end, radius)
+            dataset.neuron_of[eid] = generation
+            eid += 1
+            position = end
+        # Murray's law bifurcation: r0^3 = r1^3 + r2^3, minor/major = asymmetry.
+        major = radius / (1.0 + asymmetry**3) ** (1.0 / 3.0)
+        minor = major * asymmetry
+        split_axis = _perpendicular(direction, rng)
+        angle = float(rng.uniform(0.4, 0.9))
+        for daughter_radius, sign in ((major, 1.0), (minor, -1.0)):
+            new_direction = _normalize(direction + sign * angle * split_axis)
+            queue.append((position.copy(), new_direction, daughter_radius, generation + 1))
+    return dataset
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(v)
+    if norm < 1e-12:
+        return np.array([0.0, 0.0, 1.0])
+    return v / norm
+
+
+def _bend(direction: np.ndarray, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    return _normalize(direction + rng.normal(0.0, sigma, size=3))
+
+
+def _perpendicular(direction: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    candidate = rng.normal(size=3)
+    candidate -= candidate.dot(direction) * direction
+    return _normalize(candidate)

@@ -1,0 +1,48 @@
+"""Geometry kernel: boxes, primitives, intersection and distance predicates.
+
+Every index and join in :mod:`repro` speaks one geometric vocabulary:
+
+* :class:`~repro.geometry.aabb.AABB` — d-dimensional axis-aligned bounding
+  boxes, the unit of indexing.
+* Primitives (:class:`~repro.geometry.primitives.Sphere`,
+  :class:`~repro.geometry.primitives.Capsule`, ...) — the shapes simulation
+  datasets are made of (neuron segments are capsules, n-body particles are
+  points/spheres).
+* Predicates (:mod:`~repro.geometry.intersection`,
+  :mod:`~repro.geometry.distance`) — exact tests used for refinement after the
+  index filter step.
+"""
+
+from repro.geometry.aabb import AABB, union_all
+from repro.geometry.primitives import Capsule, Point, Segment, Sphere
+from repro.geometry.intersection import (
+    boxes_intersect,
+    box_contains_box,
+    box_contains_point,
+    capsules_intersect,
+    sphere_intersects_box,
+)
+from repro.geometry.distance import (
+    point_box_distance,
+    point_point_distance,
+    point_segment_distance,
+    segment_segment_distance,
+)
+
+__all__ = [
+    "AABB",
+    "union_all",
+    "Point",
+    "Sphere",
+    "Segment",
+    "Capsule",
+    "boxes_intersect",
+    "box_contains_point",
+    "box_contains_box",
+    "sphere_intersects_box",
+    "capsules_intersect",
+    "point_point_distance",
+    "point_box_distance",
+    "point_segment_distance",
+    "segment_segment_distance",
+]

@@ -1,0 +1,215 @@
+"""d-dimensional axis-aligned bounding boxes (AABBs).
+
+The AABB is the unit of indexing throughout :mod:`repro`: every spatial
+element is filtered via its bounding box, and exact geometry is only consulted
+during refinement.  Boxes are plain immutable value objects built on tuples of
+floats — deliberately *not* numpy arrays, because index inner loops touch
+individual coordinates and small-tuple access is both faster and allocation
+free compared to 0-d array indexing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+
+class AABB:
+    """An axis-aligned box ``[lo, hi]`` in ``dims`` dimensions.
+
+    Degenerate boxes (``lo == hi`` in some or all dimensions) are valid and
+    represent points or axis-aligned segments/rectangles embedded in space.
+
+    The class is a value type: instances compare by coordinates, hash, and are
+    safe to share between indexes.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        lo = tuple(float(c) for c in lo)
+        hi = tuple(float(c) for c in hi)
+        if len(lo) != len(hi):
+            raise ValueError(f"lo has {len(lo)} dims but hi has {len(hi)}")
+        if not lo:
+            raise ValueError("AABB needs at least one dimension")
+        for axis, (a, b) in enumerate(zip(lo, hi)):
+            if a > b:
+                raise ValueError(f"lo > hi on axis {axis}: {a} > {b}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AABB is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "AABB":
+        """A degenerate box covering a single point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_center(cls, center: Sequence[float], half_extent: float | Sequence[float]) -> "AABB":
+        """A box centered at ``center`` extending ``half_extent`` per axis."""
+        if isinstance(half_extent, (int, float)):
+            half = [float(half_extent)] * len(center)
+        else:
+            half = [float(h) for h in half_extent]
+        if len(half) != len(center):
+            raise ValueError("half_extent dimensionality mismatch")
+        lo = [c - h for c, h in zip(center, half)]
+        hi = [c + h for c, h in zip(center, half)]
+        return cls(lo, hi)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    def center(self) -> tuple[float, ...]:
+        return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
+
+    def extents(self) -> tuple[float, ...]:
+        """Side length per axis."""
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    def volume(self) -> float:
+        """Product of side lengths (area in 2-d, length in 1-d)."""
+        vol = 1.0
+        for a, b in zip(self.lo, self.hi):
+            vol *= b - a
+        return vol
+
+    def margin(self) -> float:
+        """Sum of side lengths — the R*-tree 'perimeter' split criterion."""
+        return sum(b - a for a, b in zip(self.lo, self.hi))
+
+    def is_degenerate(self) -> bool:
+        """True if the box has zero extent in every dimension (a point)."""
+        return all(a == b for a, b in zip(self.lo, self.hi))
+
+    # -- predicates ---------------------------------------------------------
+
+    def intersects(self, other: "AABB") -> bool:
+        """Closed-interval overlap test (shared faces count as intersecting)."""
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if a_lo > b_hi or b_lo > a_hi:
+                return False
+        return True
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        for a, b, p in zip(self.lo, self.hi, point):
+            if p < a or p > b:
+                return False
+        return True
+
+    def contains_box(self, other: "AABB") -> bool:
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            if b_lo < a_lo or b_hi > a_hi:
+                return False
+        return True
+
+    # -- combination --------------------------------------------------------
+
+    def union(self, other: "AABB") -> "AABB":
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return AABB(lo, hi)
+
+    def intersection(self, other: "AABB") -> "AABB | None":
+        """The overlap box, or ``None`` when the boxes are disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        for a, b in zip(lo, hi):
+            if a > b:
+                return None
+        return AABB(lo, hi)
+
+    def overlap_volume(self, other: "AABB") -> float:
+        vol = 1.0
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            side = min(a_hi, b_hi) - max(a_lo, b_lo)
+            if side <= 0.0:
+                return 0.0
+            vol *= side
+        return vol
+
+    def enlargement(self, other: "AABB") -> float:
+        """Volume growth needed to absorb ``other`` — Guttman's insert metric."""
+        return self.union(other).volume() - self.volume()
+
+    def expanded(self, amount: float) -> "AABB":
+        """A copy grown by ``amount`` on every face (shrunk when negative)."""
+        lo = tuple(a - amount for a in self.lo)
+        hi = tuple(b + amount for b in self.hi)
+        return AABB(lo, hi)
+
+    # -- distances ----------------------------------------------------------
+
+    def min_distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the nearest face (0 inside).
+
+        Uses ``math.hypot``, which is immune to the underflow/overflow of
+        naive squared sums (gaps below ~1e-154 would otherwise square to 0).
+        """
+        gaps = []
+        for a, b, p in zip(self.lo, self.hi, point):
+            if p < a:
+                gaps.append(a - p)
+            elif p > b:
+                gaps.append(p - b)
+        if not gaps:
+            return 0.0
+        return math.hypot(*gaps)
+
+    def max_distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the farthest corner."""
+        return math.hypot(
+            *(max(abs(p - a), abs(p - b)) for a, b, p in zip(self.lo, self.hi, point))
+        )
+
+    def min_distance_to_box(self, other: "AABB") -> float:
+        """Euclidean gap between two boxes (0 when they intersect).
+
+        ``math.hypot`` keeps sub-1e-154 gaps from underflowing to zero, so
+        ``gap == 0`` holds exactly when the boxes intersect.
+        """
+        gaps = []
+        for a_lo, a_hi, b_lo, b_hi in zip(self.lo, self.hi, other.lo, other.hi):
+            gap = max(b_lo - a_hi, a_lo - b_hi, 0.0)
+            if gap > 0.0:
+                gaps.append(gap)
+        if not gaps:
+            return 0.0
+        return math.hypot(*gaps)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AABB):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __iter__(self) -> Iterator[tuple[float, ...]]:
+        yield self.lo
+        yield self.hi
+
+    def __repr__(self) -> str:
+        return f"AABB(lo={self.lo}, hi={self.hi})"
+
+
+def union_all(boxes: Iterable[AABB]) -> AABB:
+    """The minimum bounding box of a non-empty collection of boxes."""
+    it = iter(boxes)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("union_all of an empty collection") from None
+    for box in it:
+        acc = acc.union(box)
+    return acc

@@ -1,0 +1,55 @@
+"""Boolean intersection predicates between shapes and boxes.
+
+Function-level predicates mirror the methods on :class:`~repro.geometry.AABB`
+and the primitives; indexes prefer the functional forms in hot loops because
+they avoid attribute lookups on temporary wrapper objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.aabb import AABB
+from repro.geometry.distance import point_box_distance
+from repro.geometry.primitives import Capsule, Sphere
+
+
+def boxes_intersect(a: AABB, b: AABB) -> bool:
+    """Closed-interval AABB overlap test."""
+    for a_lo, a_hi, b_lo, b_hi in zip(a.lo, a.hi, b.lo, b.hi):
+        if a_lo > b_hi or b_lo > a_hi:
+            return False
+    return True
+
+
+def box_contains_point(box: AABB, point: Sequence[float]) -> bool:
+    for lo, hi, p in zip(box.lo, box.hi, point):
+        if p < lo or p > hi:
+            return False
+    return True
+
+
+def box_contains_box(outer: AABB, inner: AABB) -> bool:
+    for o_lo, o_hi, i_lo, i_hi in zip(outer.lo, outer.hi, inner.lo, inner.hi):
+        if i_lo < o_lo or i_hi > o_hi:
+            return False
+    return True
+
+
+def sphere_intersects_box(sphere: Sphere, box: AABB) -> bool:
+    """Exact ball/box overlap via the point-to-box distance."""
+    return point_box_distance(sphere.center, box.lo, box.hi) <= sphere.radius
+
+
+def capsules_intersect(a: Capsule, b: Capsule) -> bool:
+    """Exact capsule/capsule overlap (segment distance vs summed radii)."""
+    return a.intersects(b)
+
+
+def capsules_within(a: Capsule, b: Capsule, distance: float) -> bool:
+    """True when the capsule *surfaces* are within ``distance`` of each other.
+
+    This is the synapse-formation predicate: two neuron branches form a
+    synapse wherever they come within a biologically given gap of each other.
+    """
+    return a.distance_to(b) <= distance

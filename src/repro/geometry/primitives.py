@@ -1,0 +1,182 @@
+"""Geometric primitives used by simulation datasets.
+
+Simulation models are built from a handful of shapes:
+
+* :class:`Point` — n-body particles, mesh vertices;
+* :class:`Sphere` — soma of a neuron, celestial bodies with a radius;
+* :class:`Segment` — a bare line segment, building block of capsules;
+* :class:`Capsule` — a cylinder with hemispherical caps, the standard model of
+  a neuron morphology segment (the EDBT'14 dataset models each neuron with
+  thousands of cylinders; capsules are the closed-form-distance variant).
+
+Every primitive exposes ``bounds`` returning the minimum AABB, which is what
+gets inserted into indexes, plus exact predicates used for refinement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.aabb import AABB
+from repro.geometry.distance import (
+    point_point_distance,
+    point_segment_distance,
+    segment_segment_distance,
+)
+
+
+class Point:
+    """A bare point with an identity-free value semantics."""
+
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: Sequence[float]) -> None:
+        self.coords = tuple(float(c) for c in coords)
+
+    @property
+    def dims(self) -> int:
+        return len(self.coords)
+
+    def bounds(self) -> AABB:
+        return AABB.from_point(self.coords)
+
+    def distance_to(self, other: "Point") -> float:
+        return point_point_distance(self.coords, other.coords)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.coords == other.coords
+
+    def __hash__(self) -> int:
+        return hash(self.coords)
+
+    def __repr__(self) -> str:
+        return f"Point({self.coords})"
+
+
+class Sphere:
+    """A ball given by center and radius."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Sequence[float], radius: float) -> None:
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        self.center = tuple(float(c) for c in center)
+        self.radius = float(radius)
+
+    @property
+    def dims(self) -> int:
+        return len(self.center)
+
+    def bounds(self) -> AABB:
+        return AABB.from_center(self.center, self.radius)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return point_point_distance(self.center, point) <= self.radius
+
+    def intersects_sphere(self, other: "Sphere") -> bool:
+        gap = point_point_distance(self.center, other.center)
+        return gap <= self.radius + other.radius
+
+    def __repr__(self) -> str:
+        return f"Sphere(center={self.center}, radius={self.radius})"
+
+
+class Segment:
+    """A line segment between two endpoints."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: Sequence[float], b: Sequence[float]) -> None:
+        self.a = tuple(float(c) for c in a)
+        self.b = tuple(float(c) for c in b)
+        if len(self.a) != len(self.b):
+            raise ValueError("segment endpoints have different dimensionality")
+
+    @property
+    def dims(self) -> int:
+        return len(self.a)
+
+    def length(self) -> float:
+        return point_point_distance(self.a, self.b)
+
+    def midpoint(self) -> tuple[float, ...]:
+        return tuple((p + q) / 2.0 for p, q in zip(self.a, self.b))
+
+    def bounds(self) -> AABB:
+        lo = tuple(min(p, q) for p, q in zip(self.a, self.b))
+        hi = tuple(max(p, q) for p, q in zip(self.a, self.b))
+        return AABB(lo, hi)
+
+    def distance_to_point(self, point: Sequence[float]) -> float:
+        return point_segment_distance(point, self.a, self.b)
+
+    def distance_to_segment(self, other: "Segment") -> float:
+        return segment_segment_distance(self.a, self.b, other.a, other.b)
+
+    def __repr__(self) -> str:
+        return f"Segment({self.a} -> {self.b})"
+
+
+class Capsule:
+    """A cylinder with hemispherical caps: all points within ``radius`` of a
+    core segment.
+
+    Capsules model neuron morphology segments.  Unlike flat-capped cylinders
+    they admit an exact closed-form pairwise distance (segment/segment
+    distance minus radii), which makes them the shape of choice for synapse
+    detection joins ("wherever two neurons are within a given distance of each
+    other, they will form a synapse").
+    """
+
+    __slots__ = ("axis", "radius")
+
+    def __init__(self, a: Sequence[float], b: Sequence[float], radius: float) -> None:
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        self.axis = Segment(a, b)
+        self.radius = float(radius)
+
+    @property
+    def dims(self) -> int:
+        return self.axis.dims
+
+    @property
+    def a(self) -> tuple[float, ...]:
+        return self.axis.a
+
+    @property
+    def b(self) -> tuple[float, ...]:
+        return self.axis.b
+
+    def bounds(self) -> AABB:
+        return self.axis.bounds().expanded(self.radius)
+
+    def length(self) -> float:
+        """Length of the core segment (excluding the caps)."""
+        return self.axis.length()
+
+    def volume(self) -> float:
+        """Cylinder body plus the two hemispherical caps (3-d only)."""
+        if self.dims != 3:
+            raise ValueError("volume is defined for 3-d capsules")
+        body = math.pi * self.radius**2 * self.length()
+        caps = 4.0 / 3.0 * math.pi * self.radius**3
+        return body + caps
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return self.axis.distance_to_point(point) <= self.radius
+
+    def distance_to(self, other: "Capsule") -> float:
+        """Surface-to-surface distance; negative values mean overlap depth."""
+        core = self.axis.distance_to_segment(other.axis)
+        return core - self.radius - other.radius
+
+    def intersects(self, other: "Capsule") -> bool:
+        return self.distance_to(other) <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Capsule({self.a} -> {self.b}, r={self.radius})"

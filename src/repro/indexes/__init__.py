@@ -1,0 +1,61 @@
+"""Spatial indexes surveyed by the paper, implemented from scratch.
+
+All indexes share the :class:`~repro.indexes.base.SpatialIndex` interface and
+charge their primitive operations to a
+:class:`~repro.instrumentation.Counters` object, so the benchmark harness can
+reproduce the paper's time-breakdown figures from any of them.
+
+Contents:
+
+* :class:`~repro.indexes.linear_scan.LinearScan` — the no-index baseline of
+  Section 4 ("using no index, i.e., a linear scan over the dataset, may be
+  faster").
+* :class:`~repro.indexes.rtree.RTree` — Guttman's dynamic R-tree with linear
+  and quadratic node splits, plus STR bulk loading.
+* :class:`~repro.indexes.rstar.RStarTree` — the R*-tree with forced
+  reinsertion and margin-driven splits.
+* :class:`~repro.indexes.disk_rtree.DiskRTree` — the same structure with
+  nodes resident in the simulated page store behind an LRU buffer pool.
+* :class:`~repro.indexes.crtree.CRTree` — the cache-conscious R-tree with
+  quantized relative MBRs and cache-line-multiple nodes.
+* :class:`~repro.indexes.kdtree.KDTree` — point access method.
+* :class:`~repro.indexes.quadtree.QuadTree` /
+  :class:`~repro.indexes.octree.Octree` — space-oriented partitioning with
+  leaf-level replication for volumetric elements.
+* :class:`~repro.indexes.loose_octree.LooseOctree` — replication-free variant
+  with enlarged (loose) cells.
+"""
+
+from repro.indexes.base import Item, KNNResult, SpatialIndex
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.rtree import RTree
+from repro.indexes.rstar import RStarTree
+from repro.indexes.bulkload import str_pack
+from repro.indexes.hilbert import hilbert_index, hilbert_pack, hilbert_sort
+from repro.indexes.disk_rtree import DiskRTree
+from repro.indexes.crtree import CRTree
+from repro.indexes.kdtree import KDTree
+from repro.indexes.quadtree import QuadTree
+from repro.indexes.octree import Octree
+from repro.indexes.loose_octree import LooseOctree
+from repro.indexes.rplus import RPlusTree
+
+__all__ = [
+    "Item",
+    "KNNResult",
+    "SpatialIndex",
+    "LinearScan",
+    "RTree",
+    "RStarTree",
+    "str_pack",
+    "hilbert_index",
+    "hilbert_pack",
+    "hilbert_sort",
+    "DiskRTree",
+    "CRTree",
+    "KDTree",
+    "QuadTree",
+    "Octree",
+    "LooseOctree",
+    "RPlusTree",
+]

@@ -1,0 +1,94 @@
+"""Common interface for every spatial index in the library.
+
+An *item* is an ``(element_id, AABB)`` pair — indexes never own geometry;
+datasets keep the id-to-shape mapping and run exact refinement on the ids an
+index returns.  This mirrors the filter/refine split of real spatial engines
+and keeps every index comparable in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.geometry.aabb import AABB
+from repro.instrumentation.counters import Counters
+
+Item = tuple[int, AABB]
+# kNN results are (distance, element_id), sorted ascending by distance.
+KNNResult = list[tuple[float, int]]
+
+
+class SpatialIndex(ABC):
+    """Abstract base class of all indexes.
+
+    Subclasses must implement bulk loading, single-item maintenance and the
+    two query primitives the paper centres on (range and kNN).  They must
+    charge work to ``self.counters``.
+    """
+
+    def __init__(self, counters: Counters | None = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+
+    # -- maintenance ---------------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        """(Re)build the index from scratch over ``items``."""
+
+    @abstractmethod
+    def insert(self, eid: int, box: AABB) -> None:
+        """Add one element."""
+
+    @abstractmethod
+    def delete(self, eid: int, box: AABB) -> None:
+        """Remove one element previously inserted with exactly ``box``.
+
+        Raises ``KeyError`` when the element is not present.
+        """
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        """Move one element.  Default implementation is delete + insert."""
+        self.delete(eid, old_box)
+        self.insert(eid, new_box)
+        self.counters.updates += 1
+
+    # -- queries --------------------------------------------------------------
+
+    @abstractmethod
+    def range_query(self, box: AABB) -> list[int]:
+        """Ids of all elements whose stored box intersects ``box``."""
+
+    @abstractmethod
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        """The ``k`` elements nearest to ``point`` by box distance."""
+
+    # -- introspection ---------------------------------------------------------
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed elements."""
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes (for cost accounting)."""
+        return 0
+
+
+def validate_items(items: Iterable[Item]) -> list[Item]:
+    """Materialize and sanity-check a bulk-load input.
+
+    Ensures ids are unique and dimensionalities agree, returning a list the
+    caller can iterate multiple times.
+    """
+    materialized = list(items)
+    if not materialized:
+        return materialized
+    dims = materialized[0][1].dims
+    seen: set[int] = set()
+    for eid, box in materialized:
+        if box.dims != dims:
+            raise ValueError(f"element {eid} has {box.dims} dims, expected {dims}")
+        if eid in seen:
+            raise ValueError(f"duplicate element id {eid}")
+        seen.add(eid)
+    return materialized

@@ -1,0 +1,85 @@
+"""Sort-Tile-Recursive (STR) bulk loading for R-tree-family indexes.
+
+The paper's experiments use "an available implementation of the STR R-Tree";
+Section 4 measures rebuild-from-scratch against per-element updates, and STR
+packing is the rebuild being measured.  The packer is shared: the in-memory
+:class:`~repro.indexes.rtree.RTree`, the :class:`~repro.indexes.rstar.RStarTree`
+and the :class:`~repro.indexes.crtree.CRTree` all build through it with their
+own node factories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.geometry.aabb import AABB, union_all
+
+# A node factory takes (is_leaf, entries) and returns a node object.
+NodeFactory = Callable[[bool, list[tuple[AABB, object]]], object]
+
+
+def str_pack(
+    items: Sequence[tuple[int, AABB]],
+    max_entries: int,
+    node_factory: NodeFactory,
+) -> tuple[object, int, int]:
+    """Pack ``items`` into a fully built tree.
+
+    Returns ``(root, height, node_count)``.  ``height`` counts levels
+    including the leaf level, so a single leaf root has height 1.
+    """
+    if not items:
+        raise ValueError("str_pack needs at least one item")
+    if max_entries < 2:
+        raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+
+    dims = items[0][1].dims
+    entries: list[tuple[AABB, object]] = [(box, eid) for eid, box in items]
+    groups = _tile(entries, dims, max_entries)
+    nodes = [node_factory(True, group) for group in groups]
+    boxes = [union_all(box for box, _ in group) for group in groups]
+    height = 1
+    node_count = len(nodes)
+
+    while len(nodes) > 1:
+        level_entries: list[tuple[AABB, object]] = list(zip(boxes, nodes))
+        groups = _tile(level_entries, dims, max_entries)
+        nodes = [node_factory(False, group) for group in groups]
+        boxes = [union_all(box for box, _ in group) for group in groups]
+        height += 1
+        node_count += len(nodes)
+
+    return nodes[0], height, node_count
+
+
+def _tile(
+    entries: list[tuple[AABB, object]], dims: int, max_entries: int
+) -> list[list[tuple[AABB, object]]]:
+    """Partition entries into groups of at most ``max_entries`` by recursive
+    sort-and-slice along successive dimensions."""
+    groups: list[list[tuple[AABB, object]]] = []
+    _tile_recursive(entries, 0, dims, max_entries, groups)
+    return groups
+
+
+def _tile_recursive(
+    entries: list[tuple[AABB, object]],
+    axis: int,
+    dims: int,
+    max_entries: int,
+    out: list[list[tuple[AABB, object]]],
+) -> None:
+    if len(entries) <= max_entries:
+        out.append(entries)
+        return
+    ordered = sorted(entries, key=lambda e: e[0].center()[axis])
+    if axis == dims - 1:
+        for start in range(0, len(ordered), max_entries):
+            out.append(ordered[start : start + max_entries])
+        return
+    pages = math.ceil(len(ordered) / max_entries)
+    slabs = math.ceil(pages ** (1.0 / (dims - axis)))
+    slab_size = math.ceil(len(ordered) / slabs)
+    for start in range(0, len(ordered), slab_size):
+        _tile_recursive(ordered[start : start + slab_size], axis + 1, dims, max_entries, out)

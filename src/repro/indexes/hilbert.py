@@ -1,0 +1,128 @@
+"""Hilbert-curve utilities and Hilbert-packed bulk loading.
+
+The paper's survey pointer ("Several bulkloading methods (see survey [8])
+have been devised") covers the two classic packers: Sort-Tile-Recursive
+(:mod:`repro.indexes.bulkload`) and Hilbert packing (Kamel & Faloutsos):
+sort elements by the Hilbert index of their centre, cut the sequence into
+full leaves, and stack levels bottom-up.  Hilbert packing preserves locality
+better than STR on strongly clustered data and is the ordering behind
+Hilbert R-trees.
+
+The d-dimensional Hilbert index uses Skilling's transpose algorithm (AIP
+2004) — exact, iterative, and allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.aabb import AABB, union_all
+from repro.indexes.base import Item
+from repro.indexes.bulkload import NodeFactory
+
+
+def hilbert_index(coords: Sequence[int], bits: int) -> int:
+    """Hilbert curve index of an integer lattice point.
+
+    ``coords`` are non-negative integers below ``2**bits``; the result is in
+    ``[0, 2**(bits*d))`` and consecutive indexes are lattice neighbours.
+    """
+    for c in coords:
+        if not 0 <= c < (1 << bits):
+            raise ValueError(f"coordinate {c} out of range for {bits} bits")
+    x = list(coords)
+    n = len(x)
+    m = 1 << (bits - 1)
+
+    # Inverse undo of the Gray-code transform (Skilling).
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(n):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, n):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[n - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(n):
+        x[i] ^= t
+
+    # Interleave the transposed bits into one integer.
+    h = 0
+    for b in range(bits - 1, -1, -1):
+        for i in range(n):
+            h = (h << 1) | ((x[i] >> b) & 1)
+    return h
+
+
+def hilbert_key_for_box(box: AABB, universe: AABB, bits: int = 10) -> int:
+    """Hilbert index of a box centre quantized into the universe lattice."""
+    scale = (1 << bits) - 1
+    coords = []
+    for c, lo, hi in zip(box.center(), universe.lo, universe.hi):
+        extent = hi - lo
+        if extent <= 0.0:
+            coords.append(0)
+            continue
+        q = int((c - lo) / extent * scale)
+        coords.append(max(0, min(scale, q)))
+    return hilbert_index(coords, bits)
+
+
+def hilbert_sort(items: Sequence[Item], bits: int = 10) -> list[Item]:
+    """Items ordered along the Hilbert curve of their centres."""
+    materialized = list(items)
+    if not materialized:
+        return materialized
+    universe = union_all(box for _, box in materialized)
+    return sorted(
+        materialized, key=lambda item: hilbert_key_for_box(item[1], universe, bits)
+    )
+
+
+def hilbert_pack(
+    items: Sequence[Item],
+    max_entries: int,
+    node_factory: NodeFactory,
+    bits: int = 10,
+) -> tuple[object, int, int]:
+    """Hilbert-packed tree build; same contract as
+    :func:`repro.indexes.bulkload.str_pack`."""
+    if not items:
+        raise ValueError("hilbert_pack needs at least one item")
+    if max_entries < 2:
+        raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+
+    ordered = hilbert_sort(items, bits=bits)
+    entries: list[tuple[AABB, object]] = [(box, eid) for eid, box in ordered]
+    nodes = []
+    boxes = []
+    for start in range(0, len(entries), max_entries):
+        group = entries[start : start + max_entries]
+        nodes.append(node_factory(True, group))
+        boxes.append(union_all(box for box, _ in group))
+    height = 1
+    node_count = len(nodes)
+    while len(nodes) > 1:
+        level_entries = list(zip(boxes, nodes))
+        nodes = []
+        boxes = []
+        for start in range(0, len(level_entries), max_entries):
+            group = level_entries[start : start + max_entries]
+            nodes.append(node_factory(False, group))
+            boxes.append(union_all(box for box, _ in group))
+        height += 1
+        node_count += len(nodes)
+    return nodes[0], height, node_count

@@ -1,0 +1,88 @@
+"""The no-index baseline: a linear scan over the dataset.
+
+Section 4 of the paper argues that under massive updates "using no index,
+i.e., a linear scan over the dataset, may be faster" than maintaining any
+structure.  The scan is also the correctness oracle for every other index in
+the test suite: whatever an index returns for a query must equal the scan's
+answer exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+_BOX_BYTES_PER_DIM = 16  # two float64 coordinates
+
+
+class LinearScan(SpatialIndex):
+    """Array of ``(id, box)`` pairs; every query touches every element.
+
+    Updates are O(1) dictionary operations — the structural cost the paper
+    credits the scan with ("it has no memory overhead" and needs no
+    maintenance) — while queries are O(n) with one element intersection test
+    each, which is exactly what the counters report.
+    """
+
+    def __init__(self, counters: Counters | None = None) -> None:
+        super().__init__(counters)
+        self._boxes: dict[int, AABB] = {}
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        self._boxes = dict(validate_items(items))
+
+    def insert(self, eid: int, box: AABB) -> None:
+        self._boxes[eid] = box
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._boxes:
+            raise KeyError(f"element {eid} not in index")
+        del self._boxes[eid]
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        if eid not in self._boxes:
+            raise KeyError(f"element {eid} not in index")
+        self._boxes[eid] = new_box
+        self.counters.updates += 1
+
+    def range_query(self, box: AABB) -> list[int]:
+        counters = self.counters
+        results = []
+        for eid, elem_box in self._boxes.items():
+            counters.elem_tests += 1
+            if elem_box.intersects(box):
+                results.append(eid)
+        counters.bytes_touched += len(self._boxes) * (box.dims * _BOX_BYTES_PER_DIM + 8)
+        return results
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        if k <= 0:
+            return []
+        counters = self.counters
+        heap: list[tuple[float, int]] = []  # max-heap via negated distances
+        for eid, elem_box in self._boxes.items():
+            counters.elem_tests += 1
+            dist = elem_box.min_distance_to_point(point)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, eid))
+                counters.heap_ops += 1
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, eid))
+                counters.heap_ops += 1
+        counters.bytes_touched += len(self._boxes) * (len(tuple(point)) * _BOX_BYTES_PER_DIM + 8)
+        return sorted((-neg, eid) for neg, eid in heap)
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def memory_bytes(self) -> int:
+        if not self._boxes:
+            return 0
+        dims = next(iter(self._boxes.values())).dims
+        return len(self._boxes) * (dims * _BOX_BYTES_PER_DIM + 8)

@@ -1,0 +1,31 @@
+"""The octree (Jackins & Tanimoto 1980): 3-d space-oriented partitioning.
+
+A thin specialization of :class:`~repro.indexes.region_tree.RegionTree` with
+``dims = 3``.  See that module for the replication semantics the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.aabb import AABB
+from repro.indexes.region_tree import RegionTree
+from repro.instrumentation.counters import Counters
+
+
+class Octree(RegionTree):
+    """3-d region octree with leaf-level replication of volumetric items."""
+
+    def __init__(
+        self,
+        universe: AABB | None = None,
+        capacity: int = 16,
+        max_depth: int = 10,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(
+            dims=3,
+            universe=universe,
+            capacity=capacity,
+            max_depth=max_depth,
+            counters=counters,
+        )

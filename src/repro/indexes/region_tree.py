@@ -1,0 +1,269 @@
+"""Shared space-oriented region tree behind the quadtree and octree.
+
+Space-oriented partitioning splits *space* into 2^d equal children per node.
+Volumetric elements that straddle child boundaries are **replicated** into
+every overlapping leaf — the strategy the paper attributes to point access
+methods ("supporting volumetric objects ... can be accomplished by
+replicating elements which occupy several partitions on the leaf level.
+However, by doing so, the index size is increased massively").  The
+``replication_factor`` property exposes exactly that blow-up for the
+benchmarks; the loose octree avoids it at the price of overlap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.geometry.aabb import AABB, union_all
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+_BOX_BYTES_PER_DIM = 16
+
+
+class _RegionNode:
+    __slots__ = ("box", "children", "items")
+
+    def __init__(self, box: AABB) -> None:
+        self.box = box
+        self.children: list["_RegionNode"] | None = None
+        self.items: list[tuple[int, AABB]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class RegionTree(SpatialIndex):
+    """2^d-ary space partitioning tree with leaf-level replication.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality (2 = quadtree, 3 = octree).
+    universe:
+        Root cell; when omitted it is derived from the first ``bulk_load``
+        (with a 1 % margin) and grown by rebuild when an insert lands
+        outside.
+    capacity:
+        Leaf split threshold (distinct elements per leaf).
+    max_depth:
+        Hard depth cap; overflowing leaves at the cap simply grow, which
+        bounds replication on pathological inputs.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        universe: AABB | None = None,
+        capacity: int = 16,
+        max_depth: int = 12,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if universe is not None and universe.dims != dims:
+            raise ValueError(f"universe has {universe.dims} dims, expected {dims}")
+        self.dims = dims
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._universe = universe
+        self._root: _RegionNode | None = _RegionNode(universe) if universe else None
+        self._boxes: dict[int, AABB] = {}
+        self._replicas = 0
+
+    # -- maintenance -----------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        materialized = validate_items(items)
+        self._boxes = {}
+        self._replicas = 0
+        if self._universe is None and materialized:
+            hull = union_all(box for _, box in materialized)
+            margin = max(hull.margin() / (2 * self.dims) * 0.01, 1e-9)
+            self._universe = hull.expanded(margin)
+        self._root = _RegionNode(self._universe) if self._universe else None
+        for eid, box in materialized:
+            self.insert(eid, box)
+        # bulk_load is a rebuild, not N logical inserts
+        self.counters.inserts -= len(materialized)
+
+    def insert(self, eid: int, box: AABB) -> None:
+        if box.dims != self.dims:
+            raise ValueError(f"box has {box.dims} dims, index has {self.dims}")
+        if self._universe is None:
+            margin = max(box.margin() / (2 * self.dims) * 0.01, 1e-9)
+            self._universe = box.expanded(margin)
+            self._root = _RegionNode(self._universe)
+        if not self._universe.contains_box(box):
+            self._grow_universe(box)
+        self._boxes[eid] = box
+        self._insert_into(self._root, eid, box, depth=0)
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._boxes or self._boxes[eid] != box:
+            raise KeyError(f"element {eid} with box {box} not in index")
+        assert self._root is not None
+        self._delete_from(self._root, eid, box)
+        del self._boxes[eid]
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        self.delete(eid, old_box)
+        self.insert(eid, new_box)
+        self.counters.updates += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_query(self, box: AABB) -> list[int]:
+        if self._root is None:
+            return []
+        counters = self.counters
+        seen: set[int] = set()
+        results: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                counters.bytes_touched += len(node.items) * (
+                    self.dims * _BOX_BYTES_PER_DIM + 8
+                )
+                for eid, elem_box in node.items:
+                    if eid in seen:
+                        continue
+                    counters.elem_tests += 1
+                    if elem_box.intersects(box):
+                        seen.add(eid)
+                        results.append(eid)
+                continue
+            assert node.children is not None
+            for child in node.children:
+                counters.node_tests += 1
+                if child.box.intersects(box):
+                    counters.pointer_follows += 1
+                    stack.append(child)
+        return results
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        if k <= 0 or not self._boxes:
+            return []
+        counters = self.counters
+        heap: list[tuple[float, int, bool, object]] = [(0.0, 0, False, self._root)]
+        tiebreak = 1
+        emitted: set[int] = set()
+        results: list[tuple[float, int]] = []
+        while heap and len(results) < k:
+            dist, _, is_element, ref = heapq.heappop(heap)
+            counters.heap_ops += 1
+            if is_element:
+                if ref not in emitted:
+                    emitted.add(ref)  # type: ignore[arg-type]
+                    results.append((dist, ref))  # type: ignore[arg-type]
+                continue
+            node: _RegionNode = ref  # type: ignore[assignment]
+            if node.is_leaf:
+                for eid, elem_box in node.items:
+                    if eid in emitted:
+                        continue
+                    counters.elem_tests += 1
+                    heapq.heappush(
+                        heap,
+                        (elem_box.min_distance_to_point(point), tiebreak, True, eid),
+                    )
+                    counters.heap_ops += 1
+                    tiebreak += 1
+                continue
+            assert node.children is not None
+            for child in node.children:
+                counters.node_tests += 1
+                heapq.heappush(
+                    heap,
+                    (child.box.min_distance_to_point(point), tiebreak, False, child),
+                )
+                counters.heap_ops += 1
+                tiebreak += 1
+        return results
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    @property
+    def replication_factor(self) -> float:
+        """Stored leaf entries per distinct element (1.0 = no replication)."""
+        if not self._boxes:
+            return 0.0
+        return self._replicas / len(self._boxes)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _insert_into(self, node: _RegionNode, eid: int, box: AABB, depth: int) -> None:
+        if node.is_leaf:
+            node.items.append((eid, box))
+            self._replicas += 1
+            distinct = len({stored_eid for stored_eid, _ in node.items})
+            if distinct > self.capacity and depth < self.max_depth:
+                self._split(node)
+            return
+        assert node.children is not None
+        for child in node.children:
+            if child.box.intersects(box):
+                self._insert_into(child, eid, box, depth + 1)
+
+    def _split(self, node: _RegionNode) -> None:
+        node.children = [_RegionNode(box) for box in _subdivide(node.box)]
+        items = node.items
+        node.items = []
+        self._replicas -= len(items)
+        for eid, box in items:
+            for child in node.children:
+                if child.box.intersects(box):
+                    child.items.append((eid, box))
+                    self._replicas += 1
+
+    def _delete_from(self, node: _RegionNode, eid: int, box: AABB) -> None:
+        if node.is_leaf:
+            before = len(node.items)
+            node.items = [(e, b) for e, b in node.items if e != eid]
+            self._replicas -= before - len(node.items)
+            return
+        assert node.children is not None
+        for child in node.children:
+            if child.box.intersects(box):
+                self._delete_from(child, eid, box)
+
+    def _grow_universe(self, box: AABB) -> None:
+        """Rebuild with a universe covering both the old data and ``box``."""
+        items = list(self._boxes.items())
+        hull = self._universe.union(box) if self._universe else box
+        margin = max(hull.margin() / (2 * self.dims) * 0.5, 1e-9)
+        self._universe = hull.expanded(margin)
+        self._root = _RegionNode(self._universe)
+        self._replicas = 0
+        self._boxes = {}
+        for eid, item_box in items:
+            self._boxes[eid] = item_box
+            self._insert_into(self._root, eid, item_box, depth=0)
+
+
+def _subdivide(box: AABB) -> list[AABB]:
+    """The 2^d equal children of ``box``."""
+    center = box.center()
+    dims = box.dims
+    children = []
+    for mask in range(1 << dims):
+        lo = []
+        hi = []
+        for axis in range(dims):
+            if mask & (1 << axis):
+                lo.append(center[axis])
+                hi.append(box.hi[axis])
+            else:
+                lo.append(box.lo[axis])
+                hi.append(center[axis])
+        children.append(AABB(lo, hi))
+    return children

@@ -1,0 +1,82 @@
+"""Operation counters shared by every index, join and storage component.
+
+Counters are plain integers bumped in hot loops; they are the ground truth
+that the cost models interpret.  A counter object can be snapshotted and
+diffed, so benchmarks measure exactly one phase (e.g. "the 200 queries" but
+not the build).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Mutable tally of the primitive operations an index performs.
+
+    Attributes map one-to-one to the paper's cost categories:
+
+    * ``node_tests`` — MBR intersection tests against *inner tree nodes*
+      ("Intersection Tests Tree" in Figure 3);
+    * ``elem_tests`` — MBR intersection tests against *element bounding
+      boxes* ("Intersection Tests Elements");
+    * ``refine_tests`` — exact-geometry refinement tests (counted with
+      element tests);
+    * ``pointer_follows`` — child/bucket pointer dereferences ("Remaining
+      Computation", together with heap and hash operations);
+    * ``pages_read`` / ``pages_written`` — disk page transfers ("Reading
+      Data" on disk);
+    * ``bytes_touched`` — memory traffic over node/element payloads
+      ("Reading Data" in memory, converted to cache lines);
+    * ``cells_probed`` — grid cells visited;
+    * ``hash_probes`` — LSH bucket probes;
+    * ``heap_ops`` — kNN priority-queue pushes/pops;
+    * ``comparisons`` — pairwise candidate comparisons in joins;
+    * ``inserts`` / ``deletes`` / ``updates`` — index maintenance operations.
+    """
+
+    node_tests: int = 0
+    elem_tests: int = 0
+    refine_tests: int = 0
+    pointer_follows: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_touched: int = 0
+    cells_probed: int = 0
+    hash_probes: int = 0
+    heap_ops: int = 0
+    comparisons: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    updates: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def snapshot(self) -> "Counters":
+        """An independent copy of the current tallies."""
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "Counters") -> "Counters":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return Counters(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    def merge(self, other: "Counters") -> None:
+        """Add ``other``'s tallies into this object (for aggregating runs)."""
+        for field in fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+    def total_intersection_tests(self) -> int:
+        return self.node_tests + self.elem_tests + self.refine_tests
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        parts = [f"{name}={value}" for name, value in self.as_dict().items() if value]
+        return "Counters(" + ", ".join(parts) + ")"

@@ -1,0 +1,65 @@
+"""Wall-clock phase timing, complementing the analytical cost models.
+
+The cost models give deterministic, machine-independent breakdowns; the
+:class:`PhaseTimer` gives honest wall-clock numbers for the same phases so
+benchmarks can show both and confirm the shapes agree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            index.bulk_load(items)
+        with timer.phase("query"):
+            index.range_query(box)
+        timer.seconds("build")
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._seconds)
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._counts.clear()
+
+    def render(self, title: str = "") -> str:
+        lines = [title] if title else []
+        total = self.total()
+        for name, secs in sorted(self._seconds.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * secs / total if total else 0.0
+            lines.append(f"  {name:<28s} {pct:5.1f}%  {secs:10.4f}s  (x{self._counts[name]})")
+        lines.append(f"  {'total':<28s} 100.0%  {total:10.4f}s")
+        return "\n".join(lines)

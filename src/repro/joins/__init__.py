@@ -1,0 +1,41 @@
+"""Spatial join algorithms surveyed in Sections 3.2/3.3 and 4.3.
+
+All joins share one contract: given two item lists (``(eid, AABB)`` pairs),
+return the list of id pairs whose boxes intersect.  Every algorithm counts
+its pairwise ``comparisons`` in the shared counters — the currency the paper
+uses to argue about in-memory joins ("the number of comparisons (the major
+bulk of work for in-memory spatial joins)").
+
+* :func:`~repro.joins.nested_loop.nested_loop_join` — the O(n·m) baseline;
+* :func:`~repro.joins.sweepline.sweepline_join` — sort + plane sweep; "does
+  not ensure that only spatially close objects are compared" in y/z;
+* :func:`~repro.joins.pbsm.pbsm_join` — Partition Based Spatial-Merge
+  (Patel & DeWitt): uniform tiles + per-tile join + reference-point dedup;
+* :func:`~repro.joins.touch.touch_join` — TOUCH (Nobari et al., SIGMOD'13):
+  hierarchical data-oriented partitioning, assign-and-probe;
+* :func:`~repro.joins.grid_join.grid_join` — the paper's §4.3 research
+  direction, including the tiny-cell "intersect by definition" variant;
+* :mod:`~repro.joins.synapse` — the neuroscience application: distance join
+  over capsule morphologies to place synapses.
+"""
+
+from repro.joins.nested_loop import nested_loop_join, nested_loop_self_join
+from repro.joins.sweepline import sweepline_join
+from repro.joins.pbsm import pbsm_join
+from repro.joins.touch import touch_join
+from repro.joins.grid_join import grid_join, tiny_cell_self_join
+from repro.joins.synapse import SynapseDetector, distance_join
+from repro.joins.iterated import IteratedSelfJoin
+
+__all__ = [
+    "nested_loop_join",
+    "nested_loop_self_join",
+    "sweepline_join",
+    "pbsm_join",
+    "touch_join",
+    "grid_join",
+    "tiny_cell_self_join",
+    "distance_join",
+    "SynapseDetector",
+    "IteratedSelfJoin",
+]

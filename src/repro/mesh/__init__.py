@@ -1,0 +1,35 @@
+"""Dataset-as-index approaches: DLS, OCTOPUS and FLAT (§4.3).
+
+"A first research direction is to use indexes that predominantly depend on
+the dataset itself for query execution.  The dataset is updated by the
+simulation application anyway and is always up to date."
+
+* :class:`~repro.mesh.connectivity.Mesh` — unstructured tetrahedral meshes
+  with face adjacency, the substrate DLS/OCTOPUS walk on;
+* :class:`~repro.mesh.dls.DLS` — approximate seed index + directed walk +
+  connectivity flood; complete on **convex** meshes;
+* :class:`~repro.mesh.octopus.Octopus` — in-memory, multiple surface seeds,
+  handles **concave** meshes;
+* :class:`~repro.mesh.flat.FLAT` — connectivity links added to non-mesh
+  datasets (tile graph + small seed index), the in-memory transfer the paper
+  proposes ("The same idea can potentially also be used in memory").
+
+Mesh generators live in :mod:`repro.mesh.generators` (structured tet meshes,
+convex and with carved holes).
+"""
+
+from repro.mesh.connectivity import Mesh, MeshCell
+from repro.mesh.generators import structured_tet_mesh, carve_hole
+from repro.mesh.dls import DLS
+from repro.mesh.octopus import Octopus
+from repro.mesh.flat import FLAT
+
+__all__ = [
+    "Mesh",
+    "MeshCell",
+    "structured_tet_mesh",
+    "carve_hole",
+    "DLS",
+    "Octopus",
+    "FLAT",
+]

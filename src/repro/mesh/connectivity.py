@@ -1,0 +1,129 @@
+"""Unstructured mesh representation with face adjacency.
+
+Simulation meshes (finite-element tetrahedralizations, the paper's
+earthquake/material models) are graphs as much as geometries: each cell knows
+its face neighbours, and DLS/OCTOPUS exploit that connectivity instead of a
+separate index.  The mesh is deliberately mutable — :meth:`Mesh.move_vertex`
+lets simulations deform it in place, after which cell geometry accessors
+reflect the new state with **no index maintenance at all**, which is the
+entire point of the dataset-as-index family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+
+@dataclass(frozen=True)
+class MeshCell:
+    """A mesh cell: an id and the ids of its vertices (4 for a tet)."""
+
+    cid: int
+    vertices: tuple[int, ...]
+
+
+class Mesh:
+    """Cells over shared vertices, with face-adjacency precomputed.
+
+    Parameters
+    ----------
+    points:
+        Vertex coordinates, shape (n_vertices, dims).
+    cells:
+        Vertex-id tuples, one per cell.  Two cells are neighbours when they
+        share a full face (``len(vertices) - 1`` common vertices).
+    """
+
+    def __init__(self, points: np.ndarray, cells: Sequence[tuple[int, ...]]) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("points must be a (n, dims) array")
+        self.points = points
+        self.cells: list[MeshCell] = [
+            MeshCell(cid, tuple(vertices)) for cid, vertices in enumerate(cells)
+        ]
+        self._adjacency: list[list[int]] = [[] for _ in self.cells]
+        self._build_adjacency()
+
+    def _build_adjacency(self) -> None:
+        """Link cells sharing a face (a size |cell|-1 vertex subset)."""
+        face_owner: dict[tuple[int, ...], int] = {}
+        for cell in self.cells:
+            arity = len(cell.vertices)
+            for drop in range(arity):
+                face = tuple(sorted(v for i, v in enumerate(cell.vertices) if i != drop))
+                other = face_owner.pop(face, None)
+                if other is None:
+                    face_owner[face] = cell.cid
+                else:
+                    self._adjacency[cell.cid].append(other)
+                    self._adjacency[other].append(cell.cid)
+        # Faces still in face_owner are boundary faces.
+        self._boundary: set[int] = {cid for cid in (face_owner.values())}
+
+    # -- graph views ------------------------------------------------------------
+
+    def neighbors(self, cid: int) -> list[int]:
+        return self._adjacency[cid]
+
+    @property
+    def boundary_cells(self) -> list[int]:
+        """Cells owning at least one unshared (surface) face."""
+        return sorted(self._boundary)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # -- geometry views -----------------------------------------------------------
+
+    def cell_points(self, cid: int) -> np.ndarray:
+        return self.points[list(self.cells[cid].vertices)]
+
+    def centroid(self, cid: int) -> tuple[float, ...]:
+        return tuple(self.cell_points(cid).mean(axis=0))
+
+    def bounds(self, cid: int) -> AABB:
+        pts = self.cell_points(cid)
+        return AABB(pts.min(axis=0), pts.max(axis=0))
+
+    def hull(self) -> AABB:
+        return AABB(self.points.min(axis=0), self.points.max(axis=0))
+
+    # -- mutation (simulation deformation) -------------------------------------------
+
+    def move_vertex(self, vid: int, delta: Sequence[float]) -> None:
+        """Displace one vertex; adjacent cell geometry updates implicitly."""
+        self.points[vid] += np.asarray(delta, dtype=float)
+
+    def jitter(self, sigma: float, rng: np.random.Generator) -> None:
+        """Plasticity-style motion: every vertex moves a little."""
+        self.points += rng.normal(0.0, sigma, size=self.points.shape)
+
+    # -- oracle -------------------------------------------------------------------------
+
+    def scan_range(self, box: AABB) -> list[int]:
+        """Brute-force range query over cell bounds (test oracle)."""
+        return [cell.cid for cell in self.cells if self.bounds(cell.cid).intersects(box)]
+
+    def connected_components(self) -> int:
+        """Number of adjacency components (sanity checks on carved meshes)."""
+        seen: set[int] = set()
+        components = 0
+        for start in range(len(self.cells)):
+            if start in seen:
+                continue
+            components += 1
+            stack = [start]
+            seen.add(start)
+            while stack:
+                current = stack.pop()
+                for neighbor in self._adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+        return components

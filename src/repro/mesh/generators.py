@@ -1,0 +1,81 @@
+"""Structured tetrahedral mesh generators (convex, and concave via carving).
+
+Each unit cube of an ``nx × ny × nz`` grid is split into six tetrahedra with
+the Kuhn (Freudenthal) decomposition — one tet per permutation of the axes,
+marching from the cube's low corner to its high corner.  Kuhn subdivision is
+face-compatible across neighbouring cubes, so the resulting mesh is a proper
+conforming tetrahedralization with full face adjacency.
+
+:func:`carve_hole` removes the cells inside a region, producing the concave
+("mesh with holes") cases where DLS's single directed walk gets stuck and
+OCTOPUS's multi-seed strategy is required.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.mesh.connectivity import Mesh
+
+
+def structured_tet_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    spacing: float = 1.0,
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> Mesh:
+    """A conforming tet mesh of an ``nx × ny × nz`` box, 6 tets per cube."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+
+    def vid(i: int, j: int, k: int) -> int:
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    points = np.empty(((nx + 1) * (ny + 1) * (nz + 1), 3), dtype=float)
+    for i in range(nx + 1):
+        for j in range(ny + 1):
+            for k in range(nz + 1):
+                points[vid(i, j, k)] = (
+                    origin[0] + i * spacing,
+                    origin[1] + j * spacing,
+                    origin[2] + k * spacing,
+                )
+
+    unit_steps = {0: (1, 0, 0), 1: (0, 1, 0), 2: (0, 0, 1)}
+    cells: list[tuple[int, ...]] = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                base = (i, j, k)
+                for order in permutations(range(3)):
+                    corner = list(base)
+                    tet = [vid(*corner)]
+                    for axis in order:
+                        step = unit_steps[axis]
+                        corner = [c + s for c, s in zip(corner, step)]
+                        tet.append(vid(*corner))
+                    cells.append(tuple(tet))
+    return Mesh(points, cells)
+
+
+def carve_hole(mesh: Mesh, hole: AABB) -> Mesh:
+    """A new mesh without the cells whose centroid falls inside ``hole``.
+
+    Vertex set is compacted; adjacency is rebuilt.  Carving through the full
+    depth of a mesh produces the concave topology that defeats single-seed
+    directed walks.
+    """
+    keep = [cell for cell in mesh.cells if not hole.contains_point(mesh.centroid(cell.cid))]
+    if not keep:
+        raise ValueError("hole swallows the entire mesh")
+    used_vertices = sorted({v for cell in keep for v in cell.vertices})
+    remap = {old: new for new, old in enumerate(used_vertices)}
+    points = mesh.points[used_vertices]
+    cells = [tuple(remap[v] for v in cell.vertices) for cell in keep]
+    return Mesh(points, cells)

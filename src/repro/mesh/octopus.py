@@ -1,0 +1,145 @@
+"""OCTOPUS (Tauheed, Heinis, Ailamaki — ICDE'14): mesh queries in memory,
+concave meshes included.
+
+"OCTOPUS takes the DLS ideas into memory but also supports concave meshes.
+To ensure that query execution still retrieves the entire range query result
+in face of concave meshes, OCTOPUS takes as start point several elements on
+the surface."
+
+Strategy implemented here:
+
+* seeds are **surface (boundary) cells** — cheap to enumerate from the mesh
+  itself, no auxiliary structure to maintain under deformation;
+* a query launches directed walks from the nearest surface seeds in turn;
+  walks blocked by a hole simply fail over to the next seed (walks from
+  enough directions cannot all be blocked by the same hole);
+* every walk that reaches the query region floods it; flooding from multiple
+  entry points also covers query regions the holes disconnect — the case a
+  single-start flood provably misses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.aabb import AABB
+from repro.instrumentation.counters import Counters
+from repro.mesh.connectivity import Mesh
+
+
+class Octopus:
+    """Multi-surface-seed directed search over (possibly concave) meshes.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh; queried through live geometry.
+    max_seeds:
+        Upper bound on surface seeds tried per query.  More seeds raise the
+        cost floor but harden against adversarial hole layouts; 8 covers
+        every carved benchmark mesh.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        max_seeds: int = 8,
+        counters: Counters | None = None,
+    ) -> None:
+        if max_seeds < 1:
+            raise ValueError(f"max_seeds must be >= 1, got {max_seeds}")
+        self.mesh = mesh
+        self.max_seeds = max_seeds
+        self.counters = counters if counters is not None else Counters()
+        self._surface = mesh.boundary_cells
+
+    def range_query(self, box: AABB) -> list[int]:
+        """All cell ids intersecting ``box``, concave meshes included."""
+        mesh = self.mesh
+        target = box.center()
+        seeds = sorted(
+            self._surface,
+            key=lambda cid: _distance(mesh.centroid(cid), target),
+        )[: self.max_seeds]
+
+        results: set[int] = set()
+        flooded: set[int] = set()
+        for seed in seeds:
+            entry = self._walk(box, seed)
+            if entry is None or entry in flooded:
+                continue
+            self._flood(box, entry, results, flooded)
+        return sorted(results)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _walk(self, box: AABB, start: int) -> int | None:
+        """Greedy walk toward the query centre; None when blocked or arrived
+        at a non-intersecting minimum."""
+        mesh = self.mesh
+        target = box.center()
+        current = start
+        current_dist = _distance(mesh.centroid(current), target)
+        visited = {current}
+        while True:
+            self.counters.elem_tests += 1
+            if mesh.bounds(current).intersects(box):
+                return current
+            best = None
+            best_dist = current_dist
+            for neighbor in mesh.neighbors(current):
+                self.counters.pointer_follows += 1
+                if neighbor in visited:
+                    continue
+                dist = _distance(mesh.centroid(neighbor), target)
+                if dist < best_dist:
+                    best = neighbor
+                    best_dist = dist
+            if best is None:
+                return self._nudge(box, current)
+            visited.add(best)
+            current = best
+            current_dist = best_dist
+
+    def _nudge(self, box: AABB, current: int) -> int | None:
+        """Bounded neighbourhood search around a stranded walk (queries that
+        clip the mesh edge-on intersect cells the greedy path skirts)."""
+        mesh = self.mesh
+        bounds = mesh.bounds(current)
+        slack = 2.0 * math.sqrt(sum(e * e for e in bounds.extents()))
+        gap = bounds.min_distance_to_point(box.center())
+        probe = box.expanded(gap + slack)
+        stack = [current]
+        seen = {current}
+        while stack:
+            cid = stack.pop()
+            self.counters.elem_tests += 1
+            if mesh.bounds(cid).intersects(box):
+                return cid
+            for neighbor in mesh.neighbors(cid):
+                if neighbor in seen:
+                    continue
+                self.counters.pointer_follows += 1
+                if mesh.bounds(neighbor).intersects(probe):
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return None
+
+    def _flood(self, box: AABB, start: int, results: set[int], flooded: set[int]) -> None:
+        mesh = self.mesh
+        stack = [start]
+        flooded.add(start)
+        while stack:
+            cid = stack.pop()
+            results.add(cid)
+            for neighbor in mesh.neighbors(cid):
+                if neighbor in flooded:
+                    continue
+                self.counters.elem_tests += 1
+                if mesh.bounds(neighbor).intersects(box):
+                    flooded.add(neighbor)
+                    stack.append(neighbor)
+
+
+def _distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))

@@ -1,0 +1,32 @@
+"""Moving-object update strategies surveyed in Section 4.2.
+
+Each class here implements one of the paper's surveyed mechanisms for
+absorbing updates, and each carries exactly the cost-shift the paper
+predicts, measurable through the shared counters:
+
+* :class:`~repro.moving.lur_tree.LURTree` — lazy updates via grace (loose)
+  bounding boxes; "by introducing an imprecision in the index structure, the
+  burden is shifted to the query execution".
+* :class:`~repro.moving.buffered_rtree.BufferedRTree` — update memoing;
+  "when computing the query result, buffer and index need to be checked,
+  thereby increasing the overhead".
+* :class:`~repro.moving.throwaway.ThrowawayIndex` — short-lived per-step
+  index (Dittrich et al.): rebuild a cheap structure every step, query it,
+  discard it.
+* :class:`~repro.moving.bottom_up.BottomUpRTree` — bottom-up updating via a
+  direct element→leaf map ("through reinsertion of elements like the R*-Tree
+  or with a bottom up approach"); in-place patches when motion stays inside
+  the leaf.
+* :class:`~repro.moving.tpr.TPRIndex` — trajectory prediction
+  (TPR/TPR*/STRIPES family): assumes near-constant velocity; included to
+  demonstrate quantitatively why prediction fails on simulation motion
+  ("the movement of objects is ultimately what the simulation determines").
+"""
+
+from repro.moving.lur_tree import LURTree
+from repro.moving.buffered_rtree import BufferedRTree
+from repro.moving.throwaway import ThrowawayIndex
+from repro.moving.tpr import TPRIndex
+from repro.moving.bottom_up import BottomUpRTree
+
+__all__ = ["LURTree", "BufferedRTree", "ThrowawayIndex", "TPRIndex", "BottomUpRTree"]

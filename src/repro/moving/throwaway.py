@@ -1,0 +1,121 @@
+"""Short-lived throwaway indexes (Dittrich, Blunschi, Vaz Salles, SSTD'09).
+
+The MOVIES idea: never update — rebuild a cheap, read-only index every step
+(or every few thousand updates), answer queries from the latest finished
+build, throw it away.  It concedes the paper's Section 4 point up front:
+when everything moves, building fast beats updating.
+
+Our throwaway structure is a flat uniform grid snapshot (bulk-building a grid
+is one pass), matching the spirit of the original's simple throwaway
+structures.  :meth:`refresh` is the per-step rebuild; updates merely record
+into the live dictionary the next refresh will snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.uniform_grid import UniformGrid
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
+from repro.instrumentation.counters import Counters
+
+
+class ThrowawayIndex(SpatialIndex):
+    """Per-step snapshot grid over a live element dictionary.
+
+    Parameters
+    ----------
+    universe:
+        Simulation universe handed to each snapshot grid.
+    cell_size:
+        Snapshot grid resolution (analytical-model optimum recommended).
+    auto_refresh:
+        When True (default), queries transparently rebuild if any update
+        arrived since the last snapshot — the "query the latest finished
+        index" contract.  When False the caller controls :meth:`refresh`
+        and queries may observe the stale snapshot (the original's
+        frame-of-reference semantics); correctness-critical users keep the
+        default.
+    """
+
+    def __init__(
+        self,
+        universe: AABB | None = None,
+        cell_size: float | None = None,
+        auto_refresh: bool = True,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(counters)
+        self.universe = universe
+        self.cell_size = cell_size
+        self.auto_refresh = auto_refresh
+        self._current: dict[int, AABB] = {}
+        self._snapshot: UniformGrid | None = None
+        self._dirty = True
+        self.rebuilds = 0
+
+    # -- maintenance -----------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[Item]) -> None:
+        self._current = dict(validate_items(items))
+        self._dirty = True
+        self.refresh()
+
+    def insert(self, eid: int, box: AABB) -> None:
+        if eid in self._current:
+            raise ValueError(f"element {eid} already present")
+        self._current[eid] = box
+        self._dirty = True
+        self.counters.inserts += 1
+
+    def delete(self, eid: int, box: AABB) -> None:
+        if eid not in self._current or self._current[eid] != box:
+            raise KeyError(f"element {eid} with box {box} not in index")
+        del self._current[eid]
+        self._dirty = True
+        self.counters.deletes += 1
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        """O(1): only the live dictionary changes; no structure is touched."""
+        if eid not in self._current or self._current[eid] != old_box:
+            raise KeyError(f"element {eid} with box {old_box} not in index")
+        self._current[eid] = new_box
+        self._dirty = True
+        self.counters.updates += 1
+
+    def refresh(self) -> None:
+        """Build a fresh snapshot grid over the live dictionary."""
+        grid = UniformGrid(
+            universe=self.universe, cell_size=self.cell_size, counters=self.counters
+        )
+        grid.bulk_load(list(self._current.items()))
+        self._snapshot = grid
+        self._dirty = False
+        self.rebuilds += 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def _live_snapshot(self) -> UniformGrid:
+        if self._snapshot is None or (self._dirty and self.auto_refresh):
+            self.refresh()
+        assert self._snapshot is not None
+        return self._snapshot
+
+    def range_query(self, box: AABB) -> list[int]:
+        return self._live_snapshot().range_query(box)
+
+    def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        return self._live_snapshot().knn(point, k)
+
+    def __len__(self) -> int:
+        return len(self._current)
+
+    @property
+    def is_stale(self) -> bool:
+        return self._dirty
+
+    def memory_bytes(self) -> int:
+        if self._snapshot is None:
+            return 0
+        return self._snapshot.memory_bytes()

@@ -1,0 +1,90 @@
+"""In-situ simulation monitoring (§2.2's analysis queries).
+
+"The most important application that needs to execute range queries is the
+in-situ visualization of the progressing simulation.  For visualizations, as
+well as analyses, thousands of range queries need to be executed between two
+simulation steps at locations that cannot be anticipated."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import SpatialIndex
+
+
+class RangeMonitor:
+    """Random-window analysis: ``queries_per_step`` range queries at
+    unpredictable locations, recording result counts."""
+
+    def __init__(
+        self,
+        universe: AABB,
+        queries_per_step: int = 50,
+        extent: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if queries_per_step < 0:
+            raise ValueError(f"queries_per_step must be >= 0, got {queries_per_step}")
+        self.universe = universe
+        self.queries_per_step = queries_per_step
+        self.extent = extent
+        self._rng = np.random.default_rng(seed)
+        self.result_counts: list[int] = []
+
+    def expected_queries(self) -> int:
+        return self.queries_per_step
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        lo = np.asarray(self.universe.lo)
+        hi = np.asarray(self.universe.hi)
+        for _ in range(self.queries_per_step):
+            center = self._rng.uniform(lo, hi)
+            box = AABB.from_center(center, self.extent / 2.0)
+            self.result_counts.append(len(index.range_query(box)))
+
+
+class DensityMonitor:
+    """Tracks element counts in fixed regions of interest over time —
+    "local analysis of tissue density in neuroscience models"."""
+
+    def __init__(self, regions: list[AABB]) -> None:
+        if not regions:
+            raise ValueError("DensityMonitor needs at least one region")
+        self.regions = regions
+        self.history: list[list[int]] = []
+
+    def expected_queries(self) -> int:
+        return len(self.regions)
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        self.history.append([len(index.range_query(region)) for region in self.regions])
+
+
+class VisualizationMonitor:
+    """In-situ visualization sampling: a regular grid of small range queries
+    forming one density 'frame' per step."""
+
+    def __init__(self, universe: AABB, resolution: int = 8) -> None:
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        self.universe = universe
+        self.resolution = resolution
+        self.frames: list[np.ndarray] = []
+
+    def expected_queries(self) -> int:
+        return self.resolution ** self.universe.dims
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        dims = self.universe.dims
+        lo = np.asarray(self.universe.lo)
+        hi = np.asarray(self.universe.hi)
+        side = (hi - lo) / self.resolution
+        frame = np.zeros((self.resolution,) * dims, dtype=int)
+        for flat_index in range(self.resolution**dims):
+            key = np.unravel_index(flat_index, frame.shape)
+            cell_lo = lo + np.asarray(key) * side
+            cell_hi = cell_lo + side
+            frame[key] = len(index.range_query(AABB(cell_lo, cell_hi)))
+        self.frames.append(frame)

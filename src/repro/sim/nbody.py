@@ -1,0 +1,227 @@
+"""N-body cosmology: gravity via Barnes–Hut, the paper's §1/§2 example.
+
+"In n-body simulations in physical cosmology the position of each celestial
+object at time step t(i+1) has to be computed based on the gravitational
+field (and thus the locations) of its neighbors at time step t(i)."
+
+Two force engines are provided:
+
+* :class:`BarnesHutTree` — the classic octree with mass/centre-of-mass
+  aggregation and the θ opening criterion, built fresh each step (a
+  throwaway index, fittingly);
+* :func:`direct_forces` — the exact O(n²) sum, the correctness oracle for
+  the tree and the scalability foil for the benchmarks.
+
+The :class:`NBodyModel` integrates with leapfrog and exposes the standard
+:class:`~repro.sim.models.SimulationModel` surface so the engine's index
+maintenance strategies can be compared on cosmological motion too (bodies
+move *fast*, unlike plasticity — a useful contrast in the update benches).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import SpatialIndex
+from repro.sim.models import Move, SimulationModel
+
+_SOFTENING = 1e-2
+
+
+@dataclass
+class _BHNode:
+    box: AABB
+    mass: float = 0.0
+    com: np.ndarray | None = None  # centre of mass
+    children: list["_BHNode"] | None = None
+    body: int | None = None  # leaf payload: body index
+
+
+class BarnesHutTree:
+    """Octree over point masses with aggregate mass/centre per node."""
+
+    def __init__(self, positions: np.ndarray, masses: np.ndarray, theta: float = 0.5) -> None:
+        if len(positions) != len(masses):
+            raise ValueError("positions and masses must have equal length")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        self.positions = np.asarray(positions, dtype=float)
+        self.masses = np.asarray(masses, dtype=float)
+        self.theta = theta
+        lo = self.positions.min(axis=0) - 1e-9
+        hi = self.positions.max(axis=0) + 1e-9
+        side = float(max(hi - lo))
+        center = (lo + hi) / 2.0
+        root_box = AABB(center - side / 2.0, center + side / 2.0)
+        self._root = _BHNode(box=root_box)
+        for body in range(len(self.positions)):
+            self._insert(self._root, body, depth=0)
+        self._aggregate(self._root)
+
+    def _insert(self, node: _BHNode, body: int, depth: int) -> None:
+        if node.children is None and node.body is None and node.mass == 0.0:
+            node.body = body
+            node.mass = float(self.masses[body])
+            node.com = self.positions[body].copy()
+            return
+        if node.children is None:
+            # Split: push the resident body down, then insert the new one.
+            if depth > 64:
+                # Coincident points: accumulate into this node directly.
+                node.mass += float(self.masses[body])
+                return
+            resident = node.body
+            node.body = None
+            node.children = [_BHNode(box=child) for child in _subdivide(node.box)]
+            if resident is not None:
+                self._route(node, resident, depth)
+        self._route(node, body, depth)
+
+    def _route(self, node: _BHNode, body: int, depth: int) -> None:
+        assert node.children is not None
+        point = self.positions[body]
+        for child in node.children:
+            if child.box.contains_point(point):
+                self._insert(child, body, depth + 1)
+                return
+        # Numerical edge: clamp into the nearest child.
+        nearest = min(
+            node.children, key=lambda c: c.box.min_distance_to_point(point)
+        )
+        self._insert(nearest, body, depth + 1)
+
+    def _aggregate(self, node: _BHNode) -> None:
+        if node.children is None:
+            return
+        total = 0.0
+        weighted = np.zeros(self.positions.shape[1])
+        for child in node.children:
+            self._aggregate(child)
+            if child.mass > 0.0 and child.com is not None:
+                total += child.mass
+                weighted += child.mass * child.com
+            elif child.body is None and child.children is None and child.mass > 0.0:
+                total += child.mass
+        if total > 0.0:
+            node.mass = total
+            node.com = weighted / total
+
+    def acceleration_on(self, body: int, g: float = 1.0) -> np.ndarray:
+        """Gravitational acceleration on ``body`` with the θ criterion."""
+        point = self.positions[body]
+        acc = np.zeros_like(point)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mass <= 0.0 or node.com is None:
+                continue
+            delta = node.com - point
+            dist = math.sqrt(float(delta @ delta)) + _SOFTENING
+            side = max(node.box.extents())
+            if node.children is None or side / dist < self.theta:
+                if node.body == body and node.children is None:
+                    continue
+                acc += g * node.mass * delta / dist**3
+            else:
+                stack.extend(node.children)
+        return acc
+
+
+def direct_forces(positions: np.ndarray, masses: np.ndarray, g: float = 1.0) -> np.ndarray:
+    """Exact pairwise accelerations — O(n²), the Barnes–Hut oracle."""
+    n = len(positions)
+    acc = np.zeros_like(positions, dtype=float)
+    for i in range(n):
+        delta = positions - positions[i]
+        dist = np.sqrt((delta**2).sum(axis=1)) + _SOFTENING
+        dist[i] = np.inf
+        acc[i] = (g * masses[:, None] * delta / dist[:, None] ** 3).sum(axis=0)
+    return acc
+
+
+def _subdivide(box: AABB) -> list[AABB]:
+    center = box.center()
+    dims = box.dims
+    children = []
+    for mask in range(1 << dims):
+        lo = []
+        hi = []
+        for axis in range(dims):
+            if mask & (1 << axis):
+                lo.append(center[axis])
+                hi.append(box.hi[axis])
+            else:
+                lo.append(box.lo[axis])
+                hi.append(center[axis])
+        children.append(AABB(lo, hi))
+    return children
+
+
+class NBodyModel(SimulationModel):
+    """Leapfrog-integrated gravitational system.
+
+    Bodies are point masses; items are degenerate boxes at body positions.
+    ``method='barnes-hut'`` (default) rebuilds a
+    :class:`BarnesHutTree` every step; ``method='direct'`` uses the exact
+    sum (small n only).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        masses: np.ndarray,
+        universe: AABB,
+        dt: float = 0.01,
+        g: float = 1.0,
+        theta: float = 0.5,
+        method: str = "barnes-hut",
+    ) -> None:
+        if method not in ("barnes-hut", "direct"):
+            raise ValueError(f"unknown method: {method!r}")
+        self.positions = np.asarray(positions, dtype=float)
+        self.velocities = np.asarray(velocities, dtype=float)
+        self.masses = np.asarray(masses, dtype=float)
+        if not (len(self.positions) == len(self.velocities) == len(self.masses)):
+            raise ValueError("positions, velocities and masses must align")
+        self._universe = universe
+        self.dt = dt
+        self.g = g
+        self.theta = theta
+        self.method = method
+
+    def items(self) -> dict[int, AABB]:
+        return {i: AABB(row, row) for i, row in enumerate(self.positions)}
+
+    def universe(self) -> AABB:
+        return self._universe
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.masses * (self.velocities**2).sum(axis=1)).sum())
+
+    def advance(self, index: SpatialIndex, step: int) -> list[Move]:
+        if self.method == "direct":
+            acc = direct_forces(self.positions, self.masses, g=self.g)
+        else:
+            tree = BarnesHutTree(self.positions, self.masses, theta=self.theta)
+            acc = np.stack(
+                [tree.acceleration_on(i, g=self.g) for i in range(len(self.positions))]
+            )
+        old = self.positions.copy()
+        self.velocities += acc * self.dt
+        self.positions += self.velocities * self.dt
+        # Reflect at the universe walls to keep the system bounded.
+        lo = np.asarray(self._universe.lo)
+        hi = np.asarray(self._universe.hi)
+        below = self.positions < lo
+        above = self.positions > hi
+        self.velocities[below | above] *= -1.0
+        self.positions = np.clip(self.positions, lo, hi)
+        return [
+            (i, AABB(old[i], old[i]), AABB(self.positions[i], self.positions[i]))
+            for i in range(len(self.positions))
+        ]

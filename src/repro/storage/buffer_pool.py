@@ -1,0 +1,85 @@
+"""An LRU buffer pool in front of the simulated page store.
+
+Mirrors a DBMS buffer manager: reads hit the pool first; misses fetch from
+the :class:`~repro.storage.pagestore.PageStore` (charging a page read) and may
+evict the least-recently-used frame, writing it back when dirty.  The paper's
+experiments run "with an initially cold cache and the cache is cleaned between
+any two queries" — :meth:`clear` implements exactly that protocol.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.storage.pagestore import PageStore
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of disk pages.
+
+    Parameters
+    ----------
+    store:
+        Backing page store.
+    capacity:
+        Number of page frames held in memory.  Zero is allowed and makes
+        every access go to the store (useful to model a fully cold run).
+    """
+
+    def __init__(self, store: PageStore, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self._frames: OrderedDict[int, Any] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def read(self, page_id: int) -> Any:
+        """Fetch a page through the pool, counting hit or miss."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        payload = self.store.read(page_id)
+        self._admit(page_id, payload)
+        return payload
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Update a page in the pool, deferring the disk write (write-back)."""
+        if page_id not in self._frames:
+            self._admit(page_id, payload)
+        else:
+            self._frames[page_id] = payload
+            self._frames.move_to_end(page_id)
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty frame back to the store."""
+        for page_id in sorted(self._dirty):
+            self.store.write(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Flush and drop every frame — the paper's 'clean cache' protocol."""
+        self.flush()
+        self._frames.clear()
+
+    def hit_rate(self) -> float:
+        accesses = self.hits + self.misses
+        if accesses == 0:
+            return 0.0
+        return self.hits / accesses
+
+    def _admit(self, page_id: int, payload: Any) -> None:
+        if self.capacity == 0:
+            return
+        while len(self._frames) >= self.capacity:
+            victim, victim_payload = self._frames.popitem(last=False)
+            if victim in self._dirty:
+                self.store.write(victim, victim_payload)
+                self._dirty.discard(victim)
+        self._frames[page_id] = payload

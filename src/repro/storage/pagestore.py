@@ -1,0 +1,74 @@
+"""A simulated disk of fixed-size pages with transfer accounting.
+
+Payloads are kept as live Python objects (serialization would only slow the
+simulation down without changing the accounting); what makes this a "disk" is
+that every read and write is charged to a :class:`Counters` object, which the
+:class:`~repro.instrumentation.costmodel.DiskCostModel` then prices.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.instrumentation.counters import Counters
+
+
+class PageStore:
+    """Fixed-page-size object store with read/write accounting.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page; used by cost models and to validate payload size
+        estimates supplied by callers.
+    counters:
+        Shared counter object; every :meth:`read` bumps ``pages_read`` and
+        every :meth:`write` bumps ``pages_written``.
+    """
+
+    def __init__(self, page_size: int = 4096, counters: Counters | None = None) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.counters = counters if counters is not None else Counters()
+        self._pages: dict[int, Any] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def allocate(self, payload: Any = None) -> int:
+        """Reserve a new page id, optionally writing an initial payload."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = payload
+        if payload is not None:
+            self.counters.pages_written += 1
+        return page_id
+
+    def read(self, page_id: int) -> Any:
+        """Fetch a page's payload, charging one page read."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        self.counters.pages_read += 1
+        return self._pages[page_id]
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Replace a page's payload, charging one page write."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        self.counters.pages_written += 1
+        self._pages[page_id] = payload
+
+    def free(self, page_id: int) -> None:
+        """Release a page (no transfer charge; deallocation is metadata)."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        del self._pages[page_id]
+
+    def peek(self, page_id: int) -> Any:
+        """Read a payload *without* charging a transfer (test/debug helper)."""
+        return self._pages[page_id]
+
+    def page_ids(self) -> list[int]:
+        return list(self._pages)

@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the test suite.
+
+The central correctness idea: :class:`~repro.indexes.linear_scan.LinearScan`
+is the oracle.  ``assert_same_range_results`` and ``assert_same_knn`` compare
+any index against it; the property suites drive those comparisons with
+hypothesis-generated datasets and queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, SpatialIndex
+from repro.indexes.linear_scan import LinearScan
+
+UNIVERSE_3D = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+UNIVERSE_2D = AABB((0.0, 0.0), (100.0, 100.0))
+
+
+def make_items(
+    n: int,
+    universe: AABB = UNIVERSE_3D,
+    max_extent: float = 4.0,
+    seed: int = 0,
+    points: bool = False,
+) -> list[Item]:
+    """Random boxes (or points) inside ``universe``."""
+    rng = np.random.default_rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    items: list[Item] = []
+    for eid in range(n):
+        start = rng.uniform(lo, hi)
+        if points:
+            items.append((eid, AABB(start, start)))
+            continue
+        extent = rng.uniform(0.05, max_extent, size=universe.dims)
+        end = np.minimum(start + extent, hi)
+        items.append((eid, AABB(start, end)))
+    return items
+
+
+def make_queries(count: int, universe: AABB = UNIVERSE_3D, extent: float = 15.0, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    lo = np.asarray(universe.lo)
+    hi = np.asarray(universe.hi)
+    queries = []
+    for _ in range(count):
+        start = rng.uniform(lo, hi)
+        end = np.minimum(start + extent, hi)
+        queries.append(AABB(start, end))
+    return queries
+
+
+def assert_same_range_results(index: SpatialIndex, items: list[Item], queries) -> None:
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    for query in queries:
+        got = sorted(index.range_query(query))
+        expected = sorted(oracle.range_query(query))
+        assert got == expected, (
+            f"range mismatch for {query}: got {len(got)} ids, expected {len(expected)}"
+        )
+
+
+def assert_same_knn(index: SpatialIndex, items: list[Item], points, k: int) -> None:
+    """kNN sets may tie on distance; compare the distance multisets."""
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    for point in points:
+        got = index.knn(point, k)
+        expected = oracle.knn(point, k)
+        assert len(got) == len(expected)
+        got_dists = [round(d, 9) for d, _ in got]
+        expected_dists = [round(d, 9) for d, _ in expected]
+        assert got_dists == expected_dists, f"knn distances differ at {point}"
+
+
+@pytest.fixture
+def items_3d() -> list[Item]:
+    return make_items(400, seed=7)
+
+
+@pytest.fixture
+def queries_3d():
+    return make_queries(12, seed=11)

@@ -1,0 +1,131 @@
+"""The adaptive simulation index: per-step strategy decisions."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSimulationIndex
+from repro.core.amortization import MaintenanceCosts, Strategy
+from repro.datasets.trajectories import PlasticityMotion, apply_moves
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+
+from conftest import UNIVERSE_3D, make_items, make_queries
+
+
+def costs(update=1e-6, rebuild=1e-3, q_index=1e-5, q_scan=1e-3, n=400):
+    return MaintenanceCosts(
+        update_per_element=update,
+        rebuild_fixed=rebuild,
+        query_indexed=q_index,
+        query_scan=q_scan,
+        n_elements=n,
+    )
+
+
+def _moves(items, fraction, seed=0):
+    motion = PlasticityMotion(universe=UNIVERSE_3D, moving_fraction=fraction, seed=seed)
+    return motion.step(dict(items))
+
+
+class TestStrategySelection:
+    def test_small_change_updates(self, items_3d):
+        index = AdaptiveSimulationIndex(UNIVERSE_3D, costs=costs(n=len(items_3d)))
+        index.bulk_load(items_3d)
+        strategy = index.step(_moves(items_3d, 0.05), expected_queries=500)
+        assert strategy is Strategy.UPDATE
+
+    def test_full_change_rebuilds(self, items_3d):
+        # Make per-element updates expensive relative to a rebuild.
+        index = AdaptiveSimulationIndex(
+            UNIVERSE_3D, costs=costs(update=1e-4, rebuild=1e-3, n=len(items_3d))
+        )
+        index.bulk_load(items_3d)
+        strategy = index.step(_moves(items_3d, 1.0), expected_queries=500)
+        assert strategy is Strategy.REBUILD
+
+    def test_no_queries_scans(self, items_3d):
+        index = AdaptiveSimulationIndex(
+            UNIVERSE_3D, costs=costs(update=1e-4, rebuild=1e-3, n=len(items_3d))
+        )
+        index.bulk_load(items_3d)
+        strategy = index.step(_moves(items_3d, 1.0), expected_queries=0)
+        assert strategy is Strategy.SCAN
+
+    def test_without_costs_stays_incremental(self, items_3d):
+        index = AdaptiveSimulationIndex(UNIVERSE_3D)
+        index.bulk_load(items_3d)
+        assert index.step(_moves(items_3d, 1.0), 10) is Strategy.UPDATE
+
+    def test_history_recorded(self, items_3d):
+        index = AdaptiveSimulationIndex(UNIVERSE_3D, costs=costs(n=len(items_3d)))
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        for seed in (0, 1):
+            motion = PlasticityMotion(universe=UNIVERSE_3D, moving_fraction=0.05, seed=seed)
+            moves = motion.step(live)
+            index.step(moves, 500)
+            apply_moves(live, moves)
+        assert len(index.strategy_history) == 2
+
+
+class TestCorrectnessAcrossStrategies:
+    def test_queries_correct_after_every_strategy(self, items_3d, queries_3d):
+        """Whatever the strategy, results must equal the oracle's."""
+        index = AdaptiveSimulationIndex(
+            UNIVERSE_3D, costs=costs(update=1e-4, rebuild=1e-3, n=len(items_3d))
+        )
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        # Force the three regimes in sequence: scan, rebuild, update.
+        for fraction, queries in ((1.0, 0), (1.0, 500), (0.02, 500)):
+            motion = PlasticityMotion(
+                universe=UNIVERSE_3D, moving_fraction=fraction, seed=int(fraction * 10)
+            )
+            moves = motion.step(live)
+            index.step(moves, queries)
+            apply_moves(live, moves)
+            oracle = LinearScan()
+            oracle.bulk_load(list(live.items()))
+            for query in queries_3d[:4]:
+                assert sorted(index.range_query(query)) == sorted(oracle.range_query(query))
+
+    def test_scan_then_update_refreshes_grid(self, items_3d):
+        index = AdaptiveSimulationIndex(
+            UNIVERSE_3D, costs=costs(update=1e-4, rebuild=1e-3, n=len(items_3d))
+        )
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        moves = _moves(items_3d, 1.0)
+        assert index.step(moves, 0) is Strategy.SCAN
+        apply_moves(live, moves)
+        motion = PlasticityMotion(universe=UNIVERSE_3D, moving_fraction=0.02, seed=3)
+        second = motion.step(live)
+        assert index.step(second, 500) is Strategy.UPDATE
+        apply_moves(live, second)
+        oracle = LinearScan()
+        oracle.bulk_load(list(live.items()))
+        query = AABB((20, 20, 20), (60, 60, 60))
+        assert sorted(index.range_query(query)) == sorted(oracle.range_query(query))
+
+
+class TestIndexSurface:
+    def test_insert_delete_update(self):
+        index = AdaptiveSimulationIndex(UNIVERSE_3D)
+        box = AABB((1, 1, 1), (2, 2, 2))
+        index.insert(1, box)
+        assert len(index) == 1
+        moved = AABB((5, 5, 5), (6, 6, 6))
+        index.update(1, box, moved)
+        assert index.range_query(AABB((4, 4, 4), (7, 7, 7))) == [1]
+        index.delete(1, moved)
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.delete(1, moved)
+
+    def test_knn(self, items_3d):
+        index = AdaptiveSimulationIndex(UNIVERSE_3D)
+        index.bulk_load(items_3d)
+        oracle = LinearScan()
+        oracle.bulk_load(items_3d)
+        got = index.knn((50, 50, 50), 5)
+        expected = oracle.knn((50, 50, 50), 5)
+        assert [round(d, 9) for d, _ in got] == [round(d, 9) for d, _ in expected]

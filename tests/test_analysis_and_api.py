@@ -1,0 +1,83 @@
+"""Reporting helpers and the public API surface."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    coarse_breakdown_rows,
+    disk_vs_memory_report,
+    memory_breakdown_report,
+)
+from repro.analysis.reporting import format_table, percent_bar
+from repro.instrumentation.costmodel import READING, MemoryCostModel
+from repro.instrumentation.counters import Counters
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.000123456]])
+        assert "1.235e-04" in table
+
+    def test_zero(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestPercentBar:
+    def test_full_and_empty(self):
+        assert percent_bar(1.0, width=10) == "#" * 10
+        assert percent_bar(0.0, width=10) == "." * 10
+
+    def test_clamps(self):
+        assert percent_bar(2.0, width=4) == "####"
+        assert percent_bar(-1.0, width=4) == "...."
+
+
+class TestBreakdownReports:
+    def test_disk_vs_memory_shape(self):
+        disk = Counters(pages_read=500, node_tests=1000, elem_tests=500)
+        memory = Counters(node_tests=1000, elem_tests=500, bytes_touched=64_000)
+        report = disk_vs_memory_report(disk, memory)
+        assert "R-Tree on Disk" in report
+        assert "R-Tree in Memory" in report
+
+    def test_memory_breakdown_categories(self):
+        counters = Counters(node_tests=100, elem_tests=50, bytes_touched=6400)
+        report = memory_breakdown_report(counters)
+        assert "intersection_tests_tree" in report
+        assert "reading_data" in report
+
+    def test_coarse_rows(self):
+        breakdown = MemoryCostModel().breakdown(Counters(node_tests=10, bytes_touched=640))
+        rows = coarse_breakdown_rows("label", breakdown)
+        assert rows[0][0] == "label"
+        assert rows[0][1] + rows[0][2] == pytest.approx(100.0)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must actually run."""
+        from repro import AABB, UniformGrid
+        from repro.datasets import uniform_boxes
+
+        items = uniform_boxes(n=1000, universe=AABB((0, 0, 0), (100, 100, 100)), seed=1)
+        index = UniformGrid()
+        index.bulk_load(items)
+        hits = index.range_query(AABB((10, 10, 10), (20, 20, 20)))
+        assert isinstance(hits, list)

@@ -1,0 +1,76 @@
+"""STR bulk-loading properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.indexes.bulkload import str_pack
+from repro.indexes.rtree import Node
+
+from conftest import make_items
+
+
+def _collect(root):
+    """(item ids, max entries seen, leaf count) of a packed tree."""
+    ids = []
+    max_fill = 0
+    leaves = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        max_fill = max(max_fill, len(node.entries))
+        if node.is_leaf:
+            leaves += 1
+            ids.extend(ref for _, ref in node.entries)
+        else:
+            stack.extend(child for _, child in node.entries)
+    return ids, max_fill, leaves
+
+
+class TestStrPack:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            str_pack([], 8, Node)
+
+    def test_rejects_capacity_one(self):
+        with pytest.raises(ValueError):
+            str_pack(make_items(5), 1, Node)
+
+    def test_single_item(self):
+        root, height, count = str_pack(make_items(1), 8, Node)
+        assert height == 1
+        assert count == 1
+        assert root.is_leaf
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 400), capacity=st.integers(2, 32), seed=st.integers(0, 99))
+    def test_preserves_items_and_respects_capacity(self, n, capacity, seed):
+        items = make_items(n, seed=seed)
+        root, height, count = str_pack(items, capacity, Node)
+        ids, max_fill, leaves = _collect(root)
+        assert sorted(ids) == sorted(eid for eid, _ in items)
+        assert max_fill <= capacity
+        assert height >= 1
+        assert leaves <= count
+
+    def test_parent_boxes_cover_children(self):
+        items = make_items(200, seed=4)
+        root, _, _ = str_pack(items, 8, Node)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            for entry_box, child in node.entries:
+                assert entry_box.contains_box(child.mbr())
+                stack.append(child)
+
+    def test_near_minimal_height(self):
+        """STR packs nodes full: height must be close to log_M(n)."""
+        import math
+
+        items = make_items(1000, seed=5)
+        capacity = 10
+        _, height, _ = str_pack(items, capacity, Node)
+        minimal = math.ceil(math.log(1000, capacity))
+        assert height <= minimal + 1

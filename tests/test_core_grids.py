@@ -1,0 +1,197 @@
+"""The core package: uniform grid, multi-resolution grid, resolution model."""
+
+import pytest
+
+from repro.core.multires_grid import MultiResolutionGrid
+from repro.core.resolution import GridCostModel, default_cell_size, optimal_cell_size
+from repro.core.uniform_grid import UniformGrid
+from repro.geometry.aabb import AABB
+
+from conftest import (
+    UNIVERSE_3D,
+    assert_same_knn,
+    assert_same_range_results,
+    make_items,
+    make_queries,
+)
+
+
+class TestUniformGrid:
+    def test_oracle(self, items_3d, queries_3d):
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=5.0)
+        grid.bulk_load(items_3d)
+        assert_same_range_results(grid, items_3d, queries_3d)
+
+    def test_knn(self, items_3d):
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=5.0)
+        grid.bulk_load(items_3d)
+        assert_same_knn(grid, items_3d, [(50, 50, 50), (0, 0, 0)], k=8)
+
+    def test_no_tree_traversal(self, items_3d):
+        """The paper's central claim: grids spend nothing on node tests."""
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=5.0)
+        grid.bulk_load(items_3d)
+        grid.range_query(AABB((10, 10, 10), (40, 40, 40)))
+        assert grid.counters.node_tests == 0
+        assert grid.counters.cells_probed > 0
+
+    def test_in_place_update_fast_path(self):
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=10.0)
+        box = AABB((5, 5, 5), (6, 6, 6))
+        grid.bulk_load([(1, box)])
+        nudged = AABB((5.1, 5.1, 5.1), (6.1, 6.1, 6.1))
+        grid.update(1, box, nudged)
+        assert grid.in_place_updates == 1
+        assert grid.cell_switches == 0
+        assert grid.range_query(AABB((5, 5, 5), (7, 7, 7))) == [1]
+
+    def test_cell_switch_counted(self):
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=10.0)
+        box = AABB((5, 5, 5), (6, 6, 6))
+        far = AABB((85, 85, 85), (86, 86, 86))
+        grid.bulk_load([(1, box)])
+        grid.update(1, box, far)
+        assert grid.cell_switches == 1
+        assert grid.range_query(AABB((84, 84, 84), (87, 87, 87))) == [1]
+
+    def test_small_motion_rarely_switches_cells(self):
+        """§4.3: 'only few elements switch grid cell in every step'."""
+        import numpy as np
+
+        from repro.datasets.trajectories import PlasticityMotion, apply_moves
+
+        items = make_items(500, seed=12, max_extent=0.5)
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=5.0)
+        grid.bulk_load(items)
+        live = dict(items)
+        motion = PlasticityMotion(universe=UNIVERSE_3D, seed=13)
+        for _ in range(3):
+            moves = motion.step(live)
+            for eid, old, new in moves:
+                grid.update(eid, old, new)
+            apply_moves(live, moves)
+        switch_rate = grid.cell_switches / grid.counters.updates
+        assert switch_rate < 0.1
+
+    def test_update_wrong_box_raises(self):
+        grid = UniformGrid(universe=UNIVERSE_3D, cell_size=5.0)
+        box = AABB((1, 1, 1), (2, 2, 2))
+        grid.bulk_load([(1, box)])
+        with pytest.raises(KeyError):
+            grid.update(1, AABB((0, 0, 0), (1, 1, 1)), box)
+
+    def test_replication_factor(self, items_3d):
+        fine = UniformGrid(universe=UNIVERSE_3D, cell_size=1.0)
+        fine.bulk_load(items_3d)
+        coarse = UniformGrid(universe=UNIVERSE_3D, cell_size=50.0)
+        coarse.bulk_load(items_3d)
+        assert fine.replication_factor > coarse.replication_factor
+        assert coarse.replication_factor >= 1.0
+
+    def test_out_of_universe_elements_still_found(self):
+        grid = UniformGrid(universe=AABB((0, 0, 0), (10, 10, 10)), cell_size=2.0)
+        outside = AABB((20, 20, 20), (21, 21, 21))
+        grid.bulk_load([(1, outside)])
+        assert grid.range_query(AABB((19, 19, 19), (22, 22, 22))) == [1]
+
+
+class TestMultiResolutionGrid:
+    def test_oracle_mixed_sizes(self, queries_3d):
+        small = make_items(200, seed=1, max_extent=0.5)
+        large = [
+            (eid + 1000, box)
+            for eid, box in make_items(50, seed=2, max_extent=30.0)
+        ]
+        items = small + large
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D, levels=4)
+        grid.bulk_load(items)
+        assert_same_range_results(grid, items, queries_3d)
+
+    def test_levels_split_by_size(self):
+        small = make_items(100, seed=1, max_extent=0.3)
+        large = [(eid + 1000, box) for eid, box in make_items(100, seed=2, max_extent=40.0)]
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D, levels=4)
+        grid.bulk_load(small + large)
+        populations = grid.level_populations()
+        assert sum(populations) == 200
+        assert populations[0] > 0  # coarse level holds big elements
+        assert populations[-1] > 0 or populations[-2] > 0  # fine levels hold small
+
+    def test_replication_bounded(self):
+        items = make_items(400, seed=3, max_extent=20.0)
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D, levels=5)
+        grid.bulk_load(items)
+        total_stored = sum(
+            sum(len(cells) for cells in g._cells_of.values()) for g in grid._grids
+        )
+        assert total_stored / len(items) <= 8.0  # capped at 2^3 by level choice
+
+    def test_knn(self, items_3d):
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D)
+        grid.bulk_load(items_3d)
+        assert_same_knn(grid, items_3d, [(33, 66, 50)], k=7)
+
+    def test_update_level_migration(self):
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D, levels=4)
+        small = AABB((10, 10, 10), (10.5, 10.5, 10.5))
+        grid.bulk_load([(1, small)])
+        big = AABB((10, 10, 10), (60, 60, 60))
+        grid.update(1, small, big)
+        assert grid.range_query(AABB((50, 50, 50), (55, 55, 55))) == [1]
+
+    def test_dynamic(self, queries_3d):
+        items = make_items(300, seed=4)
+        grid = MultiResolutionGrid(universe=UNIVERSE_3D)
+        live = {}
+        for eid, box in items:
+            grid.insert(eid, box)
+            live[eid] = box
+        for eid in list(live)[::3]:
+            grid.delete(eid, live.pop(eid))
+        assert_same_range_results(grid, list(live.items()), queries_3d)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MultiResolutionGrid(levels=0)
+        with pytest.raises(ValueError):
+            MultiResolutionGrid(ratio=1.0)
+
+
+class TestResolutionModel:
+    def test_default_cell_size_scales_with_density(self):
+        sparse = default_cell_size(100, UNIVERSE_3D)
+        dense = default_cell_size(100_000, UNIVERSE_3D)
+        assert dense < sparse
+
+    def test_optimum_beats_extremes(self):
+        model = GridCostModel(
+            n=100_000,
+            universe_extent=100.0,
+            avg_element_extent=0.5,
+            avg_query_extent=5.0,
+        )
+        best = model.optimal_cell_size()
+        assert model.query_cost(best) <= model.query_cost(best * 16)
+        assert model.query_cost(best) <= model.query_cost(best / 16)
+
+    def test_bigger_queries_want_coarser_cells(self):
+        small_queries = GridCostModel(
+            n=50_000, universe_extent=100.0, avg_element_extent=0.5, avg_query_extent=1.0
+        ).optimal_cell_size()
+        big_queries = GridCostModel(
+            n=50_000, universe_extent=100.0, avg_element_extent=0.5, avg_query_extent=20.0
+        ).optimal_cell_size()
+        assert big_queries > small_queries
+
+    def test_wrapper(self):
+        cell = optimal_cell_size(10_000, UNIVERSE_3D, 0.5, 5.0)
+        assert 0 < cell < 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            default_cell_size(0, UNIVERSE_3D)
+        model = GridCostModel(
+            n=10, universe_extent=10.0, avg_element_extent=1.0, avg_query_extent=1.0
+        )
+        with pytest.raises(ValueError):
+            model.query_cost(0.0)

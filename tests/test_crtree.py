@@ -1,0 +1,94 @@
+"""CR-tree: quantization soundness and the cache-footprint advantage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.indexes.crtree import CRTree, _quantize_box, _quantized_intersect
+from repro.indexes.rtree import RTree
+
+from conftest import assert_same_knn, assert_same_range_results, make_items, make_queries
+
+coordinate = st.floats(0, 100, allow_nan=False)
+
+
+def _box(values):
+    lo = [min(a, b) for a, b in values]
+    hi = [max(a, b) for a, b in values]
+    return AABB(lo, hi)
+
+
+box_strategy = st.lists(st.tuples(coordinate, coordinate), min_size=3, max_size=3).map(_box)
+
+
+class TestQuantization:
+    @given(box_strategy, box_strategy)
+    def test_conservative_never_false_negative(self, entry, query):
+        """Quantized overlap must be implied by real overlap (both outward)."""
+        ref = entry.union(query)  # any ref covering both
+        q_entry = _quantize_box(entry, ref, outward=True)
+        q_query = _quantize_box(query, ref, outward=True)
+        if entry.intersects(query):
+            assert _quantized_intersect(*q_entry, *q_query)
+
+    def test_degenerate_ref_axis(self):
+        ref = AABB((0, 0, 0), (0, 10, 10))  # zero extent on axis 0
+        qlo, qhi = _quantize_box(AABB((0, 1, 1), (0, 2, 2)), ref, outward=True)
+        assert qlo[0] == 0  # degenerate axis quantizes to the full range
+
+
+class TestCorrectness:
+    def test_range_matches_oracle(self, items_3d, queries_3d):
+        tree = CRTree(max_entries=16)
+        tree.bulk_load(items_3d)
+        assert_same_range_results(tree, items_3d, queries_3d)
+
+    def test_knn_matches_oracle(self, items_3d):
+        tree = CRTree(max_entries=16)
+        tree.bulk_load(items_3d)
+        assert_same_knn(tree, items_3d, [(12, 88, 45)], k=9)
+
+    def test_dynamic_workload(self, queries_3d):
+        items = make_items(300, seed=17)
+        tree = CRTree(max_entries=8)
+        live = {}
+        for eid, box in items:
+            tree.insert(eid, box)
+            live[eid] = box
+        for eid in list(live)[::4]:
+            tree.delete(eid, live.pop(eid))
+        assert len(tree) == len(live)
+        assert_same_range_results(tree, list(live.items()), queries_3d)
+
+    def test_delete_missing(self):
+        tree = CRTree()
+        with pytest.raises(KeyError):
+            tree.delete(9, AABB((0, 0, 0), (1, 1, 1)))
+
+
+class TestCacheFootprint:
+    def test_queries_touch_fewer_bytes_than_rtree(self, items_3d):
+        """The CR-tree's point: quantized nodes mean less memory traffic for
+        the same traversal work."""
+        queries = make_queries(20, extent=12.0, seed=5)
+        crtree = CRTree(max_entries=16)
+        crtree.bulk_load(items_3d)
+        rtree = RTree(max_entries=16)
+        rtree.bulk_load(items_3d)
+        for query in queries:
+            crtree.range_query(query)
+            rtree.range_query(query)
+        assert crtree.counters.bytes_touched < rtree.counters.bytes_touched
+
+    def test_memory_bytes_smaller_than_rtree(self, items_3d):
+        crtree = CRTree(max_entries=16)
+        crtree.bulk_load(items_3d)
+        rtree = RTree(max_entries=16)
+        rtree.bulk_load(items_3d)
+        assert crtree.memory_bytes() < rtree.memory_bytes()
+
+    def test_refinement_counted(self, items_3d):
+        tree = CRTree(max_entries=16)
+        tree.bulk_load(items_3d)
+        tree.range_query(AABB((20, 20, 20), (50, 50, 50)))
+        assert tree.counters.refine_tests > 0

@@ -1,0 +1,90 @@
+"""Disk-resident R-tree: correctness plus page-transfer accounting."""
+
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.indexes.disk_rtree import DiskRTree
+
+from conftest import assert_same_knn, assert_same_range_results, make_items, make_queries
+
+
+class TestCorrectness:
+    def test_range_matches_oracle(self, items_3d, queries_3d):
+        tree = DiskRTree(max_entries=16)
+        tree.bulk_load(items_3d)
+        assert_same_range_results(tree, items_3d, queries_3d)
+
+    def test_knn_matches_oracle(self, items_3d):
+        tree = DiskRTree(max_entries=16)
+        tree.bulk_load(items_3d)
+        assert_same_knn(tree, items_3d, [(30, 60, 10), (80, 80, 80)], k=6)
+
+    def test_dynamic_workload(self, queries_3d):
+        items = make_items(300, seed=6)
+        tree = DiskRTree(max_entries=8)
+        live = {}
+        for eid, box in items:
+            tree.insert(eid, box)
+            live[eid] = box
+        for eid in list(live)[::3]:
+            tree.delete(eid, live.pop(eid))
+        assert len(tree) == len(live)
+        assert_same_range_results(tree, list(live.items()), queries_3d)
+
+    def test_delete_missing(self):
+        tree = DiskRTree()
+        with pytest.raises(KeyError):
+            tree.delete(1, AABB((0, 0, 0), (1, 1, 1)))
+
+    def test_empty_queries(self):
+        tree = DiskRTree()
+        assert tree.range_query(AABB((0, 0, 0), (1, 1, 1))) == []
+        assert tree.knn((0, 0, 0), 4) == []
+
+
+class TestPageAccounting:
+    def test_cold_queries_read_pages(self):
+        items = make_items(2000, seed=2)
+        tree = DiskRTree(max_entries=32, buffer_pages=16)
+        tree.bulk_load(items)
+        before = tree.counters.snapshot()
+        tree.clear_cache()
+        tree.range_query(AABB((20, 20, 20), (40, 40, 40)))
+        delta = tree.counters.diff(before)
+        assert delta.pages_read > 0
+
+    def test_warm_cache_reads_fewer_pages(self):
+        items = make_items(2000, seed=2)
+        query = AABB((20, 20, 20), (40, 40, 40))
+        tree = DiskRTree(max_entries=32, buffer_pages=512)
+        tree.bulk_load(items)
+        tree.clear_cache()
+        before = tree.counters.snapshot()
+        tree.range_query(query)
+        cold = tree.counters.diff(before).pages_read
+        before = tree.counters.snapshot()
+        tree.range_query(query)  # same query, warm pool
+        warm = tree.counters.diff(before).pages_read
+        assert warm < cold
+
+    def test_clear_cache_restores_cold_behaviour(self):
+        items = make_items(1000, seed=3)
+        query = AABB((10, 10, 10), (30, 30, 30))
+        tree = DiskRTree(max_entries=32, buffer_pages=512)
+        tree.bulk_load(items)
+        tree.clear_cache()
+        before = tree.counters.snapshot()
+        tree.range_query(query)
+        first = tree.counters.diff(before).pages_read
+        tree.clear_cache()
+        before = tree.counters.snapshot()
+        tree.range_query(query)
+        second = tree.counters.diff(before).pages_read
+        assert second == first
+
+    def test_page_count_grows_with_data(self):
+        small = DiskRTree(max_entries=16)
+        small.bulk_load(make_items(100, seed=1))
+        large = DiskRTree(max_entries=16)
+        large.bulk_load(make_items(2000, seed=1))
+        assert large.page_count() > small.page_count()

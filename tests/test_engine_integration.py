@@ -1,0 +1,110 @@
+"""Cross-cutting integration tests: engine × index × monitors × economics.
+
+These scenarios exercise the full stack the way a downstream user would:
+a living simulation whose index is maintained under each strategy, with
+in-situ analysis running, and with the results cross-checked against the
+linear-scan oracle at every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveSimulationIndex
+from repro.core.amortization import calibrate
+from repro.core.uniform_grid import UniformGrid
+from repro.datasets.neuroscience import generate_neurons
+from repro.datasets.queries import random_range_queries
+from repro.datasets.trajectories import PlasticityMotion
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.rtree import RTree
+from repro.moving.bottom_up import BottomUpRTree
+from repro.moving.lur_tree import LURTree
+from repro.moving.throwaway import ThrowawayIndex
+from repro.sim.engine import TimeSteppedSimulation
+from repro.sim.monitors import DensityMonitor, RangeMonitor
+from repro.sim.plasticity import PlasticityModel
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_neurons(neurons=12, segments_per_neuron=25, seed=21)
+
+
+INDEX_FACTORIES = [
+    pytest.param(lambda u: UniformGrid(universe=u), id="grid"),
+    pytest.param(lambda u: RTree(max_entries=8), id="rtree"),
+    pytest.param(lambda u: BottomUpRTree(max_entries=8), id="bottom-up"),
+    pytest.param(lambda u: LURTree(grace=0.2), id="lur"),
+    pytest.param(lambda u: ThrowawayIndex(universe=u), id="throwaway"),
+]
+
+
+class TestEngineWithEveryIndexFamily:
+    @pytest.mark.parametrize("factory", INDEX_FACTORIES)
+    def test_simulation_keeps_index_consistent(self, dataset, factory):
+        index = factory(dataset.universe)
+        model = PlasticityModel(
+            dict(dataset.items), dataset.universe, neighbourhood_queries=4, seed=22
+        )
+        monitor = RangeMonitor(dataset.universe, queries_per_step=5, extent=1.0, seed=23)
+        sim = TimeSteppedSimulation(model, index, monitors=[monitor], maintenance="update")
+        sim.run(3)
+        oracle = LinearScan()
+        oracle.bulk_load(list(sim.state.items()))
+        for query in random_range_queries(5, dataset.universe, extent=2.0, seed=24):
+            assert sorted(index.range_query(query)) == sorted(oracle.range_query(query))
+
+
+class TestCalibratedAdaptiveLoop:
+    def test_adaptive_follows_economics_end_to_end(self, dataset):
+        queries = random_range_queries(8, dataset.universe, extent=1.0, seed=25)
+        moves = PlasticityMotion(universe=dataset.universe, seed=26).step(dict(dataset.items))
+        costs = calibrate(
+            index_factory=lambda: UniformGrid(universe=dataset.universe),
+            items=dataset.items,
+            moved_items=moves,
+            query_boxes=queries,
+            scan_factory=LinearScan,
+        )
+        index = AdaptiveSimulationIndex(dataset.universe, costs=costs)
+        model = PlasticityModel(
+            dict(dataset.items), dataset.universe, neighbourhood_queries=4, seed=27
+        )
+        monitor = RangeMonitor(dataset.universe, queries_per_step=10, extent=1.0, seed=28)
+        sim = TimeSteppedSimulation(model, index, monitors=[monitor], maintenance="adaptive")
+        reports = sim.run(4)
+        assert len(index.strategy_history) == 4
+        assert all(r.strategy in ("update", "rebuild", "scan") for r in reports)
+        oracle = LinearScan()
+        oracle.bulk_load(list(sim.state.items()))
+        probe = AABB.from_center(dataset.universe.center(), 2.0)
+        assert sorted(index.range_query(probe)) == sorted(oracle.range_query(probe))
+
+
+class TestMonitorsObserveConsistentState:
+    def test_density_history_tracks_true_counts(self, dataset):
+        regions = [
+            AABB.from_center(dataset.universe.center(), 2.0),
+            dataset.universe,  # whole-universe region counts everything
+        ]
+        index = UniformGrid(universe=dataset.universe)
+        model = PlasticityModel(dict(dataset.items), dataset.universe, seed=29)
+        monitor = DensityMonitor(regions)
+        sim = TimeSteppedSimulation(model, index, monitors=[monitor], maintenance="update")
+        sim.run(3)
+        for counts in monitor.history:
+            assert counts[1] == len(dataset.items)  # nothing lost or duplicated
+
+    def test_counter_attribution_per_step(self, dataset):
+        """Every step's counter diff covers both update and monitor queries."""
+        index = UniformGrid(universe=dataset.universe)
+        model = PlasticityModel(
+            dict(dataset.items), dataset.universe, neighbourhood_queries=6, seed=30
+        )
+        monitor = RangeMonitor(dataset.universe, queries_per_step=7, extent=1.0, seed=31)
+        sim = TimeSteppedSimulation(model, index, monitors=[monitor], maintenance="update")
+        reports = sim.run(2)
+        for report in reports:
+            assert report.counters.updates == len(dataset.items)
+            assert report.counters.cells_probed > 0

@@ -1,0 +1,231 @@
+"""Hilbert packing, bottom-up updates, and the iterated join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.trajectories import BrownianMotion, PlasticityMotion, apply_moves
+from repro.geometry.aabb import AABB
+from repro.indexes.hilbert import (
+    hilbert_index,
+    hilbert_key_for_box,
+    hilbert_pack,
+    hilbert_sort,
+)
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.rtree import Node, RTree
+from repro.joins.iterated import IteratedSelfJoin
+from repro.joins.nested_loop import nested_loop_self_join
+from repro.moving.bottom_up import BottomUpRTree
+
+from conftest import (
+    UNIVERSE_3D,
+    assert_same_knn,
+    assert_same_range_results,
+    make_items,
+    make_queries,
+)
+
+
+class TestHilbertIndex:
+    def test_2d_visits_every_cell_once(self):
+        """A 2-bit 2-d curve is a permutation of the 16 lattice cells."""
+        seen = {hilbert_index((x, y), 2) for x in range(4) for y in range(4)}
+        assert seen == set(range(16))
+
+    def test_consecutive_indexes_are_lattice_neighbours(self):
+        """The defining Hilbert property: the curve never jumps."""
+        bits = 3
+        by_index = {}
+        for x in range(8):
+            for y in range(8):
+                by_index[hilbert_index((x, y), bits)] = (x, y)
+        for h in range(len(by_index) - 1):
+            (x1, y1), (x2, y2) = by_index[h], by_index[h + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_3d_permutation(self):
+        seen = {
+            hilbert_index((x, y, z), 2) for x in range(4) for y in range(4) for z in range(4)
+        }
+        assert seen == set(range(64))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_index((4, 0), 2)
+
+    def test_key_for_box_clamps(self):
+        universe = AABB((0, 0, 0), (10, 10, 10))
+        outside = AABB((50, 50, 50), (51, 51, 51))
+        key = hilbert_key_for_box(outside, universe, bits=4)
+        assert key >= 0
+
+
+class TestHilbertPacking:
+    def test_sort_keeps_items(self):
+        items = make_items(100, seed=3)
+        ordered = hilbert_sort(items)
+        assert sorted(eid for eid, _ in ordered) == sorted(eid for eid, _ in items)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 300), capacity=st.integers(2, 24))
+    def test_pack_preserves_items(self, n, capacity):
+        items = make_items(n, seed=7)
+        root, height, count = hilbert_pack(items, capacity, Node)
+        ids = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= capacity
+            if node.is_leaf:
+                ids.extend(ref for _, ref in node.entries)
+            else:
+                stack.extend(child for _, child in node.entries)
+        assert sorted(ids) == sorted(eid for eid, _ in items)
+
+    def test_rtree_hilbert_bulk_load_queries(self, items_3d, queries_3d):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(items_3d, packing="hilbert")
+        assert_same_range_results(tree, items_3d, queries_3d)
+        tree.check_invariants()
+
+    def test_rtree_rejects_unknown_packing(self, items_3d):
+        with pytest.raises(ValueError):
+            RTree().bulk_load(items_3d, packing="zorder")
+
+    def test_hilbert_locality_on_clusters(self):
+        """Hilbert leaves on clustered data should have small MBRs compared
+        to insertion-order chunking."""
+        from repro.datasets.points import gaussian_cluster_points
+
+        items = gaussian_cluster_points(600, UNIVERSE_3D, clusters=6, seed=9)
+        root, _, _ = hilbert_pack(items, 16, Node)
+        hilbert_volumes = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                hilbert_volumes.append(node.mbr().volume())
+            else:
+                stack.extend(child for _, child in node.entries)
+        naive_volumes = []
+        for start in range(0, len(items), 16):
+            chunk = items[start : start + 16]
+            hull = chunk[0][1]
+            for _, box in chunk[1:]:
+                hull = hull.union(box)
+            naive_volumes.append(hull.volume())
+        assert np.mean(hilbert_volumes) < np.mean(naive_volumes)
+
+
+class TestBottomUpRTree:
+    def test_oracle_after_motion(self, items_3d, queries_3d):
+        index = BottomUpRTree(max_entries=8)
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        motion = BrownianMotion(sigma=0.05, universe=UNIVERSE_3D, seed=4)
+        for _ in range(3):
+            moves = motion.step(live)
+            for eid, old, new in moves:
+                index.update(eid, old, new)
+            apply_moves(live, moves)
+        assert_same_range_results(index, list(live.items()), queries_3d)
+        index._tree.check_invariants()
+
+    def test_small_motion_is_mostly_in_place(self, items_3d):
+        index = BottomUpRTree(max_entries=8)
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        motion = PlasticityMotion(universe=UNIVERSE_3D, seed=5)
+        for _ in range(3):
+            moves = motion.step(live)
+            for eid, old, new in moves:
+                index.update(eid, old, new)
+            apply_moves(live, moves)
+        assert index.in_place_updates > index.structural_updates
+
+    def test_large_motion_escapes(self, items_3d):
+        index = BottomUpRTree(max_entries=8)
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        motion = BrownianMotion(sigma=20.0, universe=UNIVERSE_3D, seed=6)
+        moves = motion.step(live)
+        for eid, old, new in moves:
+            index.update(eid, old, new)
+        apply_moves(live, moves)
+        assert index.structural_updates > 0
+        assert_same_range_results(index, list(live.items()), make_queries(6, seed=7))
+
+    def test_insert_delete(self):
+        index = BottomUpRTree()
+        box = AABB((1, 1, 1), (2, 2, 2))
+        index.insert(1, box)
+        assert index.range_query(AABB((0, 0, 0), (3, 3, 3))) == [1]
+        index.delete(1, box)
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.delete(1, box)
+
+    def test_knn(self, items_3d):
+        index = BottomUpRTree()
+        index.bulk_load(items_3d)
+        assert_same_knn(index, items_3d, [(20, 80, 40)], k=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottomUpRTree(refresh_fraction=0.0)
+
+
+class TestIteratedSelfJoin:
+    def _items(self, n=150, seed=8):
+        return [(eid, box.expanded(0.2)) for eid, box in make_items(n, seed=seed, max_extent=2.0)]
+
+    @pytest.mark.parametrize("strategy", ["incremental", "recompute"])
+    def test_matches_oracle_across_steps(self, strategy):
+        items = self._items()
+        join = IteratedSelfJoin(items, UNIVERSE_3D, strategy=strategy)
+        live = dict(items)
+        motion = BrownianMotion(sigma=0.3, universe=UNIVERSE_3D, seed=9)
+        for _ in range(4):
+            moves = motion.step(live)
+            join.step(moves)
+            apply_moves(live, moves)
+            expected = set(nested_loop_self_join(list(live.items())))
+            assert join.pairs == expected
+            assert join.pair_count() == len(expected)
+
+    def test_strategies_agree(self):
+        items = self._items(seed=10)
+        incremental = IteratedSelfJoin(items, UNIVERSE_3D, strategy="incremental")
+        recompute = IteratedSelfJoin(items, UNIVERSE_3D, strategy="recompute")
+        live = dict(items)
+        motion = PlasticityMotion(universe=UNIVERSE_3D, seed=11)
+        for _ in range(3):
+            moves = motion.step(live)
+            incremental.step(moves)
+            recompute.step(moves)
+            apply_moves(live, moves)
+        assert incremental.pairs == recompute.pairs
+
+    def test_partial_motion(self):
+        items = self._items(seed=12)
+        join = IteratedSelfJoin(items, UNIVERSE_3D)
+        live = dict(items)
+        motion = BrownianMotion(
+            sigma=1.0, universe=UNIVERSE_3D, moving_fraction=0.2, seed=13
+        )
+        moves = motion.step(live)
+        join.step(moves)
+        apply_moves(live, moves)
+        assert join.pairs == set(nested_loop_self_join(list(live.items())))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            IteratedSelfJoin(self._items(), UNIVERSE_3D, strategy="magic")
+
+    def test_stale_move_rejected(self):
+        items = self._items(seed=14)
+        join = IteratedSelfJoin(items, UNIVERSE_3D)
+        wrong = AABB((0, 0, 0), (1, 1, 1))
+        with pytest.raises(KeyError):
+            join.step([(items[0][0], wrong, wrong)])

@@ -1,0 +1,66 @@
+"""Functional intersection predicates (the hot-loop forms)."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.intersection import (
+    box_contains_box,
+    box_contains_point,
+    boxes_intersect,
+    capsules_intersect,
+    capsules_within,
+)
+from repro.geometry.primitives import Capsule
+
+coordinate = st.floats(-50, 50, allow_nan=False)
+
+
+def _box(values):
+    lo = [min(a, b) for a, b in values]
+    hi = [max(a, b) for a, b in values]
+    return AABB(lo, hi)
+
+
+boxes3 = st.lists(st.tuples(coordinate, coordinate), min_size=3, max_size=3).map(_box)
+points3 = st.tuples(coordinate, coordinate, coordinate)
+
+
+class TestFunctionalFormsAgreeWithMethods:
+    @given(boxes3, boxes3)
+    def test_boxes_intersect(self, a, b):
+        assert boxes_intersect(a, b) == a.intersects(b)
+
+    @given(boxes3, points3)
+    def test_box_contains_point(self, box, point):
+        assert box_contains_point(box, point) == box.contains_point(point)
+
+    @given(boxes3, boxes3)
+    def test_box_contains_box(self, outer, inner):
+        assert box_contains_box(outer, inner) == outer.contains_box(inner)
+
+    @given(boxes3, boxes3)
+    def test_containment_implies_intersection(self, outer, inner):
+        if box_contains_box(outer, inner):
+            assert boxes_intersect(outer, inner)
+
+
+class TestCapsulePredicates:
+    def test_intersect_matches_distance_sign(self):
+        a = Capsule((0, 0, 0), (10, 0, 0), 1.0)
+        touching = Capsule((0, 2, 0), (10, 2, 0), 1.0)
+        apart = Capsule((0, 5, 0), (10, 5, 0), 1.0)
+        assert capsules_intersect(a, touching)
+        assert not capsules_intersect(a, apart)
+
+    @given(points3, points3, points3, points3, st.floats(0.01, 3.0))
+    def test_within_zero_equals_intersect(self, p1, q1, p2, q2, radius):
+        a = Capsule(p1, q1, radius)
+        b = Capsule(p2, q2, radius)
+        assert capsules_within(a, b, 0.0) == capsules_intersect(a, b)
+
+    @given(points3, points3, points3, points3)
+    def test_within_is_monotone_in_epsilon(self, p1, q1, p2, q2):
+        a = Capsule(p1, q1, 0.5)
+        b = Capsule(p2, q2, 0.5)
+        if capsules_within(a, b, 1.0):
+            assert capsules_within(a, b, 2.0)

@@ -1,0 +1,74 @@
+"""Node layout replays through the cache simulator."""
+
+import pytest
+
+from repro.indexes.rtree import RTree
+from repro.storage.cache import CacheSimulator
+from repro.storage.layout import assign_addresses, node_size_bytes, replay_queries
+
+from conftest import make_items, make_queries
+
+
+@pytest.fixture(scope="module")
+def tree():
+    index = RTree(max_entries=16)
+    index.bulk_load(make_items(3000, seed=2))
+    return index
+
+
+def _cache():
+    return CacheSimulator(capacity_bytes=64 * 1024, line_bytes=64, associativity=4)
+
+
+class TestAssignAddresses:
+    def test_every_node_mapped(self, tree):
+        addresses = assign_addresses(tree, layout="bfs")
+        assert len(addresses) == tree.node_count
+
+    def test_no_overlaps(self, tree):
+        addresses = assign_addresses(tree, layout="bfs")
+        spans = sorted(addresses.values())
+        for (a_start, a_size), (b_start, _) in zip(spans, spans[1:]):
+            assert a_start + a_size <= b_start
+
+    def test_bfs_is_aligned(self, tree):
+        addresses = assign_addresses(tree, layout="bfs", alignment=64)
+        assert all(address % 64 == 0 for address, _ in addresses.values())
+
+    def test_unknown_layout(self, tree):
+        with pytest.raises(ValueError):
+            assign_addresses(tree, layout="heap")
+
+    def test_entry_bytes_scales_size(self, tree):
+        full = assign_addresses(tree, layout="bfs", entry_bytes=56)
+        quantized = assign_addresses(tree, layout="bfs", entry_bytes=20)
+        total_full = sum(size for _, size in full.values())
+        total_quantized = sum(size for _, size in quantized.values())
+        assert total_quantized < total_full
+
+
+class TestReplay:
+    def test_replay_counts_misses(self, tree):
+        addresses = assign_addresses(tree, layout="bfs")
+        cache = _cache()
+        misses = replay_queries(tree, make_queries(10, seed=3), addresses, cache)
+        assert misses > 0
+        assert cache.hits + cache.misses > 0
+
+    def test_warm_replay_misses_less(self, tree):
+        addresses = assign_addresses(tree, layout="bfs")
+        cache = _cache()
+        queries = make_queries(5, seed=4)
+        cold = replay_queries(tree, queries, addresses, cache)
+        warm = replay_queries(tree, queries, addresses, cache)
+        assert warm <= cold
+
+    def test_compressed_entries_miss_less(self, tree):
+        queries = make_queries(20, seed=5)
+        full = replay_queries(
+            tree, queries, assign_addresses(tree, layout="bfs", entry_bytes=56), _cache()
+        )
+        compressed = replay_queries(
+            tree, queries, assign_addresses(tree, layout="bfs", entry_bytes=20), _cache()
+        )
+        assert compressed < full

@@ -1,0 +1,194 @@
+"""Moving-object indexes: LUR, buffered, throwaway, TPR."""
+
+import pytest
+
+from repro.datasets.trajectories import BrownianMotion, LinearMotion, PlasticityMotion, apply_moves
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+from repro.moving.buffered_rtree import BufferedRTree
+from repro.moving.lur_tree import LURTree
+from repro.moving.throwaway import ThrowawayIndex
+from repro.moving.tpr import TPRIndex
+
+from conftest import (
+    UNIVERSE_3D,
+    assert_same_knn,
+    assert_same_range_results,
+    make_items,
+    make_queries,
+)
+
+
+def _run_motion(index, items, steps=3, sigma=0.05, seed=0, advance_hook=None):
+    """Drive Brownian motion through an index, returning the final state."""
+    live = dict(items)
+    motion = BrownianMotion(sigma=sigma, universe=UNIVERSE_3D, seed=seed)
+    for _ in range(steps):
+        moves = motion.step(live)
+        if advance_hook is not None:
+            advance_hook(moves)
+        else:
+            for eid, old, new in moves:
+                index.update(eid, old, new)
+        apply_moves(live, moves)
+    return live
+
+
+class TestLURTree:
+    def test_oracle_after_motion(self, items_3d, queries_3d):
+        index = LURTree(grace=0.5)
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert_same_range_results(index, list(live.items()), queries_3d)
+
+    def test_knn_after_motion(self, items_3d):
+        index = LURTree(grace=0.5)
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert_same_knn(index, list(live.items()), [(40, 40, 40)], k=6)
+
+    def test_small_motion_is_lazy(self, items_3d):
+        index = LURTree(grace=1.0)
+        index.bulk_load(items_3d)
+        _run_motion(index, items_3d, sigma=0.01)
+        assert index.lazy_updates > 0
+        assert index.structural_updates < index.lazy_updates / 10
+
+    def test_large_motion_is_structural(self, items_3d):
+        index = LURTree(grace=0.05)
+        index.bulk_load(items_3d)
+        _run_motion(index, items_3d, sigma=5.0)
+        assert index.structural_updates > index.lazy_updates
+
+    def test_refinement_shifts_cost_to_queries(self, items_3d, queries_3d):
+        """The paper's trade-off: loose boxes mean extra refine tests."""
+        index = LURTree(grace=2.0)
+        index.bulk_load(items_3d)
+        for query in queries_3d:
+            index.range_query(query)
+        assert index.counters.refine_tests > 0
+
+    def test_insert_delete(self):
+        index = LURTree(grace=0.5)
+        box = AABB((1, 1, 1), (2, 2, 2))
+        index.insert(1, box)
+        assert index.range_query(AABB((0, 0, 0), (3, 3, 3))) == [1]
+        index.delete(1, box)
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.delete(1, box)
+
+
+class TestBufferedRTree:
+    def test_oracle_with_pending_buffer(self, items_3d, queries_3d):
+        index = BufferedRTree(buffer_capacity=10_000)  # never flush
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert index.pending_operations > 0  # buffer really is pending
+        assert_same_range_results(index, list(live.items()), queries_3d)
+
+    def test_oracle_after_flush(self, items_3d, queries_3d):
+        index = BufferedRTree(buffer_capacity=50)
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert index.flushes > 0
+        assert_same_range_results(index, list(live.items()), queries_3d)
+
+    def test_knn_with_buffer(self, items_3d):
+        index = BufferedRTree(buffer_capacity=10_000)
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert_same_knn(index, list(live.items()), [(70, 30, 50)], k=5)
+
+    def test_buffered_insert_and_delete_visible(self):
+        index = BufferedRTree(buffer_capacity=100)
+        index.bulk_load([(1, AABB((0, 0, 0), (1, 1, 1)))])
+        index.insert(2, AABB((5, 5, 5), (6, 6, 6)))
+        assert sorted(index.range_query(AABB((0, 0, 0), (10, 10, 10)))) == [1, 2]
+        index.delete(1, AABB((0, 0, 0), (1, 1, 1)))
+        assert index.range_query(AABB((0, 0, 0), (10, 10, 10))) == [2]
+
+    def test_query_pays_buffer_pass(self, items_3d):
+        """'buffer and index need to be checked' — counted."""
+        index = BufferedRTree(buffer_capacity=10_000)
+        index.bulk_load(items_3d)
+        _run_motion(index, items_3d, steps=1)
+        before = index.counters.snapshot()
+        index.range_query(AABB((40, 40, 40), (45, 45, 45)))
+        delta = index.counters.diff(before)
+        assert delta.elem_tests >= index.pending_operations
+
+
+class TestThrowawayIndex:
+    def test_oracle_after_motion(self, items_3d, queries_3d):
+        index = ThrowawayIndex(universe=UNIVERSE_3D)
+        index.bulk_load(items_3d)
+        live = _run_motion(index, items_3d)
+        assert_same_range_results(index, list(live.items()), queries_3d)
+        assert index.rebuilds >= 2  # one per queried step
+
+    def test_explicit_refresh_controls_staleness(self, items_3d):
+        index = ThrowawayIndex(universe=UNIVERSE_3D, auto_refresh=False)
+        index.bulk_load(items_3d)
+        box = items_3d[0][1]
+        far = AABB((90, 90, 90), (91, 91, 91))
+        index.update(0, box, far)
+        assert index.is_stale
+        index.refresh()
+        assert not index.is_stale
+        assert 0 in index.range_query(AABB((89, 89, 89), (92, 92, 92)))
+
+    def test_updates_touch_no_structure(self, items_3d):
+        index = ThrowawayIndex(universe=UNIVERSE_3D)
+        index.bulk_load(items_3d)
+        rebuilds_before = index.rebuilds
+        _run_motion(index, items_3d, steps=2)
+        assert index.rebuilds == rebuilds_before  # no queries -> no rebuilds
+
+
+class TestTPRIndex:
+    def test_oracle_after_motion(self, items_3d, queries_3d):
+        index = TPRIndex(max_speed=0.2, horizon=5)
+        index.bulk_load(items_3d)
+        live = dict(items_3d)
+        motion = BrownianMotion(sigma=0.05, universe=UNIVERSE_3D, seed=2)
+        for _ in range(4):
+            moves = motion.step(live)
+            index.advance(moves)
+            apply_moves(live, moves)
+        assert_same_range_results(index, list(live.items()), queries_3d)
+
+    def test_predictable_motion_needs_few_reanchors(self):
+        items = make_items(200, seed=4, max_extent=0.5)
+        index = TPRIndex(max_speed=0.3, horizon=10)
+        index.bulk_load(items)
+        live = dict(items)
+        motion = LinearMotion(speed=0.2, universe=UNIVERSE_3D, seed=5)
+        for _ in range(8):
+            moves = motion.step(live)
+            index.advance(moves)
+            apply_moves(live, moves)
+        linear_reanchors = index.re_anchors
+
+        index2 = TPRIndex(max_speed=0.3, horizon=10)
+        index2.bulk_load(items)
+        live = dict(items)
+        brownian = BrownianMotion(sigma=0.8, universe=UNIVERSE_3D, seed=5)
+        for _ in range(8):
+            moves = brownian.step(live)
+            index2.advance(moves)
+            apply_moves(live, moves)
+        assert index2.re_anchors > linear_reanchors
+
+    def test_knn(self, items_3d):
+        index = TPRIndex()
+        index.bulk_load(items_3d)
+        assert_same_knn(index, items_3d, [(10, 90, 10)], k=4)
+
+    def test_insert_delete(self):
+        index = TPRIndex()
+        box = AABB((1, 1, 1), (2, 2, 2))
+        index.insert(7, box)
+        assert len(index) == 1
+        index.delete(7, box)
+        assert len(index) == 0

@@ -1,0 +1,149 @@
+"""KD-tree, quadtree/octree (replication) and loose octree."""
+
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.indexes.kdtree import KDTree
+from repro.indexes.loose_octree import LooseOctree
+from repro.indexes.octree import Octree
+from repro.indexes.quadtree import QuadTree
+
+from conftest import (
+    UNIVERSE_2D,
+    UNIVERSE_3D,
+    assert_same_knn,
+    assert_same_range_results,
+    make_items,
+    make_queries,
+)
+
+
+class TestKDTree:
+    def test_points_only(self):
+        tree = KDTree()
+        with pytest.raises(ValueError, match="point access method"):
+            tree.insert(1, AABB((0, 0, 0), (1, 1, 1)))
+
+    def test_range_matches_oracle(self):
+        items = make_items(500, seed=3, points=True)
+        tree = KDTree(bucket_size=8)
+        tree.bulk_load(items)
+        assert_same_range_results(tree, items, make_queries(10, seed=4))
+
+    def test_knn_matches_oracle(self):
+        items = make_items(500, seed=3, points=True)
+        tree = KDTree(bucket_size=8)
+        tree.bulk_load(items)
+        assert_same_knn(tree, items, [(50, 50, 50), (5, 95, 5)], k=10)
+
+    def test_dynamic_insert_delete(self):
+        items = make_items(300, seed=5, points=True)
+        tree = KDTree(bucket_size=8)
+        live = {}
+        for eid, box in items:
+            tree.insert(eid, box)
+            live[eid] = box
+        for eid in list(live)[::2]:
+            tree.delete(eid, live.pop(eid))
+        assert len(tree) == len(live)
+        assert_same_range_results(tree, list(live.items()), make_queries(8, seed=6))
+
+    def test_delete_missing(self):
+        tree = KDTree()
+        tree.insert(1, AABB((1, 1, 1), (1, 1, 1)))
+        with pytest.raises(KeyError):
+            tree.delete(2, AABB((1, 1, 1), (1, 1, 1)))
+
+    def test_duplicate_coordinates(self):
+        """All-equal points must not infinitely split."""
+        box = AABB((5, 5, 5), (5, 5, 5))
+        tree = KDTree(bucket_size=4)
+        for eid in range(20):
+            tree.insert(eid, box)
+        assert sorted(tree.range_query(AABB((4, 4, 4), (6, 6, 6)))) == list(range(20))
+
+
+class TestRegionTrees:
+    def test_quadtree_oracle(self):
+        items = make_items(400, universe=UNIVERSE_2D, seed=8)
+        tree = QuadTree(universe=UNIVERSE_2D, capacity=12)
+        tree.bulk_load(items)
+        assert_same_range_results(tree, items, make_queries(10, UNIVERSE_2D, seed=9))
+
+    def test_octree_oracle(self, items_3d, queries_3d):
+        tree = Octree(universe=UNIVERSE_3D, capacity=12)
+        tree.bulk_load(items_3d)
+        assert_same_range_results(tree, items_3d, queries_3d)
+
+    def test_octree_knn(self, items_3d):
+        tree = Octree(universe=UNIVERSE_3D)
+        tree.bulk_load(items_3d)
+        assert_same_knn(tree, items_3d, [(40, 40, 40)], k=6)
+
+    def test_replication_reported(self, items_3d):
+        tree = Octree(universe=UNIVERSE_3D, capacity=4, max_depth=8)
+        tree.bulk_load(items_3d)
+        assert tree.replication_factor >= 1.0
+
+    def test_out_of_universe_insert_grows(self):
+        tree = Octree(universe=AABB((0, 0, 0), (10, 10, 10)))
+        inside = AABB((1, 1, 1), (2, 2, 2))
+        outside = AABB((50, 50, 50), (51, 51, 51))
+        tree.insert(1, inside)
+        tree.insert(2, outside)
+        assert sorted(tree.range_query(AABB((0, 0, 0), (100, 100, 100)))) == [1, 2]
+
+    def test_delete_and_query(self, items_3d, queries_3d):
+        tree = Octree(universe=UNIVERSE_3D, capacity=8)
+        tree.bulk_load(items_3d)
+        live = dict(items_3d)
+        for eid in list(live)[::5]:
+            tree.delete(eid, live.pop(eid))
+        assert_same_range_results(tree, list(live.items()), queries_3d)
+
+    def test_dims_validation(self):
+        tree = QuadTree(universe=UNIVERSE_2D)
+        with pytest.raises(ValueError):
+            tree.insert(1, AABB((0, 0, 0), (1, 1, 1)))
+
+
+class TestLooseOctree:
+    def test_oracle(self, items_3d, queries_3d):
+        tree = LooseOctree(universe=UNIVERSE_3D)
+        tree.bulk_load(items_3d)
+        assert_same_range_results(tree, items_3d, queries_3d)
+
+    def test_no_replication(self, items_3d):
+        tree = LooseOctree(universe=UNIVERSE_3D)
+        tree.bulk_load(items_3d)
+        stored = sum(len(bucket) for bucket in tree._cells.values())
+        assert stored == len(items_3d)
+
+    def test_knn(self, items_3d):
+        tree = LooseOctree(universe=UNIVERSE_3D)
+        tree.bulk_load(items_3d)
+        assert_same_knn(tree, items_3d, [(60, 20, 80)], k=5)
+
+    def test_in_cell_update_is_cheap(self):
+        tree = LooseOctree(universe=UNIVERSE_3D)
+        box = AABB((50, 50, 50), (51, 51, 51))
+        tree.insert(1, box)
+        cells_before = dict(tree._cells)
+        nudged = AABB((50.01, 50.01, 50.01), (51.01, 51.01, 51.01))
+        tree.update(1, box, nudged)
+        assert set(tree._cells) == set(cells_before)  # same cell, no move
+
+    def test_update_across_cells(self):
+        tree = LooseOctree(universe=UNIVERSE_3D)
+        box = AABB((1, 1, 1), (2, 2, 2))
+        far = AABB((90, 90, 90), (91, 91, 91))
+        tree.insert(1, box)
+        tree.update(1, box, far)
+        assert tree.range_query(AABB((89, 89, 89), (92, 92, 92))) == [1]
+        assert tree.range_query(AABB((0, 0, 0), (3, 3, 3))) == []
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LooseOctree(looseness=0.5)
+        with pytest.raises(ValueError):
+            LooseOctree(max_level=-1)

@@ -1,0 +1,127 @@
+"""Cross-index property suite: every index equals the linear-scan oracle.
+
+These are the library's strongest guarantees: hypothesis generates datasets,
+queries and update sequences, and each index must agree with the scan exactly
+— ranges as sets, kNN as distance multisets — both after bulk load and after
+dynamic churn.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.multires_grid import MultiResolutionGrid
+from repro.core.uniform_grid import UniformGrid
+from repro.geometry.aabb import AABB
+from repro.indexes.crtree import CRTree
+from repro.indexes.disk_rtree import DiskRTree
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.loose_octree import LooseOctree
+from repro.indexes.octree import Octree
+from repro.indexes.rplus import RPlusTree
+from repro.indexes.rstar import RStarTree
+from repro.indexes.rtree import RTree
+from repro.mesh.flat import FLAT
+from repro.moving.buffered_rtree import BufferedRTree
+from repro.moving.lur_tree import LURTree
+from repro.moving.throwaway import ThrowawayIndex
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (32.0, 32.0, 32.0))
+
+INDEX_FACTORIES = [
+    pytest.param(lambda: RTree(max_entries=6), id="rtree"),
+    pytest.param(lambda: RStarTree(max_entries=6), id="rstar"),
+    pytest.param(lambda: RPlusTree(max_entries=6, universe=UNIVERSE), id="rplus"),
+    pytest.param(lambda: DiskRTree(max_entries=6), id="disk-rtree"),
+    pytest.param(lambda: CRTree(max_entries=6), id="crtree"),
+    pytest.param(lambda: Octree(universe=UNIVERSE, capacity=6), id="octree"),
+    pytest.param(lambda: LooseOctree(universe=UNIVERSE), id="loose-octree"),
+    pytest.param(lambda: UniformGrid(universe=UNIVERSE, cell_size=2.5), id="grid"),
+    pytest.param(lambda: MultiResolutionGrid(universe=UNIVERSE), id="multigrid"),
+    pytest.param(lambda: FLAT(universe=UNIVERSE), id="flat"),
+    pytest.param(lambda: LURTree(grace=0.4), id="lur"),
+    pytest.param(lambda: BufferedRTree(buffer_capacity=16), id="buffered"),
+    pytest.param(lambda: ThrowawayIndex(universe=UNIVERSE), id="throwaway"),
+]
+
+coordinate = st.floats(0.0, 30.0, allow_nan=False, allow_infinity=False)
+extent = st.floats(0.0, 4.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    lo = [draw(coordinate) for _ in range(3)]
+    size = [min(draw(extent), 32.0 - c) for c in lo]
+    return AABB(lo, [c + s for c, s in zip(lo, size)])
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(1, 60))
+    return [(eid, draw(boxes())) for eid in range(n)]
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_range_equals_scan_after_bulk_load(factory, data):
+    items = data.draw(datasets())
+    query = data.draw(boxes())
+    index = factory()
+    index.bulk_load(items)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    assert sorted(index.range_query(query)) == sorted(oracle.range_query(query))
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_knn_distances_equal_scan(factory, data):
+    items = data.draw(datasets())
+    point = tuple(data.draw(coordinate) for _ in range(3))
+    k = data.draw(st.integers(1, 8))
+    index = factory()
+    index.bulk_load(items)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    got = [round(d, 6) for d, _ in index.knn(point, k)]
+    expected = [round(d, 6) for d, _ in oracle.knn(point, k)]
+    assert got == expected
+
+
+@pytest.mark.parametrize("factory", INDEX_FACTORIES)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_dynamic_churn_equals_scan(factory, data):
+    """Insert / delete / update sequences preserve oracle equivalence."""
+    items = data.draw(datasets())
+    index = factory()
+    oracle = LinearScan()
+    index.bulk_load(items)
+    oracle.bulk_load(items)
+    live = dict(items)
+    next_id = len(items)
+
+    operations = data.draw(st.lists(st.sampled_from(["insert", "delete", "update"]), max_size=12))
+    for operation in operations:
+        if operation == "insert":
+            box = data.draw(boxes())
+            index.insert(next_id, box)
+            oracle.insert(next_id, box)
+            live[next_id] = box
+            next_id += 1
+        elif operation == "delete" and live:
+            eid = data.draw(st.sampled_from(sorted(live)))
+            index.delete(eid, live[eid])
+            oracle.delete(eid, live[eid])
+            del live[eid]
+        elif operation == "update" and live:
+            eid = data.draw(st.sampled_from(sorted(live)))
+            new_box = data.draw(boxes())
+            index.update(eid, live[eid], new_box)
+            oracle.update(eid, live[eid], new_box)
+            live[eid] = new_box
+
+    query = data.draw(boxes())
+    assert sorted(index.range_query(query)) == sorted(oracle.range_query(query))
+    assert len(index) == len(live)

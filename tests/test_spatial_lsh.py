@@ -1,0 +1,114 @@
+"""Spatial LSH: recall, constant-work updates, hash-family behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatial_lsh import SpatialLSH
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+
+from conftest import UNIVERSE_3D, assert_same_range_results, make_items, make_queries
+
+
+def _lsh(items, **kwargs):
+    defaults = dict(dims=3, num_tables=8, hashes_per_table=2, bucket_width=6.0, seed=4)
+    defaults.update(kwargs)
+    index = SpatialLSH(**defaults)
+    index.bulk_load(items)
+    return index
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SpatialLSH(num_tables=0)
+        with pytest.raises(ValueError):
+            SpatialLSH(bucket_width=0)
+
+    def test_suggest_bucket_width_positive(self):
+        width = SpatialLSH.suggest_bucket_width(10_000, UNIVERSE_3D, k=10)
+        assert width > 0
+
+
+class TestKNNRecall:
+    def test_recall_at_10(self):
+        """The §3.3 open question, answered: LSH reaches high recall in 3-d."""
+        items = make_items(2000, seed=6, points=True)
+        width = SpatialLSH.suggest_bucket_width(2000, UNIVERSE_3D, k=10)
+        index = _lsh(items, bucket_width=width)
+        oracle = LinearScan()
+        oracle.bulk_load(items)
+        rng = np.random.default_rng(7)
+        recalls = []
+        for _ in range(20):
+            point = tuple(rng.uniform(5, 95, 3))
+            exact = {eid for _, eid in oracle.knn(point, 10)}
+            approx = {eid for _, eid in index.knn(point, 10)}
+            recalls.append(len(exact & approx) / 10.0)
+        assert np.mean(recalls) >= 0.9
+
+    def test_knn_returns_k(self):
+        items = make_items(100, seed=1, points=True)
+        index = _lsh(items)
+        assert len(index.knn((50, 50, 50), 7)) == 7
+
+    def test_knn_empty_and_zero_k(self):
+        index = SpatialLSH()
+        assert index.knn((0, 0, 0), 5) == []
+        index.bulk_load(make_items(10, seed=1, points=True))
+        assert index.knn((0, 0, 0), 0) == []
+
+
+class TestRangeFallback:
+    def test_range_is_exact(self, items_3d, queries_3d):
+        index = _lsh(items_3d)
+        assert_same_range_results(index, items_3d, queries_3d)
+
+
+class TestUpdates:
+    def test_update_moves_between_buckets(self):
+        items = make_items(200, seed=2, points=True)
+        index = _lsh(items)
+        old = items[0][1]
+        new = AABB((99, 99, 99), (99, 99, 99))
+        index.update(0, old, new)
+        nearest = index.knn((99, 99, 99), 1)
+        assert nearest[0][1] == 0
+
+    def test_update_work_is_constant(self):
+        """Hash relocation cost must not grow with dataset size."""
+        import time
+
+        small = _lsh(make_items(200, seed=2, points=True))
+        big = _lsh(make_items(5000, seed=2, points=True))
+
+        def time_updates(index, items):
+            start = time.perf_counter()
+            for eid, box in items[:50]:
+                moved = AABB.from_point(tuple(c + 0.7 for c in box.lo))
+                index.update(eid, box, moved)
+            return time.perf_counter() - start
+
+        t_small = time_updates(small, make_items(200, seed=2, points=True))
+        t_big = time_updates(big, make_items(5000, seed=2, points=True))
+        assert t_big < t_small * 20  # generous: O(1) vs O(n) would be ~25x
+
+    def test_delete(self):
+        items = make_items(50, seed=3, points=True)
+        index = _lsh(items)
+        index.delete(0, items[0][1])
+        assert len(index) == 49
+        with pytest.raises(KeyError):
+            index.delete(0, items[0][1])
+
+    def test_insert_duplicate_rejected(self):
+        items = make_items(10, seed=3, points=True)
+        index = _lsh(items)
+        with pytest.raises(ValueError):
+            index.insert(0, items[0][1])
+
+    def test_hash_probes_counted(self):
+        items = make_items(300, seed=5, points=True)
+        index = _lsh(items)
+        index.knn((50, 50, 50), 5)
+        assert index.counters.hash_probes > 0

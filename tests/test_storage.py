@@ -1,0 +1,148 @@
+"""Page store, buffer pool and cache simulator."""
+
+import pytest
+
+from repro.instrumentation.counters import Counters
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.cache import Arena, CacheSimulator
+from repro.storage.pagestore import PageStore
+
+
+class TestPageStore:
+    def test_allocate_read_write(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        pid = store.allocate("payload")
+        assert counters.pages_written == 1
+        assert store.read(pid) == "payload"
+        assert counters.pages_read == 1
+        store.write(pid, "new")
+        assert counters.pages_written == 2
+        assert store.peek(pid) == "new"
+        assert counters.pages_read == 1  # peek is free
+
+    def test_allocate_empty_is_free(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        store.allocate()
+        assert counters.pages_written == 0
+
+    def test_free_and_errors(self):
+        store = PageStore()
+        pid = store.allocate("x")
+        store.free(pid)
+        with pytest.raises(KeyError):
+            store.read(pid)
+        with pytest.raises(KeyError):
+            store.write(pid, "y")
+        with pytest.raises(KeyError):
+            store.free(pid)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=0)
+
+
+class TestBufferPool:
+    def test_hit_avoids_disk_read(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        pid = store.allocate("v")
+        pool = BufferPool(store, capacity=4)
+        pool.read(pid)
+        pool.read(pid)
+        assert counters.pages_read == 1
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.hit_rate() == 0.5
+
+    def test_lru_eviction(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        pids = [store.allocate(i) for i in range(3)]
+        pool = BufferPool(store, capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[1])
+        pool.read(pids[2])  # evicts pids[0]
+        pool.read(pids[0])  # miss again
+        assert counters.pages_read == 4
+
+    def test_writeback_on_eviction(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        pids = [store.allocate(i) for i in range(2)]
+        pool = BufferPool(store, capacity=1)
+        pool.write(pids[0], "dirty")
+        pool.read(pids[1])  # evicts the dirty frame
+        assert store.peek(pids[0]) == "dirty"
+
+    def test_clear_flushes(self):
+        store = PageStore()
+        pid = store.allocate("orig")
+        pool = BufferPool(store, capacity=4)
+        pool.write(pid, "changed")
+        pool.clear()
+        assert store.peek(pid) == "changed"
+        pool.read(pid)
+        assert pool.misses == 1  # cold after clear
+
+    def test_zero_capacity(self):
+        counters = Counters()
+        store = PageStore(counters=counters)
+        pid = store.allocate("v")
+        pool = BufferPool(store, capacity=0)
+        pool.read(pid)
+        pool.read(pid)
+        assert counters.pages_read == 2  # nothing cached
+
+
+class TestArena:
+    def test_sequential(self):
+        arena = Arena()
+        assert arena.allocate(10) == 0
+        assert arena.allocate(5) == 10
+        assert arena.used_bytes == 15
+
+    def test_alignment(self):
+        arena = Arena(alignment=64)
+        arena.allocate(10)
+        assert arena.allocate(10) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Arena(alignment=0)
+        with pytest.raises(ValueError):
+            Arena().allocate(0)
+
+
+class TestCacheSimulator:
+    def test_miss_then_hit(self):
+        cache = CacheSimulator(capacity_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.access(0, 1) == 1
+        assert cache.access(0, 1) == 0
+        assert cache.miss_rate() == 0.5
+
+    def test_spanning_access(self):
+        cache = CacheSimulator(capacity_bytes=1024, line_bytes=64, associativity=2)
+        misses = cache.access(0, 129)  # lines 0, 1, 2
+        assert misses == 3
+
+    def test_set_conflict_eviction(self):
+        # 2 sets x 1 way: lines 0 and 2 collide in set 0.
+        cache = CacheSimulator(capacity_bytes=128, line_bytes=64, associativity=1)
+        cache.access(0)  # line 0 -> set 0
+        cache.access(128)  # line 2 -> set 0, evicts line 0
+        assert cache.access(0) == 1  # miss again
+
+    def test_clear(self):
+        cache = CacheSimulator(capacity_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.clear()
+        assert cache.access(0) == 1
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(capacity_bytes=100, line_bytes=64, associativity=3)
+        cache = CacheSimulator()
+        with pytest.raises(ValueError):
+            cache.access(0, 0)

@@ -1,0 +1,84 @@
+"""Arterial-tree generator: Murray's law, size distribution, indexability."""
+
+import numpy as np
+import pytest
+
+from repro.core.multires_grid import MultiResolutionGrid
+from repro.datasets.vascular import generate_arterial_tree
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_arterial_tree(root_radius=1.0, min_radius=0.15, seed=3)
+
+
+class TestGeneration:
+    def test_nonempty_and_terminates(self, tree):
+        assert len(tree) > 100
+        radii = [c.radius for c in tree.capsules.values()]
+        assert min(radii) >= 0.15 * 0.7  # Murray shrink below threshold stops
+
+    def test_heavy_tailed_sizes(self, tree):
+        """Few thick trunk vessels, many thin arterioles."""
+        radii = np.array([c.radius for c in tree.capsules.values()])
+        assert (radii > 0.7).sum() < 0.05 * len(radii)
+        assert (radii < 0.3).sum() > 0.5 * len(radii)
+
+    def test_generations_increase(self, tree):
+        assert max(tree.neuron_of.values()) >= 3
+
+    def test_segments_elongated(self, tree):
+        capsules = list(tree.capsules.values())
+        elongated = sum(1 for c in capsules if c.length() > c.radius)
+        # Corner-trapped vessels may stay short; the population is elongated.
+        assert elongated >= 0.95 * len(capsules)
+
+    def test_inside_universe(self, tree):
+        hull = tree.universe.expanded(1e-6)
+        for _, box in tree.items:
+            assert hull.contains_box(box)
+
+    def test_deterministic(self):
+        a = generate_arterial_tree(root_radius=0.8, min_radius=0.2, seed=5)
+        b = generate_arterial_tree(root_radius=0.8, min_radius=0.2, seed=5)
+        assert len(a) == len(b)
+        assert a.items == b.items
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_arterial_tree(root_radius=1.0, min_radius=2.0)
+        with pytest.raises(ValueError):
+            generate_arterial_tree(asymmetry=0.0)
+
+
+class TestMurraysLaw:
+    def test_daughter_radii_follow_cube_law(self):
+        """r_major³ + r_minor³ ≈ r_parent³ for the generator's constants."""
+        asymmetry = 0.8
+        parent = 1.0
+        major = parent / (1.0 + asymmetry**3) ** (1.0 / 3.0)
+        minor = major * asymmetry
+        assert major**3 + minor**3 == pytest.approx(parent**3)
+
+
+class TestIndexability:
+    def test_multires_grid_spreads_levels(self, tree):
+        grid = MultiResolutionGrid(universe=tree.universe, levels=4)
+        grid.bulk_load(tree.items)
+        populated = [p for p in grid.level_populations() if p > 0]
+        assert len(populated) >= 2  # mixed sizes occupy several levels
+
+    def test_queries_match_oracle(self, tree):
+        grid = MultiResolutionGrid(universe=tree.universe)
+        grid.bulk_load(tree.items)
+        oracle = LinearScan()
+        oracle.bulk_load(tree.items)
+        rng = np.random.default_rng(6)
+        lo = np.asarray(tree.universe.lo)
+        hi = np.asarray(tree.universe.hi)
+        for _ in range(8):
+            start = rng.uniform(lo, hi)
+            query = AABB(start, np.minimum(start + 6.0, hi))
+            assert sorted(grid.range_query(query)) == sorted(oracle.range_query(query))
