@@ -19,7 +19,7 @@ from repro.datasets.queries import random_range_queries
 from repro.datasets.trajectories import PlasticityMotion
 from repro.instrumentation.costmodel import MemoryCostModel
 
-from conftest import emit
+from bench_common import emit
 
 
 def test_cell_size_vs_update_cost(neuron_dataset, benchmark):

@@ -17,7 +17,7 @@ from repro.analysis.reporting import format_table
 from repro.indexes.rtree import RTree
 from repro.instrumentation.costmodel import MemoryCostModel
 
-from conftest import emit
+from bench_common import emit
 
 # entries -> approx node bytes (3-d: 56 B/entry + header)
 FANOUTS = (4, 8, 16, 32, 70, 140)

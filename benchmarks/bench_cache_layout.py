@@ -21,7 +21,7 @@ from repro.indexes.rtree import RTree
 from repro.storage.cache import CacheSimulator
 from repro.storage.layout import assign_addresses, replay_queries
 
-from conftest import emit
+from bench_common import emit
 
 CACHE_KB = 256  # small L2 slice so the working set does not trivially fit
 

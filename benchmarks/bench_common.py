@@ -1,0 +1,64 @@
+"""Shared workload builders for the benchmark harness.
+
+This module deliberately is **not** named ``conftest.py``: pytest imports
+conftest files under the bare module name ``conftest``, so a helper module
+with that name in ``benchmarks/`` would shadow ``tests/conftest.py`` (or vice
+versa) whenever both directories are collected in one run.  The fixtures are
+re-exported by ``benchmarks/conftest.py``; bench modules import the plain
+helpers (``emit`` et al.) from here.
+
+Scale note: the paper's Appendix A uses 200 M elements (9 GB) on a 2013 SAS
+array; this harness runs the same *experiment designs* at 10⁴–10⁵ elements so
+that each bench finishes in seconds in pure Python.  Every bench prints the
+paper-style table/series it reproduces and asserts the claim's *shape* (who
+wins, what dominates, where the crossover falls) so the reproduction is
+checked, not just printed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.datasets.neuroscience import NeuronDataset, generate_neurons
+from repro.datasets.queries import range_queries_for_selectivity
+from repro.geometry.aabb import AABB
+
+# One shared neuron dataset per session: ~20k capsule segments.
+_NEURONS = 250
+_SEGMENTS = 80
+
+
+@pytest.fixture(scope="session")
+def neuron_dataset() -> NeuronDataset:
+    return generate_neurons(neurons=_NEURONS, segments_per_neuron=_SEGMENTS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def neuron_items(neuron_dataset):
+    return neuron_dataset.items
+
+
+@pytest.fixture(scope="session")
+def paper_queries(neuron_dataset):
+    """200 queries at the paper's 5×10⁻⁴ % volume selectivity."""
+    return range_queries_for_selectivity(
+        200, neuron_dataset.universe, selectivity=5e-6, seed=7
+    )
+
+
+REPORT_PATH = "benchmark_report.txt"
+
+
+def emit(text: str) -> None:
+    """Print a report and persist it to ``benchmark_report.txt``.
+
+    pytest captures per-test output, so the harness both writes to stderr
+    (visible with ``-s``) and appends to a report file that survives any
+    capture mode.
+    """
+    sys.stderr.write("\n" + text + "\n")
+    sys.stderr.flush()
+    with open(REPORT_PATH, "a") as report:
+        report.write(text + "\n\n")

@@ -27,7 +27,7 @@ from repro.datasets.trajectories import PlasticityMotion, apply_moves
 from repro.indexes.linear_scan import LinearScan
 from repro.indexes.rtree import RTree
 
-from conftest import emit
+from bench_common import emit
 
 STEPS = 3
 QUERIES_PER_STEP = 40

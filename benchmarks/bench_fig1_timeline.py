@@ -18,7 +18,7 @@ from repro.sim.engine import TimeSteppedSimulation
 from repro.sim.monitors import RangeMonitor
 from repro.sim.plasticity import PlasticityModel
 
-from conftest import emit
+from bench_common import emit
 
 STEPS = 5
 

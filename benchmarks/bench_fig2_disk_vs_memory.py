@@ -18,7 +18,7 @@ from repro.indexes.disk_rtree import DiskRTree
 from repro.indexes.rtree import RTree
 from repro.instrumentation.costmodel import READING, DiskCostModel, MemoryCostModel
 
-from conftest import emit
+from bench_common import emit
 
 
 def _run_queries(index, queries, clear_cache=False):

@@ -21,7 +21,7 @@ from repro.instrumentation.costmodel import (
     MemoryCostModel,
 )
 
-from conftest import emit
+from bench_common import emit
 
 
 def test_fig3_memory_breakdown(neuron_items, paper_queries, benchmark):

@@ -23,7 +23,7 @@ from repro.datasets.queries import random_range_queries
 from repro.geometry.aabb import AABB
 from repro.indexes.rtree import RTree
 
-from conftest import emit
+from bench_common import emit
 
 UNIVERSE = AABB((0, 0, 0), (100, 100, 100))
 

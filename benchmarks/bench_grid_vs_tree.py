@@ -21,7 +21,7 @@ from repro.indexes.crtree import CRTree
 from repro.indexes.rtree import RTree
 from repro.instrumentation.costmodel import MemoryCostModel
 
-from conftest import emit
+from bench_common import emit
 
 
 def test_grid_vs_tree_queries(neuron_dataset, paper_queries, benchmark):

@@ -23,7 +23,7 @@ from repro.datasets.trajectories import BrownianMotion, apply_moves
 from repro.joins.iterated import IteratedSelfJoin
 from repro.joins.nested_loop import nested_loop_self_join
 
-from conftest import emit
+from bench_common import emit
 
 STEPS = 3
 N = 6000

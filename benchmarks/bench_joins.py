@@ -29,7 +29,7 @@ from repro.joins.pbsm import pbsm_join
 from repro.joins.sweepline import sweepline_join
 from repro.joins.touch import touch_join
 
-from conftest import emit
+from bench_common import emit
 
 EPSILON = 0.1
 

@@ -21,7 +21,7 @@ from repro.geometry.aabb import AABB
 from repro.indexes.kdtree import KDTree
 from repro.indexes.linear_scan import LinearScan
 
-from conftest import emit
+from bench_common import emit
 
 UNIVERSE = AABB((0, 0, 0), (100, 100, 100))
 N = 20_000

@@ -25,7 +25,7 @@ from repro.mesh.dls import DLS, WalkStuckError
 from repro.mesh.generators import carve_hole, structured_tet_mesh
 from repro.mesh.octopus import Octopus
 
-from conftest import emit
+from bench_common import emit
 
 STEPS = 4
 QUERIES_PER_STEP = 20

@@ -28,7 +28,7 @@ from repro.moving.lur_tree import LURTree
 from repro.moving.throwaway import ThrowawayIndex
 from repro.moving.tpr import TPRIndex
 
-from conftest import emit
+from bench_common import emit
 
 STEPS = 3
 QUERIES_PER_STEP = 30

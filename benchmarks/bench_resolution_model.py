@@ -21,7 +21,7 @@ from repro.core.uniform_grid import UniformGrid
 from repro.datasets.queries import random_range_queries
 from repro.instrumentation.costmodel import MemoryCostModel
 
-from conftest import emit
+from bench_common import emit
 
 
 def _modeled_query_cost(index, queries):

@@ -21,7 +21,7 @@ from repro.core.amortization import MaintenanceCosts
 from repro.datasets.trajectories import PlasticityMotion
 from repro.indexes.rtree import RTree
 
-from conftest import emit
+from bench_common import emit
 
 FRACTIONS = (0.05, 0.1, 0.2, 0.38, 0.6, 0.8, 1.0)
 

@@ -16,6 +16,26 @@ Quick start::
     index.bulk_load(items)
     hits = index.range_query(AABB((10, 10, 10), (20, 20, 20)))
 
+Analysis workloads issue queries by the million per simulation step; run
+those through the batch engine instead of a Python loop.  Batches are
+``(m, 2, d)`` ndarrays (or sequences of AABBs) and execute on vectorized
+NumPy kernels inside the index::
+
+    import numpy as np
+    from repro import BatchQueryEngine
+
+    engine = BatchQueryEngine(index)
+    boxes = np.random.default_rng(0).uniform(0, 90, size=(10_000, 1, 3))
+    boxes = np.concatenate([boxes, boxes + 10.0], axis=1)   # (m, 2, d)
+    hit_lists = engine.range_query(boxes)                   # one id list per box
+    neighbours = engine.knn(boxes[:, 0, :], k=8)            # (distance, id) lists
+    stabs = engine.point_query(boxes[:, 0, :])              # containment per point
+
+Every index supports ``batch_range_query`` / ``batch_knn`` (a naive loop by
+default); LinearScan, the grids and the R-tree family override them with
+vectorized kernels.  See ``examples/batch_analysis.py`` for a full batched
+synapse-style analysis.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every reproduced figure.
 """
@@ -45,6 +65,7 @@ from repro.core import (
     UpdateEconomics,
     optimal_cell_size,
 )
+from repro.engine import BatchQueryEngine, BatchStats
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -62,6 +83,8 @@ __all__ = [
     "MemoryCostModel",
     "TimeBreakdown",
     "SpatialIndex",
+    "BatchQueryEngine",
+    "BatchStats",
     "LinearScan",
     "RTree",
     "RStarTree",

@@ -20,7 +20,9 @@ import heapq
 import math
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB, union_all
+import numpy as np
+
+from repro.geometry.aabb import AABB, as_box_array, union_all
 from repro.core.uniform_grid import UniformGrid
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
@@ -165,6 +167,25 @@ class MultiResolutionGrid(SpatialIndex):
             if len(grid):
                 merged.extend(grid.knn(point, k))
         return heapq.nsmallest(k, merged)
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """One vectorized sweep per populated level, merged per query.
+
+        Elements live in exactly one level, so concatenating the per-level
+        answers needs no dedup.
+        """
+        queries = as_box_array(boxes)
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        results: list[list[int]] = [[] for _ in range(m)]
+        if self._grids is None:
+            return results
+        for grid in self._grids:
+            if len(grid):
+                for merged, part in zip(results, grid.batch_range_query(queries)):
+                    merged.extend(part)
+        return results
 
     def __len__(self) -> int:
         return len(self._boxes)

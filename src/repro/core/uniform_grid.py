@@ -26,13 +26,84 @@ import heapq
 import math
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB, union_all
+import numpy as np
+
+from repro.geometry.aabb import AABB, as_box_array, boxes_to_array, union_all
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
 
 _BOX_BYTES_PER_DIM = 16
 
+# Bail out of the vectorized batch kernel when the flattened (query, cell)
+# expansion would exceed this many entries; the naive loop handles the rest.
+_BATCH_WINDOW_CAP = 1 << 26
+
 CellKey = tuple[int, ...]
+
+
+class _GridSnapshot:
+    """Dense, query-ready view of the grid's buckets.
+
+    ``keys`` holds the linearized ids of every occupied cell in sorted order;
+    ``starts``/``counts`` delimit each cell's slice of ``entry_rows``
+    (replicated elements appear once per covering cell, exactly as in the
+    dict-of-dicts).  ``entry_rows`` index into the dense ``eids``/``boxes``
+    element tables, so dedup can run on small integers rather than raw ids.
+    ``strides`` linearize a cell coordinate tuple, ``tops`` are the per-axis
+    maximum cell coordinates.
+    """
+
+    __slots__ = ("keys", "starts", "counts", "entry_rows", "eids", "boxes", "strides", "tops", "origin")
+
+    def __init__(self, keys, starts, counts, entry_rows, eids, boxes, strides, tops, origin) -> None:
+        self.keys = keys
+        self.starts = starts
+        self.counts = counts
+        self.entry_rows = entry_rows
+        self.eids = eids
+        self.boxes = boxes
+        self.strides = strides
+        self.tops = tops
+        self.origin = origin
+
+
+def _cell_coords(
+    values: np.ndarray, origin: np.ndarray, cell: float, tops: np.ndarray
+) -> np.ndarray:
+    """Vectorized :meth:`UniformGrid._coord`: clamped integer cell coordinates.
+
+    Clamps in float space *before* the int64 cast — coordinates far outside
+    the universe (e.g. 1e30) would otherwise overflow the cast and wrap to
+    the wrong edge, where the scalar path's Python ints are exact.
+    """
+    return np.floor(np.clip((values - origin) / cell, 0.0, tops)).astype(np.int64)
+
+
+def _expand_windows(
+    lo_cells: np.ndarray, hi_cells: np.ndarray, strides: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-row inclusive cell windows into (owner_row, linear_key).
+
+    ``lo_cells``/``hi_cells`` are ``(m, d)`` integer corner coordinates; the
+    result enumerates every cell of every window in mixed-radix order,
+    entirely with ``repeat``/``cumsum`` arithmetic (no per-row Python loop).
+    """
+    m, dims = lo_cells.shape
+    window = hi_cells - lo_cells + 1
+    cells_per_row = np.prod(window, axis=1)
+    total = int(cells_per_row.sum())
+    owner = np.repeat(np.arange(m), cells_per_row)
+    rank = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(cells_per_row) - cells_per_row, cells_per_row
+    )
+    suffix = np.ones((m, dims), dtype=np.int64)
+    for axis in range(dims - 2, -1, -1):
+        suffix[:, axis] = suffix[:, axis + 1] * window[:, axis + 1]
+    keys = np.zeros(total, dtype=np.int64)
+    for axis in range(dims):
+        coord = lo_cells[owner, axis] + (rank // suffix[owner, axis]) % window[owner, axis]
+        keys += coord * strides[axis]
+    return owner, keys
 
 
 class UniformGrid(SpatialIndex):
@@ -62,6 +133,7 @@ class UniformGrid(SpatialIndex):
         self._cells: dict[CellKey, dict[int, AABB]] = {}
         self._boxes: dict[int, AABB] = {}
         self._cells_of: dict[int, tuple[CellKey, ...]] = {}
+        self._snapshot: _GridSnapshot | None = None
         self.cell_switches = 0
         self.in_place_updates = 0
 
@@ -92,6 +164,7 @@ class UniformGrid(SpatialIndex):
         self._cells = {}
         self._boxes = {}
         self._cells_of = {}
+        self._snapshot = None
         self.cell_switches = 0
         self.in_place_updates = 0
         if not materialized:
@@ -123,6 +196,7 @@ class UniformGrid(SpatialIndex):
             self._boxes[eid] = new_box
             for key in old_cells:
                 self._cells[key][eid] = new_box
+            self._snapshot = None
             self.in_place_updates += 1
         else:
             self._unplace(eid)
@@ -179,6 +253,138 @@ class UniformGrid(SpatialIndex):
                 return scored[:k]
             radius *= 2.0
 
+    # -- batch queries (vectorized) ---------------------------------------------------
+
+    def _build_snapshot(self) -> _GridSnapshot | None:
+        """Pack the buckets into the dense form; ``None`` if unlinearizable.
+
+        The cell membership is *recomputed* from the element boxes with the
+        same clamped-window arithmetic as :meth:`_covered_cells`, which lets
+        the whole build run vectorized instead of walking the bucket dicts —
+        both necessarily describe the identical (cell, element) relation.
+        """
+        assert self._universe is not None and self._cell_size is not None
+        dims = self._universe.dims
+        res = [
+            max(1, int(math.ceil(extent / self._cell_size)))
+            for extent in self._universe.extents()
+        ]
+        total_cells = 1
+        for r in res:
+            total_cells *= r
+        if total_cells >= 1 << 62:  # linearized keys would overflow int64
+            return None
+        strides = [1] * dims
+        for axis in range(dims - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * res[axis + 1]
+        strides_arr = np.array(strides, dtype=np.int64)
+        tops = np.array([r - 1 for r in res], dtype=np.int64)
+        origin = np.array(self._universe.lo, dtype=np.float64)
+
+        n = len(self._boxes)
+        eids = np.fromiter(self._boxes.keys(), dtype=np.int64, count=n)
+        boxes = boxes_to_array(list(self._boxes.values()), dims=dims)
+        cell = self._cell_size
+        lo_cells = _cell_coords(boxes[:, 0, :], origin, cell, tops)
+        hi_cells = _cell_coords(boxes[:, 1, :], origin, cell, tops)
+        rows, keys = _expand_windows(lo_cells, hi_cells, strides_arr)
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        uniq_keys, starts, counts = np.unique(
+            keys_sorted, return_index=True, return_counts=True
+        )
+        return _GridSnapshot(
+            keys=uniq_keys,
+            starts=starts,
+            counts=counts,
+            entry_rows=rows[order],
+            eids=eids,
+            boxes=boxes,
+            strides=strides_arr,
+            tops=tops,
+            origin=origin,
+        )
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """All queries in one pass: vectorized cell bucketing + overlap tests.
+
+        Every query's covered cell window is expanded into a flat
+        ``(query, cell)`` list; distinct cell ids are resolved against the
+        sorted occupied-cell table with one :func:`np.searchsorted`, bucket
+        entries are gathered with ``np.repeat`` arithmetic, and a single
+        vectorized AABB overlap test plus an :func:`np.unique` dedup (for
+        replicated elements) yields per-query id lists.
+        """
+        queries = as_box_array(boxes)
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        if not self._boxes:
+            return [[] for _ in range(m)]
+        if self._snapshot is None:
+            self._snapshot = self._build_snapshot()
+        snap = self._snapshot
+        if snap is None:
+            return super().batch_range_query(queries)
+        dims = snap.tops.shape[0]
+        if queries.shape[2] != dims:
+            raise ValueError(f"queries have {queries.shape[2]} dims, index has {dims}")
+        counters = self.counters
+        assert self._cell_size is not None
+        cell = self._cell_size
+
+        lo_cells = _cell_coords(queries[:, 0, :], snap.origin, cell, snap.tops)
+        hi_cells = _cell_coords(queries[:, 1, :], snap.origin, cell, snap.tops)
+        if int(np.prod(hi_cells - lo_cells + 1, axis=1).sum()) > _BATCH_WINDOW_CAP:
+            return super().batch_range_query(queries)
+
+        # Flatten all query windows into (query, cell-id) pairs.
+        qidx, flat_keys = _expand_windows(lo_cells, hi_cells, snap.strides)
+
+        # Resolve each distinct cell id once against the occupied-cell table.
+        uniq_keys, inverse = np.unique(flat_keys, return_inverse=True)
+        counters.cells_probed += len(uniq_keys)
+        pos = np.searchsorted(snap.keys, uniq_keys)
+        pos_safe = np.minimum(pos, len(snap.keys) - 1)
+        occupied = snap.keys[pos_safe] == uniq_keys
+        keep = occupied[inverse]
+        q_keep = qidx[keep]
+        cell_pos = pos_safe[inverse][keep]
+
+        # Gather every (query, bucket entry) candidate pair.
+        bucket_counts = snap.counts[cell_pos]
+        n_pairs = int(bucket_counts.sum())
+        if n_pairs == 0:
+            return [[] for _ in range(m)]
+        pair_q = np.repeat(q_keep, bucket_counts)
+        offset = np.arange(n_pairs, dtype=np.int64) - np.repeat(
+            np.cumsum(bucket_counts) - bucket_counts, bucket_counts
+        )
+        rows = snap.entry_rows[np.repeat(snap.starts[cell_pos], bucket_counts) + offset]
+
+        candidates = snap.boxes[rows]
+        qb = queries[pair_q]
+        hit = np.all(
+            (qb[:, 0, :] <= candidates[:, 1, :]) & (candidates[:, 0, :] <= qb[:, 1, :]),
+            axis=-1,
+        )
+        counters.elem_tests += n_pairs
+        counters.bytes_touched += n_pairs * (dims * _BOX_BYTES_PER_DIM + 8)
+
+        hit_q = pair_q[hit]
+        hit_rows = rows[hit]
+        if hit_q.size == 0:
+            return [[] for _ in range(m)]
+        # Dedup replicated elements per query on a single scalar key (query
+        # major, element row minor) — sorted output is already grouped by
+        # query, so results fall out of one tolist + slicing.
+        n_rows = snap.eids.shape[0]
+        combined = np.unique(hit_q.astype(np.int64) * n_rows + hit_rows)
+        all_ids = snap.eids[combined % n_rows].tolist()
+        bounds = np.searchsorted(combined, np.arange(1, m) * n_rows).tolist()
+        bounds = [0, *bounds, len(all_ids)]
+        return [all_ids[bounds[i] : bounds[i + 1]] for i in range(m)]
+
     def __len__(self) -> int:
         return len(self._boxes)
 
@@ -226,6 +432,7 @@ class UniformGrid(SpatialIndex):
             self._cells.setdefault(key, {})[eid] = box
         self._boxes[eid] = box
         self._cells_of[eid] = keys
+        self._snapshot = None
 
     def _unplace(self, eid: int) -> None:
         for key in self._cells_of.pop(eid):
@@ -235,6 +442,7 @@ class UniformGrid(SpatialIndex):
                 if not bucket:
                     del self._cells[key]
         del self._boxes[eid]
+        self._snapshot = None
 
 
 def _iter_window(lo: list[int], hi: list[int]) -> Iterable[CellKey]:

@@ -1,0 +1,5 @@
+"""Batch query execution layer (see :mod:`repro.engine.batch`)."""
+
+from repro.engine.batch import BatchQueryEngine, BatchStats
+
+__all__ = ["BatchQueryEngine", "BatchStats"]

@@ -13,7 +13,17 @@ Every index and join in :mod:`repro` speaks one geometric vocabulary:
   index filter step.
 """
 
-from repro.geometry.aabb import AABB, union_all
+from repro.geometry.aabb import (
+    AABB,
+    array_to_boxes,
+    as_box_array,
+    batch_contains,
+    batch_contains_points,
+    batch_intersects,
+    batch_min_distance_to_points,
+    boxes_to_array,
+    union_all,
+)
 from repro.geometry.primitives import Capsule, Point, Segment, Sphere
 from repro.geometry.intersection import (
     boxes_intersect,
@@ -32,6 +42,13 @@ from repro.geometry.distance import (
 __all__ = [
     "AABB",
     "union_all",
+    "boxes_to_array",
+    "array_to_boxes",
+    "as_box_array",
+    "batch_intersects",
+    "batch_contains",
+    "batch_contains_points",
+    "batch_min_distance_to_points",
     "Point",
     "Sphere",
     "Segment",

@@ -11,12 +11,32 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB
+import numpy as np
+
+from repro.geometry.aabb import AABB, array_to_boxes
 from repro.instrumentation.counters import Counters
 
 Item = tuple[int, AABB]
 # kNN results are (distance, element_id), sorted ascending by distance.
 KNNResult = list[tuple[float, int]]
+
+
+def as_aabb_list(boxes: np.ndarray | Sequence[AABB]) -> list[AABB]:
+    """Normalize a batch of range queries to a list of AABBs."""
+    if isinstance(boxes, np.ndarray):
+        if boxes.ndim != 3 or boxes.shape[1] != 2:
+            raise ValueError(f"box array must have shape (m, 2, d), got {boxes.shape}")
+        return array_to_boxes(boxes)
+    return list(boxes)
+
+
+def as_point_list(points: np.ndarray | Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
+    """Normalize a batch of kNN/point queries to a list of coordinate tuples."""
+    if isinstance(points, np.ndarray):
+        if points.ndim != 2:
+            raise ValueError(f"point array must have shape (m, d), got {points.shape}")
+        return [tuple(row) for row in points.tolist()]
+    return [tuple(float(c) for c in p) for p in points]
 
 
 class SpatialIndex(ABC):
@@ -62,6 +82,27 @@ class SpatialIndex(ABC):
     @abstractmethod
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
         """The ``k`` elements nearest to ``point`` by box distance."""
+
+    # -- batch queries ---------------------------------------------------------
+    #
+    # Simulation analyses issue queries by the million per step (synapse
+    # detection probes every branch); the batch entry points let indexes
+    # amortize traversal and run vectorized kernels.  The defaults below are
+    # the naive per-query loop, so every index is batch-capable; LinearScan,
+    # the grids and the R-tree family override them with vectorized paths.
+    # Subclass overrides must return the same answer set the loop would:
+    # identical ids per range query (order within one result list is
+    # unspecified) and identical kNN distance multisets — when several
+    # elements tie at the k-th distance, which of the tied ids is reported
+    # may differ between the loop and a vectorized kernel.
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """Run one range query per box; ``boxes`` is ``(m, 2, d)`` or AABBs."""
+        return [self.range_query(box) for box in as_aabb_list(boxes)]
+
+    def batch_knn(self, points: np.ndarray | Sequence[Sequence[float]], k: int) -> list[KNNResult]:
+        """Run one kNN query per point; ``points`` is ``(m, d)`` or sequences."""
+        return [self.knn(point, k) for point in as_point_list(points)]
 
     # -- introspection ---------------------------------------------------------
 

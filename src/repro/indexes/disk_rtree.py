@@ -16,7 +16,9 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB, union_all
+import numpy as np
+
+from repro.geometry.aabb import AABB, as_box_array, boxes_to_array, union_all
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.indexes.bulkload import _tile
 from repro.instrumentation.counters import Counters
@@ -172,6 +174,51 @@ class DiskRTree(SpatialIndex):
                     if entry_box.intersects(box):
                         counters.pointer_follows += 1
                         stack.append(child_page)
+        return results
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """One traversal for the whole batch: each page is read at most once.
+
+        Amortizing page reads over all pending queries is the disk-side win
+        of batching — the per-query loop re-reads the upper levels for every
+        query (every one of them on a cold cache), the batch pass charges
+        each visited page a single read.
+        """
+        queries = as_box_array(boxes)
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        results: list[list[int]] = [[] for _ in range(m)]
+        if self._root_page is None:
+            return results
+        if self._dims is not None and queries.shape[2] != self._dims:
+            raise ValueError(f"queries have {queries.shape[2]} dims, index has {self._dims}")
+        counters = self.counters
+        stack: list[tuple[int, np.ndarray]] = [(self._root_page, np.arange(m))]
+        while stack:
+            page_id, active = stack.pop()
+            is_leaf, entries = self._read(page_id)
+            if not entries:
+                continue
+            entry_boxes = boxes_to_array([box for box, _ in entries])
+            pending = queries[active]
+            overlap = np.all(
+                (entry_boxes[:, None, 0, :] <= pending[None, :, 1, :])
+                & (pending[None, :, 0, :] <= entry_boxes[:, None, 1, :]),
+                axis=-1,
+            )
+            if is_leaf:
+                counters.elem_tests += overlap.size
+                rows, cols = np.nonzero(overlap)
+                for entry_i, query_i in zip(rows.tolist(), cols.tolist()):
+                    results[active[query_i]].append(entries[entry_i][1])
+            else:
+                counters.node_tests += overlap.size
+                for entry_i, (_, child_page) in enumerate(entries):
+                    sub = active[overlap[entry_i]]
+                    if sub.size:
+                        counters.pointer_follows += 1
+                        stack.append((child_page, sub))
         return results
 
     def knn(self, point: Sequence[float], k: int) -> KNNResult:

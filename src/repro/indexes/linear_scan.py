@@ -12,11 +12,23 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB
+import numpy as np
+
+from repro.geometry.aabb import (
+    AABB,
+    as_box_array,
+    as_point_array,
+    batch_min_distance_to_points,
+    boxes_to_array,
+)
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
 
 _BOX_BYTES_PER_DIM = 16  # two float64 coordinates
+
+# Chunk batched query-vs-data matrices to ~16M entries (~16 MB of bools) so a
+# 10k-query × 100k-item batch never materializes a gigabyte at once.
+_BATCH_CHUNK_ENTRIES = 1 << 24
 
 
 class LinearScan(SpatialIndex):
@@ -31,24 +43,29 @@ class LinearScan(SpatialIndex):
     def __init__(self, counters: Counters | None = None) -> None:
         super().__init__(counters)
         self._boxes: dict[int, AABB] = {}
+        self._dense: tuple[np.ndarray, np.ndarray] | None = None  # (eids, boxes)
 
     def bulk_load(self, items: Iterable[Item]) -> None:
         self._boxes = dict(validate_items(items))
+        self._dense = None
 
     def insert(self, eid: int, box: AABB) -> None:
         self._boxes[eid] = box
+        self._dense = None
         self.counters.inserts += 1
 
     def delete(self, eid: int, box: AABB) -> None:
         if eid not in self._boxes:
             raise KeyError(f"element {eid} not in index")
         del self._boxes[eid]
+        self._dense = None
         self.counters.deletes += 1
 
     def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
         if eid not in self._boxes:
             raise KeyError(f"element {eid} not in index")
         self._boxes[eid] = new_box
+        self._dense = None
         self.counters.updates += 1
 
     def range_query(self, box: AABB) -> list[int]:
@@ -77,6 +94,79 @@ class LinearScan(SpatialIndex):
                 counters.heap_ops += 1
         counters.bytes_touched += len(self._boxes) * (len(tuple(point)) * _BOX_BYTES_PER_DIM + 8)
         return sorted((-neg, eid) for neg, eid in heap)
+
+    # -- batch queries (vectorized) -----------------------------------------
+
+    def _dense_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """The dataset as parallel ``(n,)`` id and ``(n, 2, d)`` box arrays.
+
+        Rebuilt lazily after any mutation; the scan is the batch oracle, so
+        the packed copy pays for itself after a single batched scan.
+        """
+        if self._dense is None:
+            eids = np.fromiter(self._boxes.keys(), dtype=np.int64, count=len(self._boxes))
+            self._dense = (eids, boxes_to_array(list(self._boxes.values())))
+        return self._dense
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        queries = as_box_array(boxes)
+        m = queries.shape[0]
+        results: list[list[int]] = [[] for _ in range(m)]
+        n = len(self._boxes)
+        if m == 0 or n == 0:
+            return results
+        counters = self.counters
+        eids, data = self._dense_view()
+        dims = data.shape[2]
+        if queries.shape[2] != dims:
+            raise ValueError(f"queries have {queries.shape[2]} dims, index has {dims}")
+        data_lo = data[:, 0, :]
+        data_hi = data[:, 1, :]
+        chunk = max(1, _BATCH_CHUNK_ENTRIES // n)
+        for start in range(0, m, chunk):
+            q = queries[start : start + chunk]
+            overlap = np.all(
+                (q[:, None, 0, :] <= data_hi[None, :, :])
+                & (data_lo[None, :, :] <= q[:, None, 1, :]),
+                axis=-1,
+            )
+            q_rows, hits = np.nonzero(overlap)
+            for qi, eid in zip((q_rows + start).tolist(), eids[hits].tolist()):
+                results[qi].append(eid)
+        counters.elem_tests += m * n
+        counters.bytes_touched += m * n * (dims * _BOX_BYTES_PER_DIM + 8)
+        return results
+
+    def batch_knn(
+        self, points: np.ndarray | Sequence[Sequence[float]], k: int
+    ) -> list[KNNResult]:
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        n = len(self._boxes)
+        if k <= 0 or n == 0:
+            return [[] for _ in range(m)]
+        counters = self.counters
+        eids, data = self._dense_view()
+        dims = data.shape[2]
+        results: list[KNNResult] = []
+        chunk = max(1, _BATCH_CHUNK_ENTRIES // n)
+        kk = min(k, n)
+        for start in range(0, m, chunk):
+            dists = batch_min_distance_to_points(data, pts[start : start + chunk])
+            if kk < n:
+                nearest = np.argpartition(dists, kk - 1, axis=1)[:, :kk]
+            else:
+                nearest = np.broadcast_to(np.arange(n), (dists.shape[0], n))
+            for row in range(dists.shape[0]):
+                cols = nearest[row]
+                found = sorted(zip(dists[row, cols].tolist(), eids[cols].tolist()))
+                results.append(found)
+                counters.heap_ops += kk
+        counters.elem_tests += m * n
+        counters.bytes_touched += m * n * (dims * _BOX_BYTES_PER_DIM + 8)
+        return results
 
     def __len__(self) -> int:
         return len(self._boxes)

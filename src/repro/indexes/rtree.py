@@ -18,7 +18,9 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
-from repro.geometry.aabb import AABB, union_all
+import numpy as np
+
+from repro.geometry.aabb import AABB, as_box_array, boxes_to_array, union_all
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
 
@@ -167,6 +169,52 @@ class RTree(SpatialIndex):
                     if entry_box.intersects(box):
                         counters.pointer_follows += 1
                         stack.append(child)  # type: ignore[arg-type]
+        return results
+
+    def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """One traversal for the whole batch (shared by the R* subclass).
+
+        Each node is visited at most once per batch, carrying the subset of
+        queries whose boxes reach it; entry MBRs are tested against all
+        pending queries with one vectorized AABB-overlap kernel, and a child
+        is descended with exactly the queries that overlap its entry box.
+        """
+        queries = as_box_array(boxes)
+        m = queries.shape[0]
+        if m == 0:
+            return []
+        results: list[list[int]] = [[] for _ in range(m)]
+        if self._size == 0:
+            return results
+        dims = queries.shape[2]
+        if self._dims is not None and dims != self._dims:
+            raise ValueError(f"queries have {dims} dims, index has {self._dims}")
+        counters = self.counters
+        stack: list[tuple[Node, np.ndarray]] = [(self._root, np.arange(m))]
+        while stack:
+            node, active = stack.pop()
+            if not node.entries:
+                continue
+            counters.bytes_touched += node.payload_bytes(dims)
+            entry_boxes = boxes_to_array([box for box, _ in node.entries])
+            pending = queries[active]
+            overlap = np.all(
+                (entry_boxes[:, None, 0, :] <= pending[None, :, 1, :])
+                & (pending[None, :, 0, :] <= entry_boxes[:, None, 1, :]),
+                axis=-1,
+            )  # (entries, active queries)
+            if node.is_leaf:
+                counters.elem_tests += overlap.size
+                rows, cols = np.nonzero(overlap)
+                for entry_i, query_i in zip(rows.tolist(), cols.tolist()):
+                    results[active[query_i]].append(node.entries[entry_i][1])  # type: ignore[arg-type]
+            else:
+                counters.node_tests += overlap.size
+                for entry_i, (_, child) in enumerate(node.entries):
+                    sub = active[overlap[entry_i]]
+                    if sub.size:
+                        counters.pointer_follows += 1
+                        stack.append((child, sub))  # type: ignore[arg-type]
         return results
 
     def knn(self, point: Sequence[float], k: int) -> KNNResult:

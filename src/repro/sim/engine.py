@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
 from repro.core.adaptive import AdaptiveSimulationIndex
+from repro.engine import BatchQueryEngine
 from repro.geometry.aabb import AABB
 from repro.indexes.base import SpatialIndex
 from repro.instrumentation.counters import Counters
@@ -28,7 +29,13 @@ from repro.sim.models import Move, SimulationModel
 
 
 class Monitor(Protocol):
-    """An in-situ analysis task run against the index every step."""
+    """An in-situ analysis task run against the index every step.
+
+    Monitors that additionally implement
+    ``observe_batch(engine: BatchQueryEngine, step: int)`` get handed the
+    simulation's batch engine instead, so a step's whole query volume runs
+    through the vectorized kernels (all shipped monitors do).
+    """
 
     def observe(self, index: SpatialIndex, step: int) -> None: ...
 
@@ -83,6 +90,7 @@ class TimeSteppedSimulation:
             raise ValueError("adaptive maintenance needs an AdaptiveSimulationIndex")
         self.model = model
         self.index = index
+        self.query_engine = BatchQueryEngine(index)
         self.monitors = list(monitors)
         self.maintenance = maintenance
         self._state: dict[int, AABB] = dict(model.items())
@@ -115,7 +123,11 @@ class TimeSteppedSimulation:
 
         start = time.perf_counter()
         for monitor in self.monitors:
-            monitor.observe(self.index, step)
+            observe_batch = getattr(monitor, "observe_batch", None)
+            if observe_batch is not None:
+                observe_batch(self.query_engine, step)
+            else:
+                monitor.observe(self.index, step)
         monitor_seconds = time.perf_counter() - start
 
         self._step += 1

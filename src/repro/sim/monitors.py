@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import BatchQueryEngine
 from repro.geometry.aabb import AABB
 from repro.indexes.base import SpatialIndex
 
@@ -36,13 +37,25 @@ class RangeMonitor:
     def expected_queries(self) -> int:
         return self.queries_per_step
 
-    def observe(self, index: SpatialIndex, step: int) -> None:
+    def _draw_boxes(self) -> np.ndarray:
+        """The step's query windows as an ``(m, 2, d)`` array.
+
+        Drawing all centers with one ``uniform`` call consumes the identical
+        RNG stream as the scalar per-query loop did, so batched and looped
+        observation see the same windows.
+        """
         lo = np.asarray(self.universe.lo)
         hi = np.asarray(self.universe.hi)
-        for _ in range(self.queries_per_step):
-            center = self._rng.uniform(lo, hi)
-            box = AABB.from_center(center, self.extent / 2.0)
-            self.result_counts.append(len(index.range_query(box)))
+        centers = self._rng.uniform(lo, hi, size=(self.queries_per_step, len(lo)))
+        half = self.extent / 2.0
+        return np.stack([centers - half, centers + half], axis=1)
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        for box in self._draw_boxes():
+            self.result_counts.append(len(index.range_query(AABB(box[0], box[1]))))
+
+    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
+        self.result_counts.extend(len(hits) for hits in engine.range_query(self._draw_boxes()))
 
 
 class DensityMonitor:
@@ -61,6 +74,9 @@ class DensityMonitor:
     def observe(self, index: SpatialIndex, step: int) -> None:
         self.history.append([len(index.range_query(region)) for region in self.regions])
 
+    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
+        self.history.append([len(hits) for hits in engine.range_query(self.regions)])
+
 
 class VisualizationMonitor:
     """In-situ visualization sampling: a regular grid of small range queries
@@ -76,15 +92,26 @@ class VisualizationMonitor:
     def expected_queries(self) -> int:
         return self.resolution ** self.universe.dims
 
-    def observe(self, index: SpatialIndex, step: int) -> None:
+    def _frame_boxes(self) -> np.ndarray:
+        """The full sampling grid as one ``(resolution^d, 2, d)`` batch."""
         dims = self.universe.dims
         lo = np.asarray(self.universe.lo)
         hi = np.asarray(self.universe.hi)
         side = (hi - lo) / self.resolution
-        frame = np.zeros((self.resolution,) * dims, dtype=int)
-        for flat_index in range(self.resolution**dims):
-            key = np.unravel_index(flat_index, frame.shape)
-            cell_lo = lo + np.asarray(key) * side
-            cell_hi = cell_lo + side
-            frame[key] = len(index.range_query(AABB(cell_lo, cell_hi)))
-        self.frames.append(frame)
+        axes = np.indices((self.resolution,) * dims).reshape(dims, -1).T  # (cells, d)
+        cell_lo = lo + axes * side
+        return np.stack([cell_lo, cell_lo + side], axis=1)
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        counts = [
+            len(index.range_query(AABB(box[0], box[1]))) for box in self._frame_boxes()
+        ]
+        self.frames.append(
+            np.array(counts, dtype=int).reshape((self.resolution,) * self.universe.dims)
+        )
+
+    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
+        counts = [len(hits) for hits in engine.range_query(self._frame_boxes())]
+        self.frames.append(
+            np.array(counts, dtype=int).reshape((self.resolution,) * self.universe.dims)
+        )

@@ -1,0 +1,106 @@
+"""The vectorized AABB kernels must agree with the scalar predicates.
+
+Randomized 2-d/3-d box sets (including degenerate and barely-touching boxes)
+are evaluated pairwise both ways; any disagreement on a closed-interval edge
+case would silently corrupt every batched query, so these comparisons are
+exhaustive over the generated pair matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import (
+    AABB,
+    array_to_boxes,
+    as_box_array,
+    batch_contains,
+    batch_contains_points,
+    batch_intersects,
+    batch_min_distance_to_points,
+    boxes_to_array,
+)
+
+
+def _random_boxes(rng: np.random.Generator, count: int, dims: int) -> list[AABB]:
+    """Boxes on a coarse lattice so exact touching/degenerate cases occur."""
+    a = np.round(rng.uniform(-10, 10, size=(count, dims)) * 2) / 2
+    b = np.round(rng.uniform(-10, 10, size=(count, dims)) * 2) / 2
+    degenerate = rng.random(count) < 0.25
+    b[degenerate] = a[degenerate]
+    return [AABB(np.minimum(x, y), np.maximum(x, y)) for x, y in zip(a, b)]
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_intersects_matches_scalar(dims, seed):
+    rng = np.random.default_rng(seed)
+    boxes_a = _random_boxes(rng, 25, dims)
+    boxes_b = _random_boxes(rng, 30, dims)
+    got = batch_intersects(boxes_to_array(boxes_a), boxes_to_array(boxes_b))
+    assert got.shape == (25, 30)
+    for i, box_a in enumerate(boxes_a):
+        for j, box_b in enumerate(boxes_b):
+            assert got[i, j] == box_a.intersects(box_b)
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_batch_contains_matches_scalar(dims, seed):
+    rng = np.random.default_rng(seed)
+    boxes_a = _random_boxes(rng, 25, dims)
+    # Bias B towards small boxes so containment actually happens.
+    boxes_b = [
+        AABB(box.lo, tuple(l + e / 4 for l, e in zip(box.lo, box.extents())))
+        for box in _random_boxes(rng, 30, dims)
+    ]
+    got = batch_contains(boxes_to_array(boxes_a), boxes_to_array(boxes_b))
+    hits = 0
+    for i, box_a in enumerate(boxes_a):
+        for j, box_b in enumerate(boxes_b):
+            expected = box_a.contains_box(box_b)
+            hits += expected
+            assert got[i, j] == expected
+    # A box always contains itself — sanity that the test isn't vacuous.
+    self_test = batch_contains(boxes_to_array(boxes_a), boxes_to_array(boxes_a))
+    assert np.all(np.diag(self_test))
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_batch_contains_points_matches_scalar(dims):
+    rng = np.random.default_rng(6)
+    boxes = _random_boxes(rng, 20, dims)
+    points = np.round(rng.uniform(-10, 10, size=(40, dims)) * 2) / 2
+    got = batch_contains_points(boxes_to_array(boxes), points)
+    for i, box in enumerate(boxes):
+        for j, point in enumerate(points):
+            assert got[i, j] == box.contains_point(point)
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_batch_min_distance_matches_scalar(dims):
+    rng = np.random.default_rng(7)
+    boxes = _random_boxes(rng, 20, dims)
+    points = rng.uniform(-12, 12, size=(35, dims))
+    got = batch_min_distance_to_points(boxes_to_array(boxes), points)
+    assert got.shape == (35, 20)
+    for j, box in enumerate(boxes):
+        for i, point in enumerate(points):
+            assert got[i, j] == pytest.approx(box.min_distance_to_point(point), abs=1e-12)
+    # Distance is zero exactly for contained points.
+    inside = batch_contains_points(boxes_to_array(boxes), points).T
+    assert np.array_equal(got == 0.0, inside)
+
+
+def test_round_trips_and_shapes():
+    rng = np.random.default_rng(8)
+    boxes = _random_boxes(rng, 10, 3)
+    arr = boxes_to_array(boxes)
+    assert arr.shape == (10, 2, 3)
+    assert array_to_boxes(arr) == boxes
+    assert as_box_array(arr) is arr or np.array_equal(as_box_array(arr), arr)
+    assert as_box_array(boxes).shape == (10, 2, 3)
+    assert boxes_to_array([], dims=3).shape == (0, 2, 3)
+    with pytest.raises(ValueError):
+        as_box_array(np.zeros((4, 3)))
