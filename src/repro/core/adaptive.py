@@ -102,6 +102,14 @@ class AdaptiveSimulationIndex(SpatialIndex):
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
         return self._active.knn(point, k)
 
+    def batch_range_query(self, boxes) -> list[list[int]]:
+        """Delegate to the active structure's vectorized batch kernel."""
+        return self._active.batch_range_query(boxes)
+
+    def batch_knn(self, points, k: int) -> list[KNNResult]:
+        """Delegate to the active structure's vectorized batch kernel."""
+        return self._active.batch_knn(points, k)
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.geometry.aabb import AABB, as_box_array, union_all
+from repro.geometry.aabb import AABB, as_box_array, as_point_array, union_all
 from repro.core.uniform_grid import UniformGrid
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
@@ -186,6 +186,30 @@ class MultiResolutionGrid(SpatialIndex):
                 for merged, part in zip(results, grid.batch_range_query(queries)):
                     merged.extend(part)
         return results
+
+    def batch_knn(
+        self, points: np.ndarray | Sequence[Sequence[float]], k: int
+    ) -> list[KNNResult]:
+        """One vectorized expanding-ring sweep per populated level.
+
+        Each level's :meth:`UniformGrid.batch_knn` answer is exact for the
+        elements that level owns, so an ``nsmallest`` merge of the per-level
+        ``(distance, id)`` lists is the exact global answer — and because
+        every level obeys the deterministic ``(distance, id)`` order, so
+        does the lexicographic merge.
+        """
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        if k <= 0 or not self._boxes or self._grids is None:
+            return [[] for _ in range(m)]
+        merged: list[list[tuple[float, int]]] = [[] for _ in range(m)]
+        for grid in self._grids:
+            if len(grid):
+                for acc, part in zip(merged, grid.batch_knn(pts, k)):
+                    acc.extend(part)
+        return [heapq.nsmallest(k, acc) for acc in merged]
 
     def __len__(self) -> int:
         return len(self._boxes)

@@ -18,6 +18,18 @@ Design points realized here:
 * **Replication-aware.**  Volumetric elements are registered in every cell
   they overlap; queries deduplicate.  The resolution model
   (:mod:`repro.core.resolution`) balances replication against probe counts.
+* **Incrementally maintained batch snapshot.**  The vectorized batch kernels
+  query a dense packed view of the buckets (:class:`_GridSnapshot`).
+  Mutations *patch* the snapshot instead of discarding it: removals flip a
+  per-row ``alive`` bit, insertions append to a small overlay keyed by cell,
+  and in-place box rewrites update the packed coordinates directly.  A dirty
+  counter triggers deferred compaction (a full repack) only when the overlay
+  grows past a fraction of the base, so the first batch after a mutation no
+  longer repays the full packing cost.  Invariants: the dict-of-dicts
+  buckets remain the ground truth (scalar queries never consult the
+  snapshot), and ``base ∖ dead ∪ overlay`` always equals the live element
+  set — a patched snapshot answers every batch query identically to a
+  from-scratch rebuild (``tests/test_snapshot_maintenance.py`` pins this).
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.geometry.aabb import AABB, as_box_array, boxes_to_array, union_all
+from repro.geometry.aabb import AABB, as_box_array, as_point_array, boxes_to_array, union_all
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.instrumentation.counters import Counters
 
@@ -38,11 +50,19 @@ _BOX_BYTES_PER_DIM = 16
 # expansion would exceed this many entries; the naive loop handles the rest.
 _BATCH_WINDOW_CAP = 1 << 26
 
+# Patches tolerated on a snapshot before deferred compaction repacks it.
+# The threshold scales with the base so bigger grids absorb more churn, but
+# is capped: overlay cells are matched with a per-cell Python loop in
+# `_gather_candidates`, so past a few thousand of them a repack (O(n),
+# fully vectorized) is cheaper than dragging the overlay through queries.
+_SNAPSHOT_DIRTY_MIN = 64
+_SNAPSHOT_DIRTY_MAX = 2048
+
 CellKey = tuple[int, ...]
 
 
 class _GridSnapshot:
-    """Dense, query-ready view of the grid's buckets.
+    """Dense, query-ready view of the grid's buckets, patchable in place.
 
     ``keys`` holds the linearized ids of every occupied cell in sorted order;
     ``starts``/``counts`` delimit each cell's slice of ``entry_rows``
@@ -51,11 +71,29 @@ class _GridSnapshot:
     element tables, so dedup can run on small integers rather than raw ids.
     ``strides`` linearize a cell coordinate tuple, ``tops`` are the per-axis
     maximum cell coordinates.
+
+    The base arrays are frozen at build time; mutations are folded in as an
+    overlay (the deferred-compaction dirty list):
+
+    * ``alive`` masks base rows whose element was removed or relocated;
+    * appended elements live in ``extra_eids``/``extra_boxes`` and are
+      reachable through ``extra_cells`` (linear cell key → overlay rows);
+    * in-place box rewrites patch ``boxes`` / ``extra_boxes`` directly.
+
+    Overlay rows are addressed as ``len(eids) + i`` so one flat row space
+    covers both tables; :meth:`tables` materializes (and caches) the merged
+    id/box/alive views.  ``dirty`` counts patches since the build — the
+    owning grid compacts (rebuilds) when it crosses the threshold.
     """
 
-    __slots__ = ("keys", "starts", "counts", "entry_rows", "eids", "boxes", "strides", "tops", "origin")
+    __slots__ = (
+        "keys", "starts", "counts", "entry_rows", "eids", "boxes", "strides",
+        "tops", "origin", "cell", "alive", "row_of", "extra_eids",
+        "extra_boxes", "extra_alive", "extra_cells", "extra_row_of", "dirty",
+        "_tables",
+    )
 
-    def __init__(self, keys, starts, counts, entry_rows, eids, boxes, strides, tops, origin) -> None:
+    def __init__(self, keys, starts, counts, entry_rows, eids, boxes, strides, tops, origin, cell) -> None:
         self.keys = keys
         self.starts = starts
         self.counts = counts
@@ -65,6 +103,86 @@ class _GridSnapshot:
         self.strides = strides
         self.tops = tops
         self.origin = origin
+        self.cell = cell
+        self.alive = np.ones(len(eids), dtype=bool)
+        self.row_of: dict[int, int] | None = None  # built lazily on first patch
+        self.extra_eids: list[int] = []
+        self.extra_boxes: list[AABB] = []
+        self.extra_alive: list[bool] = []
+        self.extra_cells: dict[int, list[int]] = {}
+        self.extra_row_of: dict[int, int] = {}
+        self.dirty = 0
+        self._tables: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # -- merged element tables ------------------------------------------------
+
+    def tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(eids, boxes, alive)`` across base rows then overlay rows."""
+        if self._tables is None:
+            if not self.extra_eids:
+                self._tables = (self.eids, self.boxes, self.alive)
+            else:
+                eids = np.concatenate(
+                    [self.eids, np.array(self.extra_eids, dtype=np.int64)]
+                )
+                boxes = np.concatenate(
+                    [self.boxes, boxes_to_array(self.extra_boxes, dims=self.boxes.shape[2])]
+                )
+                alive = np.concatenate([self.alive, np.array(self.extra_alive, dtype=bool)])
+                self._tables = (eids, boxes, alive)
+        return self._tables
+
+    def _base_row(self, eid: int) -> int:
+        if self.row_of is None:
+            self.row_of = {int(e): i for i, e in enumerate(self.eids.tolist())}
+        return self.row_of[eid]
+
+    def _window(self, box: AABB) -> Iterable[CellKey]:
+        corners = np.array([box.lo, box.hi], dtype=np.float64)
+        coords = _cell_coords(corners, self.origin, self.cell, self.tops)
+        return _iter_window(coords[0].tolist(), coords[1].tolist())
+
+    # -- patches (the dirty list) ---------------------------------------------
+
+    def patch_insert(self, eid: int, box: AABB) -> None:
+        idx = len(self.extra_eids)
+        self.extra_eids.append(eid)
+        self.extra_boxes.append(box)
+        self.extra_alive.append(True)
+        self.extra_row_of[eid] = idx
+        strides = self.strides.tolist()
+        cells = 0
+        for coords in self._window(box):
+            key = sum(c * s for c, s in zip(coords, strides))
+            self.extra_cells.setdefault(key, []).append(idx)
+            cells += 1
+        # Queries pay per overlay *cell*, not per patched element, so a
+        # box spanning many cells must push toward compaction accordingly.
+        self.dirty += max(cells, 1)
+        self._tables = None
+
+    def patch_remove(self, eid: int) -> None:
+        idx = self.extra_row_of.pop(eid, None)
+        if idx is not None:
+            # Dead overlay rows stay listed in extra_cells; gathering filters
+            # them through the alive mask (compaction reclaims the slots).
+            self.extra_alive[idx] = False
+        else:
+            self.alive[self._base_row(eid)] = False
+        self.dirty += 1
+        self._tables = None
+
+    def patch_set_box(self, eid: int, box: AABB) -> None:
+        """In-place rewrite for a move that kept the element's cell set."""
+        idx = self.extra_row_of.get(eid)
+        if idx is not None:
+            self.extra_boxes[idx] = box
+        else:
+            row = self._base_row(eid)
+            self.boxes[row, 0, :] = box.lo
+            self.boxes[row, 1, :] = box.hi
+        self.dirty += 1
+        self._tables = None
 
 
 def _cell_coords(
@@ -136,6 +254,9 @@ class UniformGrid(SpatialIndex):
         self._snapshot: _GridSnapshot | None = None
         self.cell_switches = 0
         self.in_place_updates = 0
+        # Lifetime count of full snapshot packs; the snapshot-maintenance
+        # regression tests assert mutations patch instead of repack.
+        self.snapshot_rebuilds = 0
 
     # -- configuration -----------------------------------------------------------
 
@@ -196,7 +317,9 @@ class UniformGrid(SpatialIndex):
             self._boxes[eid] = new_box
             for key in old_cells:
                 self._cells[key][eid] = new_box
-            self._snapshot = None
+            if self._snapshot is not None:
+                self._snapshot.patch_set_box(eid, new_box)
+                self._maybe_compact()
             self.in_place_updates += 1
         else:
             self._unplace(eid)
@@ -293,6 +416,7 @@ class UniformGrid(SpatialIndex):
         uniq_keys, starts, counts = np.unique(
             keys_sorted, return_index=True, return_counts=True
         )
+        self.snapshot_rebuilds += 1
         return _GridSnapshot(
             keys=uniq_keys,
             starts=starts,
@@ -303,7 +427,77 @@ class UniformGrid(SpatialIndex):
             strides=strides_arr,
             tops=tops,
             origin=origin,
+            cell=cell,
         )
+
+    def _ensure_snapshot(self) -> _GridSnapshot | None:
+        if self._snapshot is None:
+            self._snapshot = self._build_snapshot()
+        return self._snapshot
+
+    def _gather_candidates(
+        self, snap: _GridSnapshot, lo_cells: np.ndarray, hi_cells: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(query, element-row)`` candidate pairs for cell windows.
+
+        ``lo_cells``/``hi_cells`` are ``(m, d)`` integer window corners.
+        Base rows are gathered with the searchsorted/repeat machinery and
+        filtered through the ``alive`` mask; overlay rows (patched-in
+        inserts, addressed past the base table) are matched per overlay cell
+        — the overlay is bounded by the compaction threshold, so that loop
+        stays small.  Pairs may repeat per (query, row); callers dedup.
+        """
+        counters = self.counters
+        # Flatten all query windows into (query, cell-id) pairs.
+        qidx, flat_keys = _expand_windows(lo_cells, hi_cells, snap.strides)
+
+        # Resolve each distinct cell id once against the occupied-cell table.
+        uniq_keys, inverse = np.unique(flat_keys, return_inverse=True)
+        counters.cells_probed += len(uniq_keys)
+        pos = np.searchsorted(snap.keys, uniq_keys)
+        pos_safe = np.minimum(pos, len(snap.keys) - 1)
+        occupied = snap.keys[pos_safe] == uniq_keys
+        keep = occupied[inverse]
+        q_keep = qidx[keep]
+        cell_pos = pos_safe[inverse][keep]
+
+        # Gather every (query, bucket entry) candidate pair.
+        bucket_counts = snap.counts[cell_pos]
+        n_pairs = int(bucket_counts.sum())
+        pair_q = np.repeat(q_keep, bucket_counts)
+        offset = np.arange(n_pairs, dtype=np.int64) - np.repeat(
+            np.cumsum(bucket_counts) - bucket_counts, bucket_counts
+        )
+        rows = snap.entry_rows[np.repeat(snap.starts[cell_pos], bucket_counts) + offset]
+        live = snap.alive[rows]
+        if not live.all():
+            pair_q = pair_q[live]
+            rows = rows[live]
+
+        if snap.extra_cells:
+            n_base = snap.eids.shape[0]
+            res = snap.tops + 1
+            extra_q: list[np.ndarray] = [pair_q]
+            extra_rows: list[np.ndarray] = [rows]
+            for key, idxs in snap.extra_cells.items():
+                alive_idxs = [i for i in idxs if snap.extra_alive[i]]
+                if not alive_idxs:
+                    continue
+                coords = (key // snap.strides) % res
+                covered = np.nonzero(
+                    np.all((lo_cells <= coords) & (coords <= hi_cells), axis=1)
+                )[0]
+                if covered.size == 0:
+                    continue
+                counters.cells_probed += 1
+                extra_q.append(np.repeat(covered, len(alive_idxs)))
+                extra_rows.append(
+                    np.tile(np.array(alive_idxs, dtype=np.int64) + n_base, covered.size)
+                )
+            if len(extra_q) > 1:
+                pair_q = np.concatenate(extra_q)
+                rows = np.concatenate(extra_rows)
+        return pair_q, rows
 
     def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
         """All queries in one pass: vectorized cell bucketing + overlap tests.
@@ -321,9 +515,7 @@ class UniformGrid(SpatialIndex):
             return []
         if not self._boxes:
             return [[] for _ in range(m)]
-        if self._snapshot is None:
-            self._snapshot = self._build_snapshot()
-        snap = self._snapshot
+        snap = self._ensure_snapshot()
         if snap is None:
             return super().batch_range_query(queries)
         dims = snap.tops.shape[0]
@@ -338,31 +530,13 @@ class UniformGrid(SpatialIndex):
         if int(np.prod(hi_cells - lo_cells + 1, axis=1).sum()) > _BATCH_WINDOW_CAP:
             return super().batch_range_query(queries)
 
-        # Flatten all query windows into (query, cell-id) pairs.
-        qidx, flat_keys = _expand_windows(lo_cells, hi_cells, snap.strides)
-
-        # Resolve each distinct cell id once against the occupied-cell table.
-        uniq_keys, inverse = np.unique(flat_keys, return_inverse=True)
-        counters.cells_probed += len(uniq_keys)
-        pos = np.searchsorted(snap.keys, uniq_keys)
-        pos_safe = np.minimum(pos, len(snap.keys) - 1)
-        occupied = snap.keys[pos_safe] == uniq_keys
-        keep = occupied[inverse]
-        q_keep = qidx[keep]
-        cell_pos = pos_safe[inverse][keep]
-
-        # Gather every (query, bucket entry) candidate pair.
-        bucket_counts = snap.counts[cell_pos]
-        n_pairs = int(bucket_counts.sum())
+        pair_q, rows = self._gather_candidates(snap, lo_cells, hi_cells)
+        n_pairs = pair_q.shape[0]
         if n_pairs == 0:
             return [[] for _ in range(m)]
-        pair_q = np.repeat(q_keep, bucket_counts)
-        offset = np.arange(n_pairs, dtype=np.int64) - np.repeat(
-            np.cumsum(bucket_counts) - bucket_counts, bucket_counts
-        )
-        rows = snap.entry_rows[np.repeat(snap.starts[cell_pos], bucket_counts) + offset]
+        eids_all, boxes_all, _ = snap.tables()
 
-        candidates = snap.boxes[rows]
+        candidates = boxes_all[rows]
         qb = queries[pair_q]
         hit = np.all(
             (qb[:, 0, :] <= candidates[:, 1, :]) & (candidates[:, 0, :] <= qb[:, 1, :]),
@@ -378,12 +552,95 @@ class UniformGrid(SpatialIndex):
         # Dedup replicated elements per query on a single scalar key (query
         # major, element row minor) — sorted output is already grouped by
         # query, so results fall out of one tolist + slicing.
-        n_rows = snap.eids.shape[0]
+        n_rows = eids_all.shape[0]
         combined = np.unique(hit_q.astype(np.int64) * n_rows + hit_rows)
-        all_ids = snap.eids[combined % n_rows].tolist()
+        all_ids = eids_all[combined % n_rows].tolist()
         bounds = np.searchsorted(combined, np.arange(1, m) * n_rows).tolist()
         bounds = [0, *bounds, len(all_ids)]
         return [all_ids[bounds[i] : bounds[i + 1]] for i in range(m)]
+
+    def batch_knn(
+        self, points: np.ndarray | Sequence[Sequence[float]], k: int
+    ) -> list[KNNResult]:
+        """Vectorized expanding-ring kNN over the dense snapshot.
+
+        All still-unresolved queries share one cell-window sweep per round:
+        their probe radius starts at one cell side and doubles until at
+        least ``min(k, n)`` candidates are *confirmed* (distance within the
+        probe radius, so no unseen element can beat them).  Candidates are
+        gathered with the same machinery as :meth:`batch_range_query`;
+        per-query results follow the deterministic ``(distance, id)`` order.
+        """
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        if k <= 0 or not self._boxes or self._universe is None:
+            return [[] for _ in range(m)]
+        snap = self._ensure_snapshot()
+        if snap is None:
+            return super().batch_knn(pts, k)
+        dims = snap.tops.shape[0]
+        if pts.shape[1] != dims:
+            raise ValueError(f"points have {pts.shape[1]} dims, index has {dims}")
+        counters = self.counters
+        assert self._cell_size is not None
+        cell = self._cell_size
+        eids_all, boxes_all, _ = snap.tables()
+        n_rows = eids_all.shape[0]
+        kk = min(k, len(self._boxes))
+
+        # Per-query give-up radius, as in the scalar path: beyond the
+        # farthest universe corner the probe provably covers every element.
+        lo_u = np.asarray(self._universe.lo)
+        hi_u = np.asarray(self._universe.hi)
+        corner_gaps = np.maximum(np.abs(pts - lo_u), np.abs(pts - hi_u))
+        limits = np.sqrt(np.einsum("md,md->m", corner_gaps, corner_gaps)) + cell
+
+        results: list[KNNResult] = [[] for _ in range(m)]
+        active = np.arange(m)
+        radius = cell
+        while active.size:
+            apts = pts[active]
+            lo_cells = _cell_coords(apts - radius, snap.origin, cell, snap.tops)
+            hi_cells = _cell_coords(apts + radius, snap.origin, cell, snap.tops)
+            if int(np.prod(hi_cells - lo_cells + 1, axis=1).sum()) > _BATCH_WINDOW_CAP:
+                for q in active.tolist():
+                    results[q] = self.knn(tuple(pts[q]), k)
+                break
+            pair_q, rows = self._gather_candidates(snap, lo_cells, hi_cells)
+            if pair_q.size:
+                combined = np.unique(pair_q.astype(np.int64) * n_rows + rows)
+                cand_q = combined // n_rows
+                cand_rows = combined % n_rows
+                cand_boxes = boxes_all[cand_rows]
+                p = apts[cand_q]
+                gaps = np.maximum(
+                    np.maximum(cand_boxes[:, 0, :] - p, p - cand_boxes[:, 1, :]), 0.0
+                )
+                dists = np.sqrt(np.einsum("cd,cd->c", gaps, gaps))
+                counters.elem_tests += combined.size
+                confirmed = np.bincount(
+                    cand_q[dists <= radius], minlength=active.size
+                )
+            else:
+                cand_q = np.empty(0, dtype=np.int64)
+                cand_rows = np.empty(0, dtype=np.int64)
+                dists = np.empty(0)
+                confirmed = np.zeros(active.size, dtype=np.int64)
+            done = (confirmed >= kk) | (radius > limits[active])
+            for local in np.nonzero(done)[0].tolist():
+                start, end = np.searchsorted(cand_q, [local, local + 1])
+                slice_d = dists[start:end]
+                slice_e = eids_all[cand_rows[start:end]]
+                order = np.lexsort((slice_e, slice_d))[:kk]
+                results[int(active[local])] = list(
+                    zip(slice_d[order].tolist(), slice_e[order].tolist())
+                )
+                counters.heap_ops += int(order.shape[0])
+            active = active[~done]
+            radius *= 2.0
+        return results
 
     def __len__(self) -> int:
         return len(self._boxes)
@@ -432,7 +689,9 @@ class UniformGrid(SpatialIndex):
             self._cells.setdefault(key, {})[eid] = box
         self._boxes[eid] = box
         self._cells_of[eid] = keys
-        self._snapshot = None
+        if self._snapshot is not None:
+            self._snapshot.patch_insert(eid, box)
+            self._maybe_compact()
 
     def _unplace(self, eid: int) -> None:
         for key in self._cells_of.pop(eid):
@@ -442,7 +701,19 @@ class UniformGrid(SpatialIndex):
                 if not bucket:
                     del self._cells[key]
         del self._boxes[eid]
-        self._snapshot = None
+        if self._snapshot is not None:
+            self._snapshot.patch_remove(eid)
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Deferred compaction: drop the snapshot once the dirty overlay
+        outgrows a fraction of the base (the next batch repacks)."""
+        snap = self._snapshot
+        if snap is None:
+            return
+        threshold = max(_SNAPSHOT_DIRTY_MIN, min(len(snap.eids) // 4, _SNAPSHOT_DIRTY_MAX))
+        if snap.dirty > threshold:
+            self._snapshot = None
 
 
 def _iter_window(lo: list[int], hi: list[int]) -> Iterable[CellKey]:

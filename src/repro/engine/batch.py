@@ -48,8 +48,9 @@ class BatchQueryEngine:
     ----------
     index:
         Any :class:`~repro.indexes.base.SpatialIndex`.  Indexes with
-        vectorized batch kernels (LinearScan, the grids, the R-tree family)
-        run at array speed; everything else falls back to the base class's
+        vectorized batch kernels run at array speed — LinearScan, the grids
+        and the R-tree family for both query kinds, plus the KD-tree for
+        batch kNN — everything else falls back to the base class's
         per-query loop, so the engine works uniformly across the library.
     dedup:
         When True (default), duplicate queries inside a batch are executed
@@ -91,7 +92,13 @@ class BatchQueryEngine:
     # -- kNN -----------------------------------------------------------------
 
     def knn(self, points: np.ndarray | Sequence[Sequence[float]], k: int) -> list[KNNResult]:
-        """One ``(distance, id)`` list per query point, ascending by distance."""
+        """One ``(distance, id)`` list per query point.
+
+        Each list is sorted ascending by ``(distance, id)`` — the
+        deterministic tie-break every index kernel implements (see
+        :mod:`repro.indexes.base`) — so deduplicated fan-out and direct
+        execution are indistinguishable.
+        """
         pts = as_point_array(points)
         m = pts.shape[0]
         self.stats.batches += 1

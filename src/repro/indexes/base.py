@@ -17,7 +17,13 @@ from repro.geometry.aabb import AABB, array_to_boxes
 from repro.instrumentation.counters import Counters
 
 Item = tuple[int, AABB]
-# kNN results are (distance, element_id), sorted ascending by distance.
+# kNN results are (distance, element_id) pairs sorted ascending by
+# ``(distance, element_id)`` — ties at equal distance are broken by the
+# smaller id.  Every exact index (and every vectorized batch kernel)
+# implements this, so oracle comparisons can require list equality instead
+# of comparing distance multisets.  Approximate structures (SpatialLSH)
+# order whatever candidates they surface the same way but make no claim of
+# matching the oracle's answer set.
 KNNResult = list[tuple[float, int]]
 
 
@@ -81,7 +87,16 @@ class SpatialIndex(ABC):
 
     @abstractmethod
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
-        """The ``k`` elements nearest to ``point`` by box distance."""
+        """The ``k`` elements nearest to ``point`` by box distance.
+
+        Results are sorted ascending by ``(distance, element_id)``; when
+        several elements tie at the k-th distance the ones with the smallest
+        ids are reported.  The ordering is part of the contract — it makes
+        every exact implementation's answer bit-identical to the LinearScan
+        oracle's (up to float noise in the distances themselves); avowedly
+        approximate indexes order their candidates the same way but may
+        surface a different answer set.
+        """
 
     # -- batch queries ---------------------------------------------------------
     #
@@ -90,11 +105,11 @@ class SpatialIndex(ABC):
     # amortize traversal and run vectorized kernels.  The defaults below are
     # the naive per-query loop, so every index is batch-capable; LinearScan,
     # the grids and the R-tree family override them with vectorized paths.
-    # Subclass overrides must return the same answer set the loop would:
+    # Subclass overrides must return the same answer the loop would:
     # identical ids per range query (order within one result list is
-    # unspecified) and identical kNN distance multisets — when several
-    # elements tie at the k-th distance, which of the tied ids is reported
-    # may differ between the loop and a vectorized kernel.
+    # unspecified) and, for kNN, the identical ``(distance, id)`` list —
+    # the deterministic ``(distance, id)`` tie-break above applies to batch
+    # kernels exactly as it does to the scalar path.
 
     def batch_range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
         """Run one range query per box; ``boxes`` is ``(m, 2, d)`` or AABBs."""

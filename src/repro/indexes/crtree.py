@@ -221,13 +221,16 @@ class CRTree(SpatialIndex):
             return []
         counters = self.counters
         dims = len(tuple(point))
-        heap: list[tuple[float, int, bool, object]] = [(0.0, 0, False, self._root)]
+        # (distance, kind, key, ref): nodes (kind 0) pop before elements
+        # (kind 1) at equal distance, tied elements pop in id order — the
+        # deterministic (distance, id) contract (see indexes/base.py).
+        heap: list[tuple[float, int, int, object]] = [(0.0, 0, 0, self._root)]
         tiebreak = 1
         results: list[tuple[float, int]] = []
         while heap and len(results) < k:
-            dist, _, is_element, ref = heapq.heappop(heap)
+            dist, kind, _, ref = heapq.heappop(heap)
             counters.heap_ops += 1
-            if is_element:
+            if kind == 1:
                 results.append((dist, ref))  # type: ignore[arg-type]
                 continue
             node: CRNode = ref  # type: ignore[assignment]
@@ -238,9 +241,12 @@ class CRTree(SpatialIndex):
                 else:
                     counters.node_tests += 1
                 entry_dist = exact_box.min_distance_to_point(point)
-                heapq.heappush(heap, (entry_dist, tiebreak, node.is_leaf, child))
+                if node.is_leaf:
+                    heapq.heappush(heap, (entry_dist, 1, child, child))  # type: ignore[list-item]
+                else:
+                    heapq.heappush(heap, (entry_dist, 0, tiebreak, child))
+                    tiebreak += 1
                 counters.heap_ops += 1
-                tiebreak += 1
         return results
 
     def __len__(self) -> int:

@@ -225,13 +225,16 @@ class DiskRTree(SpatialIndex):
         if k <= 0 or self._root_page is None:
             return []
         counters = self.counters
-        heap: list[tuple[float, int, bool, int]] = [(0.0, 0, False, self._root_page)]
+        # (distance, kind, key, ref): nodes (kind 0) pop before elements
+        # (kind 1) at equal distance, tied elements pop in id order — the
+        # deterministic (distance, id) contract (see indexes/base.py).
+        heap: list[tuple[float, int, int, int]] = [(0.0, 0, 0, self._root_page)]
         tiebreak = 1
         results: list[tuple[float, int]] = []
         while heap and len(results) < k:
-            dist, _, is_element, ref = heapq.heappop(heap)
+            dist, kind, _, ref = heapq.heappop(heap)
             counters.heap_ops += 1
-            if is_element:
+            if kind == 1:
                 results.append((dist, ref))
                 continue
             is_leaf, entries = self._read(ref)
@@ -241,10 +244,56 @@ class DiskRTree(SpatialIndex):
                 else:
                     counters.node_tests += 1
                 entry_dist = entry_box.min_distance_to_point(point)
-                heapq.heappush(heap, (entry_dist, tiebreak, is_leaf, child))
+                if is_leaf:
+                    heapq.heappush(heap, (entry_dist, 1, child, child))
+                else:
+                    heapq.heappush(heap, (entry_dist, 0, tiebreak, child))
+                    tiebreak += 1
                 counters.heap_ops += 1
-                tiebreak += 1
         return results
+
+    def batch_knn(self, points: np.ndarray | Sequence[Sequence[float]], k: int) -> list[KNNResult]:
+        """Shared best-first traversal: each page is read at most once per
+        query chunk, so the batch amortizes page transfers exactly as
+        :meth:`batch_range_query` does."""
+        from repro.geometry.aabb import as_point_array
+        from repro.indexes.batch_knn import best_first_batch_knn
+
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        if k <= 0 or self._root_page is None:
+            return [[] for _ in range(m)]
+        if self._dims is not None and pts.shape[1] != self._dims:
+            raise ValueError(f"points have {pts.shape[1]} dims, index has {self._dims}")
+
+        # Each page is read and packed at most once per query chunk ("read
+        # once" is the disk-side win the docstring claims); the pack is
+        # released after every chunk so peak unpacked state stays bounded
+        # by a chunk's working set, not the tree — persisting it would
+        # defeat the bounded-memory residency the BufferPool models.
+        packed: dict[int, tuple[bool, np.ndarray, object]] = {}
+
+        def expand(handle: object) -> tuple[bool, np.ndarray, object]:
+            cached = packed.get(handle)  # type: ignore[arg-type]
+            if cached is not None:
+                return cached
+            is_leaf, entries = self._read(handle)  # type: ignore[arg-type]
+            boxes = boxes_to_array([box for box, _ in entries], dims=pts.shape[1])
+            if is_leaf:
+                refs: object = np.fromiter(
+                    (ref for _, ref in entries), dtype=np.int64, count=len(entries)
+                )
+            else:
+                refs = [child for _, child in entries]
+            packed[handle] = (is_leaf, boxes, refs)  # type: ignore[index]
+            return packed[handle]  # type: ignore[index]
+
+        return best_first_batch_knn(
+            pts, k, self._size, self._root_page, expand, self.counters,
+            after_chunk=packed.clear,
+        )
 
     def __len__(self) -> int:
         return self._size

@@ -16,7 +16,10 @@ for point-in-range tests).
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.geometry.aabb import AABB
 from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
@@ -52,11 +55,17 @@ class KDTree(SpatialIndex):
         self._root = _KDNode()
         self._size = 0
         self._dims: int | None = None
+        # Lazy per-node expansion cache for the batch-kNN traversal.  A
+        # node's region is determined by its root path, so cached child
+        # regions/leaf arrays stay valid until a mutation clears the cache;
+        # values keep the node alive so id() keys are stable.
+        self._batch_pack: dict[int, tuple[_KDNode, bool, "np.ndarray", object]] = {}
 
     # -- maintenance -----------------------------------------------------------
 
     def bulk_load(self, items: Iterable[Item]) -> None:
         materialized = validate_items(items)
+        self._batch_pack.clear()
         self._root = _KDNode()
         self._size = 0
         if not materialized:
@@ -69,6 +78,7 @@ class KDTree(SpatialIndex):
 
     def insert(self, eid: int, box: AABB) -> None:
         point = self._as_point(box)
+        self._batch_pack.clear()
         if self._dims is None:
             self._dims = len(point)
         node = self._root
@@ -84,6 +94,7 @@ class KDTree(SpatialIndex):
 
     def delete(self, eid: int, box: AABB) -> None:
         point = self._as_point(box)
+        self._batch_pack.clear()
         node = self._root
         while not node.is_leaf:
             self.counters.node_tests += 1
@@ -131,10 +142,15 @@ class KDTree(SpatialIndex):
         counters = self.counters
         point = tuple(point)
         tiebreak = 1
-        best: list[tuple[float, int]] = []  # max-heap via negation
+        # Max-heap on negated (distance, id): the worst survivor is the
+        # lexicographically largest pair, so replacement follows the
+        # deterministic (distance, id) contract (see indexes/base.py).
+        best: list[tuple[float, int]] = []
 
-        def worst() -> float:
-            return -best[0][0] if len(best) >= k else float("inf")
+        def worst() -> tuple[float, int]:
+            if len(best) >= k:
+                return (-best[0][0], -best[0][1])
+            return (float("inf"), 0)
 
         # For the lower bound we store alongside each node the squared
         # distance accumulated from plane crossings (standard trick).
@@ -144,19 +160,21 @@ class KDTree(SpatialIndex):
         while bound_heap:
             dist, _, node, bounds = heapq.heappop(bound_heap)
             counters.heap_ops += 1
-            if dist >= worst():
+            # Strictly greater: a node at exactly the k-th distance can still
+            # hold a tied element with a smaller id.
+            if dist > worst()[0]:
                 break
             if node.is_leaf:
                 points = node.points
                 assert points is not None
                 for stored, eid in points:
                     counters.elem_tests += 1
-                    d = sum((a - b) ** 2 for a, b in zip(stored, point)) ** 0.5
+                    d = math.hypot(*(a - b for a, b in zip(stored, point)))
                     if len(best) < k:
-                        heapq.heappush(best, (-d, eid))
+                        heapq.heappush(best, (-d, -eid))
                         counters.heap_ops += 1
-                    elif d < -best[0][0]:
-                        heapq.heapreplace(best, (-d, eid))
+                    elif (d, eid) < worst():
+                        heapq.heapreplace(best, (-d, -eid))
                         counters.heap_ops += 1
                 continue
             counters.node_tests += 1
@@ -181,7 +199,70 @@ class KDTree(SpatialIndex):
                 )
                 counters.heap_ops += 1
                 tiebreak += 1
-        return sorted((-neg, eid) for neg, eid in best)
+        return sorted((-neg_d, -neg_e) for neg_d, neg_e in best)
+
+    def batch_knn(
+        self, points: "np.ndarray | Sequence[Sequence[float]]", k: int
+    ) -> list[KNNResult]:
+        """Shared best-first traversal over the whole batch.
+
+        KD-nodes carry no boxes, so each child's bounding region is derived
+        on the way down by clipping the parent region at the split plane
+        (open sides stay infinite); leaves expose their points as degenerate
+        boxes.  See :mod:`repro.indexes.batch_knn` for the traversal.
+        """
+        from repro.geometry.aabb import as_point_array
+        from repro.indexes.batch_knn import best_first_batch_knn
+
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        if k <= 0 or self._size == 0:
+            return [[] for _ in range(m)]
+        if self._dims is not None and pts.shape[1] != self._dims:
+            raise ValueError(f"points have {pts.shape[1]} dims, index has {self._dims}")
+        dims = pts.shape[1]
+        counters = self.counters
+        packed = self._batch_pack
+
+        def expand(handle: object) -> tuple[bool, np.ndarray, object]:
+            node, region = handle  # type: ignore[misc]
+            cached = packed.get(id(node))
+            if cached is not None:
+                return cached[1:]
+            if node.is_leaf:
+                stored = node.points
+                counters.bytes_touched += len(stored) * (dims * _POINT_BYTES_PER_DIM + 8)
+                if not stored:
+                    boxes = np.empty((0, 2, dims))
+                    refs: object = np.empty(0, dtype=np.int64)
+                else:
+                    coords = np.array([p for p, _ in stored], dtype=np.float64)
+                    boxes = np.stack([coords, coords], axis=1)
+                    refs = np.fromiter(
+                        (eid for _, eid in stored), dtype=np.int64, count=len(stored)
+                    )
+                packed[id(node)] = (node, True, boxes, refs)
+                return packed[id(node)][1:]
+            counters.bytes_touched += 32
+            left_region = region.copy()
+            left_region[1, node.axis] = node.threshold
+            right_region = region.copy()
+            right_region[0, node.axis] = node.threshold
+            boxes = np.stack([left_region, right_region])
+            packed[id(node)] = (
+                node,
+                False,
+                boxes,
+                [(node.left, left_region), (node.right, right_region)],
+            )
+            return packed[id(node)][1:]
+
+        root_region = np.array([[-np.inf] * dims, [np.inf] * dims])
+        return best_first_batch_knn(
+            pts, k, self._size, (self._root, root_region), expand, counters
+        )
 
     def __len__(self) -> int:
         return self._size

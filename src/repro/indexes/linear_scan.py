@@ -82,18 +82,21 @@ class LinearScan(SpatialIndex):
         if k <= 0:
             return []
         counters = self.counters
-        heap: list[tuple[float, int]] = []  # max-heap via negated distances
+        # Max-heap on negated (distance, id) so the worst survivor is the
+        # largest (distance, id) pair — replacement is lexicographic, which
+        # yields the exact (distance, id)-ordered answer the contract pins.
+        heap: list[tuple[float, int]] = []
         for eid, elem_box in self._boxes.items():
             counters.elem_tests += 1
             dist = elem_box.min_distance_to_point(point)
             if len(heap) < k:
-                heapq.heappush(heap, (-dist, eid))
+                heapq.heappush(heap, (-dist, -eid))
                 counters.heap_ops += 1
-            elif dist < -heap[0][0]:
-                heapq.heapreplace(heap, (-dist, eid))
+            elif (dist, eid) < (-heap[0][0], -heap[0][1]):
+                heapq.heapreplace(heap, (-dist, -eid))
                 counters.heap_ops += 1
         counters.bytes_touched += len(self._boxes) * (len(tuple(point)) * _BOX_BYTES_PER_DIM + 8)
-        return sorted((-neg, eid) for neg, eid in heap)
+        return sorted((-neg_d, -neg_e) for neg_d, neg_e in heap)
 
     # -- batch queries (vectorized) -----------------------------------------
 
@@ -155,14 +158,19 @@ class LinearScan(SpatialIndex):
         kk = min(k, n)
         for start in range(0, m, chunk):
             dists = batch_min_distance_to_points(data, pts[start : start + chunk])
-            if kk < n:
-                nearest = np.argpartition(dists, kk - 1, axis=1)[:, :kk]
-            else:
-                nearest = np.broadcast_to(np.arange(n), (dists.shape[0], n))
             for row in range(dists.shape[0]):
-                cols = nearest[row]
-                found = sorted(zip(dists[row, cols].tolist(), eids[cols].tolist()))
-                results.append(found)
+                row_d = dists[row]
+                if kk < n:
+                    # argpartition splits ties at the k-th distance
+                    # arbitrarily; widen to every element at or under the
+                    # pivot so the (distance, id) tie-break stays exact.
+                    part = np.argpartition(row_d, kk - 1)[:kk]
+                    cols = np.nonzero(row_d <= row_d[part].max())[0]
+                else:
+                    cols = np.arange(n)
+                order = np.lexsort((eids[cols], row_d[cols]))[:kk]
+                chosen = cols[order]
+                results.append(list(zip(row_d[chosen].tolist(), eids[chosen].tolist())))
                 counters.heap_ops += kk
         counters.elem_tests += m * n
         counters.bytes_touched += m * n * (dims * _BOX_BYTES_PER_DIM + 8)

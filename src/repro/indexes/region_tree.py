@@ -153,14 +153,17 @@ class RegionTree(SpatialIndex):
         if k <= 0 or not self._boxes:
             return []
         counters = self.counters
-        heap: list[tuple[float, int, bool, object]] = [(0.0, 0, False, self._root)]
+        # (distance, kind, key, ref): nodes (kind 0) pop before elements
+        # (kind 1) at equal distance, tied elements pop in id order — the
+        # deterministic (distance, id) contract (see indexes/base.py).
+        heap: list[tuple[float, int, int, object]] = [(0.0, 0, 0, self._root)]
         tiebreak = 1
         emitted: set[int] = set()
         results: list[tuple[float, int]] = []
         while heap and len(results) < k:
-            dist, _, is_element, ref = heapq.heappop(heap)
+            dist, kind, _, ref = heapq.heappop(heap)
             counters.heap_ops += 1
-            if is_element:
+            if kind == 1:
                 if ref not in emitted:
                     emitted.add(ref)  # type: ignore[arg-type]
                     results.append((dist, ref))  # type: ignore[arg-type]
@@ -173,17 +176,16 @@ class RegionTree(SpatialIndex):
                     counters.elem_tests += 1
                     heapq.heappush(
                         heap,
-                        (elem_box.min_distance_to_point(point), tiebreak, True, eid),
+                        (elem_box.min_distance_to_point(point), 1, eid, eid),
                     )
                     counters.heap_ops += 1
-                    tiebreak += 1
                 continue
             assert node.children is not None
             for child in node.children:
                 counters.node_tests += 1
                 heapq.heappush(
                     heap,
-                    (child.box.min_distance_to_point(point), tiebreak, False, child),
+                    (child.box.min_distance_to_point(point), 0, tiebreak, child),
                 )
                 counters.heap_ops += 1
                 tiebreak += 1

@@ -87,6 +87,10 @@ class RTree(SpatialIndex):
         self._size = 0
         self._dims: int | None = None
         self._node_count = 1
+        # Lazy per-node entry arrays for the batch-kNN traversal.  Values
+        # keep the Node alive so id() keys stay valid; any structural
+        # mutation clears the cache wholesale.
+        self._batch_pack: dict[int, tuple[Node, bool, np.ndarray, object]] = {}
 
     # -- bulk loading ----------------------------------------------------------
 
@@ -103,6 +107,7 @@ class RTree(SpatialIndex):
         from repro.indexes.hilbert import hilbert_pack
 
         materialized = validate_items(items)
+        self._batch_pack.clear()
         if not materialized:
             self._root = Node(is_leaf=True)
             self._height = 1
@@ -124,11 +129,13 @@ class RTree(SpatialIndex):
             self._dims = box.dims
         elif box.dims != self._dims:
             raise ValueError(f"box has {box.dims} dims, index has {self._dims}")
+        self._batch_pack.clear()
         self._insert_entry(box, eid, target_level=0)
         self._size += 1
         self.counters.inserts += 1
 
     def delete(self, eid: int, box: AABB) -> None:
+        self._batch_pack.clear()
         orphans: list[tuple[int, tuple[AABB, object]]] = []
         found = self._delete_recursive(self._root, self._height - 1, eid, box, orphans)
         if not found:
@@ -218,19 +225,25 @@ class RTree(SpatialIndex):
         return results
 
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
-        """Best-first kNN (Hjaltason & Samet) over box distances."""
+        """Best-first kNN (Hjaltason & Samet) over box distances.
+
+        Heap entries are ``(distance, kind, key, ref)`` with ``kind`` 0 for
+        nodes and 1 for elements: at equal distance every node pops before
+        any element (a node could still hide a tied element with a smaller
+        id), and tied elements pop in id order — which realizes the
+        deterministic ``(distance, id)`` contract exactly.
+        """
         if k <= 0 or self._size == 0:
             return []
         counters = self.counters
         dims = len(tuple(point))
-        # Heap entries: (distance, tiebreak, is_element, ref)
-        heap: list[tuple[float, int, bool, object]] = [(0.0, 0, False, self._root)]
+        heap: list[tuple[float, int, int, object]] = [(0.0, 0, 0, self._root)]
         tiebreak = 1
         results: list[tuple[float, int]] = []
         while heap and len(results) < k:
-            dist, _, is_element, ref = heapq.heappop(heap)
+            dist, kind, _, ref = heapq.heappop(heap)
             counters.heap_ops += 1
-            if is_element:
+            if kind == 1:
                 results.append((dist, ref))  # type: ignore[arg-type]
                 continue
             node: Node = ref  # type: ignore[assignment]
@@ -241,10 +254,55 @@ class RTree(SpatialIndex):
                 else:
                     counters.node_tests += 1
                 entry_dist = entry_box.min_distance_to_point(point)
-                heapq.heappush(heap, (entry_dist, tiebreak, node.is_leaf, child))
+                if node.is_leaf:
+                    heapq.heappush(heap, (entry_dist, 1, child, child))  # type: ignore[list-item]
+                else:
+                    heapq.heappush(heap, (entry_dist, 0, tiebreak, child))
+                    tiebreak += 1
                 counters.heap_ops += 1
-                tiebreak += 1
         return results
+
+    def batch_knn(self, points: np.ndarray | Sequence[Sequence[float]], k: int) -> list[KNNResult]:
+        """One shared best-first traversal per query chunk (R* inherits).
+
+        Each node is expanded at most once per chunk with the subset of
+        queries whose k-th-distance bound still reaches it; see
+        :mod:`repro.indexes.batch_knn`.
+        """
+        from repro.geometry.aabb import as_point_array
+        from repro.indexes.batch_knn import best_first_batch_knn
+
+        pts = as_point_array(points)
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        if k <= 0 or self._size == 0:
+            return [[] for _ in range(m)]
+        if self._dims is not None and pts.shape[1] != self._dims:
+            raise ValueError(f"points have {pts.shape[1]} dims, index has {self._dims}")
+        counters = self.counters
+        dims = pts.shape[1]
+        # Entry arrays pack lazily per node and persist across batches (the
+        # steady-state analysis regime); mutations clear `_batch_pack`.
+        packed = self._batch_pack
+
+        def expand(handle: object) -> tuple[bool, np.ndarray, object]:
+            node: Node = handle  # type: ignore[assignment]
+            cached = packed.get(id(node))
+            if cached is not None:
+                return cached[1:]
+            counters.bytes_touched += node.payload_bytes(dims)
+            boxes = boxes_to_array([box for box, _ in node.entries], dims=dims)
+            if node.is_leaf:
+                refs: object = np.fromiter(
+                    (ref for _, ref in node.entries), dtype=np.int64, count=len(node.entries)
+                )
+            else:
+                refs = [child for _, child in node.entries]
+            packed[id(node)] = (node, node.is_leaf, boxes, refs)
+            return packed[id(node)][1:]
+
+        return best_first_batch_knn(pts, k, self._size, self._root, expand, counters)
 
     # -- introspection -------------------------------------------------------------
 

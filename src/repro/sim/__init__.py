@@ -14,7 +14,8 @@ progress of the simulation."
   deformation (mass–spring via nearest neighbours) and neuron co-growth with
   synapse formation;
 * :mod:`~repro.sim.monitors` — in-situ analysis: random-window range
-  monitors, density probes, visualization sampling.
+  monitors, density probes, visualization sampling and nearest-neighbour
+  (nearest-synapse) probes, all batch-capable.
 """
 
 from repro.sim.engine import StepReport, TimeSteppedSimulation
@@ -23,7 +24,12 @@ from repro.sim.plasticity import PlasticityModel
 from repro.sim.nbody import BarnesHutTree, NBodyModel
 from repro.sim.material import MaterialModel
 from repro.sim.growth import GrowthModel
-from repro.sim.monitors import DensityMonitor, RangeMonitor, VisualizationMonitor
+from repro.sim.monitors import (
+    DensityMonitor,
+    NearestNeighborMonitor,
+    RangeMonitor,
+    VisualizationMonitor,
+)
 
 __all__ = [
     "TimeSteppedSimulation",
@@ -36,5 +42,6 @@ __all__ = [
     "GrowthModel",
     "RangeMonitor",
     "DensityMonitor",
+    "NearestNeighborMonitor",
     "VisualizationMonitor",
 ]

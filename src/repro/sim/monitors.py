@@ -58,6 +58,58 @@ class RangeMonitor:
         self.result_counts.extend(len(hits) for hits in engine.range_query(self._draw_boxes()))
 
 
+class NearestNeighborMonitor:
+    """Nearest-synapse probes: batched kNN at unpredictable locations.
+
+    Synapse detection and segment-proximity analyses are kNN-shaped — every
+    probe asks for the ``k`` nearest elements to a sample point.  The batch
+    path hands the step's whole probe set to
+    :meth:`~repro.engine.batch.BatchQueryEngine.knn`, which runs the
+    index's vectorized batch-kNN kernel; the per-query path consumes the
+    identical RNG stream, so looped and batched observation record the same
+    probes.  Per step, the monitor appends one list of k-th-neighbour
+    distances (the local "proximity field") and one list of nearest ids.
+    """
+
+    def __init__(
+        self,
+        universe: AABB,
+        probes_per_step: int = 50,
+        k: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if probes_per_step < 0:
+            raise ValueError(f"probes_per_step must be >= 0, got {probes_per_step}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.universe = universe
+        self.probes_per_step = probes_per_step
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self.kth_distances: list[list[float]] = []
+        self.nearest_ids: list[list[int]] = []
+
+    def expected_queries(self) -> int:
+        return self.probes_per_step
+
+    def _draw_points(self) -> np.ndarray:
+        lo = np.asarray(self.universe.lo)
+        hi = np.asarray(self.universe.hi)
+        return self._rng.uniform(lo, hi, size=(self.probes_per_step, len(lo)))
+
+    def _record(self, answers) -> None:
+        self.kth_distances.append(
+            [hits[-1][0] if hits else float("inf") for hits in answers]
+        )
+        self.nearest_ids.append([hits[0][1] if hits else -1 for hits in answers])
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        self._record([index.knn(tuple(p), self.k) for p in self._draw_points()])
+
+    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
+        self._record(engine.knn(self._draw_points(), self.k))
+
+
 class DensityMonitor:
     """Tracks element counts in fixed regions of interest over time —
     "local analysis of tissue density in neuroscience models"."""

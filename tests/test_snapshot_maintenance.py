@@ -1,0 +1,152 @@
+"""Regression tests for incremental `_GridSnapshot` maintenance.
+
+PR 1's batch kernels packed the UniformGrid into a dense snapshot but threw
+it away on *any* mutation, so the first batch after a simulation step repaid
+the full packing cost.  These tests pin the incremental behaviour that
+replaced it: mutations patch the snapshot (alive mask, cell-keyed overlay,
+in-place box rewrites), ``snapshot_rebuilds`` counts full packs, and a
+patched snapshot must answer every batch query identically to a
+from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import knn_pairs, make_items, make_queries
+from repro.core.uniform_grid import UniformGrid
+from repro.geometry.aabb import AABB, boxes_to_array
+from repro.indexes.linear_scan import LinearScan
+
+
+def shifted(box: AABB, delta: float) -> AABB:
+    return AABB([c + delta for c in box.lo], [c + delta for c in box.hi])
+
+
+def assert_matches_fresh_rebuild(grid: UniformGrid, queries, points, k=5):
+    """Patched-snapshot answers == a from-scratch grid's == the oracle's."""
+    fresh = UniformGrid(universe=grid.universe, cell_size=grid.cell_size)
+    fresh.bulk_load(list(grid._boxes.items()))
+    oracle = LinearScan()
+    oracle.bulk_load(list(grid._boxes.items()))
+    got_range = grid.batch_range_query(queries)
+    assert [sorted(r) for r in got_range] == [
+        sorted(r) for r in fresh.batch_range_query(queries)
+    ]
+    for answer, query in zip(got_range, queries):
+        assert sorted(answer) == sorted(oracle.range_query(query))
+    got_knn = grid.batch_knn(points, k)
+    assert [knn_pairs(r) for r in got_knn] == [
+        knn_pairs(r) for r in fresh.batch_knn(points, k)
+    ]
+    for answer, point in zip(got_knn, points):
+        assert knn_pairs(answer) == knn_pairs(oracle.knn(tuple(point), k))
+
+
+class TestRebuildCounter:
+    def test_insert_batch_remove_batch_rebuilds_at_most_once(self):
+        """The ISSUE's acceptance sequence: one pack total, not one per step."""
+        items = make_items(300, seed=1)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        queries = make_queries(8, seed=2)
+        assert grid.snapshot_rebuilds == 0
+
+        grid.insert(9_000, AABB((5.0, 5.0, 5.0), (6.0, 6.0, 6.0)))
+        grid.batch_range_query(queries)
+        grid.delete(*items[10])
+        grid.batch_range_query(queries)
+        assert grid.snapshot_rebuilds <= 1
+
+    def test_mutation_burst_between_batches_keeps_snapshot(self):
+        items = make_items(400, seed=3)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        queries = make_queries(6, seed=4)
+        points = np.array([[20.0, 30.0, 40.0], [75.0, 15.0, 60.0]])
+        grid.batch_range_query(queries)
+        assert grid.snapshot_rebuilds == 1
+        for step in range(5):
+            eid, box = items[step]
+            grid.update(eid, box, shifted(box, 0.25))
+            items[step] = (eid, shifted(box, 0.25))
+            grid.batch_range_query(queries)
+            grid.batch_knn(points, 4)
+        assert grid.snapshot_rebuilds == 1  # every batch reused the patched pack
+
+    def test_deferred_compaction_repacks_once_overlay_outgrows_base(self):
+        items = make_items(200, seed=5)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        grid.batch_range_query(make_queries(2, seed=6))
+        assert grid.snapshot_rebuilds == 1
+        # Threshold is max(64, n // 4) patches; 80 inserts must cross it.
+        for i in range(80):
+            grid.insert(50_000 + i, AABB((1.0 + i * 0.1,) * 3, (1.5 + i * 0.1,) * 3))
+        grid.batch_range_query(make_queries(2, seed=6))
+        assert grid.snapshot_rebuilds == 2
+
+
+class TestPatchedSnapshotCorrectness:
+    def test_inserts_are_visible_through_the_patched_snapshot(self):
+        items = make_items(250, seed=7)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        queries = make_queries(10, seed=8)
+        points = np.array([[10.0, 10.0, 10.0], [55.0, 44.0, 33.0]])
+        grid.batch_range_query(queries)  # build the snapshot
+        rebuilds = grid.snapshot_rebuilds
+        for i in range(10):
+            grid.insert(20_000 + i, AABB((9.0 + i,) * 3, (10.0 + i,) * 3))
+        assert_matches_fresh_rebuild(grid, queries, points)
+        assert grid.snapshot_rebuilds == rebuilds
+
+    def test_removes_updates_and_reinserts(self):
+        items = make_items(250, seed=9)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        queries = make_queries(10, seed=10)
+        points = np.array([[30.0, 60.0, 20.0], [80.0, 80.0, 80.0]])
+        grid.batch_range_query(queries)
+        rebuilds = grid.snapshot_rebuilds
+
+        # Remove a handful, move some in place, relocate some across cells,
+        # and re-insert a removed id elsewhere — every patch kind at once.
+        for eid, box in items[:5]:
+            grid.delete(eid, box)
+        for eid, box in items[5:10]:
+            grid.update(eid, box, shifted(box, 0.01))  # same-cell rewrite
+        for eid, box in items[10:15]:
+            grid.update(eid, box, shifted(box, 30.0))  # cell switch
+        grid.insert(items[0][0], AABB((2.0, 2.0, 2.0), (2.5, 2.5, 2.5)))
+
+        assert_matches_fresh_rebuild(grid, queries, points)
+        assert grid.snapshot_rebuilds == rebuilds
+
+    def test_patched_equals_rebuilt_after_knn_only_traffic(self):
+        items = make_items(300, seed=11)
+        grid = UniformGrid()
+        grid.bulk_load(items)
+        points = np.array([[25.0, 25.0, 25.0], [5.0, 95.0, 45.0], [60.0, 60.0, 60.0]])
+        grid.batch_knn(points, 6)  # snapshot built by the kNN kernel
+        assert grid.snapshot_rebuilds == 1
+        grid.delete(*items[42])
+        grid.insert(31_000, AABB((24.0, 24.0, 24.0), (26.0, 26.0, 26.0)))
+        assert_matches_fresh_rebuild(grid, make_queries(5, seed=12), points, k=6)
+        assert grid.snapshot_rebuilds == 1
+
+    def test_overlay_entries_replicate_across_cells(self):
+        """A patched-in element spanning many cells is found from each."""
+        grid = UniformGrid(universe=AABB((0.0, 0.0), (100.0, 100.0)), cell_size=5.0)
+        grid.bulk_load(make_items(80, universe=AABB((0.0, 0.0), (100.0, 100.0)), seed=13))
+        grid.batch_range_query(boxes_to_array([AABB((0.0, 0.0), (100.0, 100.0))]))
+        big = AABB((10.0, 10.0), (40.0, 40.0))  # spans dozens of cells
+        grid.insert(70_000, big)
+        probes = boxes_to_array(
+            [AABB((11.0, 11.0), (12.0, 12.0)), AABB((38.0, 38.0), (39.0, 39.0))]
+        )
+        for hits in grid.batch_range_query(probes):
+            assert 70_000 in hits
+        # ... and exactly once per query despite the multi-cell replication.
+        assert all(hits.count(70_000) == 1 for hits in grid.batch_range_query(probes))
+        assert grid.snapshot_rebuilds == 1
