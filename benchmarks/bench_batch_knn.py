@@ -35,7 +35,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np
 
-from bench_common import emit
+from bench_common import emit, knn_point_workload
 from repro.analysis.reporting import format_table
 from repro.core.multires_grid import MultiResolutionGrid
 from repro.core.uniform_grid import UniformGrid
@@ -50,16 +50,6 @@ QUICK_N, QUICK_M = 10_000, 1_000
 K = 8
 
 
-def build_workload(n: int, m: int, seed: int = 0):
-    """n small boxes and m probe points, both uniform over the universe."""
-    rng = np.random.default_rng(seed)
-    lo = rng.uniform(0.0, 99.0, size=(n, 3))
-    hi = np.minimum(lo + rng.uniform(0.05, 1.0, size=(n, 3)), 100.0)
-    items = [(eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
-    points = rng.uniform(0.0, 100.0, size=(m, 3))
-    return items, points
-
-
 def bench_index(name, index, items, points, loop_cap, verify_sample=25, steady_rounds=3):
     """Times the scalar loop (possibly on a subsample) and the batch regimes.
 
@@ -69,7 +59,7 @@ def bench_index(name, index, items, points, loop_cap, verify_sample=25, steady_r
     ``steady`` amortizes over repeated batches on the unmutated index.
     """
     index.bulk_load(items)
-    engine = BatchQueryEngine(index, dedup=False)
+    engine = BatchQueryEngine.kernel(index, dedup=False)
     loop_points = points[:loop_cap]
 
     start = time.perf_counter()
@@ -106,7 +96,7 @@ def bench_index(name, index, items, points, loop_cap, verify_sample=25, steady_r
 
 def run(quick: bool = False) -> dict[str, float]:
     n, m = (QUICK_N, QUICK_M) if quick else (FULL_N, FULL_M)
-    items, points = build_workload(n, m)
+    items, points = knn_point_workload(n, m)
     # The scan is O(n) per query in both regimes (pure Python looped, m*n
     # matrix batched); cap its query counts so the bench stays minutes-free
     # — throughput comparisons remain fair.  The indexed contenders run the

@@ -34,7 +34,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np
 
-from bench_common import emit
+from bench_common import emit, range_window_workload
 from repro.analysis.reporting import format_table
 from repro.core.multires_grid import MultiResolutionGrid
 from repro.core.uniform_grid import UniformGrid
@@ -48,17 +48,6 @@ FULL_N, FULL_M = 100_000, 10_000
 QUICK_N, QUICK_M = 10_000, 1_000
 
 
-def build_workload(n: int, m: int, seed: int = 0):
-    """n small boxes and m synapse-scale query windows, both uniform."""
-    rng = np.random.default_rng(seed)
-    lo = rng.uniform(0.0, 99.0, size=(n, 3))
-    hi = np.minimum(lo + rng.uniform(0.05, 1.0, size=(n, 3)), 100.0)
-    items = [(eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
-    q_lo = rng.uniform(0.0, 98.0, size=(m, 3))
-    queries = np.stack([q_lo, np.minimum(q_lo + 2.0, 100.0)], axis=1)
-    return items, queries
-
-
 def bench_index(name, index, items, queries, verify_sample=25, steady_rounds=3):
     """Times three regimes.
 
@@ -68,7 +57,7 @@ def bench_index(name, index, items, queries, verify_sample=25, steady_rounds=3):
     probes) against an index that is not mutated between them.
     """
     index.bulk_load(items)
-    engine = BatchQueryEngine(index, dedup=False)
+    engine = BatchQueryEngine.kernel(index, dedup=False)
     query_boxes = [AABB(q[0], q[1]) for q in queries]
 
     start = time.perf_counter()
@@ -100,7 +89,7 @@ def bench_index(name, index, items, queries, verify_sample=25, steady_rounds=3):
 
 def run(quick: bool = False) -> dict[str, float]:
     n, m = (QUICK_N, QUICK_M) if quick else (FULL_N, FULL_M)
-    items, queries = build_workload(n, m)
+    items, queries = range_window_workload(n, m)
     contenders = {
         "LinearScan": LinearScan(),
         "UniformGrid": UniformGrid(universe=UNIVERSE),

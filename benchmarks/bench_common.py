@@ -62,3 +62,30 @@ def emit(text: str) -> None:
     sys.stderr.flush()
     with open(REPORT_PATH, "a") as report:
         report.write(text + "\n\n")
+
+
+# -- shared uniform workloads (the n-elements / m-queries acceptance scale) --
+
+import numpy as np  # noqa: E402  (kept with its helpers, below the fixtures)
+
+
+def uniform_box_items(rng: np.random.Generator, n: int) -> list:
+    """n small uniform boxes in the benches' canonical 100³ universe."""
+    lo = rng.uniform(0.0, 99.0, size=(n, 3))
+    hi = np.minimum(lo + rng.uniform(0.05, 1.0, size=(n, 3)), 100.0)
+    return [(eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
+
+
+def range_window_workload(n: int, m: int, seed: int = 0):
+    """(items, (m, 2, 3) synapse-scale query windows), one RNG stream."""
+    rng = np.random.default_rng(seed)
+    items = uniform_box_items(rng, n)
+    q_lo = rng.uniform(0.0, 98.0, size=(m, 3))
+    return items, np.stack([q_lo, np.minimum(q_lo + 2.0, 100.0)], axis=1)
+
+
+def knn_point_workload(n: int, m: int, seed: int = 0):
+    """(items, (m, 3) probe points), one RNG stream."""
+    rng = np.random.default_rng(seed)
+    items = uniform_box_items(rng, n)
+    return items, rng.uniform(0.0, 100.0, size=(m, 3))

@@ -1,16 +1,19 @@
-"""Batched synapse-style analysis with the BatchQueryEngine.
+"""Batched synapse-style analysis through the QuerySession API.
 
 The paper's motivating workload (§2.2): after every simulation step,
 analyses fire enormous numbers of small spatial queries — synapse detection
 probes the neighbourhood of *every* neuron branch, and in-situ visualization
-samples a whole grid of windows.  This example runs that workload the
-batched way:
+samples a whole grid of windows.  This example runs that workload through
+the library's single public query surface, :class:`repro.QuerySession`:
 
 1. index a neuron dataset's ~10k branch segments in a UniformGrid,
-2. probe the reach of every segment in ONE engine call (the synapse-candidate
-   sweep that `repro.joins.synapse` refines into touches),
-3. sample an 16x16x16 visualization frame in one more call,
+2. probe the reach of every segment in ONE session call (the
+   synapse-candidate sweep that `repro.joins.synapse` refines into touches),
+3. sample a 16x16x16 visualization frame in one more call,
 4. find each probe's nearest neighbours in a third.
+
+The session routes each batch to an executor (scalar / vectorized kernels /
+sharded pool) by its cost heuristic; the closing report shows the routing.
 
 Run with::
 
@@ -25,7 +28,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 
 import numpy as np
 
-from repro import AABB, BatchQueryEngine, UniformGrid
+from repro import AABB, QuerySession, UniformGrid
+from repro.analysis import session_report
 from repro.datasets.neuroscience import generate_neurons
 from repro.geometry.aabb import boxes_to_array
 
@@ -37,13 +41,13 @@ def main() -> None:
 
     index = UniformGrid(universe=dataset.universe)
     index.bulk_load(items)
-    engine = BatchQueryEngine(index)
+    session = QuerySession(index)
 
     # -- 1. synapse-candidate sweep: probe every segment's reach ------------
     reach = 0.5  # spine length: how far a synapse can bridge
     probes = boxes_to_array([box.expanded(reach) for _, box in items])
     start = time.perf_counter()
-    candidates = engine.range_query(probes)
+    candidates = session.range_query(probes)
     sweep_seconds = time.perf_counter() - start
     pair_count = sum(len(c) - 1 for c in candidates)  # minus the probe itself
     print(
@@ -58,7 +62,7 @@ def main() -> None:
     side = (np.asarray(dataset.universe.hi) - lo) / resolution
     cells = np.indices((resolution,) * 3).reshape(3, -1).T * side + lo
     frame_boxes = np.stack([cells, cells + side], axis=1)
-    counts = [len(hits) for hits in engine.range_query(frame_boxes)]
+    counts = [len(hits) for hits in session.range_query(frame_boxes)]
     frame = np.array(counts).reshape(resolution, resolution, resolution)
     print(
         f"visualization frame: {frame_boxes.shape[0]:,} windows, "
@@ -68,11 +72,11 @@ def main() -> None:
     # -- 3. nearest neighbours at unpredictable probe locations -------------
     rng = np.random.default_rng(11)
     probes_knn = rng.uniform(dataset.universe.lo, dataset.universe.hi, size=(500, 3))
-    neighbours = engine.knn(probes_knn, k=5)
+    neighbours = session.knn(probes_knn, k=5)
     mean_nn = float(np.mean([dists[0][0] for dists in neighbours if dists]))
     print(f"kNN: {len(probes_knn)} probe points, mean distance to nearest segment {mean_nn:.3f}")
 
-    print(f"engine stats: {engine.stats}")
+    print(session_report(session))
 
 
 if __name__ == "__main__":

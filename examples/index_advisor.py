@@ -9,13 +9,12 @@ cheapest — the paper's "rebuilding an index may no longer pay off" argument,
 made executable.
 """
 
+from repro import LinearScan, RTree, UniformGrid
 from repro.analysis.reporting import format_table
 from repro.core.amortization import Strategy, UpdateEconomics, calibrate
-from repro.core.uniform_grid import UniformGrid
 from repro.datasets import generate_neurons
 from repro.datasets.queries import random_range_queries
 from repro.datasets.trajectories import PlasticityMotion
-from repro.indexes import LinearScan, RTree
 
 CHANGED_FRACTIONS = (0.01, 0.1, 0.38, 0.7, 1.0)
 QUERY_COUNTS = (0, 1, 10, 100, 1000)

@@ -9,14 +9,12 @@ Section 4.1 economics each step.  The per-step timeline (Figure 1) and the
 strategy decisions are printed.
 """
 
-from repro import AABB, AdaptiveSimulationIndex, RTree, TimeSteppedSimulation
+from repro import AABB, AdaptiveSimulationIndex, LinearScan, RTree, TimeSteppedSimulation, UniformGrid
 from repro.analysis.reporting import format_table
 from repro.core.amortization import calibrate
-from repro.core.uniform_grid import UniformGrid
 from repro.datasets import generate_neurons
 from repro.datasets.queries import random_range_queries
 from repro.datasets.trajectories import PlasticityMotion
-from repro.indexes import LinearScan
 from repro.sim import PlasticityModel, RangeMonitor
 
 STEPS = 5

@@ -16,25 +16,38 @@ Quick start::
     index.bulk_load(items)
     hits = index.range_query(AABB((10, 10, 10), (20, 20, 20)))
 
-Analysis workloads issue queries by the million per simulation step; run
-those through the batch engine instead of a Python loop.  Batches are
-``(m, 2, d)`` ndarrays (or sequences of AABBs) and execute on vectorized
-NumPy kernels inside the index::
+Analysis workloads issue queries by the million per simulation step; issue
+those through a :class:`QuerySession` — the single public query surface over
+every index.  Queries are first-class values with deferred results, and the
+session's buffer flushes them through pluggable executors: a cost heuristic
+routes each batch to the scalar or vectorized-kernel path, and a sharded
+process pool can be pinned per session (``executor=ShardedExecutor(...)``)::
 
     import numpy as np
-    from repro import BatchQueryEngine
+    from repro import KNNQuery, QuerySession, RangeQuery
 
-    engine = BatchQueryEngine(index)
+    session = QuerySession(index)
+
+    # declarative: submit query values, read deferred handles (one flush)
+    handle = session.submit(RangeQuery(AABB((10, 10, 10), (20, 20, 20))))
+    nearest = session.submit(KNNQuery((50.0, 50.0, 50.0), k=8))
+    ids, neighbours = handle.result(), nearest.result()
+
+    # array-in / array-out: kernel-speed submission for analysis loops
     boxes = np.random.default_rng(0).uniform(0, 90, size=(10_000, 1, 3))
     boxes = np.concatenate([boxes, boxes + 10.0], axis=1)   # (m, 2, d)
-    hit_lists = engine.range_query(boxes)                   # one id list per box
-    neighbours = engine.knn(boxes[:, 0, :], k=8)            # (distance, id) lists
-    stabs = engine.point_query(boxes[:, 0, :])              # containment per point
+    hit_lists = session.range_query(boxes)                  # one id list per box
+    neighbours = session.knn(boxes[:, 0, :], k=8)           # (distance, id) lists
+    stabs = session.point_query(boxes[:, 0, :])             # containment per point
 
 Every index supports ``batch_range_query`` / ``batch_knn`` (a naive loop by
 default); LinearScan, the grids and the R-tree family override them with
-vectorized kernels.  See ``examples/batch_analysis.py`` for a full batched
-synapse-style analysis.
+vectorized kernels, and ``supports_batch_kind()`` reports which.  The
+``BatchQueryEngine`` remains the kernel layer behind the session's batch
+executor.  See ``examples/query_session.py`` for deferred handles and
+sharded execution, and ``examples/batch_analysis.py`` for a full batched
+synapse-style analysis.  ``INDEX_REGISTRY`` / ``make_index`` enumerate every
+shipped index by name.
 
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every reproduced figure.
@@ -65,7 +78,21 @@ from repro.core import (
     UpdateEconomics,
     optimal_cell_size,
 )
-from repro.engine import BatchQueryEngine, BatchStats
+from repro.engine import (
+    BatchExecutor,
+    BatchQueryEngine,
+    BatchStats,
+    InlineExecutor,
+    KNNQuery,
+    PointQuery,
+    Query,
+    QuerySession,
+    RangeQuery,
+    ResultHandle,
+    SessionStats,
+    ShardedExecutor,
+)
+from repro.registry import INDEX_REGISTRY, available_indexes, make_index
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -83,8 +110,21 @@ __all__ = [
     "MemoryCostModel",
     "TimeBreakdown",
     "SpatialIndex",
+    "QuerySession",
+    "SessionStats",
+    "Query",
+    "RangeQuery",
+    "KNNQuery",
+    "PointQuery",
+    "ResultHandle",
+    "InlineExecutor",
+    "BatchExecutor",
+    "ShardedExecutor",
     "BatchQueryEngine",
     "BatchStats",
+    "INDEX_REGISTRY",
+    "available_indexes",
+    "make_index",
     "LinearScan",
     "RTree",
     "RStarTree",

@@ -6,6 +6,7 @@ from repro.analysis.breakdown import (
     disk_vs_memory_report,
     memory_breakdown_report,
 )
+from repro.analysis.session_report import session_report, session_summary_rows
 
 __all__ = [
     "format_table",
@@ -13,4 +14,6 @@ __all__ = [
     "disk_vs_memory_report",
     "memory_breakdown_report",
     "coarse_breakdown_rows",
+    "session_report",
+    "session_summary_rows",
 ]

@@ -1,0 +1,40 @@
+"""Telemetry reports for :class:`~repro.engine.QuerySession` workloads.
+
+The session records which executor answered each batch and the merged
+kernel :class:`~repro.engine.batch.BatchStats`; these helpers turn that
+into the same plain-text tables the rest of the analysis layer emits, so
+benchmarks (and capacity planning) can judge the cost heuristic's routing
+the way the paper's figures judge the indexes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table, percent_bar
+from repro.engine import QuerySession, SessionStats
+
+
+def session_summary_rows(stats: SessionStats) -> list[list[object]]:
+    """One row per executor: batches routed there plus the overall tallies."""
+    total_runs = sum(stats.executor_runs.values())
+    rows: list[list[object]] = []
+    for name, runs in sorted(stats.executor_runs.items(), key=lambda kv: -kv[1]):
+        share = runs / total_runs if total_runs else 0.0
+        rows.append([name, runs, share * 100.0, percent_bar(share, width=20)])
+    return rows
+
+
+def session_report(session: QuerySession) -> str:
+    """A formatted executor-mix + dedup summary for one session."""
+    stats = session.stats
+    batch = stats.batch
+    dedup_share = batch.deduplicated / batch.queries if batch.queries else 0.0
+    header = (
+        f"queries={batch.queries:,} submitted={stats.submitted:,} "
+        f"flushes={stats.flushes:,} batches={batch.batches:,} "
+        f"dedup={batch.deduplicated:,} ({dedup_share:.1%})"
+    )
+    table = format_table(
+        ["executor", "batches", "share %", "routing"],
+        session_summary_rows(stats),
+    )
+    return f"{header}\n{table}"

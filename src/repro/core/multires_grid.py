@@ -12,6 +12,14 @@ on the grid with the best suited resolution").
 Updates inherit the uniform grid's economics: an element that moves without
 leaving its cells costs an in-place write; level migration only happens when
 an element's *size* changes materially.
+
+Batch snapshots are maintained **per level**: each level's
+:class:`~repro.core.uniform_grid.UniformGrid` owns its own incrementally
+patched ``_GridSnapshot``, so a level migration patches exactly two of them
+— a removal on the source level, an insertion on the destination level —
+and every other level's packed snapshot survives untouched.
+:attr:`snapshot_rebuilds` aggregates the per-level pack counters so tests
+can pin that no migration triggers a wholesale repack.
 """
 
 from __future__ import annotations
@@ -64,6 +72,9 @@ class MultiResolutionGrid(SpatialIndex):
         self._grids: list[UniformGrid] | None = None
         self._level_of: dict[int, int] = {}
         self._boxes: dict[int, AABB] = {}
+        # Updates whose size change moved the element to a different level;
+        # each patches exactly the source and destination level snapshots.
+        self.level_migrations = 0
 
     # -- configuration ------------------------------------------------------------
 
@@ -89,8 +100,12 @@ class MultiResolutionGrid(SpatialIndex):
         if extent <= 0.0:
             return self.levels - 1
         # cells at level L have side coarsest/ratio^L; need side >= extent.
+        # Denormal extents can push the quotient (and hence the log) to
+        # +inf, which int() cannot take — clamp before flooring.
         raw = math.log(self._coarsest_cell / extent, self.ratio)
-        return max(0, min(self.levels - 1, int(math.floor(raw))))
+        if raw >= self.levels - 1:
+            return self.levels - 1
+        return max(0, int(math.floor(raw)))
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -99,6 +114,7 @@ class MultiResolutionGrid(SpatialIndex):
         self._grids = None
         self._level_of = {}
         self._boxes = {}
+        self.level_migrations = 0
         if not materialized:
             return
         self._ensure_grids(materialized)
@@ -142,9 +158,13 @@ class MultiResolutionGrid(SpatialIndex):
         if new_level == old_level:
             self._grids[old_level].update(eid, old_box, new_box)
         else:
+            # Migration touches exactly two levels; each level grid patches
+            # its own snapshot incrementally (remove on source, insert on
+            # destination) — the other levels' snapshots stay warm.
             self._grids[old_level].delete(eid, old_box)
             self._grids[new_level].insert(eid, new_box)
             self._level_of[eid] = new_level
+            self.level_migrations += 1
         self._boxes[eid] = new_box
         self.counters.updates += 1
 
@@ -226,6 +246,25 @@ class MultiResolutionGrid(SpatialIndex):
         if self._grids is None:
             return 0
         return sum(grid.cell_switches for grid in self._grids)
+
+    @property
+    def snapshot_rebuilds(self) -> int:
+        """Total full snapshot packs across all level grids.
+
+        The per-level batch snapshots are maintained incrementally; this
+        only advances when a level packs from scratch (its first batch, or
+        deferred compaction after heavy churn) — never because an element
+        migrated between levels.
+        """
+        if self._grids is None:
+            return 0
+        return sum(grid.snapshot_rebuilds for grid in self._grids)
+
+    def level_snapshot_rebuilds(self) -> list[int]:
+        """Per-level pack counters, index-aligned with the level stack."""
+        if self._grids is None:
+            return []
+        return [grid.snapshot_rebuilds for grid in self._grids]
 
     def memory_bytes(self) -> int:
         if self._grids is None:

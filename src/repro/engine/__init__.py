@@ -1,5 +1,43 @@
-"""Batch query execution layer (see :mod:`repro.engine.batch`)."""
+"""Query execution layer.
+
+:mod:`repro.engine.session` is the public surface — declarative
+:class:`QuerySession` with deferred :class:`ResultHandle` results and
+pluggable executors.  :mod:`repro.engine.batch` is the kernel layer the
+session's :class:`BatchExecutor` (and the sharded executor's workers) run
+on.
+"""
 
 from repro.engine.batch import BatchQueryEngine, BatchStats
+from repro.engine.session import (
+    BatchExecutor,
+    Executor,
+    InlineExecutor,
+    KNNQuery,
+    PointQuery,
+    Query,
+    QueryBatch,
+    QueryBuffer,
+    QuerySession,
+    RangeQuery,
+    ResultHandle,
+    SessionStats,
+    ShardedExecutor,
+)
 
-__all__ = ["BatchQueryEngine", "BatchStats"]
+__all__ = [
+    "BatchQueryEngine",
+    "BatchStats",
+    "QuerySession",
+    "QueryBuffer",
+    "QueryBatch",
+    "SessionStats",
+    "Query",
+    "RangeQuery",
+    "KNNQuery",
+    "PointQuery",
+    "ResultHandle",
+    "Executor",
+    "InlineExecutor",
+    "BatchExecutor",
+    "ShardedExecutor",
+]

@@ -1,0 +1,688 @@
+"""QuerySession: the declarative front door for every spatial query.
+
+The paper's analysis phases fire "thousands of range queries ... at locations
+that cannot be anticipated" (§2.2) between simulation steps.  PRs 1–2 built
+the vectorized kernels for that workload, but callers still talked to three
+different surfaces: scalar :class:`~repro.indexes.base.SpatialIndex` methods,
+the :class:`~repro.engine.batch.BatchQueryEngine`, and ad-hoc loops inside
+the sim monitors and joins.  This module unifies them:
+
+* Queries are **first-class values** — :class:`RangeQuery`,
+  :class:`KNNQuery` and :class:`PointQuery` dataclasses carrying a unique
+  ``qid`` and an optional caller ``tag``.
+* ``session.submit(query)`` returns a lightweight **deferred**
+  :class:`ResultHandle`; nothing executes until the session flushes.
+* Submissions accumulate in a :class:`QueryBuffer` which, on
+  :meth:`QuerySession.flush` (or transparently on the first
+  ``handle.result()`` — flush-on-read), groups them into homogeneous batches
+  and hands each to a pluggable **executor**:
+
+  - :class:`InlineExecutor` — the scalar per-query path, cheapest for tiny
+    batches and for indexes without vectorized kernels;
+  - :class:`BatchExecutor` — wraps the existing
+    :class:`~repro.engine.batch.BatchQueryEngine` (the kernel layer);
+  - :class:`ShardedExecutor` — partitions the query array across a
+    ``multiprocessing`` pool of forked workers and merges the per-shard
+    results and :class:`~repro.engine.batch.BatchStats`.
+
+  The executor is chosen per batch by a small cost heuristic
+  (batch size × index capability, see :meth:`QuerySession.choose_executor`)
+  that is overridable per session — pin one with ``executor=...`` or supply
+  a ``policy`` callable.
+
+Every executor answers every batch with the same id sets (range/point) and
+the identical ``(distance, id)`` lists (kNN) — the deterministic ordering
+contract of :mod:`repro.indexes.base` makes them interchangeable, which is
+what lets the heuristic switch freely.  The ROADMAP's streaming front end
+and process-pool sharding both live behind this one interface now: the
+former is the buffer, the latter is one executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, Union
+
+import numpy as np
+
+from repro.engine.batch import BatchQueryEngine, BatchStats
+from repro.geometry.aabb import AABB, as_box_array, as_point_array
+from repro.indexes.base import KNNResult, SpatialIndex
+
+_QIDS = itertools.count()
+
+
+def _next_qid() -> int:
+    return next(_QIDS)
+
+
+# -- queries as values ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """All elements whose box intersects ``box``."""
+
+    box: AABB
+    tag: Any = None
+    qid: int = field(default_factory=_next_qid, compare=False)
+
+    kind = "range"
+
+
+@dataclass(frozen=True)
+class KNNQuery:
+    """The ``k`` elements nearest to ``point`` by box distance."""
+
+    point: tuple[float, ...]
+    k: int
+    tag: Any = None
+    qid: int = field(default_factory=_next_qid, compare=False)
+
+    kind = "knn"
+
+    def __post_init__(self) -> None:
+        # k == 0 is legal (and answers []), matching the kernel engine and
+        # every index's scalar knn — the session is a drop-in surface.
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        object.__setattr__(self, "point", tuple(float(c) for c in self.point))
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """Stabbing query: all elements whose box covers ``point``."""
+
+    point: tuple[float, ...]
+    tag: Any = None
+    qid: int = field(default_factory=_next_qid, compare=False)
+
+    kind = "point"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", tuple(float(c) for c in self.point))
+
+
+Query = Union[RangeQuery, KNNQuery, PointQuery]
+
+
+# -- deferred results ----------------------------------------------------------
+
+
+class ResultHandle:
+    """A deferred result, resolved when its session flushes.
+
+    ``result()`` triggers the owning session's flush when still pending
+    (flush-on-read), so callers can interleave submissions and reads without
+    managing flush boundaries themselves.  For single-query submissions the
+    value is that query's result (``list[int]`` or
+    :data:`~repro.indexes.base.KNNResult`); for array submissions it is the
+    per-query list of results, in submission order.
+    """
+
+    __slots__ = ("query", "tag", "_session", "_value", "_error", "_resolved")
+
+    def __init__(self, session: "QuerySession", query: Query | None, tag: Any = None) -> None:
+        self.query = query
+        self.tag = tag if query is None else query.tag
+        self._session = session
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._resolved = False
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def result(self) -> Any:
+        if not self._resolved:
+            try:
+                self._session.flush()
+            except Exception:
+                # The flush may fail on any group (it re-raises the FIRST
+                # group error); a read only reports what happened to ITS
+                # OWN submission.  If this handle settled — with a value or
+                # with its own error, re-raised below — swallow the flush
+                # exception; explicit session.flush() is the surface where
+                # cross-group errors propagate.
+                if not self._resolved:
+                    raise
+        if not self._resolved:
+            # Reachable only when a flush was torn down mid-group (e.g. a
+            # KeyboardInterrupt): the buffer drained but this submission
+            # never executed.
+            raise RuntimeError("flush did not settle this handle")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._resolved = True
+        self._session = None  # settled handles must not pin the session/index
+
+    def _fail(self, error: Exception) -> None:
+        """Settle the handle with the executor error that consumed its
+        submission, so ``result()`` re-raises instead of hanging on a
+        never-resolved handle."""
+        self._error = error
+        self._resolved = True
+        self._session = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self._resolved else "pending"
+        return f"<ResultHandle {state} query={self.query!r}>"
+
+
+# -- executors -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """One homogeneous, normalized batch handed to an executor.
+
+    ``payload`` is ``(m, 2, d)`` for range batches and ``(m, d)`` for kNN /
+    point batches; ``k`` is set for kNN only.
+    """
+
+    kind: str
+    payload: np.ndarray
+    k: int | None = None
+
+    @property
+    def size(self) -> int:
+        return int(self.payload.shape[0])
+
+
+class Executor(ABC):
+    """Executes one :class:`QueryBatch` against one index.
+
+    Implementations must be interchangeable: same id sets per range/point
+    query, identical ``(distance, id)`` lists per kNN query.  They return
+    the per-query results plus the :class:`BatchStats` of the work done, so
+    the session can account uniformly across strategies.
+    """
+
+    name: str = "executor"
+
+    @abstractmethod
+    def run(
+        self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
+    ) -> tuple[list, BatchStats]:
+        """Execute ``batch``; returns ``(results, stats)``."""
+
+
+class InlineExecutor(Executor):
+    """The scalar path: one index method call per query.
+
+    For tiny batches the array normalization and kernel set-up of the batch
+    engine cost more than they save; the inline path keeps exactly the
+    per-query behaviour (and counter accounting) of calling the index
+    directly, while still honouring duplicate-query memoization so dedup
+    stats stay comparable across executors.
+    """
+
+    name = "inline"
+
+    def run(
+        self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
+    ) -> tuple[list, BatchStats]:
+        if batch.kind == "range":
+            def answer(row):
+                # The kernel contract (as_box_array) admits inverted windows
+                # and answers them with an empty intersection; the scalar
+                # AABB constructor would reject them, so short-circuit to
+                # keep the executors interchangeable.
+                if np.any(row[0] > row[1]):
+                    return []
+                return index.range_query(AABB(row[0], row[1]))
+        elif batch.kind == "point":
+            answer = lambda row: index.range_query(AABB.from_point(row.tolist()))
+        elif batch.kind == "knn":
+            assert batch.k is not None
+            k = batch.k
+            answer = lambda row: index.knn(tuple(row.tolist()), k)
+        else:  # pragma: no cover - QueryBuffer only emits the three kinds
+            raise ValueError(f"unknown batch kind: {batch.kind!r}")
+
+        stats = BatchStats(batches=1, queries=batch.size)
+        results: list = []
+        memo: dict[bytes, Any] = {}
+        for row in batch.payload:
+            key = row.tobytes() if dedup else None
+            if key is not None and key in memo:
+                stats.deduplicated += 1
+                results.append(list(memo[key]))
+                continue
+            hits = answer(row)
+            if key is not None:
+                memo[key] = hits
+            results.append(hits)
+        return results, stats
+
+
+class BatchExecutor(Executor):
+    """Vectorized single-process execution through the kernel-layer engine."""
+
+    name = "batch"
+
+    def run(
+        self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
+    ) -> tuple[list, BatchStats]:
+        engine = BatchQueryEngine.kernel(index, dedup=dedup)
+        results = _run_on_engine(engine, batch)
+        return results, engine.stats
+
+
+def _run_on_engine(engine: BatchQueryEngine, batch: QueryBatch) -> list:
+    if batch.kind == "range":
+        return engine.range_query(batch.payload)
+    if batch.kind == "point":
+        return engine.point_query(batch.payload)
+    if batch.kind == "knn":
+        assert batch.k is not None
+        return engine.knn(batch.payload, batch.k)
+    raise ValueError(f"unknown batch kind: {batch.kind!r}")
+
+
+# Worker-side view of (index, kind, k, dedup).  Assigned only inside the
+# forked children via the pool initializer — each pool hands its own state
+# object to its own workers, so concurrent sessions/threads in the parent
+# never race on it.
+_SHARD_STATE: tuple[SpatialIndex, str, int | None, bool] | None = None
+
+
+def _init_shard(state: tuple[SpatialIndex, str, int | None, bool]) -> None:
+    global _SHARD_STATE
+    _SHARD_STATE = state
+
+
+def _run_shard(chunk: np.ndarray) -> tuple[list, BatchStats]:
+    assert _SHARD_STATE is not None, "shard worker started without state"
+    index, kind, k, dedup = _SHARD_STATE
+    engine = BatchQueryEngine.kernel(index, dedup=dedup)
+    results = _run_on_engine(engine, QueryBatch(kind=kind, payload=chunk, k=k))
+    return results, engine.stats
+
+
+def _fork_is_safe() -> bool:
+    """Forking a pool is only sound where fork is the sanctioned model.
+
+    macOS lists ``fork`` as available but its system frameworks are not
+    fork-safe (spawn is the platform default for exactly that reason), so
+    require either Linux or an explicit user-set fork start method.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return sys.platform.startswith("linux") or (
+        multiprocessing.get_start_method(allow_none=True) == "fork"
+    )
+
+
+class ShardedExecutor(Executor):
+    """Partitions the query array across a process pool of forked workers.
+
+    The batch engine is stateless over results, so the query axis shards
+    trivially: each worker inherits the parent's index (and any warm batch
+    snapshot) through ``fork``, runs the kernel engine over its contiguous
+    chunk, and ships back ``(results, BatchStats)``; the parent concatenates
+    results in submission order and merges the stats.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: CPU count, capped at 8).
+    min_shard:
+        Smallest worthwhile per-worker chunk; batches smaller than
+        ``2 * min_shard`` fall back to single-process :class:`BatchExecutor`
+        execution, as do platforms where forking is unavailable or unsafe
+        (anything but Linux, unless the user set the ``fork`` start method
+        explicitly).
+
+    Notes
+    -----
+    Worker-side :class:`~repro.instrumentation.counters.Counters` charges die
+    with the forked children — only the returned ``BatchStats`` merge back.
+    Dedup runs per shard, so duplicate queries landing in different shards
+    are executed once per shard rather than once per batch.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int | None = None, min_shard: int = 512) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_shard < 1:
+            raise ValueError(f"min_shard must be >= 1, got {min_shard}")
+        cpus = multiprocessing.cpu_count()
+        self.workers = workers if workers is not None else min(cpus, 8)
+        self.min_shard = min_shard
+        self._fallback = BatchExecutor()
+
+    def run(
+        self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
+    ) -> tuple[list, BatchStats]:
+        shards = min(self.workers, batch.size // self.min_shard)
+        if shards < 2 or not _fork_is_safe():
+            return self._fallback.run(index, batch, dedup=dedup)
+        bounds = np.linspace(0, batch.size, shards + 1).astype(int)
+        chunks = [batch.payload[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+
+        # The initializer's state rides into each child through fork (no
+        # pickling of the index), and is assigned only worker-side.
+        state = (index, batch.kind, batch.k, dedup)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=shards, initializer=_init_shard, initargs=(state,)) as pool:
+            parts = pool.map(_run_shard, chunks)
+
+        results: list = []
+        stats = BatchStats()
+        for shard_results, shard_stats in parts:
+            results.extend(shard_results)
+            stats.merge(shard_stats)
+        # The shards executed one logical batch between them.
+        stats.batches = 1
+        return results, stats
+
+
+# -- the buffer ----------------------------------------------------------------
+
+
+@dataclass
+class _Submission:
+    """One submit() call's worth of pending work: a payload slice plus the
+    handle(s) awaiting it.  ``vector`` submissions resolve their single
+    handle with the whole result list; scalar ones resolve one handle with
+    one result."""
+
+    kind: str
+    payload: np.ndarray  # (n, 2, d) for range, (n, d) for knn/point
+    k: int | None
+    handle: ResultHandle
+    vector: bool
+
+
+class QueryBuffer:
+    """Accumulates submissions until the session flushes.
+
+    The buffer preserves submission order inside each (kind, k) group —
+    that order is the contract handles rely on — while letting the flush
+    concatenate each group into one contiguous payload per executor run.
+    """
+
+    def __init__(self) -> None:
+        self._submissions: list[_Submission] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, submission: _Submission) -> None:
+        self._submissions.append(submission)
+        self._count += submission.payload.shape[0]
+
+    def drain(self) -> list[tuple[tuple[str, int | None], list[_Submission]]]:
+        """Empty the buffer, grouped by (kind, k) in first-seen order."""
+        groups: dict[tuple[str, int | None], list[_Submission]] = {}
+        for sub in self._submissions:
+            groups.setdefault((sub.kind, sub.k), []).append(sub)
+        self._submissions = []
+        self._count = 0
+        return list(groups.items())
+
+
+# -- session stats -------------------------------------------------------------
+
+
+@dataclass
+class SessionStats:
+    """Session-level accounting: kernel tallies plus executor mix.
+
+    ``batch`` accumulates the merged :class:`BatchStats` of every executor
+    run; ``executor_runs`` counts batches per executor name, which is the
+    telemetry the cost heuristic is judged by
+    (:func:`repro.analysis.session_report`)."""
+
+    batch: BatchStats = field(default_factory=BatchStats)
+    flushes: int = 0
+    submitted: int = 0
+    executor_runs: dict[str, int] = field(default_factory=dict)
+
+    def record_run(self, executor_name: str, stats: BatchStats) -> None:
+        self.batch.merge(stats)
+        self.executor_runs[executor_name] = self.executor_runs.get(executor_name, 0) + 1
+
+
+# -- the session ---------------------------------------------------------------
+
+#: Batches at or below this size run inline by default: the per-query Python
+#: dispatch is cheaper than array normalization + kernel set-up.
+INLINE_CUTOFF = 4
+
+Policy = Callable[[SpatialIndex, QueryBatch], Executor]
+
+
+class QuerySession:
+    """The single public entry point for queries against any index.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`~repro.indexes.base.SpatialIndex`.
+    executor:
+        Pin every batch to one executor, bypassing the cost heuristic
+        (e.g. ``ShardedExecutor(workers=4)`` for large analysis phases).
+    policy:
+        Override the heuristic with a callable
+        ``(index, batch) -> Executor``; ignored when ``executor`` is set.
+    dedup:
+        Collapse duplicate queries inside each batch (default True, as in
+        the kernel engine).
+    inline_cutoff:
+        Largest batch the default heuristic routes to the scalar path.
+
+    Two usage styles, freely mixable:
+
+    Deferred — submit query values, read handles later (the buffer flushes
+    as one batch on the first read)::
+
+        session = QuerySession(index)
+        handles = [session.submit(RangeQuery(box)) for box in boxes]
+        counts = [len(h.result()) for h in handles]     # one flush
+
+    Immediate — array-in / array-out, the drop-in replacement for the old
+    ``BatchQueryEngine`` surface::
+
+        hits      = session.range_query(boxes)           # (m, 2, d) or AABBs
+        neighbours = session.knn(points, k=8)            # (m, d)
+        stabs     = session.point_query(points)
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        *,
+        executor: Executor | None = None,
+        policy: Policy | None = None,
+        dedup: bool = True,
+        inline_cutoff: int = INLINE_CUTOFF,
+    ) -> None:
+        self.index = index
+        self.dedup = dedup
+        self.inline_cutoff = inline_cutoff
+        self._pinned = executor
+        self._policy = policy
+        self._buffer = QueryBuffer()
+        self.stats = SessionStats()
+        self._inline = InlineExecutor()
+        self._batch = BatchExecutor()
+
+    # -- executor choice ------------------------------------------------------
+
+    def choose_executor(self, batch: QueryBatch) -> Executor:
+        """The cost heuristic: batch size × index capability.
+
+        Tiny batches (≤ ``inline_cutoff``) and indexes without a vectorized
+        kernel for the batch's kind (see
+        :meth:`~repro.indexes.base.SpatialIndex.supports_batch_kind`) run
+        inline — the kernel set-up would outweigh the work.  Everything
+        else runs through the batch engine.  A pinned ``executor`` or a
+        session ``policy`` overrides this entirely.
+        """
+        if self._pinned is not None:
+            return self._pinned
+        if self._policy is not None:
+            return self._policy(self.index, batch)
+        if batch.size <= self.inline_cutoff or not self.index.supports_batch_kind(batch.kind):
+            return self._inline
+        return self._batch
+
+    # -- submission (deferred) ------------------------------------------------
+
+    def submit(self, query: Query) -> ResultHandle:
+        """Buffer one query value; returns its deferred handle."""
+        handle = ResultHandle(self, query)
+        if isinstance(query, RangeQuery):
+            payload = as_box_array([query.box])
+            kind, k = "range", None
+        elif isinstance(query, KNNQuery):
+            payload = as_point_array([query.point])
+            kind, k = "knn", query.k
+        elif isinstance(query, PointQuery):
+            payload = as_point_array([query.point])
+            kind, k = "point", None
+        else:
+            raise TypeError(f"not a query value: {query!r}")
+        self._buffer.add(_Submission(kind, payload, k, handle, vector=False))
+        self.stats.submitted += 1
+        return handle
+
+    def submit_all(self, queries: Sequence[Query]) -> list[ResultHandle]:
+        return [self.submit(q) for q in queries]
+
+    def submit_ranges(
+        self, boxes: np.ndarray | Sequence[AABB], tag: Any = None
+    ) -> ResultHandle:
+        """Buffer a whole range-query array; one handle for all results.
+
+        The array path skips per-query value construction, so analysis
+        loops keep kernel-speed submission; the handle resolves to the
+        per-query list of id lists.
+        """
+        payload = as_box_array(boxes)
+        handle = ResultHandle(self, None, tag)
+        self._buffer.add(_Submission("range", payload, None, handle, vector=True))
+        self.stats.submitted += payload.shape[0]
+        return handle
+
+    def submit_knns(
+        self,
+        points: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        tag: Any = None,
+    ) -> ResultHandle:
+        """Buffer a kNN point array; the handle resolves to one
+        ``(distance, id)`` list per point (empty when ``k == 0``)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        payload = as_point_array(points)
+        handle = ResultHandle(self, None, tag)
+        self._buffer.add(_Submission("knn", payload, k, handle, vector=True))
+        self.stats.submitted += payload.shape[0]
+        return handle
+
+    def submit_points(
+        self, points: np.ndarray | Sequence[Sequence[float]], tag: Any = None
+    ) -> ResultHandle:
+        """Buffer a stabbing-query point array."""
+        payload = as_point_array(points)
+        handle = ResultHandle(self, None, tag)
+        self._buffer.add(_Submission("point", payload, None, handle, vector=True))
+        self.stats.submitted += payload.shape[0]
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Queries buffered and not yet flushed."""
+        return len(self._buffer)
+
+    # -- flushing -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Execute everything buffered and resolve the handles.
+
+        Submissions are grouped by (kind, k), each group concatenated into
+        one contiguous payload, run through the chosen executor, and the
+        results scattered back to the group's handles in submission order.
+
+        A group whose execution raises settles its handles with that error
+        (``result()`` re-raises it) instead of orphaning them; the other
+        groups still run, and the first error propagates once the buffer is
+        fully settled.
+        """
+        groups = self._buffer.drain()
+        if not groups:
+            return
+        self.stats.flushes += 1
+        first_error: Exception | None = None
+        for (kind, k), submissions in groups:
+            try:
+                self._run_group(kind, k, submissions)
+            except Exception as error:
+                # Confine ordinary errors to the group that raised them;
+                # BaseExceptions (KeyboardInterrupt, SystemExit) propagate
+                # immediately — unexecuted submissions stay unsettled and
+                # their reads raise RuntimeError.
+                for sub in submissions:
+                    if not sub.handle.resolved:
+                        sub.handle._fail(error)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
+    def _run_group(self, kind: str, k: int | None, submissions: list[_Submission]) -> None:
+        # Zero-row payloads contribute nothing (and may carry a placeholder
+        # dim of 0 that would poison concatenation).
+        parts = [sub.payload for sub in submissions if sub.payload.shape[0]]
+        if not parts:
+            for sub in submissions:
+                sub.handle._resolve([] if sub.vector else None)
+            return
+        payload = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        batch = QueryBatch(kind=kind, payload=payload, k=k)
+        executor = self.choose_executor(batch)
+        results, stats = executor.run(self.index, batch, dedup=self.dedup)
+        self.stats.record_run(executor.name, stats)
+        offset = 0
+        for sub in submissions:
+            n = sub.payload.shape[0]
+            chunk = results[offset : offset + n]
+            offset += n
+            sub.handle._resolve(chunk if sub.vector else chunk[0])
+
+    # -- immediate convenience surface ---------------------------------------
+    #
+    # The drop-in replacement for the old public BatchQueryEngine methods:
+    # same signatures, same results, one flush per call (plus whatever was
+    # already buffered — submissions never reorder across a flush).
+
+    def range_query(self, boxes: np.ndarray | Sequence[AABB]) -> list[list[int]]:
+        """Submit + flush + read: one id list per query box."""
+        return self.submit_ranges(boxes).result()
+
+    def knn(
+        self, points: np.ndarray | Sequence[Sequence[float]], k: int
+    ) -> list[KNNResult]:
+        """Submit + flush + read: one ``(distance, id)`` list per point."""
+        return self.submit_knns(points, k).result()
+
+    def point_query(
+        self, points: np.ndarray | Sequence[Sequence[float]]
+    ) -> list[list[int]]:
+        """Submit + flush + read: covering-element ids per point."""
+        return self.submit_points(points).result()

@@ -119,6 +119,23 @@ class SpatialIndex(ABC):
         """Run one kNN query per point; ``points`` is ``(m, d)`` or sequences."""
         return [self.knn(point, k) for point in as_point_list(points)]
 
+    def supports_batch_kind(self, kind: str) -> bool:
+        """Capability probe: does this index vectorize batches of ``kind``?
+
+        ``kind`` is ``"range"``, ``"point"`` (both served by
+        ``batch_range_query`` — stabbing queries are degenerate ranges) or
+        ``"knn"``.  True when the class overrides the corresponding batch
+        method, i.e. batching buys more than the base class's per-query
+        loop.  The query-session cost heuristic uses this to route batches
+        on loop-only indexes through the scalar path, which skips the array
+        normalization the loop would pay for nothing.
+        """
+        if kind in ("range", "point"):
+            return type(self).batch_range_query is not SpatialIndex.batch_range_query
+        if kind == "knn":
+            return type(self).batch_knn is not SpatialIndex.batch_knn
+        raise ValueError(f"unknown batch kind: {kind!r}")
+
     # -- introspection ---------------------------------------------------------
 
     @abstractmethod

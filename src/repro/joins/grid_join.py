@@ -22,7 +22,7 @@ import math
 from typing import Sequence
 
 from repro.core.uniform_grid import UniformGrid
-from repro.engine import BatchQueryEngine
+from repro.engine import QuerySession
 from repro.geometry.aabb import AABB, union_all
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
@@ -36,10 +36,11 @@ def grid_join(
 ) -> list[tuple[int, int]]:
     """Index A in a uniform grid (one pass), batch-probe with all B boxes.
 
-    The probe side runs through the :class:`~repro.engine.BatchQueryEngine`,
-    so the whole of B is answered by the grid's vectorized kernel instead of
-    one Python-dispatched ``range_query`` per element — the join *is* the
-    synapse-detection batch workload.
+    The probe side runs through a :class:`~repro.engine.QuerySession`, so
+    the whole of B is answered by the grid's vectorized kernel (the
+    session's batch executor) instead of one Python-dispatched
+    ``range_query`` per element — the join *is* the synapse-detection batch
+    workload.
     """
     counters = counters if counters is not None else Counters()
     if not items_a or not items_b:
@@ -53,8 +54,8 @@ def grid_join(
         counters=counters,
     )
     grid.bulk_load(items_a)
-    engine = BatchQueryEngine(grid)
-    hits = engine.range_query([box for _, box in items_b])
+    session = QuerySession(grid)
+    hits = session.range_query([box for _, box in items_b])
     pairs: list[tuple[int, int]] = []
     for (eid_b, _), matches in zip(items_b, hits):
         for eid_a in matches:

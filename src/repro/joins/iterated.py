@@ -20,7 +20,10 @@ dataset under per-step motion:
   over untouched.
 
 Both strategies maintain exactly the same pair set (property-tested against
-the nested-loop oracle after every step).
+the nested-loop oracle after every step).  All probes — the initial full
+join and each step's re-probe set — are issued through a
+:class:`~repro.engine.QuerySession` as one batch, so the join rides the
+grid's vectorized kernel instead of a per-element ``range_query`` loop.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.uniform_grid import UniformGrid
+from repro.engine import QuerySession
 from repro.geometry.aabb import AABB
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
@@ -69,6 +73,7 @@ class IteratedSelfJoin:
             universe=universe, cell_size=cell_size, counters=self.counters
         )
         self._grid.bulk_load(list(self._boxes.items()))
+        self._session = QuerySession(self._grid)
         # eid -> set of current partners (symmetric).
         self._partners: dict[int, set[int]] = {eid: set() for eid in self._boxes}
         self._full_join()
@@ -99,6 +104,7 @@ class IteratedSelfJoin:
                 universe=self.universe, cell_size=self.cell_size, counters=self.counters
             )
             self._grid.bulk_load(list(self._boxes.items()))
+            self._session = QuerySession(self._grid)
             self._partners = {eid: set() for eid in self._boxes}
             self._full_join()
             return
@@ -111,25 +117,28 @@ class IteratedSelfJoin:
             self._grid.update(eid, old_box, new_box)
             self._boxes[eid] = new_box
             moved.append(eid)
-        # Retract every pair touching a moved element, then re-probe.
+        # Retract every pair touching a moved element, then re-probe the
+        # whole moved set as one session batch.
         for eid in moved:
             for other in self._partners[eid]:
                 self._partners[other].discard(eid)
             self._partners[eid] = set()
-        for eid in moved:
-            box = self._boxes[eid]
-            for other in self._grid.range_query(box):
-                if other == eid:
-                    continue
-                self._partners[eid].add(other)
-                self._partners[other].add(eid)
+        self._probe(moved)
 
     # -- internals ---------------------------------------------------------------------
 
-    def _full_join(self) -> None:
-        for eid, box in self._boxes.items():
-            for other in self._grid.range_query(box):
+    def _probe(self, eids: Sequence[int]) -> None:
+        """Batch-probe ``eids``' boxes and fold the hits into the pair set."""
+        if not eids:
+            return
+        hits = self._session.range_query([self._boxes[eid] for eid in eids])
+        for eid, others in zip(eids, hits):
+            partners = self._partners[eid]
+            for other in others:
                 if other == eid:
                     continue
-                self._partners[eid].add(other)
+                partners.add(other)
                 self._partners[other].add(eid)
+
+    def _full_join(self) -> None:
+        self._probe(list(self._boxes))

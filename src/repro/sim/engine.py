@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
 from repro.core.adaptive import AdaptiveSimulationIndex
-from repro.engine import BatchQueryEngine
+from repro.engine import QuerySession
 from repro.geometry.aabb import AABB
 from repro.indexes.base import SpatialIndex
 from repro.instrumentation.counters import Counters
@@ -32,9 +32,9 @@ class Monitor(Protocol):
     """An in-situ analysis task run against the index every step.
 
     Monitors that additionally implement
-    ``observe_batch(engine: BatchQueryEngine, step: int)`` get handed the
-    simulation's batch engine instead, so a step's whole query volume runs
-    through the vectorized kernels (all shipped monitors do).
+    ``observe_batch(session: QuerySession, step: int)`` get handed the
+    simulation's query session instead, so a step's whole query volume runs
+    through the session's executors (all shipped monitors do).
     """
 
     def observe(self, index: SpatialIndex, step: int) -> None: ...
@@ -90,7 +90,7 @@ class TimeSteppedSimulation:
             raise ValueError("adaptive maintenance needs an AdaptiveSimulationIndex")
         self.model = model
         self.index = index
-        self.query_engine = BatchQueryEngine(index)
+        self.session = QuerySession(index)
         self.monitors = list(monitors)
         self.maintenance = maintenance
         self._state: dict[int, AABB] = dict(model.items())
@@ -125,7 +125,7 @@ class TimeSteppedSimulation:
         for monitor in self.monitors:
             observe_batch = getattr(monitor, "observe_batch", None)
             if observe_batch is not None:
-                observe_batch(self.query_engine, step)
+                observe_batch(self.session, step)
             else:
                 monitor.observe(self.index, step)
         monitor_seconds = time.perf_counter() - start
@@ -158,3 +158,18 @@ class TimeSteppedSimulation:
     def state(self) -> dict[int, AABB]:
         """The engine's authoritative id → box state."""
         return dict(self._state)
+
+    @property
+    def query_engine(self) -> QuerySession:
+        """Deprecated alias from the PR 1 API: the simulation now owns a
+        :class:`~repro.engine.QuerySession` (same ``range_query`` / ``knn``
+        / ``point_query`` surface)."""
+        import warnings
+
+        warnings.warn(
+            "TimeSteppedSimulation.query_engine is deprecated; use .session "
+            "(a QuerySession with the same query methods).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.session

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import BatchQueryEngine
+from repro.engine import QuerySession
 from repro.geometry.aabb import AABB
 from repro.indexes.base import SpatialIndex
 
@@ -54,8 +54,10 @@ class RangeMonitor:
         for box in self._draw_boxes():
             self.result_counts.append(len(index.range_query(AABB(box[0], box[1]))))
 
-    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
-        self.result_counts.extend(len(hits) for hits in engine.range_query(self._draw_boxes()))
+    def observe_batch(self, session: QuerySession, step: int) -> None:
+        self.result_counts.extend(
+            len(hits) for hits in session.range_query(self._draw_boxes())
+        )
 
 
 class NearestNeighborMonitor:
@@ -64,7 +66,7 @@ class NearestNeighborMonitor:
     Synapse detection and segment-proximity analyses are kNN-shaped — every
     probe asks for the ``k`` nearest elements to a sample point.  The batch
     path hands the step's whole probe set to
-    :meth:`~repro.engine.batch.BatchQueryEngine.knn`, which runs the
+    :meth:`~repro.engine.session.QuerySession.knn`, whose executor runs the
     index's vectorized batch-kNN kernel; the per-query path consumes the
     identical RNG stream, so looped and batched observation record the same
     probes.  Per step, the monitor appends one list of k-th-neighbour
@@ -106,8 +108,8 @@ class NearestNeighborMonitor:
     def observe(self, index: SpatialIndex, step: int) -> None:
         self._record([index.knn(tuple(p), self.k) for p in self._draw_points()])
 
-    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
-        self._record(engine.knn(self._draw_points(), self.k))
+    def observe_batch(self, session: QuerySession, step: int) -> None:
+        self._record(session.knn(self._draw_points(), self.k))
 
 
 class DensityMonitor:
@@ -126,8 +128,10 @@ class DensityMonitor:
     def observe(self, index: SpatialIndex, step: int) -> None:
         self.history.append([len(index.range_query(region)) for region in self.regions])
 
-    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
-        self.history.append([len(hits) for hits in engine.range_query(self.regions)])
+    def observe_batch(self, session: QuerySession, step: int) -> None:
+        self.history.append(
+            [len(hits) for hits in session.range_query(self.regions)]
+        )
 
 
 class VisualizationMonitor:
@@ -162,8 +166,8 @@ class VisualizationMonitor:
             np.array(counts, dtype=int).reshape((self.resolution,) * self.universe.dims)
         )
 
-    def observe_batch(self, engine: BatchQueryEngine, step: int) -> None:
-        counts = [len(hits) for hits in engine.range_query(self._frame_boxes())]
+    def observe_batch(self, session: QuerySession, step: int) -> None:
+        counts = [len(hits) for hits in session.range_query(self._frame_boxes())]
         self.frames.append(
             np.array(counts, dtype=int).reshape((self.resolution,) * self.universe.dims)
         )

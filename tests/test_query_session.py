@@ -1,0 +1,498 @@
+"""Session semantics: deferred handles, buffering, executors, public API.
+
+The QuerySession is the single public query surface (ISSUE 3); these tests
+pin its contract:
+
+* handles resolve in submission order, and reading ANY pending handle
+  flushes the whole buffer (flush-on-read);
+* mixed range / kNN / point submissions coexist in one buffer and flush as
+  grouped batches;
+* every executor is interchangeable — InlineExecutor and BatchExecutor
+  agree with the LinearScan oracle on every index, and the
+  ShardedExecutor's merged results and dedup stats match single-process
+  execution;
+* the curated public API (`repro.__all__`, the index registry) exposes the
+  session surface without deep module imports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from conftest import knn_pairs, make_items, make_queries
+from repro import (
+    AABB,
+    INDEX_REGISTRY,
+    BatchExecutor,
+    BatchQueryEngine,
+    InlineExecutor,
+    KNNQuery,
+    PointQuery,
+    QuerySession,
+    RangeQuery,
+    ShardedExecutor,
+    available_indexes,
+    make_index,
+)
+from repro.engine.session import QueryBatch
+from repro.indexes.linear_scan import LinearScan
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+# Every exact box-capable index, built the way the property suite builds
+# them — the session must behave identically over all of them.
+SESSION_INDEXES = [
+    "linear_scan",
+    "rtree",
+    "rstar",
+    "rplus",
+    "disk_rtree",
+    "crtree",
+    "octree",
+    "loose_octree",
+    "uniform_grid",
+    "multires_grid",
+]
+
+
+def build_index(name: str):
+    kwargs = {}
+    if name in ("rplus", "octree", "loose_octree", "uniform_grid", "multires_grid"):
+        kwargs["universe"] = UNIVERSE
+    index = make_index(name, **kwargs)
+    return index
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    items = make_items(220, seed=31)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    return items, oracle
+
+
+class TestQueryValues:
+    def test_qids_are_unique_and_tags_carried(self):
+        a = RangeQuery(AABB((0, 0, 0), (1, 1, 1)), tag="vis")
+        b = KNNQuery((1.0, 2.0, 3.0), k=4, tag=("probe", 7))
+        c = PointQuery((5.0, 5.0, 5.0))
+        assert len({a.qid, b.qid, c.qid}) == 3
+        assert a.tag == "vis" and b.tag == ("probe", 7) and c.tag is None
+        assert b.point == (1.0, 2.0, 3.0)
+
+    def test_queries_are_immutable_values(self):
+        q = RangeQuery(AABB((0, 0), (1, 1)))
+        with pytest.raises(AttributeError):
+            q.tag = "other"
+        assert KNNQuery((0.0,), k=1).k == 1
+        assert KNNQuery((0.0,), k=0).k == 0  # legal: answers []
+        with pytest.raises(ValueError):
+            KNNQuery((0.0,), k=-1)
+
+    def test_k_zero_matches_kernel_engine(self, loaded):
+        """Drop-in parity: k=0 answers empty lists, as the engine does."""
+        items, _ = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        points = np.array([[10.0, 10.0, 10.0], [50.0, 50.0, 50.0]])
+        engine = BatchQueryEngine.kernel(index)
+        session = QuerySession(index)
+        assert session.knn(points, 0) == engine.knn(points, 0) == [[], []]
+        assert session.submit(KNNQuery((10.0, 10.0, 10.0), k=0)).result() == []
+
+    def test_kind_markers(self):
+        assert RangeQuery(AABB((0, 0), (1, 1))).kind == "range"
+        assert KNNQuery((0.0, 0.0), k=1).kind == "knn"
+        assert PointQuery((0.0, 0.0)).kind == "point"
+
+
+class TestHandlesAndBuffer:
+    def test_submissions_defer_until_flush(self, loaded):
+        items, _ = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        handles = [session.submit(RangeQuery(q)) for q in make_queries(6, seed=32)]
+        assert session.pending == 6
+        assert not any(h.resolved for h in handles)
+        session.flush()
+        assert session.pending == 0
+        assert all(h.resolved for h in handles)
+        assert session.stats.flushes == 1
+
+    def test_flush_on_read_resolves_every_pending_handle(self, loaded):
+        items, oracle = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        queries = make_queries(5, seed=33)
+        handles = [session.submit(RangeQuery(q)) for q in queries]
+        # Reading the LAST handle first must flush (and resolve) them all.
+        last = handles[-1].result()
+        assert sorted(last) == sorted(oracle.range_query(queries[-1]))
+        assert all(h.resolved for h in handles)
+        assert session.stats.flushes == 1  # one flush served every read
+        for handle, query in zip(handles, queries):
+            assert sorted(handle.result()) == sorted(oracle.range_query(query))
+        assert session.stats.flushes == 1  # reads after resolution are free
+
+    def test_resolution_follows_submission_order(self, loaded):
+        """Interleaved scalar and vector submissions land on the right
+        handles: each result equals the oracle's answer for ITS query."""
+        items, oracle = loaded
+        index = build_index("rtree")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        queries = make_queries(7, seed=34)
+        h_first = session.submit(RangeQuery(queries[0]))
+        h_vector = session.submit_ranges(queries[1:6], tag="window-sweep")
+        h_last = session.submit(RangeQuery(queries[6]))
+        session.flush()
+        assert sorted(h_first.result()) == sorted(oracle.range_query(queries[0]))
+        assert sorted(h_last.result()) == sorted(oracle.range_query(queries[6]))
+        vector = h_vector.result()
+        assert h_vector.tag == "window-sweep"
+        assert len(vector) == 5
+        for got, query in zip(vector, queries[1:6]):
+            assert sorted(got) == sorted(oracle.range_query(query))
+
+    def test_mixed_kinds_share_one_buffer_and_flush(self, loaded):
+        items, oracle = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        box = make_queries(1, seed=35)[0]
+        point = (40.0, 45.0, 50.0)
+        stab = items[17][1].center()
+        h_range = session.submit(RangeQuery(box))
+        h_knn = session.submit(KNNQuery(point, k=5))
+        h_point = session.submit(PointQuery(stab))
+        h_knn9 = session.submit(KNNQuery(point, k=9))  # distinct k → own batch
+        assert session.pending == 4
+        session.flush()
+        assert session.stats.flushes == 1
+        # Grouped into four executor runs: range, point, and two kNN ks.
+        assert session.stats.batch.batches == 4
+        assert sorted(h_range.result()) == sorted(oracle.range_query(box))
+        assert knn_pairs(h_knn.result()) == knn_pairs(oracle.knn(point, 5))
+        assert knn_pairs(h_knn9.result()) == knn_pairs(oracle.knn(point, 9))
+        assert sorted(h_point.result()) == sorted(
+            oracle.range_query(AABB(stab, stab))
+        )
+
+    def test_failed_group_settles_handles_and_spares_the_rest(self, loaded):
+        """An executor error must not orphan handles: the failed group's
+        handles re-raise the error from result(), other groups still run."""
+        items, oracle = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        good_box = make_queries(1, seed=45)[0]
+        h_good = session.submit(KNNQuery((10.0, 10.0, 10.0), k=3))
+        h_bad = session.submit(RangeQuery(AABB((0.0, 0.0), (1.0, 1.0))))  # 2-d vs 3-d
+        h_good2 = session.submit(RangeQuery(good_box))  # same doomed group
+        with pytest.raises(ValueError):
+            session.flush()
+        assert session.pending == 0
+        assert h_bad.resolved and h_good2.resolved
+        with pytest.raises(ValueError):
+            h_bad.result()
+        with pytest.raises(ValueError):
+            h_good2.result()  # rode in the same batch as the bad query
+        # The kNN group was independent and still answered.
+        assert knn_pairs(h_good.result()) == knn_pairs(oracle.knn((10.0, 10.0, 10.0), 3))
+        # The session stays usable afterwards.
+        assert sorted(session.range_query([good_box])[0]) == sorted(
+            oracle.range_query(good_box)
+        )
+
+    def test_deferred_read_confines_errors_to_its_own_group(self, loaded):
+        """Reading a handle whose own query succeeded never raises another
+        group's error — and the read is idempotent.  Explicit flush() is
+        where cross-group errors surface."""
+        items, oracle = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        session.submit(RangeQuery(AABB((0.0, 0.0), (1.0, 1.0))))  # 2-d
+        session.submit_ranges(make_queries(3, seed=47))  # same doomed group
+        h_good = session.submit(KNNQuery((10.0, 10.0, 10.0), k=2))
+        expected = knn_pairs(oracle.knn((10.0, 10.0, 10.0), 2))
+        assert knn_pairs(h_good.result()) == expected  # first read: no raise
+        assert knn_pairs(h_good.result()) == expected  # and idempotent
+
+    def test_failed_handle_reports_its_own_groups_error(self, loaded):
+        """When two groups fail in one flush, each handle re-raises the
+        error that consumed ITS submission — never the other group's."""
+        items, _ = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+
+        class Boom(Exception):
+            pass
+
+        def exploding_policy(idx, batch):
+            if batch.kind == "knn":
+                class _Bomb(InlineExecutor):
+                    def run(self, *a, **kw):
+                        raise Boom("knn-broken")
+                return _Bomb()
+            return InlineExecutor()
+
+        session = QuerySession(index, policy=exploding_policy)
+        h_range = session.submit(RangeQuery(AABB((0.0, 0.0), (1.0, 1.0))))  # 2-d
+        h_range2 = session.submit_ranges(make_queries(2, seed=48))  # concat fails
+        h_knn = session.submit(KNNQuery((10.0, 10.0, 10.0), k=2))  # executor fails
+        with pytest.raises((ValueError, Boom)):
+            session.flush()  # first group's error, whichever ran first
+        with pytest.raises(ValueError):
+            h_range.result()
+        with pytest.raises(ValueError):
+            h_range2.result()
+        with pytest.raises(Boom):
+            h_knn.result()
+
+    def test_immediate_call_survives_unrelated_buffered_failure(self, loaded):
+        """A convenience call whose own batch succeeded returns its results
+        even when a previously buffered group fails in the shared flush;
+        the failed group's own handle still re-raises on read."""
+        items, oracle = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        h_bad = session.submit(RangeQuery(AABB((0.0, 0.0), (1.0, 1.0))))  # 2-d
+        h_bad2 = session.submit_ranges(make_queries(3, seed=46))  # same group
+        points = np.array([[10.0, 10.0, 10.0], [70.0, 20.0, 30.0]])
+        got = session.knn(points, 4)  # flush fails on the range group
+        assert [knn_pairs(r) for r in got] == [
+            knn_pairs(oracle.knn(tuple(p), 4)) for p in points
+        ]
+        with pytest.raises(ValueError):
+            h_bad.result()
+        with pytest.raises(ValueError):
+            h_bad2.result()
+
+    def test_empty_submissions_resolve_empty(self, loaded):
+        items, _ = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        session = QuerySession(index)
+        handle = session.submit_ranges([])
+        assert handle.result() == []
+        assert session.knn(np.empty((0, 3)), 3) == []
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("name", SESSION_INDEXES)
+    def test_inline_equals_batch_equals_oracle(self, name, loaded):
+        """The heuristic may route any batch to any executor, so inline and
+        batch answers must agree (and match the oracle) on every index."""
+        items, oracle = loaded
+        index = build_index(name)
+        index.bulk_load(items)
+        queries = make_queries(6, seed=36)
+        points = np.array([[20.0, 30.0, 40.0], [77.0, 12.0, 55.0], [5.0, 5.0, 5.0]])
+
+        inline = QuerySession(index, executor=InlineExecutor())
+        batch = QuerySession(index, executor=BatchExecutor())
+
+        inline_range = inline.range_query(queries)
+        batch_range = batch.range_query(queries)
+        for got_i, got_b, query in zip(inline_range, batch_range, queries):
+            expected = sorted(oracle.range_query(query))
+            assert sorted(got_i) == expected
+            assert sorted(got_b) == expected
+
+        inline_knn = inline.knn(points, 6)
+        batch_knn = batch.knn(points, 6)
+        for got_i, got_b, point in zip(inline_knn, batch_knn, points):
+            expected = knn_pairs(oracle.knn(tuple(point), 6))
+            assert knn_pairs(got_i) == expected
+            assert knn_pairs(got_b) == expected
+
+        # Stabbing parity: include element-boundary points, where a kernel
+        # treating degenerate boxes as half-open would diverge.
+        stabs = np.asarray([items[5][1].lo, items[9][1].hi, (50.0, 50.0, 50.0)])
+        inline_pt = inline.point_query(stabs)
+        batch_pt = batch.point_query(stabs)
+        for got_i, got_b, p in zip(inline_pt, batch_pt, stabs):
+            expected = sorted(oracle.range_query(AABB(tuple(p), tuple(p))))
+            assert sorted(got_i) == expected
+            assert sorted(got_b) == expected
+
+        assert inline.stats.executor_runs == {"inline": 3}
+        assert batch.stats.executor_runs == {"batch": 3}
+
+    def test_inverted_boxes_answer_empty_on_every_executor(self, loaded):
+        """The kernel contract admits inverted (lo > hi) windows as empty
+        intersections; the inline path must agree, not raise."""
+        items, _ = loaded
+        index = build_index("uniform_grid")
+        index.bulk_load(items)
+        inverted = np.array([[[5.0, 5.0, 5.0], [1.0, 1.0, 1.0]]])
+        for executor in (InlineExecutor(), BatchExecutor()):
+            session = QuerySession(index, executor=executor)
+            assert session.range_query(inverted) == [[]]
+
+    def test_default_heuristic_routes_by_size_and_capability(self, loaded):
+        items, _ = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        session = QuerySession(grid)
+        session.range_query(make_queries(2, seed=37))   # tiny → inline
+        session.range_query(make_queries(30, seed=38))  # large → batch kernel
+        assert session.stats.executor_runs == {"inline": 1, "batch": 1}
+
+        loop_only = build_index("octree")  # no vectorized kernels
+        loop_only.bulk_load(items)
+        assert not loop_only.supports_batch_kind("range")
+        session = QuerySession(loop_only)
+        session.range_query(make_queries(30, seed=38))
+        assert session.stats.executor_runs == {"inline": 1}
+
+    def test_supports_batch_kind_probes(self, loaded):
+        items, _ = loaded
+        grid = build_index("uniform_grid")
+        assert grid.supports_batch_kind("range")
+        assert grid.supports_batch_kind("point")
+        assert grid.supports_batch_kind("knn")
+        with pytest.raises(ValueError):
+            grid.supports_batch_kind("join")
+
+    def test_policy_override(self, loaded):
+        items, _ = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        chosen: list[str] = []
+        inline = InlineExecutor()
+
+        def policy(index, batch: QueryBatch):
+            chosen.append(batch.kind)
+            return inline
+
+        session = QuerySession(grid, policy=policy)
+        session.range_query(make_queries(20, seed=39))
+        assert chosen == ["range"]
+        assert session.stats.executor_runs == {"inline": 1}
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs the fork start method")
+class TestShardedExecutor:
+    def test_sharded_matches_single_process_and_oracle(self, loaded):
+        items, oracle = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        queries = make_queries(64, seed=40)
+        points = np.asarray([q.lo for q in queries])
+
+        sharded = QuerySession(grid, executor=ShardedExecutor(workers=2, min_shard=8))
+        single = QuerySession(grid, executor=BatchExecutor())
+        got_range = sharded.range_query(queries)
+        assert [sorted(r) for r in got_range] == [
+            sorted(r) for r in single.range_query(queries)
+        ]
+        for got, query in zip(got_range, queries):
+            assert sorted(got) == sorted(oracle.range_query(query))
+        assert [knn_pairs(r) for r in sharded.knn(points, 4)] == [
+            knn_pairs(oracle.knn(tuple(p), 4)) for p in points
+        ]
+        assert sharded.stats.executor_runs == {"sharded": 2}
+
+    def test_dedup_stats_propagate_from_shards(self, loaded):
+        """Duplicate queries inside each shard are answered once; the
+        per-shard BatchStats merge back into the session's tallies."""
+        items, oracle = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        base = make_queries(8, seed=41)
+        queries = [q for q in base for _ in range(4)]  # heavy duplication
+        session = QuerySession(grid, executor=ShardedExecutor(workers=2, min_shard=4))
+        results = session.range_query(queries)
+        assert session.stats.batch.queries == len(queries)
+        assert session.stats.batch.deduplicated > 0
+        assert session.stats.batch.batches == 1  # one logical batch
+        for got, query in zip(results, queries):
+            assert sorted(got) == sorted(oracle.range_query(query))
+
+    def test_small_batches_fall_back_to_single_process(self, loaded):
+        items, _ = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        executor = ShardedExecutor(workers=2, min_shard=10_000)
+        session = QuerySession(grid, executor=executor)
+        session.range_query(make_queries(12, seed=42))
+        # Too small to shard: the executor ran its in-process fallback.
+        assert session.stats.batch.batches == 1
+
+
+class TestPublicApi:
+    def test_curated_exports(self):
+        import repro
+
+        for name in (
+            "QuerySession",
+            "RangeQuery",
+            "KNNQuery",
+            "PointQuery",
+            "ResultHandle",
+            "InlineExecutor",
+            "BatchExecutor",
+            "ShardedExecutor",
+            "INDEX_REGISTRY",
+            "make_index",
+            "available_indexes",
+        ):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name)
+
+    def test_registry_builds_every_index(self):
+        from repro.indexes.base import SpatialIndex
+
+        for name in available_indexes():
+            index = make_index(name)  # every entry constructs with defaults
+            assert isinstance(index, INDEX_REGISTRY[name])
+            assert isinstance(index, SpatialIndex)
+        with pytest.raises(KeyError):
+            make_index("no-such-index")
+
+    def test_direct_engine_construction_warns(self, loaded):
+        items, _ = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        with pytest.warns(DeprecationWarning):
+            BatchQueryEngine(grid)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            BatchQueryEngine.kernel(grid)  # the kernel layer stays silent
+            QuerySession(grid).range_query(make_queries(8, seed=43))
+
+
+class TestSessionMatchesKernelEngine:
+    """The acceptance bar: session answers are byte-identical to the raw
+    kernel engine the pre-redesign callers used directly."""
+
+    @pytest.mark.parametrize("name", ["uniform_grid", "rtree", "multires_grid"])
+    def test_range_and_knn_identical_to_engine(self, name, loaded):
+        items, _ = loaded
+        index = build_index(name)
+        index.bulk_load(items)
+        queries = np.stack(
+            [
+                np.asarray([q.lo for q in make_queries(40, seed=44)]),
+                np.asarray([q.hi for q in make_queries(40, seed=44)]),
+            ],
+            axis=1,
+        )
+        points = queries[:, 0, :]
+        engine = BatchQueryEngine.kernel(index)
+        session = QuerySession(index)
+        assert session.range_query(queries) == engine.range_query(queries)
+        assert session.knn(points, 5) == engine.knn(points, 5)
+        assert session.point_query(points) == engine.point_query(points)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import knn_pairs, make_items, make_queries
+from repro.core.multires_grid import MultiResolutionGrid
 from repro.core.uniform_grid import UniformGrid
 from repro.geometry.aabb import AABB, boxes_to_array
 from repro.indexes.linear_scan import LinearScan
@@ -150,3 +151,98 @@ class TestPatchedSnapshotCorrectness:
         # ... and exactly once per query despite the multi-cell replication.
         assert all(hits.count(70_000) == 1 for hits in grid.batch_range_query(probes))
         assert grid.snapshot_rebuilds == 1
+
+
+def _two_level_dataset(n=160, seed=17):
+    """Half small elements (finest level), half large (coarser level)."""
+    rng = np.random.default_rng(seed)
+    items = []
+    for eid in range(n):
+        lo = rng.uniform(0.0, 60.0, 3)
+        extent = rng.uniform(0.2, 0.6) if eid % 2 == 0 else rng.uniform(18.0, 28.0)
+        items.append((eid, AABB(lo, np.minimum(lo + extent, 100.0))))
+    return items
+
+
+class TestMultiResolutionLevelMigration:
+    """ISSUE 3 satellite: level migration patches only the source and
+    destination level snapshots — the other levels' packs stay warm."""
+
+    def _loaded_grid(self):
+        grid = MultiResolutionGrid(
+            universe=AABB((0.0,) * 3, (100.0,) * 3), levels=3
+        )
+        items = _two_level_dataset()
+        grid.bulk_load(items)
+        return grid, dict(items)
+
+    def test_migration_does_not_repack_any_level(self):
+        grid, boxes = self._loaded_grid()
+        queries = make_queries(6, seed=18)
+        grid.batch_range_query(queries)  # pack every populated level once
+        packed = grid.level_snapshot_rebuilds()
+        assert grid.snapshot_rebuilds == sum(packed) > 0
+
+        # Grow a small element until it must migrate to a coarser level,
+        # and shrink a large one down to the finest level.
+        grow_id = 0
+        new_big = AABB(boxes[grow_id].lo, tuple(c + 20.0 for c in boxes[grow_id].lo))
+        grid.update(grow_id, boxes[grow_id], new_big)
+        boxes[grow_id] = new_big
+        shrink_id = 1
+        new_small = AABB(boxes[shrink_id].lo, tuple(c + 0.3 for c in boxes[shrink_id].lo))
+        grid.update(shrink_id, boxes[shrink_id], new_small)
+        boxes[shrink_id] = new_small
+        assert grid.level_migrations == 2
+
+        grid.batch_range_query(queries)
+        grid.batch_knn(np.asarray([[10.0, 10.0, 10.0], [50.0, 50.0, 50.0]]), 5)
+        assert grid.level_snapshot_rebuilds() == packed  # zero new packs
+
+    def test_migrated_answers_match_oracle_through_patched_snapshots(self):
+        grid, boxes = self._loaded_grid()
+        queries = make_queries(8, seed=19)
+        points = np.asarray([[15.0, 15.0, 15.0], [70.0, 40.0, 20.0], [1.0, 1.0, 1.0]])
+        grid.batch_range_query(queries)
+        packed = grid.snapshot_rebuilds
+
+        # A burst of migrations in both directions plus same-level moves.
+        for eid in range(0, 12, 2):  # grow small → coarse
+            new_box = AABB(boxes[eid].lo, tuple(c + 22.0 for c in boxes[eid].lo))
+            grid.update(eid, boxes[eid], new_box)
+            boxes[eid] = new_box
+        for eid in range(1, 12, 2):  # shrink large → fine
+            new_box = AABB(boxes[eid].lo, tuple(c + 0.4 for c in boxes[eid].lo))
+            grid.update(eid, boxes[eid], new_box)
+            boxes[eid] = new_box
+        for eid in range(20, 24):  # same-level drift
+            new_box = shifted(boxes[eid], 0.05)
+            grid.update(eid, boxes[eid], new_box)
+            boxes[eid] = new_box
+        assert grid.level_migrations == 12
+
+        oracle = LinearScan()
+        oracle.bulk_load(list(boxes.items()))
+        got_range = grid.batch_range_query(queries)
+        for answer, query in zip(got_range, queries):
+            assert sorted(answer) == sorted(oracle.range_query(query))
+        got_knn = grid.batch_knn(points, 6)
+        for answer, point in zip(got_knn, points):
+            assert knn_pairs(answer) == knn_pairs(oracle.knn(tuple(point), 6))
+        assert grid.snapshot_rebuilds == packed
+
+    def test_bulk_load_resets_migration_counter(self):
+        grid, boxes = self._loaded_grid()
+        new_big = AABB(boxes[0].lo, tuple(c + 20.0 for c in boxes[0].lo))
+        grid.update(0, boxes[0], new_big)
+        assert grid.level_migrations == 1
+        grid.bulk_load(_two_level_dataset(seed=23))
+        assert grid.level_migrations == 0
+
+    def test_denormal_extent_lands_on_finest_level(self):
+        """Regression: a denormal-extent box overflowed the level-selection
+        log (``int(floor(inf))``) instead of clamping to the finest level."""
+        grid = MultiResolutionGrid(universe=AABB((0.0,) * 3, (32.0,) * 3))
+        grid.bulk_load([(0, AABB((0.0, 0.0, 0.0), (0.0, 0.0, 5e-324)))])
+        assert grid.level_populations()[-1] == 1
+        assert grid.knn((0.0, 0.0, 0.0), 1)[0][1] == 0
