@@ -21,7 +21,8 @@ import time
 from repro.analysis.reporting import format_table
 from repro.datasets.trajectories import BrownianMotion, apply_moves
 from repro.joins.iterated import IteratedSelfJoin
-from repro.joins.nested_loop import nested_loop_self_join
+from repro.instrumentation.counters import Counters
+from repro.joins.strategies import NestedLoopJoin
 
 from bench_common import emit
 
@@ -60,7 +61,7 @@ def test_iterated_join_incremental_vs_recompute(neuron_dataset, benchmark):
                 items, universe, "recompute", fraction
             )
             assert incremental_pairs == recompute_pairs, "strategies must agree"
-            expected = set(nested_loop_self_join(list(live.items())))
+            expected = set(NestedLoopJoin().self_join(list(live.items()), Counters()))
             assert incremental_pairs == expected, "oracle mismatch"
             rows.append([f"{fraction:.0%}", incremental_time, recompute_time])
             winners[fraction] = incremental_time < recompute_time

@@ -10,18 +10,9 @@ workload.
 
 import time
 
-from repro import UniformGrid, TimeSteppedSimulation
+from repro import JoinSession, SynapseJoinSpec, UniformGrid, TimeSteppedSimulation
 from repro.analysis.reporting import format_table
 from repro.datasets import generate_neurons
-from repro.instrumentation import Counters
-from repro.joins import (
-    SynapseDetector,
-    grid_join,
-    nested_loop_join,
-    pbsm_join,
-    sweepline_join,
-    touch_join,
-)
 from repro.sim import GrowthModel
 
 
@@ -37,33 +28,25 @@ def main() -> None:
     print(f"tissue now has {len(dataset)} segments "
           f"(+{sum(model.grown)} grown during co-growth)")
 
-    # Detect synapses with each join algorithm; all must agree.
-    algorithms = {
-        "nested loop": nested_loop_join,
-        "sweep line": sweepline_join,
-        "PBSM": pbsm_join,
-        "TOUCH": touch_join,
-        "grid join": grid_join,
-    }
+    # Detect synapses with every registry strategy; all must agree.
     rows = []
     reference = None
-    for name, algorithm in algorithms.items():
-        detector = SynapseDetector(dataset, epsilon=0.1)
+    for name in ("nested_loop", "sweepline", "pbsm", "touch", "tree", "grid"):
+        session = JoinSession(strategy=name)
         start = time.perf_counter()
-        synapses = detector.detect(box_join=algorithm)
+        synapses = session.run(SynapseJoinSpec(dataset, epsilon=0.1))
         elapsed = time.perf_counter() - start
-        keys = sorted((s.segment_a, s.segment_b) for s in synapses)
+        keys = [(s.segment_a, s.segment_b) for s in synapses]
         if reference is None:
             reference = keys
         assert keys == reference, f"{name} disagrees"
-        rows.append([name, len(synapses), detector.counters.comparisons, elapsed])
+        rows.append([name, len(synapses), session.counters.comparisons, elapsed])
 
     print("\nsynapse-detection join (epsilon = 0.1 um):")
-    print(format_table(["algorithm", "synapses", "comparisons", "wall s"], rows))
+    print(format_table(["strategy", "synapses", "comparisons", "wall s"], rows))
 
     by_pair: dict[tuple[int, int], int] = {}
-    detector = SynapseDetector(dataset, epsilon=0.1)
-    for synapse in detector.detect():
+    for synapse in JoinSession().run(SynapseJoinSpec(dataset, epsilon=0.1)):
         pair = (synapse.neuron_a, synapse.neuron_b)
         by_pair[pair] = by_pair.get(pair, 0) + 1
     connected = sorted(by_pair.items(), key=lambda kv: -kv[1])[:5]

@@ -49,6 +49,22 @@ sharded execution, and ``examples/batch_analysis.py`` for a full batched
 synapse-style analysis.  ``INDEX_REGISTRY`` / ``make_index`` enumerate every
 shipped index by name.
 
+Spatial joins get the same treatment: describe the join as a spec and
+submit it through a :class:`JoinSession`, whose planner routes it to one of
+the registered strategies (``JOIN_REGISTRY`` — nested loop, plane sweep,
+PBSM, grid, STR-tree traversal, TOUCH, tiny-cell; all returning the exact
+nested-loop pair set)::
+
+    from repro import JoinSession, SelfJoinSpec, SynapseJoinSpec
+
+    session = JoinSession()
+    pairs = session.run(SelfJoinSpec(items))             # collision self-join
+    synapses = session.run(SynapseJoinSpec(dataset, epsilon=0.05))
+    pinned = session.run(SelfJoinSpec(items), strategy="pbsm")
+
+See ``examples/join_session.py`` for the planner, deferred handles, the
+sharded executor and the telemetry report.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every reproduced figure.
 """
@@ -93,6 +109,22 @@ from repro.engine import (
     ShardedExecutor,
 )
 from repro.registry import INDEX_REGISTRY, available_indexes, make_index
+from repro.joins import (
+    DistanceJoinSpec,
+    IteratedSelfJoin,
+    JOIN_REGISTRY,
+    JoinSession,
+    JoinStats,
+    JoinStrategy,
+    PairJoinSpec,
+    SelfJoinSpec,
+    ShardedJoinExecutor,
+    Synapse,
+    SynapseDetector,
+    SynapseJoinSpec,
+    available_join_strategies,
+    make_join_strategy,
+)
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -125,6 +157,20 @@ __all__ = [
     "INDEX_REGISTRY",
     "available_indexes",
     "make_index",
+    "JoinSession",
+    "SelfJoinSpec",
+    "PairJoinSpec",
+    "DistanceJoinSpec",
+    "SynapseJoinSpec",
+    "JoinStats",
+    "JoinStrategy",
+    "JOIN_REGISTRY",
+    "available_join_strategies",
+    "make_join_strategy",
+    "ShardedJoinExecutor",
+    "Synapse",
+    "SynapseDetector",
+    "IteratedSelfJoin",
     "LinearScan",
     "RTree",
     "RStarTree",

@@ -6,7 +6,13 @@ from repro.analysis.breakdown import (
     disk_vs_memory_report,
     memory_breakdown_report,
 )
-from repro.analysis.session_report import session_report, session_summary_rows
+from repro.analysis.session_report import (
+    join_report,
+    join_summary_rows,
+    query_session_report,
+    session_report,
+    session_summary_rows,
+)
 
 __all__ = [
     "format_table",
@@ -15,5 +21,8 @@ __all__ = [
     "memory_breakdown_report",
     "coarse_breakdown_rows",
     "session_report",
+    "query_session_report",
+    "join_report",
     "session_summary_rows",
+    "join_summary_rows",
 ]

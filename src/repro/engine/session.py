@@ -347,8 +347,9 @@ class ShardedExecutor(Executor):
     -----
     Worker-side :class:`~repro.instrumentation.counters.Counters` charges die
     with the forked children — only the returned ``BatchStats`` merge back.
-    Dedup runs per shard, so duplicate queries landing in different shards
-    are executed once per shard rather than once per batch.
+    Dedup is global: duplicate queries are collapsed in the parent *before*
+    the array is partitioned, so duplicates landing in different shards are
+    still executed exactly once and fanned back out on merge.
     """
 
     name = "sharded"
@@ -366,9 +367,29 @@ class ShardedExecutor(Executor):
     def run(
         self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
     ) -> tuple[list, BatchStats]:
+        # Cross-shard dedup: collapse duplicates over the WHOLE batch before
+        # partitioning.  Per-shard dedup (the engine's own) would execute a
+        # duplicate once per shard it lands in; deduplicating here executes
+        # it exactly once, then fans the result back out on merge.
+        inverse: np.ndarray | None = None
+        dropped = 0
+        if dedup and batch.size > 1:
+            flat = np.ascontiguousarray(batch.payload.reshape(batch.size, -1))
+            unique, inverse = np.unique(flat, axis=0, return_inverse=True)
+            if unique.shape[0] < batch.size:
+                dropped = batch.size - unique.shape[0]
+                batch = QueryBatch(
+                    kind=batch.kind,
+                    payload=unique.reshape(unique.shape[0], *batch.payload.shape[1:]),
+                    k=batch.k,
+                )
+            else:
+                inverse = None
+
         shards = min(self.workers, batch.size // self.min_shard)
         if shards < 2 or not _fork_is_safe():
-            return self._fallback.run(index, batch, dedup=dedup)
+            results, stats = self._fallback.run(index, batch, dedup=dedup)
+            return self._fan_out(results, stats, inverse, dropped)
         bounds = np.linspace(0, batch.size, shards + 1).astype(int)
         chunks = [batch.payload[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
 
@@ -386,7 +407,19 @@ class ShardedExecutor(Executor):
             stats.merge(shard_stats)
         # The shards executed one logical batch between them.
         stats.batches = 1
-        return results, stats
+        return self._fan_out(results, stats, inverse, dropped)
+
+    @staticmethod
+    def _fan_out(
+        results: list, stats: BatchStats, inverse: np.ndarray | None, dropped: int
+    ) -> tuple[list, BatchStats]:
+        """Scatter unique-query results back to the original batch order."""
+        if inverse is None:
+            return results, stats
+        stats.queries += dropped
+        stats.deduplicated += dropped
+        # Independent copies, matching the engine's dedup fan-out contract.
+        return [list(results[i]) for i in inverse], stats
 
 
 # -- the buffer ----------------------------------------------------------------

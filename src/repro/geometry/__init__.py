@@ -38,6 +38,12 @@ from repro.geometry.distance import (
     point_segment_distance,
     segment_segment_distance,
 )
+from repro.geometry.refine import (
+    batch_box_gaps,
+    batch_capsule_gaps,
+    batch_segment_distances,
+    pack_segments,
+)
 
 __all__ = [
     "AABB",
@@ -62,4 +68,8 @@ __all__ = [
     "point_box_distance",
     "point_segment_distance",
     "segment_segment_distance",
+    "batch_segment_distances",
+    "batch_capsule_gaps",
+    "batch_box_gaps",
+    "pack_segments",
 ]

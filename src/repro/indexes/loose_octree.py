@@ -65,6 +65,11 @@ class LooseOctree(SpatialIndex):
         self._locations: dict[int, tuple[int, tuple[int, ...]]] = {}
         self._boxes: dict[int, AABB] = {}
         self._levels_in_use: dict[int, int] = {}
+        # Occupied cell coordinates per level: lets range_query clamp its
+        # probe window to cells that exist instead of enumerating the full
+        # level resolution (fatal on degenerate universes, where every query
+        # window clamps to the whole 2^level-per-axis grid).
+        self._level_cells: dict[int, set[tuple[int, ...]]] = {}
 
     # -- maintenance -----------------------------------------------------------
 
@@ -74,6 +79,7 @@ class LooseOctree(SpatialIndex):
         self._locations = {}
         self._boxes = {}
         self._levels_in_use = {}
+        self._level_cells = {}
         if not materialized:
             return
         if self._universe is None:
@@ -127,7 +133,9 @@ class LooseOctree(SpatialIndex):
         for level, _count in self._levels_in_use.items():
             cell_sides = self._cell_sides(level)
             resolution = 1 << level
+            occupied = self._level_cells.get(level, ())
             ranges = []
+            window = 1
             for axis in range(dims):
                 side = cell_sides[axis]
                 lo_idx = math.floor((box.lo[axis] - self._universe.lo[axis]) / side - halo)
@@ -138,7 +146,27 @@ class LooseOctree(SpatialIndex):
                 lo_idx = max(0, min(lo_idx, resolution - 1))
                 hi_idx = max(0, min(hi_idx, resolution - 1))
                 ranges.append(range(lo_idx, hi_idx + 1))
+                window *= hi_idx - lo_idx + 1
             if not ranges:
+                continue
+            if window > len(occupied):
+                # The window covers more cells than exist at this level —
+                # a huge query over a small (or degenerate) universe would
+                # enumerate up to 2^(level·dims) empty coordinates.  Walk the
+                # occupied cells instead and keep the ones inside the window;
+                # same answer, bounded by the level's population.
+                for coords in occupied:
+                    if any(c not in r for c, r in zip(coords, ranges)):
+                        continue
+                    counters.cells_probed += 1
+                    bucket = self._cells.get((level, coords))
+                    if not bucket:
+                        continue
+                    counters.bytes_touched += len(bucket) * (dims * _BOX_BYTES_PER_DIM + 8)
+                    for eid, elem_box in bucket:
+                        counters.elem_tests += 1
+                        if elem_box.intersects(box):
+                            results.append(eid)
                 continue
             for coords in _product(ranges):
                 key = (level, coords)
@@ -229,6 +257,7 @@ class LooseOctree(SpatialIndex):
         self._locations[eid] = key
         self._boxes[eid] = box
         self._levels_in_use[key[0]] = self._levels_in_use.get(key[0], 0) + 1
+        self._level_cells.setdefault(key[0], set()).add(key[1])
 
     def _remove(self, eid: int, keep_box: bool = False) -> None:
         key = self._locations.pop(eid)
@@ -236,9 +265,11 @@ class LooseOctree(SpatialIndex):
         self._cells[key] = [(e, b) for e, b in bucket if e != eid]
         if not self._cells[key]:
             del self._cells[key]
+            self._level_cells[key[0]].discard(key[1])
         self._levels_in_use[key[0]] -= 1
         if self._levels_in_use[key[0]] == 0:
             del self._levels_in_use[key[0]]
+            self._level_cells.pop(key[0], None)
         if not keep_box:
             self._boxes.pop(eid, None)
 

@@ -1,33 +1,96 @@
-"""Spatial join algorithms surveyed in Sections 3.2/3.3 and 4.3.
+"""The spatial-join subsystem: specs, planner, strategies, kernels.
 
-All joins share one contract: given two item lists (``(eid, AABB)`` pairs),
-return the list of id pairs whose boxes intersect.  Every algorithm counts
-its pairwise ``comparisons`` in the shared counters — the currency the paper
-uses to argue about in-memory joins ("the number of comparisons (the major
-bulk of work for in-memory spatial joins)").
+Spatial joins dominate the paper's workloads — synapse detection (§2.2),
+per-step collision self-joins, mesh intersection — and every algorithm it
+surveys (§3.2/3.3/4.3) lives here behind one architecture, mirroring the
+query side's session design:
 
-* :func:`~repro.joins.nested_loop.nested_loop_join` — the O(n·m) baseline;
-* :func:`~repro.joins.sweepline.sweepline_join` — sort + plane sweep; "does
-  not ensure that only spatially close objects are compared" in y/z;
-* :func:`~repro.joins.pbsm.pbsm_join` — Partition Based Spatial-Merge
-  (Patel & DeWitt): uniform tiles + per-tile join + reference-point dedup;
-* :func:`~repro.joins.touch.touch_join` — TOUCH (Nobari et al., SIGMOD'13):
-  hierarchical data-oriented partitioning, assign-and-probe;
-* :func:`~repro.joins.grid_join.grid_join` — the paper's §4.3 research
-  direction, including the tiny-cell "intersect by definition" variant;
-* :mod:`~repro.joins.synapse` — the neuroscience application: distance join
-  over capsule morphologies to place synapses.
+``JoinSpec → JoinSession (planner) → JoinStrategy → kernels``
+
+* **Specs** (:mod:`repro.joins.spec`) describe *what* to join:
+  :class:`SelfJoinSpec`, :class:`PairJoinSpec`, :class:`DistanceJoinSpec`,
+  :class:`SynapseJoinSpec` — first-class values with ids and tags.
+* **The session** (:mod:`repro.joins.session`) plans and runs them:
+  deferred :class:`JoinHandle` results, a size-based planner over the
+  strategy registry, pluggable executors
+  (:class:`InlineJoinExecutor` / :class:`ShardedJoinExecutor` — the latter
+  partitions the probe side across a fork pool with structural cross-shard
+  dedup), vectorized refinement, shared :class:`JoinStats`.
+* **Strategies** (:mod:`repro.joins.strategies`) are the algorithms, all
+  registered in :data:`JOIN_REGISTRY` and all returning the exact
+  nested-loop pair set: ``nested_loop``, ``block_nested``, ``sweepline``,
+  ``grid`` / ``grid_scalar``, ``pbsm`` / ``pbsm_scalar``, ``tree``,
+  ``touch``, ``tiny_cell``.
+* **Kernels** (:mod:`repro.joins.kernels`,
+  :mod:`repro.geometry.refine`) are the NumPy hot paths: blocked all-pairs
+  overlap, fully vectorized PBSM tiling, the carried-set STR-tree
+  traversal (the batch-kNN pruning discipline with per-probe ε bounds),
+  and array-wide capsule/box refinement.
+
+:class:`IteratedSelfJoin` maintains a self-join under per-step motion
+(Section 4.1's recompute-vs-incremental trade-off).  The pre-session free
+functions (``nested_loop_join``, ``grid_join``, ``pbsm_join``, ...) remain
+as deprecation shims.
 """
 
+from repro.joins.spec import (
+    DistanceJoinSpec,
+    JoinSpec,
+    JoinStats,
+    PairJoinSpec,
+    SelfJoinSpec,
+    Synapse,
+    SynapseJoinSpec,
+)
+from repro.joins.strategies import (
+    JOIN_REGISTRY,
+    CallableJoin,
+    JoinStrategy,
+    available_join_strategies,
+    make_join_strategy,
+)
+from repro.joins.session import (
+    InlineJoinExecutor,
+    JoinExecutor,
+    JoinHandle,
+    JoinPlan,
+    JoinSession,
+    ShardedJoinExecutor,
+)
+from repro.joins.iterated import IteratedSelfJoin
+from repro.joins.synapse import SynapseDetector, distance_join
+
+# Deprecated free-function shims (see the per-module docstrings).
 from repro.joins.nested_loop import nested_loop_join, nested_loop_self_join
 from repro.joins.sweepline import sweepline_join
 from repro.joins.pbsm import pbsm_join
 from repro.joins.touch import touch_join
 from repro.joins.grid_join import grid_join, tiny_cell_self_join
-from repro.joins.synapse import SynapseDetector, distance_join
-from repro.joins.iterated import IteratedSelfJoin
 
 __all__ = [
+    # the session architecture
+    "JoinSession",
+    "JoinHandle",
+    "JoinPlan",
+    "JoinSpec",
+    "SelfJoinSpec",
+    "PairJoinSpec",
+    "DistanceJoinSpec",
+    "SynapseJoinSpec",
+    "JoinStats",
+    "JoinExecutor",
+    "InlineJoinExecutor",
+    "ShardedJoinExecutor",
+    "JoinStrategy",
+    "JOIN_REGISTRY",
+    "available_join_strategies",
+    "make_join_strategy",
+    "CallableJoin",
+    # applications
+    "Synapse",
+    "SynapseDetector",
+    "IteratedSelfJoin",
+    # deprecated shims
     "nested_loop_join",
     "nested_loop_self_join",
     "sweepline_join",
@@ -36,6 +99,4 @@ __all__ = [
     "grid_join",
     "tiny_cell_self_join",
     "distance_join",
-    "SynapseDetector",
-    "IteratedSelfJoin",
 ]

@@ -1,0 +1,14 @@
+"""Shared deprecation nudge for the pre-session join free functions."""
+
+from __future__ import annotations
+
+import warnings
+
+
+def deprecated_join(function: str, strategy: str) -> None:
+    warnings.warn(
+        f"{function}() is deprecated; submit a JoinSpec through "
+        f"repro.joins.JoinSession (strategy {strategy!r} in JOIN_REGISTRY).",
+        DeprecationWarning,
+        stacklevel=3,
+    )

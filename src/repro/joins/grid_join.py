@@ -1,31 +1,20 @@
-"""Grid-based spatial joins, including the tiny-cell trick (§4.3).
+"""Deprecated free-function surface of the grid joins.
 
-Two variants of the paper's grid research direction:
-
-* :func:`grid_join` — build a uniform grid over one input in a single pass,
-  probe it with the other input's boxes.  "Only objects in grid cells need to
-  be compared with each other, thereby substantially reducing the
-  comparisons."
-* :func:`tiny_cell_self_join` — the paper's refinement: "if the grid cell
-  size is smaller than the smallest element size, then objects in the same
-  cell intersect by definition"; same-cell co-residents are emitted without a
-  comparison, and only neighbouring-cell pairs are tested.  To keep
-  replication in check, elements are registered by centre only and
-  neighbouring cells within the element reach are probed — exactly the
-  "elements may not be assigned to all intersecting cells, but elements in
-  neighboring cells need to be compared" compromise.
+The implementations live in :class:`repro.joins.strategies.GridJoin`
+(registry name ``"grid"``, the vectorized session-batched probe; the
+scalar per-probe baseline remains as ``"grid_scalar"``) and
+:class:`repro.joins.strategies.TinyCellJoin` (``"tiny_cell"``); submit
+specs through :class:`repro.joins.JoinSession`.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-from repro.core.uniform_grid import UniformGrid
-from repro.engine import QuerySession
-from repro.geometry.aabb import AABB, union_all
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
+from repro.joins._shims import deprecated_join
+from repro.joins.strategies import GridJoin, TinyCellJoin
 
 
 def grid_join(
@@ -34,36 +23,11 @@ def grid_join(
     cell_size: float | None = None,
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """Index A in a uniform grid (one pass), batch-probe with all B boxes.
-
-    The probe side runs through a :class:`~repro.engine.QuerySession`, so
-    the whole of B is answered by the grid's vectorized kernel (the
-    session's batch executor) instead of one Python-dispatched
-    ``range_query`` per element — the join *is* the synapse-detection batch
-    workload.
-    """
-    counters = counters if counters is not None else Counters()
-    if not items_a or not items_b:
-        return []
-    hull = union_all(box for _, box in items_a).union(
-        union_all(box for _, box in items_b)
+    """Index A in a uniform grid (one pass), batch-probe with all B boxes."""
+    deprecated_join("grid_join", "grid")
+    return GridJoin(cell_size=cell_size).join(
+        items_a, items_b, counters if counters is not None else Counters()
     )
-    grid = UniformGrid(
-        universe=hull.expanded(max(hull.margin() * 0.005, 1e-9)),
-        cell_size=cell_size,
-        counters=counters,
-    )
-    grid.bulk_load(items_a)
-    session = QuerySession(grid)
-    hits = session.range_query([box for _, box in items_b])
-    pairs: list[tuple[int, int]] = []
-    for (eid_b, _), matches in zip(items_b, hits):
-        for eid_a in matches:
-            pairs.append((eid_a, eid_b))
-    # The grid's elem_tests during probes are the join's comparisons.
-    counters.comparisons += counters.elem_tests
-    counters.elem_tests = 0
-    return pairs
 
 
 def tiny_cell_self_join(
@@ -71,107 +35,8 @@ def tiny_cell_self_join(
     cell_size: float | None = None,
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """Self-join with cells smaller than the smallest element.
-
-    Elements are hashed by centre into cells of side ``cell_size`` (default:
-    0.9 × the smallest element extent).  Same-cell pairs are reported with
-    **zero** intersection tests — with the cell smaller than every element,
-    two elements whose centres share a cell must overlap.  Pairs spanning
-    different cells are found by probing the neighbour window each element's
-    box can reach, with exact tests.
-
-    Degenerate inputs (point elements → zero minimum extent) fall back to a
-    density-based cell size and test all pairs exactly, since the "intersect
-    by definition" shortcut requires a positive minimum element size.
-    """
-    counters = counters if counters is not None else Counters()
-    if len(items) < 2:
-        return []
-    dims = items[0][1].dims
-    min_extent = min(min(box.extents()) for _, box in items)
-    shortcut_valid = min_extent > 0.0
-    if cell_size is None:
-        if shortcut_valid:
-            cell_size = 0.9 * min_extent
-        else:
-            hull = union_all(box for _, box in items)
-            cell_size = max(max(hull.extents()) / max(len(items), 1), 1e-9)
-    elif cell_size >= min_extent:
-        shortcut_valid = False
-
-    hull = union_all(box for _, box in items)
-
-    def cell_of(box: AABB) -> tuple[int, ...]:
-        center = box.center()
-        return tuple(
-            int(math.floor((center[axis] - hull.lo[axis]) / cell_size))
-            for axis in range(dims)
-        )
-
-    cells: dict[tuple[int, ...], list[Item]] = {}
-    for eid, box in items:
-        cells.setdefault(cell_of(box), []).append((eid, box))
-
-    pairs: list[tuple[int, int]] = []
-    emitted: set[tuple[int, int]] = set()
-
-    # Same-cell pairs: intersect by definition when cells are tiny enough.
-    for bucket in cells.values():
-        for i in range(len(bucket)):
-            eid_a, box_a = bucket[i]
-            for j in range(i + 1, len(bucket)):
-                eid_b, box_b = bucket[j]
-                if shortcut_valid:
-                    pair = (min(eid_a, eid_b), max(eid_a, eid_b))
-                    pairs.append(pair)
-                    emitted.add(pair)
-                else:
-                    counters.comparisons += 1
-                    if box_a.intersects(box_b):
-                        pair = (min(eid_a, eid_b), max(eid_a, eid_b))
-                        pairs.append(pair)
-                        emitted.add(pair)
-
-    # Cross-cell pairs: probe the neighbour window each box can reach.  Two
-    # intersecting boxes have centres at most (extent_a + extent_b)/2 apart
-    # per axis, so the window must cover half the element's own extent plus
-    # half the dataset-wide maximum extent.
-    max_extent = [max(box.hi[axis] - box.lo[axis] for _, box in items) for axis in range(dims)]
-    for eid_a, box_a in items:
-        home = cell_of(box_a)
-        reach = [
-            int(
-                math.ceil(
-                    ((box_a.hi[axis] - box_a.lo[axis]) / 2.0 + max_extent[axis] / 2.0)
-                    / cell_size
-                )
-            )
-            + 1
-            for axis in range(dims)
-        ]
-        for key in _neighbourhood(home, reach):
-            if key == home:
-                continue
-            counters.cells_probed += 1
-            for eid_b, box_b in cells.get(key, ()):
-                if eid_a == eid_b:
-                    continue
-                pair = (min(eid_a, eid_b), max(eid_a, eid_b))
-                if pair in emitted:
-                    continue
-                counters.comparisons += 1
-                if box_a.intersects(box_b):
-                    pairs.append(pair)
-                    emitted.add(pair)
-    return pairs
-
-
-def _neighbourhood(center: tuple[int, ...], reach: list[int]):
-    """All cells within ``reach[axis]`` of ``center`` per axis."""
-    if len(center) == 1:
-        for i in range(center[0] - reach[0], center[0] + reach[0] + 1):
-            yield (i,)
-        return
-    for i in range(center[0] - reach[0], center[0] + reach[0] + 1):
-        for tail in _neighbourhood(center[1:], reach[1:]):
-            yield (i, *tail)
+    """Self-join with cells smaller than the smallest element (§4.3)."""
+    deprecated_join("tiny_cell_self_join", "tiny_cell")
+    return TinyCellJoin(cell_size=cell_size).self_join(
+        items, counters if counters is not None else Counters()
+    )

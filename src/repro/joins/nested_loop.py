@@ -1,8 +1,9 @@
-"""Nested-loop spatial join: the quadratic baseline and correctness oracle.
+"""Deprecated free-function surface of the nested-loop join.
 
-"Not using any index structure results in a nested loop join with n²
-comparisons" (§4.3).  Every other join in the package is property-tested
-against this one.
+The implementation lives in
+:class:`repro.joins.strategies.NestedLoopJoin` (registry name
+``"nested_loop"``); submit specs through :class:`repro.joins.JoinSession`.
+These shims keep the pre-session call sites working.
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ from typing import Sequence
 
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
+from repro.joins._shims import deprecated_join
+from repro.joins.strategies import NestedLoopJoin
 
 
 def nested_loop_join(
@@ -19,34 +22,14 @@ def nested_loop_join(
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
     """All ``(a, b)`` id pairs with intersecting boxes, by brute force."""
-    counters = counters if counters is not None else Counters()
-    pairs: list[tuple[int, int]] = []
-    for eid_a, box_a in items_a:
-        for eid_b, box_b in items_b:
-            counters.comparisons += 1
-            if box_a.intersects(box_b):
-                pairs.append((eid_a, eid_b))
-    return pairs
+    deprecated_join("nested_loop_join", "nested_loop")
+    return NestedLoopJoin().join(items_a, items_b, counters if counters is not None else Counters())
 
 
 def nested_loop_self_join(
     items: Sequence[Item],
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """All unordered intersecting pairs within one dataset (a < b by id).
-
-    This is the paper's collision-detection use: "the entire model needs to
-    be spatially joined with itself at every simulation step".
-    """
-    counters = counters if counters is not None else Counters()
-    pairs: list[tuple[int, int]] = []
-    n = len(items)
-    for i in range(n):
-        eid_a, box_a = items[i]
-        for j in range(i + 1, n):
-            eid_b, box_b = items[j]
-            counters.comparisons += 1
-            if box_a.intersects(box_b):
-                pair = (eid_a, eid_b) if eid_a < eid_b else (eid_b, eid_a)
-                pairs.append(pair)
-    return pairs
+    """All unordered intersecting pairs within one dataset (a < b by id)."""
+    deprecated_join("nested_loop_self_join", "nested_loop")
+    return NestedLoopJoin().self_join(items, counters if counters is not None else Counters())

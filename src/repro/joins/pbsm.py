@@ -1,25 +1,19 @@
-"""Partition Based Spatial-Merge join (Patel & DeWitt, SIGMOD'96).
+"""Deprecated free-function surface of the PBSM join.
 
-Both inputs are partitioned into the tiles of a uniform grid (elements are
-replicated into every tile they overlap); each tile is then joined locally.
-Duplicate pairs from replication are suppressed with the standard
-*reference-point* method: a pair is reported only by the tile containing the
-lower corner of the two boxes' intersection.
-
-The paper recommends exactly this shape for memory: "An approach based on a
-grid (similar to PBSM) optimized for memory may not necessarily speed up the
-join, but will certainly speed up the preprocessing/indexing and thus the
-overall join" (§3.3) — partitioning is one linear pass, no tree build.
+The implementation lives in :class:`repro.joins.strategies.PBSMJoin`
+(registry name ``"pbsm"``, vectorized since the JoinSession redesign; the
+dict-of-buckets baseline remains as ``"pbsm_scalar"``); submit specs
+through :class:`repro.joins.JoinSession`.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-from repro.geometry.aabb import AABB, union_all
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
+from repro.joins._shims import deprecated_join
+from repro.joins.strategies import PBSMJoin
 
 
 def pbsm_join(
@@ -28,80 +22,8 @@ def pbsm_join(
     tiles_per_axis: int | None = None,
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """Grid-partitioned join with reference-point deduplication.
-
-    ``tiles_per_axis`` defaults to a density heuristic targeting a few
-    elements of each input per tile.
-    """
-    counters = counters if counters is not None else Counters()
-    if not items_a or not items_b:
-        return []
-
-    hull = union_all(box for _, box in items_a).union(
-        union_all(box for _, box in items_b)
+    """Grid-partitioned join with reference-point deduplication."""
+    deprecated_join("pbsm_join", "pbsm")
+    return PBSMJoin(tiles_per_axis=tiles_per_axis).join(
+        items_a, items_b, counters if counters is not None else Counters()
     )
-    dims = hull.dims
-    if tiles_per_axis is None:
-        target_tiles = max((len(items_a) + len(items_b)) / 4.0, 1.0)
-        tiles_per_axis = max(1, int(round(target_tiles ** (1.0 / dims))))
-
-    sides = tuple(
-        max(extent / tiles_per_axis, 1e-12) for extent in hull.extents()
-    )
-
-    def tile_window(box: AABB) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        lo = []
-        hi = []
-        for axis in range(dims):
-            lo_idx = int((box.lo[axis] - hull.lo[axis]) / sides[axis])
-            hi_idx = int((box.hi[axis] - hull.lo[axis]) / sides[axis])
-            lo.append(max(0, min(lo_idx, tiles_per_axis - 1)))
-            hi.append(max(0, min(hi_idx, tiles_per_axis - 1)))
-        return tuple(lo), tuple(hi)
-
-    tiles_a: dict[tuple[int, ...], list[Item]] = {}
-    tiles_b: dict[tuple[int, ...], list[Item]] = {}
-    for tiles, items in ((tiles_a, items_a), (tiles_b, items_b)):
-        for eid, box in items:
-            lo, hi = tile_window(box)
-            for key in _window_keys(lo, hi):
-                tiles.setdefault(key, []).append((eid, box))
-
-    pairs: list[tuple[int, int]] = []
-    for key, bucket_a in tiles_a.items():
-        bucket_b = tiles_b.get(key)
-        if not bucket_b:
-            continue
-        for eid_a, box_a in bucket_a:
-            for eid_b, box_b in bucket_b:
-                counters.comparisons += 1
-                overlap = box_a.intersection(box_b)
-                if overlap is None:
-                    continue
-                if _owning_tile(overlap, hull, sides, tiles_per_axis) == key:
-                    pairs.append((eid_a, eid_b))
-    return pairs
-
-
-def _owning_tile(
-    overlap: AABB,
-    hull: AABB,
-    sides: tuple[float, ...],
-    tiles_per_axis: int,
-) -> tuple[int, ...]:
-    """The tile containing the overlap's lower corner — the unique reporter."""
-    key = []
-    for axis in range(hull.dims):
-        idx = int((overlap.lo[axis] - hull.lo[axis]) / sides[axis])
-        key.append(max(0, min(idx, tiles_per_axis - 1)))
-    return tuple(key)
-
-
-def _window_keys(lo: tuple[int, ...], hi: tuple[int, ...]):
-    if len(lo) == 1:
-        for i in range(lo[0], hi[0] + 1):
-            yield (i,)
-        return
-    for i in range(lo[0], hi[0] + 1):
-        for tail in _window_keys(lo[1:], hi[1:]):
-            yield (i, *tail)

@@ -1,0 +1,575 @@
+"""JoinSession: the declarative front door for every spatial join.
+
+The query side got this treatment in PR 3 (:mod:`repro.engine.session`);
+this module is the join counterpart, completing the session architecture:
+
+* Joins are **first-class values** — :class:`~repro.joins.spec.SelfJoinSpec`,
+  :class:`~repro.joins.spec.PairJoinSpec`,
+  :class:`~repro.joins.spec.DistanceJoinSpec` and
+  :class:`~repro.joins.spec.SynapseJoinSpec` describe *what* to join;
+* ``session.submit(spec)`` returns a deferred :class:`JoinHandle`
+  (flush-on-read, exactly like query handles); ``session.run(spec)`` is the
+  immediate form;
+* a small **planner** picks the strategy per spec — tiny inputs run the
+  scalar nested loop (partitioning set-up would dominate), everything else
+  the vectorized grid join — overridable by pinning a ``strategy`` or
+  supplying a ``policy`` callable, with every algorithm in
+  :data:`~repro.joins.strategies.JOIN_REGISTRY` interchangeable;
+* **executors** own *where* the filter phase runs:
+  :class:`InlineJoinExecutor` in-process,
+  :class:`ShardedJoinExecutor` across a fork pool partitioning the probe
+  side.  Cross-shard deduplication is structural, not hash-based: each
+  worker joins the full build side against its probe chunk and reports an
+  unordered pair only when its probe element is the pair's maximum id, so
+  every pair is emitted by exactly one shard;
+* **refinement** (the exact-geometry phase of distance and synapse joins)
+  runs on the vectorized pair kernels of :mod:`repro.geometry.refine` —
+  one array expression over all candidates instead of a Python call per
+  pair.
+
+Accounting flows into one shared :class:`~repro.joins.spec.JoinStats`
+(candidates / refined / result pairs / comparisons plus strategy- and
+executor-routing maps), which
+:func:`repro.analysis.session_report.join_report` renders next to the query
+session's telemetry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.session import _fork_is_safe
+from repro.geometry.refine import batch_box_gaps, batch_capsule_gaps, pack_segments
+from repro.indexes.base import Item
+from repro.instrumentation.counters import Counters
+from repro.joins import kernels
+from repro.joins.spec import (
+    DistanceJoinSpec,
+    JoinSpec,
+    JoinStats,
+    PairJoinSpec,
+    SelfJoinSpec,
+    Synapse,
+    SynapseJoinSpec,
+    apposition_point,
+)
+from repro.joins.strategies import (
+    JOIN_REGISTRY,
+    JoinStrategy,
+    Pairs,
+    make_join_strategy,
+)
+
+# -- deferred results ----------------------------------------------------------
+
+
+class JoinHandle:
+    """A deferred join result, resolved when its session flushes.
+
+    ``result()`` triggers the owning session's flush when still pending
+    (flush-on-read).  The value is the spec's natural result: sorted id
+    pairs for box/distance joins, :class:`~repro.joins.spec.Synapse` records
+    for synapse specs.
+    """
+
+    __slots__ = ("spec", "tag", "_session", "_value", "_error", "_resolved")
+
+    def __init__(self, session: "JoinSession", spec: JoinSpec) -> None:
+        self.spec = spec
+        self.tag = spec.tag
+        self._session = session
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._resolved = False
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def result(self) -> Any:
+        if not self._resolved:
+            try:
+                self._session.flush()
+            except Exception:
+                # Mirror ResultHandle: a read only reports what happened to
+                # its own submission; cross-spec errors surface on explicit
+                # flush().
+                if not self._resolved:
+                    raise
+        if not self._resolved:
+            raise RuntimeError("flush did not settle this handle")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._resolved = True
+        self._session = None
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self._resolved = True
+        self._session = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self._resolved else "pending"
+        return f"<JoinHandle {state} spec={self.spec!r}>"
+
+
+# -- executors -----------------------------------------------------------------
+
+
+class JoinExecutor(ABC):
+    """Runs one planned filter phase; interchangeable like query executors."""
+
+    name: str = "executor"
+
+    @abstractmethod
+    def self_pairs(self, strategy: JoinStrategy, items: Sequence[Item], counters: Counters) -> Pairs:
+        """Unordered intersecting pairs (``a < b``), each exactly once."""
+
+    @abstractmethod
+    def pair_pairs(
+        self,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item],
+        counters: Counters,
+    ) -> Pairs:
+        """Ordered A ⋈ B pairs, each exactly once."""
+
+    @abstractmethod
+    def distance_pairs(
+        self,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item] | None,
+        epsilon: float,
+        counters: Counters,
+    ) -> Pairs:
+        """Complete within-ε candidate pairs (unordered when ``items_b`` is None)."""
+
+
+class InlineJoinExecutor(JoinExecutor):
+    """Single-process execution: the strategy runs as called."""
+
+    name = "inline"
+
+    def self_pairs(self, strategy, items, counters):
+        return strategy.self_join(items, counters)
+
+    def pair_pairs(self, strategy, items_a, items_b, counters):
+        return strategy.join(items_a, items_b, counters)
+
+    def distance_pairs(self, strategy, items_a, items_b, epsilon, counters):
+        return strategy.distance_candidates(items_a, items_b, epsilon, counters)
+
+
+# Worker-side view of (strategy, build items, probe items, epsilon, mode);
+# assigned only inside forked children via the pool initializer, so
+# concurrent sessions in the parent never race on it.
+_JOIN_SHARD_STATE: tuple[JoinStrategy, Sequence[Item], Sequence[Item], float, str] | None = None
+
+
+def _init_join_shard(state) -> None:
+    global _JOIN_SHARD_STATE
+    _JOIN_SHARD_STATE = state
+
+
+def _run_join_shard(bounds: tuple[int, int]) -> tuple[Pairs, Counters]:
+    assert _JOIN_SHARD_STATE is not None, "join shard worker started without state"
+    strategy, items_a, probes, epsilon, mode = _JOIN_SHARD_STATE
+    chunk = probes[bounds[0] : bounds[1]]
+    counters = Counters()
+    if mode == "pair":
+        pairs = strategy.join(items_a, chunk, counters)
+    elif mode == "self":
+        # Reporter rule: the shard holding the pair's larger id reports it —
+        # structural cross-shard dedup, no hashing, no double counting.
+        pairs = [(a, b) for a, b in strategy.join(items_a, chunk, counters) if a < b]
+    elif mode == "distance_pair":
+        pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
+    elif mode == "distance_self":
+        pairs = [
+            (a, b)
+            for a, b in strategy.distance_candidates(items_a, chunk, epsilon, counters)
+            if a < b
+        ]
+    else:  # pragma: no cover - executor only emits the four modes
+        raise ValueError(f"unknown join shard mode: {mode!r}")
+    return pairs, counters
+
+
+class ShardedJoinExecutor(JoinExecutor):
+    """Partitions the probe side of a join across a fork pool.
+
+    Each worker inherits the build side through ``fork``, runs the planned
+    strategy over ``(A, probe chunk)``, and ships back its pairs plus the
+    :class:`~repro.instrumentation.counters.Counters` it charged; the parent
+    concatenates pairs and merges counters.  Self (and distance-self) joins
+    shard soundly because each worker answers the *binary* join of the full
+    set against its chunk and keeps only pairs whose probe element is the
+    larger id — every unordered pair lands in exactly one shard's output,
+    so cross-shard results need no dedup pass at all.
+
+    The structural-dedup price: the binary form tests each unordered pair
+    from both sides (~2x the inline self-join's comparisons, summed across
+    shards), and every worker repeats the strategy's build phase over the
+    full set — sharding a self-join nets out only with enough effective
+    workers.  Sharing the build across workers is a ROADMAP follow-up.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: CPU count, capped at 8).
+    min_shard:
+        Smallest worthwhile probe chunk; smaller jobs (and strategies
+        without a binary form, and non-fork platforms) fall back to
+        :class:`InlineJoinExecutor`.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int | None = None, min_shard: int = 2048) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_shard < 1:
+            raise ValueError(f"min_shard must be >= 1, got {min_shard}")
+        cpus = multiprocessing.cpu_count()
+        self.workers = workers if workers is not None else min(cpus, 8)
+        self.min_shard = min_shard
+        self._fallback = InlineJoinExecutor()
+
+    def _run(
+        self,
+        mode: str,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        probes: Sequence[Item],
+        epsilon: float,
+        counters: Counters,
+    ) -> Pairs:
+        shards = min(self.workers, len(probes) // self.min_shard)
+        if shards < 2 or not strategy.binary or not _fork_is_safe():
+            if mode == "pair":
+                return self._fallback.pair_pairs(strategy, items_a, probes, counters)
+            if mode == "self":
+                return self._fallback.self_pairs(strategy, probes, counters)
+            if mode == "distance_pair":
+                return self._fallback.distance_pairs(strategy, items_a, probes, epsilon, counters)
+            return self._fallback.distance_pairs(strategy, probes, None, epsilon, counters)
+
+        edges = np.linspace(0, len(probes), shards + 1).astype(int)
+        state = (strategy, items_a, probes, epsilon, mode)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=shards, initializer=_init_join_shard, initargs=(state,)) as pool:
+            parts = pool.map(_run_join_shard, list(zip(edges[:-1], edges[1:])))
+        pairs: Pairs = []
+        for shard_pairs, shard_counters in parts:
+            pairs.extend(shard_pairs)
+            counters.merge(shard_counters)
+        return pairs
+
+    def self_pairs(self, strategy, items, counters):
+        return self._run("self", strategy, items, items, 0.0, counters)
+
+    def pair_pairs(self, strategy, items_a, items_b, counters):
+        return self._run("pair", strategy, items_a, items_b, 0.0, counters)
+
+    def distance_pairs(self, strategy, items_a, items_b, epsilon, counters):
+        if items_b is None:
+            return self._run("distance_self", strategy, items_a, items_a, epsilon, counters)
+        return self._run("distance_pair", strategy, items_a, items_b, epsilon, counters)
+
+
+# -- planning ------------------------------------------------------------------
+
+#: Specs whose total input size is at or below this run the scalar nested
+#: loop: partitioning/packing set-up would outweigh the quadratic scan.
+INLINE_JOIN_CUTOFF = 64
+
+JoinPolicy = Callable[[JoinSpec], JoinStrategy]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One planning decision: which strategy and executor answer a spec."""
+
+    spec: JoinSpec
+    strategy: JoinStrategy
+    executor: JoinExecutor
+
+
+def _spec_size(spec: JoinSpec) -> int:
+    if spec.kind == "self":
+        return len(spec.items)
+    if spec.kind == "pair":
+        return len(spec.items_a) + len(spec.items_b)
+    if spec.kind == "distance":
+        return len(spec.items_a) + (len(spec.items_b) if spec.items_b is not None else 0)
+    return len(spec.dataset)
+
+
+# -- the session ---------------------------------------------------------------
+
+
+class JoinSession:
+    """The single public entry point for spatial joins.
+
+    Parameters
+    ----------
+    strategy:
+        Pin every spec to one strategy — a registry name (``"pbsm"``) or a
+        :class:`~repro.joins.strategies.JoinStrategy` instance — bypassing
+        the planner.
+    policy:
+        Override the planner with ``(spec) -> JoinStrategy``; ignored when
+        ``strategy`` is pinned.
+    executor:
+        Where the filter phase runs (default in-process; pass
+        ``ShardedJoinExecutor(...)`` to partition the probe side).
+    counters:
+        Shared :class:`~repro.instrumentation.counters.Counters` the
+        strategies charge (one is created when omitted).
+    inline_cutoff:
+        Largest total input the planner routes to the scalar nested loop.
+
+    Deferred and immediate styles, mirroring :class:`~repro.engine.QuerySession`::
+
+        session = JoinSession()
+        handle = session.submit(SelfJoinSpec(items))       # deferred
+        pairs = handle.result()                            # flush-on-read
+
+        pairs = session.run(PairJoinSpec(items_a, items_b))  # immediate
+        synapses = session.run(SynapseJoinSpec(dataset, epsilon=0.05))
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str | JoinStrategy | None = None,
+        policy: JoinPolicy | None = None,
+        executor: JoinExecutor | None = None,
+        counters: Counters | None = None,
+        inline_cutoff: int = INLINE_JOIN_CUTOFF,
+    ) -> None:
+        if isinstance(strategy, str):
+            strategy = make_join_strategy(strategy)
+        self._pinned = strategy
+        self._policy = policy
+        self._executor = executor if executor is not None else InlineJoinExecutor()
+        self.counters = counters if counters is not None else Counters()
+        self.inline_cutoff = inline_cutoff
+        self.stats = JoinStats()
+        self._pending: list[tuple[JoinSpec, JoinHandle, JoinStrategy | None]] = []
+        self._small = make_join_strategy("nested_loop")
+        self._default = make_join_strategy("grid")
+
+    # -- planning -------------------------------------------------------------
+
+    def choose_strategy(self, spec: JoinSpec) -> JoinStrategy:
+        """The planner: tiny inputs scan, everything else rides the grid.
+
+        A pinned ``strategy`` or a session ``policy`` overrides this
+        entirely; any :data:`~repro.joins.strategies.JOIN_REGISTRY` entry is
+        a valid answer because all strategies return identical pair sets.
+        """
+        if self._pinned is not None:
+            return self._pinned
+        if self._policy is not None:
+            return self._policy(spec)
+        if _spec_size(spec) <= self.inline_cutoff:
+            return self._small
+        return self._default
+
+    def plan(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> JoinPlan:
+        """The planning decision for ``spec``, without executing it.
+
+        ``strategy`` overrides the planner for this one spec (a registry
+        name or an instance) — the per-call analogue of pinning.
+        """
+        if isinstance(strategy, str):
+            strategy = make_join_strategy(strategy)
+        if strategy is None:
+            strategy = self.choose_strategy(spec)
+        return JoinPlan(spec=spec, strategy=strategy, executor=self._executor)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> JoinHandle:
+        """Buffer one join spec; returns its deferred handle.
+
+        ``strategy`` pins this one spec to a registry name or instance,
+        bypassing the planner for it alone.
+        """
+        if getattr(spec, "kind", None) not in ("self", "pair", "distance", "synapse"):
+            raise TypeError(f"not a join spec: {spec!r}")
+        if isinstance(strategy, str):
+            strategy = make_join_strategy(strategy)
+        handle = JoinHandle(self, spec)
+        self._pending.append((spec, handle, strategy))
+        return handle
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> None:
+        """Execute every buffered spec and resolve the handles.
+
+        A spec whose execution raises settles its handle with that error;
+        the other specs still run, and the first error propagates once the
+        buffer is settled (the same containment contract as query flushes).
+        """
+        pending, self._pending = self._pending, []
+        first_error: Exception | None = None
+        for spec, handle, strategy in pending:
+            try:
+                handle._resolve(self._execute(spec, strategy))
+            except Exception as error:
+                handle._fail(error)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
+    def run(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> Any:
+        """Submit + flush + read: the immediate surface."""
+        return self.submit(spec, strategy).result()
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> Any:
+        plan = self.plan(spec, strategy)
+        strategy, executor = plan.strategy, plan.executor
+        before = self.counters.snapshot()
+        if spec.kind == "self":
+            pairs = executor.self_pairs(strategy, spec.items, self.counters)
+            self.stats.candidates += len(pairs)
+            result: Any = sorted(pairs)
+            self.stats.pairs += len(result)
+        elif spec.kind == "pair":
+            pairs = executor.pair_pairs(strategy, spec.items_a, spec.items_b, self.counters)
+            self.stats.candidates += len(pairs)
+            result = sorted(pairs)
+            self.stats.pairs += len(result)
+        elif spec.kind == "distance":
+            result = self._execute_distance(spec, strategy, executor)
+        else:
+            result = self._execute_synapse(spec, strategy, executor)
+        self.stats.joins += 1
+        self.stats.comparisons += self.counters.comparisons - before.comparisons
+        self.stats.record_run(strategy.name, executor.name)
+        return result
+
+    def _execute_distance(
+        self, spec: DistanceJoinSpec, strategy: JoinStrategy, executor: JoinExecutor
+    ) -> Pairs:
+        candidates = executor.distance_pairs(
+            strategy, spec.items_a, None if spec.is_self else spec.items_b, spec.epsilon, self.counters
+        )
+        self.stats.candidates += len(candidates)
+        if not candidates:
+            return []
+        if spec.refine is not None:
+            self.stats.refined += len(candidates)
+            self.counters.refine_tests += len(candidates)
+            kept = [(a, b) for a, b in candidates if spec.refine(a, b)]
+        else:
+            # Boxes are the geometry: refine with the vectorized box-gap
+            # kernel (one array expression over all candidates).
+            kept = self._refine_box_gaps(spec, candidates)
+        result = sorted(kept)
+        self.stats.pairs += len(result)
+        return result
+
+    def _refine_box_gaps(self, spec: DistanceJoinSpec, candidates: Pairs) -> Pairs:
+        eids_a, boxes_a = kernels.pack_items(list(spec.items_a))
+        if spec.is_self:
+            eids_b, boxes_b = eids_a, boxes_a
+        else:
+            eids_b, boxes_b = kernels.pack_items(list(spec.items_b))
+        rows_a = _rows_of(eids_a, np.fromiter((a for a, _ in candidates), np.int64, len(candidates)))
+        rows_b = _rows_of(eids_b, np.fromiter((b for _, b in candidates), np.int64, len(candidates)))
+        gaps = batch_box_gaps(boxes_a[rows_a], boxes_b[rows_b])
+        self.stats.refined += len(candidates)
+        self.counters.refine_tests += len(candidates)
+        keep = np.nonzero(gaps <= spec.epsilon)[0]
+        return [candidates[i] for i in keep.tolist()]
+
+    def _execute_synapse(
+        self, spec: SynapseJoinSpec, strategy: JoinStrategy, executor: JoinExecutor
+    ) -> list[Synapse]:
+        dataset = spec.dataset
+        items = dataset.items
+        candidates = executor.distance_pairs(strategy, items, None, spec.epsilon, self.counters)
+        self.stats.candidates += len(candidates)
+        if not candidates:
+            return []
+
+        eids = np.fromiter(dataset.capsules.keys(), dtype=np.int64, count=len(dataset.capsules))
+        order = np.argsort(eids)
+        eids_sorted = eids[order]
+        capsules_sorted = [dataset.capsules[int(e)] for e in eids_sorted]
+        neurons_sorted = np.fromiter(
+            (dataset.neuron_of[int(e)] for e in eids_sorted), dtype=np.int64, count=eids_sorted.shape[0]
+        )
+        starts, ends, radii = pack_segments(capsules_sorted)
+
+        cand_a = np.fromiter((a for a, _ in candidates), np.int64, len(candidates))
+        cand_b = np.fromiter((b for _, b in candidates), np.int64, len(candidates))
+        # Registry strategies emit each pair exactly once, but a
+        # user-supplied CallableJoin carries no such guarantee — and the
+        # synapse contract promises duplicate unordered pairs are excluded.
+        cand_pairs = np.unique(np.stack([cand_a, cand_b], axis=1), axis=0)
+        cand_a, cand_b = cand_pairs[:, 0], cand_pairs[:, 1]
+        rows_a = np.searchsorted(eids_sorted, cand_a)
+        rows_b = np.searchsorted(eids_sorted, cand_b)
+
+        # Same-neuron pairs never form synapses — exclude before the (more
+        # expensive) exact-geometry refinement.
+        cross = neurons_sorted[rows_a] != neurons_sorted[rows_b]
+        rows_a, rows_b = rows_a[cross], rows_b[cross]
+        if rows_a.shape[0] == 0:
+            return []
+        gaps = batch_capsule_gaps(
+            starts[rows_a], ends[rows_a], radii[rows_a],
+            starts[rows_b], ends[rows_b], radii[rows_b],
+        )
+        self.stats.refined += int(rows_a.shape[0])
+        self.counters.refine_tests += int(rows_a.shape[0])
+        keep = np.nonzero(gaps <= spec.epsilon)[0]
+
+        synapses: list[Synapse] = []
+        for i in keep.tolist():
+            ra, rb = int(rows_a[i]), int(rows_b[i])
+            ea, eb = int(eids_sorted[ra]), int(eids_sorted[rb])
+            if ea > eb:
+                ea, eb = eb, ea
+                ra, rb = rb, ra
+            synapses.append(
+                Synapse(
+                    segment_a=ea,
+                    segment_b=eb,
+                    neuron_a=int(neurons_sorted[ra]),
+                    neuron_b=int(neurons_sorted[rb]),
+                    gap=float(gaps[i]),
+                    location=apposition_point(capsules_sorted[ra], capsules_sorted[rb]),
+                )
+            )
+        synapses.sort(key=lambda s: (s.segment_a, s.segment_b))
+        self.stats.pairs += len(synapses)
+        return synapses
+
+
+def _rows_of(sorted_or_raw_eids: np.ndarray, wanted: np.ndarray) -> np.ndarray:
+    """Row indices of ``wanted`` ids inside an eid array (ids are unique)."""
+    order = np.argsort(sorted_or_raw_eids)
+    pos = np.searchsorted(sorted_or_raw_eids[order], wanted)
+    return order[pos]

@@ -1,0 +1,195 @@
+"""Join specifications: first-class values describing one spatial join.
+
+Mirroring the query side (:mod:`repro.engine.session`, where queries are
+``RangeQuery``/``KNNQuery``/``PointQuery`` values), a join is described by a
+**spec** and executed by a :class:`~repro.joins.session.JoinSession`:
+
+* :class:`SelfJoinSpec` — all unordered intersecting pairs within one
+  dataset (the paper's collision-detection use: "the entire model needs to
+  be spatially joined with itself at every simulation step");
+* :class:`PairJoinSpec` — A ⋈ B: all ``(a, b)`` pairs with intersecting
+  boxes;
+* :class:`DistanceJoinSpec` — pairs within distance ε, via the
+  expand-filter-refine pipeline (§2.2's synapse join is the motivating
+  workload);
+* :class:`SynapseJoinSpec` — the full neuroscience predicate: a within-ε
+  self-join over a neuron dataset's capsule segments, excluding same-neuron
+  pairs, materializing :class:`Synapse` records.
+
+Specs carry a unique ``jid`` and an optional caller ``tag`` so telemetry
+(:class:`JoinStats`, :func:`repro.analysis.session_report.join_report`) can
+attribute work, exactly as query values do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, Union
+
+from repro.datasets.neuroscience import NeuronDataset
+from repro.geometry.primitives import Capsule
+from repro.indexes.base import Item
+
+_JIDS = itertools.count()
+
+
+def _next_jid() -> int:
+    return next(_JIDS)
+
+
+def _as_items(items: Sequence[Item]) -> tuple[Item, ...]:
+    return tuple(items)
+
+
+# -- specs ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelfJoinSpec:
+    """All unordered intersecting pairs ``(a, b)`` with ``a < b`` in one set."""
+
+    items: tuple[Item, ...]
+    tag: Any = None
+    jid: int = field(default_factory=_next_jid, compare=False)
+
+    kind = "self"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", _as_items(self.items))
+
+
+@dataclass(frozen=True)
+class PairJoinSpec:
+    """All ``(a, b)`` pairs of A × B whose boxes intersect."""
+
+    items_a: tuple[Item, ...]
+    items_b: tuple[Item, ...]
+    tag: Any = None
+    jid: int = field(default_factory=_next_jid, compare=False)
+
+    kind = "pair"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items_a", _as_items(self.items_a))
+        object.__setattr__(self, "items_b", _as_items(self.items_b))
+
+
+@dataclass(frozen=True)
+class DistanceJoinSpec:
+    """Pairs within distance ``epsilon``, by expand-filter-refine.
+
+    ``items_b=None`` makes it a self-join (unordered pairs, ``a < b``).
+    ``refine(a, b)`` decides the exact predicate on the ids; when ``None``
+    the stored boxes *are* the geometry and the exact predicate is the box
+    gap (``AABB.min_distance_to_box``) — refined with the vectorized
+    :func:`repro.geometry.refine.batch_box_gaps` kernel.
+    """
+
+    items_a: tuple[Item, ...]
+    items_b: tuple[Item, ...] | None
+    epsilon: float
+    refine: Callable[[int, int], bool] | None = None
+    tag: Any = None
+    jid: int = field(default_factory=_next_jid, compare=False)
+
+    kind = "distance"
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+        object.__setattr__(self, "items_a", _as_items(self.items_a))
+        if self.items_b is not None:
+            object.__setattr__(self, "items_b", _as_items(self.items_b))
+
+    @property
+    def is_self(self) -> bool:
+        return self.items_b is None
+
+
+@dataclass(frozen=True)
+class SynapseJoinSpec:
+    """Synapse detection: within-ε capsule self-join over a neuron dataset.
+
+    "wherever two neurons are within a given distance of each other, they
+    will form a synapse to communicate with each other" (§2.2).  Same-neuron
+    segment pairs are excluded; the result is a list of :class:`Synapse`
+    records ordered by ``(segment_a, segment_b)``.
+    """
+
+    dataset: NeuronDataset
+    epsilon: float = 0.05
+    tag: Any = None
+    jid: int = field(default_factory=_next_jid, compare=False)
+
+    kind = "synapse"
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+
+
+JoinSpec = Union[SelfJoinSpec, PairJoinSpec, DistanceJoinSpec, SynapseJoinSpec]
+
+
+# -- results -------------------------------------------------------------------
+
+
+@dataclass
+class Synapse:
+    """A detected apposition between two neuron segments."""
+
+    segment_a: int
+    segment_b: int
+    neuron_a: int
+    neuron_b: int
+    gap: float
+    location: tuple[float, float, float]
+
+
+def apposition_point(a: Capsule, b: Capsule) -> tuple[float, float, float]:
+    """Midpoint between the two segment midpoints — a stable, cheap stand-in
+    for the exact closest-approach point (sufficient for placement stats)."""
+    mid_a = a.axis.midpoint()
+    mid_b = b.axis.midpoint()
+    return tuple((p + q) / 2.0 for p, q in zip(mid_a, mid_b))  # type: ignore[return-value]
+
+
+# -- stats ---------------------------------------------------------------------
+
+
+@dataclass
+class JoinStats:
+    """Shared accounting across every join strategy and executor.
+
+    ``comparisons`` is the paper's currency ("the number of comparisons (the
+    major bulk of work for in-memory spatial joins)"); ``candidates`` counts
+    filter-phase output pairs and ``refined`` the exact-geometry tests run on
+    them, so the filter/refine split is visible per session.  The routing
+    maps mirror :class:`~repro.engine.session.SessionStats.executor_runs` —
+    :func:`repro.analysis.session_report.join_report` renders them the same
+    way.
+    """
+
+    joins: int = 0
+    candidates: int = 0
+    pairs: int = 0
+    refined: int = 0
+    comparisons: int = 0
+    strategy_runs: dict[str, int] = field(default_factory=dict)
+    executor_runs: dict[str, int] = field(default_factory=dict)
+
+    def record_run(self, strategy_name: str, executor_name: str) -> None:
+        self.strategy_runs[strategy_name] = self.strategy_runs.get(strategy_name, 0) + 1
+        self.executor_runs[executor_name] = self.executor_runs.get(executor_name, 0) + 1
+
+    def merge(self, other: "JoinStats") -> None:
+        self.joins += other.joins
+        self.candidates += other.candidates
+        self.pairs += other.pairs
+        self.refined += other.refined
+        self.comparisons += other.comparisons
+        for name, runs in other.strategy_runs.items():
+            self.strategy_runs[name] = self.strategy_runs.get(name, 0) + runs
+        for name, runs in other.executor_runs.items():
+            self.executor_runs[name] = self.executor_runs.get(name, 0) + runs

@@ -1,0 +1,718 @@
+"""Join strategies: every join algorithm behind one interface.
+
+Each algorithm the paper surveys (§3.2/3.3/4.3) is a :class:`JoinStrategy`
+registered in :data:`JOIN_REGISTRY`.  The contract every strategy honours:
+
+* ``join(items_a, items_b, counters)`` returns **exactly** the ordered pair
+  set the nested loop would — every intersecting ``(a, b)`` exactly once;
+* ``self_join(items, counters)`` returns every unordered intersecting pair
+  exactly once as ``(min_id, max_id)``;
+* ``distance_candidates(...)`` returns a complete candidate set for the
+  within-ε predicate (a superset of the true answer, refined by the
+  session);
+* pairwise work is charged to ``counters.comparisons`` — the currency the
+  paper argues with ("the number of comparisons (the major bulk of work for
+  in-memory spatial joins)").
+
+Scalar baselines (``nested_loop``, ``grid_scalar``, ``pbsm_scalar``,
+``touch``, ``tiny_cell``) keep the per-pair Python loops the paper's cost
+model counts; the vectorized strategies (``block_nested``, ``sweepline``,
+``grid``, ``pbsm``, ``tree``) run the same algorithms on the array kernels
+of :mod:`repro.joins.kernels` and the query engine.  The oracle suite
+(``tests/test_join_session.py``) asserts every registry entry agrees with
+the nested loop on every dataset shape.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.uniform_grid import UniformGrid
+from repro.engine import QuerySession
+from repro.geometry.aabb import AABB, union_all
+from repro.indexes.base import Item
+from repro.indexes.bulkload import str_pack
+from repro.indexes.rtree import Node
+from repro.instrumentation.counters import Counters
+from repro.joins import kernels
+
+Pairs = list[tuple[int, int]]
+
+
+class JoinStrategy(ABC):
+    """One join algorithm, interchangeable with every other registry entry."""
+
+    #: Registry key; subclasses set it and :func:`register` indexes on it.
+    name: str = "strategy"
+    #: Whether the strategy answers binary (A ⋈ B) joins.
+    binary: bool = True
+
+    @abstractmethod
+    def join(self, items_a: Sequence[Item], items_b: Sequence[Item], counters: Counters) -> Pairs:
+        """All ``(a, b)`` id pairs of A × B with intersecting boxes, each once."""
+
+    def self_join(self, items: Sequence[Item], counters: Counters) -> Pairs:
+        """All unordered intersecting pairs, as ``(min_id, max_id)``, each once.
+
+        Default: run the binary join of the set against itself and keep the
+        ``a < b`` half — every unordered pair appears exactly twice in the
+        ordered result (once per orientation) plus the ``(i, i)`` diagonal,
+        so the filter reports it exactly once.  Strategies with a cheaper
+        native self path override this.
+        """
+        return [(a, b) for a, b in self.join(items, items, counters) if a < b]
+
+    def distance_candidates(
+        self,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item] | None,
+        epsilon: float,
+        counters: Counters,
+    ) -> Pairs:
+        """Complete candidate pairs for the within-ε predicate.
+
+        Default filter: expand every box by ε/2 per side and run the plain
+        intersection join — exact distance ≤ ε implies the expanded boxes
+        intersect.  ``items_b=None`` means self-join candidates
+        (``a < b``).  Strategies with a native distance filter (the tree's
+        bounded traversal) override this with something tighter.
+        """
+        expanded_a = [(eid, box.expanded(epsilon / 2.0)) for eid, box in items_a]
+        if items_b is None:
+            return self.self_join(expanded_a, counters)
+        expanded_b = [(eid, box.expanded(epsilon / 2.0)) for eid, box in items_b]
+        return self.join(expanded_a, expanded_b, counters)
+
+
+# -- registry ------------------------------------------------------------------
+
+#: Name → strategy class for every shipped join algorithm.
+JOIN_REGISTRY: dict[str, type[JoinStrategy]] = {}
+
+
+def register(cls: type[JoinStrategy]) -> type[JoinStrategy]:
+    JOIN_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_join_strategies() -> list[str]:
+    """Registered strategy names, sorted."""
+    return sorted(JOIN_REGISTRY)
+
+
+def make_join_strategy(name: str, **kwargs: object) -> JoinStrategy:
+    """Construct a registered strategy by name (kwargs go to its ``__init__``)."""
+    try:
+        cls = JOIN_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown join strategy {name!r}; available: {available_join_strategies()}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _hull(*item_sets: Sequence[Item]) -> AABB:
+    return union_all(box for items in item_sets for _, box in items)
+
+
+# -- nested loop (the oracle) ----------------------------------------------------
+
+
+@register
+class NestedLoopJoin(JoinStrategy):
+    """The O(n·m) scalar baseline and correctness oracle.
+
+    "Not using any index structure results in a nested loop join with n²
+    comparisons" (§4.3).  Every other strategy is tested against this one.
+    """
+
+    name = "nested_loop"
+
+    def join(self, items_a, items_b, counters):
+        pairs: Pairs = []
+        for eid_a, box_a in items_a:
+            for eid_b, box_b in items_b:
+                counters.comparisons += 1
+                if box_a.intersects(box_b):
+                    pairs.append((eid_a, eid_b))
+        return pairs
+
+    def self_join(self, items, counters):
+        pairs: Pairs = []
+        n = len(items)
+        for i in range(n):
+            eid_a, box_a = items[i]
+            for j in range(i + 1, n):
+                eid_b, box_b = items[j]
+                counters.comparisons += 1
+                if box_a.intersects(box_b):
+                    pairs.append((eid_a, eid_b) if eid_a < eid_b else (eid_b, eid_a))
+        return pairs
+
+
+@register
+class BlockNestedJoin(JoinStrategy):
+    """The nested loop on the blocked dense-overlap kernel.
+
+    Same n·m comparisons, executed as bounded bool blocks instead of Python
+    iterations — the planner's choice for small inputs where partitioning
+    set-up would dominate.
+    """
+
+    name = "block_nested"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        eids_a, boxes_a = kernels.pack_items(items_a)
+        eids_b, boxes_b = kernels.pack_items(items_b)
+        ai, bi = kernels.block_pairs(boxes_a, boxes_b, counters)
+        return list(zip(eids_a[ai].tolist(), eids_b[bi].tolist()))
+
+    def self_join(self, items, counters):
+        if len(items) < 2:
+            return []
+        eids, boxes = kernels.pack_items(items)
+        ai, bi = kernels.block_pairs(boxes, boxes, counters)
+        keep = eids[ai] < eids[bi]
+        return list(zip(eids[ai[keep]].tolist(), eids[bi[keep]].tolist()))
+
+
+# -- plane sweep -----------------------------------------------------------------
+
+
+@register
+class SweeplineJoin(JoinStrategy):
+    """Sort + plane sweep along axis 0, vectorized.
+
+    One of the two algorithms "specifically designed for use in memory"
+    before TOUCH (§3.2).  Both inputs are sorted by their lower x
+    coordinate; every intersecting pair has exactly one of its lower-x
+    bounds inside the other's x range, so two ``searchsorted`` window sweeps
+    enumerate each candidate exactly once, and the remaining axes are tested
+    with one array expression per sweep.  The paper's criticism survives
+    vectorization unchanged: pruning is only by x, so ``comparisons`` counts
+    every x-overlapping pair, however far apart in y/z.
+    """
+
+    name = "sweepline"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        eids_a, boxes_a = kernels.pack_items(items_a)
+        eids_b, boxes_b = kernels.pack_items(items_b)
+        pairs: Pairs = []
+        # Sweep 1: B elements whose lo-x lies within [a.lo_x, a.hi_x].
+        pairs.extend(
+            self._sweep(eids_a, boxes_a, eids_b, boxes_b, counters, strict=False)
+        )
+        # Sweep 2 (mirror): A elements whose lo-x lies strictly inside
+        # (b.lo_x, b.hi_x] — strict, so ties report only in sweep 1.
+        pairs.extend(
+            (a, b)
+            for b, a in self._sweep(eids_b, boxes_b, eids_a, boxes_a, counters, strict=True)
+        )
+        return pairs
+
+    # Candidate pairs materialized per slab; x-clustered inputs can produce
+    # windows far larger than the output, and the slab keeps that bounded.
+    _SLAB = 1 << 22
+
+    @classmethod
+    def _sweep(cls, eids_out, boxes_out, eids_in, boxes_in, counters, *, strict):
+        order = np.argsort(boxes_in[:, 0, 0], kind="stable")
+        lo_sorted = boxes_in[order, 0, 0]
+        side = "right" if strict else "left"
+        starts = np.searchsorted(lo_sorted, boxes_out[:, 0, 0], side=side)
+        stops = np.searchsorted(lo_sorted, boxes_out[:, 1, 0], side="right")
+        counts = np.maximum(stops - starts, 0)
+        cumulative = np.cumsum(counts)
+        total = int(cumulative[-1]) if counts.shape[0] else 0
+        if total == 0:
+            return []
+        counters.comparisons += total
+        pairs = []
+        edges = np.searchsorted(cumulative, np.arange(0, total, cls._SLAB), side="left")
+        edges = np.append(edges, counts.shape[0])
+        for lo_row, hi_row in zip(edges[:-1], edges[1:]):
+            if lo_row == hi_row:
+                continue
+            rows, cols = kernels.expand_ranges(starts[lo_row:hi_row], stops[lo_row:hi_row])
+            if rows.shape[0] == 0:
+                continue
+            rows = rows + lo_row
+            inner = order[cols]
+            a, b = boxes_out[rows], boxes_in[inner]
+            ok = np.all(
+                (a[:, 0, 1:] <= b[:, 1, 1:]) & (b[:, 0, 1:] <= a[:, 1, 1:]), axis=1
+            )
+            pairs.extend(zip(eids_out[rows[ok]].tolist(), eids_in[inner[ok]].tolist()))
+        return pairs
+
+
+# -- grid joins ------------------------------------------------------------------
+
+
+class _GridJoinBase(JoinStrategy):
+    """Shared build-the-grid-over-A plumbing for both grid variants."""
+
+    def __init__(self, cell_size: float | None = None) -> None:
+        self.cell_size = cell_size
+
+    def _build(self, items_a: Sequence[Item], hull: AABB, scratch: Counters) -> UniformGrid:
+        grid = UniformGrid(
+            universe=hull.expanded(max(hull.margin() * 0.005, 1e-9)),
+            cell_size=self.cell_size,
+            counters=scratch,
+        )
+        grid.bulk_load(items_a)
+        return grid
+
+
+@register
+class GridJoin(_GridJoinBase):
+    """The paper's §4.3 direction on the vectorized kernels.
+
+    Index A in a uniform grid (one linear pass — the preprocessing the paper
+    wants cheap), then answer the whole probe side as one
+    :class:`~repro.engine.QuerySession` batch, so the join rides the grid's
+    vectorized range kernel instead of a per-element ``range_query`` loop.
+    The grid's element tests during the probes are the join's comparisons.
+    """
+
+    name = "grid"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        scratch = Counters()
+        grid = self._build(items_a, _hull(items_a, items_b), scratch)
+        session = QuerySession(grid)
+        hits = session.range_query([box for _, box in items_b])
+        counters.comparisons += scratch.elem_tests
+        counters.cells_probed += scratch.cells_probed
+        pairs: Pairs = []
+        for (eid_b, _), matches in zip(items_b, hits):
+            for eid_a in matches:
+                pairs.append((eid_a, eid_b))
+        return pairs
+
+    def self_join(self, items, counters):
+        if len(items) < 2:
+            return []
+        scratch = Counters()
+        grid = self._build(items, _hull(items), scratch)
+        session = QuerySession(grid)
+        hits = session.range_query([box for _, box in items])
+        counters.comparisons += scratch.elem_tests
+        counters.cells_probed += scratch.cells_probed
+        # Each unordered pair surfaces from both probes; keep the probe
+        # whose id is smaller, so the pair reports exactly once.
+        pairs: Pairs = []
+        for (eid, _), matches in zip(items, hits):
+            for other in matches:
+                if eid < other:
+                    pairs.append((eid, other))
+        return pairs
+
+
+@register
+class GridScalarJoin(_GridJoinBase):
+    """The same grid join, probing with one scalar ``range_query`` per B box.
+
+    The pre-batching shape of the algorithm — kept as the measured baseline
+    the vectorized :class:`GridJoin` is benchmarked against
+    (``benchmarks/bench_joins.py``).
+    """
+
+    name = "grid_scalar"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        scratch = Counters()
+        grid = self._build(items_a, _hull(items_a, items_b), scratch)
+        pairs: Pairs = []
+        for eid_b, box_b in items_b:
+            for eid_a in grid.range_query(box_b):
+                pairs.append((eid_a, eid_b))
+        counters.comparisons += scratch.elem_tests
+        counters.cells_probed += scratch.cells_probed
+        return pairs
+
+
+# -- PBSM ------------------------------------------------------------------------
+
+
+def _default_tiles(n_total: int, dims: int) -> int:
+    target_tiles = max(n_total / 4.0, 1.0)
+    return max(1, int(round(target_tiles ** (1.0 / dims))))
+
+
+class _PBSMBase(JoinStrategy):
+    def __init__(self, tiles_per_axis: int | None = None) -> None:
+        self.tiles_per_axis = tiles_per_axis
+
+    def _tiles(self, items_a, items_b, dims) -> int:
+        if self.tiles_per_axis is not None:
+            return self.tiles_per_axis
+        return _default_tiles(len(items_a) + len(items_b), dims)
+
+
+@register
+class PBSMJoin(_PBSMBase):
+    """Partition Based Spatial-Merge (Patel & DeWitt, SIGMOD'96), vectorized.
+
+    The paper recommends exactly this shape for memory: "An approach based
+    on a grid (similar to PBSM) optimized for memory ... will certainly
+    speed up the preprocessing/indexing and thus the overall join" (§3.3).
+    Partitioning, the per-tile cross products and the reference-point dedup
+    all run as array expressions (:func:`repro.joins.kernels.pbsm_pairs`);
+    a pair is reported only by the tile containing the lower corner of the
+    two boxes' intersection, so replication never duplicates output.
+    """
+
+    name = "pbsm"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        eids_a, boxes_a = kernels.pack_items(items_a)
+        eids_b, boxes_b = kernels.pack_items(items_b)
+        hull_lo = np.minimum(boxes_a[:, 0, :].min(axis=0), boxes_b[:, 0, :].min(axis=0))
+        hull_hi = np.maximum(boxes_a[:, 1, :].max(axis=0), boxes_b[:, 1, :].max(axis=0))
+        tiles = self._tiles(items_a, items_b, boxes_a.shape[2])
+        ai, bi = kernels.pbsm_pairs(
+            boxes_a, boxes_b, hull_lo, hull_hi, tiles, counters
+        )
+        return list(zip(eids_a[ai].tolist(), eids_b[bi].tolist()))
+
+
+@register
+class PBSMScalarJoin(_PBSMBase):
+    """PBSM with dict-of-buckets partitioning and per-pair Python tests.
+
+    The pre-vectorization shape, kept as the measured baseline for
+    :class:`PBSMJoin` (``benchmarks/bench_joins.py``).
+    """
+
+    name = "pbsm_scalar"
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        hull = _hull(items_a, items_b)
+        dims = hull.dims
+        tiles_per_axis = self._tiles(items_a, items_b, dims)
+        sides = tuple(max(extent / tiles_per_axis, 1e-12) for extent in hull.extents())
+
+        def tile_window(box: AABB) -> tuple[tuple[int, ...], tuple[int, ...]]:
+            lo, hi = [], []
+            for axis in range(dims):
+                lo_idx = int((box.lo[axis] - hull.lo[axis]) / sides[axis])
+                hi_idx = int((box.hi[axis] - hull.lo[axis]) / sides[axis])
+                lo.append(max(0, min(lo_idx, tiles_per_axis - 1)))
+                hi.append(max(0, min(hi_idx, tiles_per_axis - 1)))
+            return tuple(lo), tuple(hi)
+
+        tiles_a: dict[tuple[int, ...], list[Item]] = {}
+        tiles_b: dict[tuple[int, ...], list[Item]] = {}
+        for tiles, items in ((tiles_a, items_a), (tiles_b, items_b)):
+            for eid, box in items:
+                lo, hi = tile_window(box)
+                for key in _window_keys(lo, hi):
+                    tiles.setdefault(key, []).append((eid, box))
+
+        def owning_tile(overlap: AABB) -> tuple[int, ...]:
+            key = []
+            for axis in range(dims):
+                idx = int((overlap.lo[axis] - hull.lo[axis]) / sides[axis])
+                key.append(max(0, min(idx, tiles_per_axis - 1)))
+            return tuple(key)
+
+        pairs: Pairs = []
+        for key, bucket_a in tiles_a.items():
+            bucket_b = tiles_b.get(key)
+            if not bucket_b:
+                continue
+            for eid_a, box_a in bucket_a:
+                for eid_b, box_b in bucket_b:
+                    counters.comparisons += 1
+                    overlap = box_a.intersection(box_b)
+                    if overlap is None:
+                        continue
+                    if owning_tile(overlap) == key:
+                        pairs.append((eid_a, eid_b))
+        return pairs
+
+
+def _window_keys(lo: tuple[int, ...], hi: tuple[int, ...]):
+    if len(lo) == 1:
+        for i in range(lo[0], hi[0] + 1):
+            yield (i,)
+        return
+    for i in range(lo[0], hi[0] + 1):
+        for tail in _window_keys(lo[1:], hi[1:]):
+            yield (i, *tail)
+
+
+# -- tree join (carried-set traversal) ---------------------------------------------
+
+
+@register
+class TreeJoin(JoinStrategy):
+    """STR-packed R-tree join with the batch-kNN carried-set traversal.
+
+    Builds the tree over A and answers the whole probe side in one traversal
+    (:func:`repro.joins.kernels.tree_pairs`): each node is expanded at most
+    once per batch, carrying exactly the probes whose gap bound reaches its
+    MBR — the pruning discipline of the seeded best-first kNN kernel with
+    the bound fixed per probe.  For distance joins the bound *is* ε: the
+    box-gap filter is complete (the gap lower-bounds the exact distance) and
+    strictly tighter than ε-expanded box intersection, so distance joins
+    prune with per-probe bounds instead of inflating every box.
+    """
+
+    name = "tree"
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 2:
+            raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+        self.max_entries = max_entries
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        eids_b, boxes_b = kernels.pack_items(items_b)
+        bounds = np.zeros(boxes_b.shape[0])
+        probes, hits = kernels.tree_pairs(
+            items_a, boxes_b, bounds, counters, self.max_entries
+        )
+        return list(zip(hits.tolist(), eids_b[probes].tolist()))
+
+    def distance_candidates(self, items_a, items_b, epsilon, counters):
+        probe_items = items_a if items_b is None else items_b
+        eids_p, boxes_p = kernels.pack_items(probe_items)
+        if not items_a or not probe_items:
+            return []
+        bounds = np.full(boxes_p.shape[0], float(epsilon))
+        probes, hits = kernels.tree_pairs(
+            items_a, boxes_p, bounds, counters, self.max_entries
+        )
+        if items_b is None:
+            keep = hits < eids_p[probes]
+            return list(zip(hits[keep].tolist(), eids_p[probes[keep]].tolist()))
+        return list(zip(hits.tolist(), eids_p[probes].tolist()))
+
+
+# -- TOUCH -----------------------------------------------------------------------
+
+
+@register
+class TouchJoin(JoinStrategy):
+    """TOUCH: hierarchical data-oriented partitioning, assign-and-probe
+    (Nobari, Tauheed, Heinis, Karras, Bressan, Ailamaki — SIGMOD'13).
+
+    The authors' own pre-paper join, cited in §3.2 as outperforming both the
+    nested loop and the sweep line in memory: bulk-build an R-tree hierarchy
+    over A, *assign* each B element to the lowest node whose subtree could
+    hold all its matches, then *probe* each leaf's A elements against the B
+    buckets assigned along its ancestor path — spatially distant pairs never
+    meet, because containment stopped them at disjoint branches.
+    """
+
+    name = "touch"
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 2:
+            raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+        self.max_entries = max_entries
+
+    def join(self, items_a, items_b, counters):
+        if not items_a or not items_b:
+            return []
+        root, _height, _count = str_pack(list(items_a), self.max_entries, Node)
+        root_node: Node = root  # type: ignore[assignment]
+        buckets: dict[int, list[Item]] = {}
+
+        for eid_b, box_b in items_b:
+            # Descend while exactly one child MBR intersects the element:
+            # only then is the whole candidate set guaranteed to be in one
+            # subtree.  Zero intersecting children means no A element can
+            # match — drop.
+            node = root_node
+            placed = True
+            while not node.is_leaf:
+                hits: list[Node] = []
+                for entry_box, child in node.entries:
+                    counters.node_tests += 1
+                    if entry_box.intersects(box_b):
+                        hits.append(child)  # type: ignore[arg-type]
+                        if len(hits) > 1:
+                            break
+                if not hits:
+                    placed = False
+                    break
+                if len(hits) > 1:
+                    break
+                node = hits[0]
+            if placed:
+                buckets.setdefault(id(node), []).append((eid_b, box_b))
+
+        pairs: Pairs = []
+        self._probe(root_node, [], buckets, pairs, counters)
+        return pairs
+
+    def _probe(self, node: Node, ancestors, buckets, pairs, counters) -> None:
+        own = buckets.get(id(node))
+        if own:
+            ancestors = ancestors + [own]
+        if node.is_leaf:
+            if ancestors:
+                for box_a, eid_a in node.entries:
+                    for bucket in ancestors:
+                        for eid_b, box_b in bucket:
+                            counters.comparisons += 1
+                            if box_a.intersects(box_b):
+                                pairs.append((eid_a, eid_b))
+            return
+        for _, child in node.entries:
+            self._probe(child, ancestors, buckets, pairs, counters)  # type: ignore[arg-type]
+
+
+# -- tiny-cell self join -----------------------------------------------------------
+
+
+@register
+class TinyCellJoin(JoinStrategy):
+    """Self-join with cells smaller than the smallest element (§4.3).
+
+    The paper's refinement of the grid direction: "if the grid cell size is
+    smaller than the smallest element size, then objects in the same cell
+    intersect by definition" — same-cell co-residents are emitted with zero
+    comparisons, and only neighbouring-cell pairs are tested.  Self-join
+    only; the planner never routes binary specs here.
+    """
+
+    name = "tiny_cell"
+    binary = False
+
+    def __init__(self, cell_size: float | None = None) -> None:
+        self.cell_size = cell_size
+
+    def join(self, items_a, items_b, counters):
+        raise NotImplementedError("tiny_cell is a self-join strategy")
+
+    def self_join(self, items, counters):
+        if len(items) < 2:
+            return []
+        dims = items[0][1].dims
+        min_extent = min(min(box.extents()) for _, box in items)
+        shortcut_valid = min_extent > 0.0
+        cell_size = self.cell_size
+        if cell_size is None:
+            if shortcut_valid:
+                cell_size = 0.9 * min_extent
+            else:
+                hull = _hull(items)
+                cell_size = max(max(hull.extents()) / max(len(items), 1), 1e-9)
+        elif cell_size >= min_extent:
+            shortcut_valid = False
+
+        hull = _hull(items)
+
+        def cell_of(box: AABB) -> tuple[int, ...]:
+            center = box.center()
+            return tuple(
+                int(math.floor((center[axis] - hull.lo[axis]) / cell_size))
+                for axis in range(dims)
+            )
+
+        cells: dict[tuple[int, ...], list[Item]] = {}
+        for eid, box in items:
+            cells.setdefault(cell_of(box), []).append((eid, box))
+
+        pairs: Pairs = []
+        emitted: set[tuple[int, int]] = set()
+
+        # Same-cell pairs: intersect by definition when cells are tiny enough.
+        for bucket in cells.values():
+            for i in range(len(bucket)):
+                eid_a, box_a = bucket[i]
+                for j in range(i + 1, len(bucket)):
+                    eid_b, box_b = bucket[j]
+                    if shortcut_valid:
+                        pair = (min(eid_a, eid_b), max(eid_a, eid_b))
+                        pairs.append(pair)
+                        emitted.add(pair)
+                    else:
+                        counters.comparisons += 1
+                        if box_a.intersects(box_b):
+                            pair = (min(eid_a, eid_b), max(eid_a, eid_b))
+                            pairs.append(pair)
+                            emitted.add(pair)
+
+        # Cross-cell pairs: probe the neighbour window each box can reach.
+        # Two intersecting boxes have centres at most (extent_a + extent_b)/2
+        # apart per axis, so the window covers half the element's own extent
+        # plus half the dataset-wide maximum extent.
+        max_extent = [
+            max(box.hi[axis] - box.lo[axis] for _, box in items) for axis in range(dims)
+        ]
+        for eid_a, box_a in items:
+            home = cell_of(box_a)
+            reach = [
+                int(
+                    math.ceil(
+                        ((box_a.hi[axis] - box_a.lo[axis]) / 2.0 + max_extent[axis] / 2.0)
+                        / cell_size
+                    )
+                )
+                + 1
+                for axis in range(dims)
+            ]
+            window = _window_keys(
+                tuple(c - r for c, r in zip(home, reach)),
+                tuple(c + r for c, r in zip(home, reach)),
+            )
+            for key in window:
+                if key == home:
+                    continue
+                counters.cells_probed += 1
+                for eid_b, box_b in cells.get(key, ()):
+                    if eid_a == eid_b:
+                        continue
+                    pair = (min(eid_a, eid_b), max(eid_a, eid_b))
+                    if pair in emitted:
+                        continue
+                    counters.comparisons += 1
+                    if box_a.intersects(box_b):
+                        pairs.append(pair)
+                        emitted.add(pair)
+        return pairs
+
+
+# -- adapter for user-supplied callables -------------------------------------------
+
+
+class CallableJoin(JoinStrategy):
+    """Adapts a bare ``(items_a, items_b, counters) -> pairs`` callable.
+
+    Back-compat bridge for the pre-session ``box_join=`` hooks
+    (:meth:`repro.joins.synapse.SynapseDetector.detect` and
+    :func:`repro.joins.synapse.distance_join`); not registered — construct
+    it explicitly.
+    """
+
+    name = "callable"
+
+    def __init__(self, fn: Callable[..., Pairs]) -> None:
+        self.fn = fn
+
+    def join(self, items_a, items_b, counters):
+        return self.fn(items_a, items_b, counters=counters)

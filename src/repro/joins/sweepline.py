@@ -1,15 +1,8 @@
-"""Plane-sweep spatial join.
+"""Deprecated free-function surface of the plane-sweep join.
 
-One of the two algorithms that were "specifically designed for use in
-memory" before TOUCH (§3.2).  Both inputs are sorted by their lower x
-coordinate; a sweep advances through the union, keeping per-input active
-lists of intervals whose x range overlaps the sweep position, and compares
-new arrivals against the opposite active list on the remaining dimensions.
-
-The paper's criticism is visible in the counters: pruning is only by x, so
-"the sweep line approach does not ensure that only spatially close objects
-are compared" — datasets clustered in y/z produce comparison counts far above
-the output size, which ``bench_joins.py`` reports.
+The implementation lives in :class:`repro.joins.strategies.SweeplineJoin`
+(registry name ``"sweepline"``, vectorized since the JoinSession redesign);
+submit specs through :class:`repro.joins.JoinSession`.
 """
 
 from __future__ import annotations
@@ -18,6 +11,8 @@ from typing import Sequence
 
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
+from repro.joins._shims import deprecated_join
+from repro.joins.strategies import SweeplineJoin
 
 
 def sweepline_join(
@@ -25,48 +20,6 @@ def sweepline_join(
     items_b: Sequence[Item],
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """Forward plane sweep along axis 0."""
-    counters = counters if counters is not None else Counters()
-    if not items_a or not items_b:
-        return []
-
-    a_sorted = sorted(items_a, key=lambda item: item[1].lo[0])
-    b_sorted = sorted(items_b, key=lambda item: item[1].lo[0])
-    pairs: list[tuple[int, int]] = []
-    i = 0
-    j = 0
-    while i < len(a_sorted) and j < len(b_sorted):
-        if a_sorted[i][1].lo[0] <= b_sorted[j][1].lo[0]:
-            eid_a, box_a = a_sorted[i]
-            i += 1
-            # Scan forward through B while x ranges can still overlap.
-            k = j
-            while k < len(b_sorted) and b_sorted[k][1].lo[0] <= box_a.hi[0]:
-                eid_b, box_b = b_sorted[k]
-                k += 1
-                counters.comparisons += 1
-                if _overlap_from_axis(box_a, box_b, 1):
-                    pairs.append((eid_a, eid_b))
-        else:
-            eid_b, box_b = b_sorted[j]
-            j += 1
-            k = i
-            while k < len(a_sorted) and a_sorted[k][1].lo[0] <= box_b.hi[0]:
-                eid_a, box_a = a_sorted[k]
-                k += 1
-                counters.comparisons += 1
-                if _overlap_from_axis(box_a, box_b, 1):
-                    pairs.append((eid_a, eid_b))
-    return pairs
-
-
-def _overlap_from_axis(box_a, box_b, start_axis: int) -> bool:
-    """Overlap test on the axes the sweep has not already resolved.
-
-    The sweep established overlap on axis 0 (one lower bound lies within the
-    other's x range); the remaining axes are tested here.
-    """
-    for axis in range(start_axis, box_a.dims):
-        if box_a.lo[axis] > box_b.hi[axis] or box_b.lo[axis] > box_a.hi[axis]:
-            return False
-    return True
+    """Plane sweep along axis 0 (see :class:`~repro.joins.strategies.SweeplineJoin`)."""
+    deprecated_join("sweepline_join", "sweepline")
+    return SweeplineJoin().join(items_a, items_b, counters if counters is not None else Counters())

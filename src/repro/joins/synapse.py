@@ -5,26 +5,31 @@ spatial join to determine the location of synapses: wherever two neurons are
 within a given distance of each other, they will form a synapse to
 communicate with each other." (§2.2, citing Kozloski et al.)
 
-:func:`distance_join` lifts any box join into a within-ε join (filter on
-ε-expanded boxes, refine on exact geometry); :class:`SynapseDetector` applies
-it to a :class:`~repro.datasets.neuroscience.NeuronDataset`, excluding
-same-neuron pairs and reporting synapse locations at the segments' closest
-approach.
+Since the JoinSession redesign the pipeline lives in the session layer:
+:class:`~repro.joins.spec.SynapseJoinSpec` describes the predicate, the
+planner picks the filter strategy, and refinement runs on the vectorized
+capsule kernel (:func:`repro.geometry.refine.batch_capsule_gaps`).
+:class:`SynapseDetector` remains the convenient application wrapper;
+:func:`distance_join` is a deprecated shim over
+:class:`~repro.joins.spec.DistanceJoinSpec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.datasets.neuroscience import NeuronDataset
-from repro.geometry.primitives import Capsule
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
-from repro.joins.pbsm import pbsm_join
+from repro.joins._shims import deprecated_join
+from repro.joins.session import JoinSession
+from repro.joins.spec import DistanceJoinSpec, Synapse, SynapseJoinSpec
+from repro.joins.strategies import CallableJoin, JoinStrategy
 
 # A box-join algorithm: (items_a, items_b, counters) -> id pairs.
 BoxJoin = Callable[[Sequence[Item], Sequence[Item], Counters], list[tuple[int, int]]]
+
+__all__ = ["BoxJoin", "Synapse", "SynapseDetector", "distance_join"]
 
 
 def distance_join(
@@ -35,42 +40,27 @@ def distance_join(
     box_join: BoxJoin | None = None,
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
-    """Pairs within distance ``epsilon``, via expand-filter-refine.
+    """Deprecated shim: pairs within ``epsilon``, via expand-filter-refine.
 
-    ``refine(a, b)`` must decide the exact predicate (e.g. capsule distance
-    ≤ ε); the box filter only prunes.  Box expansion by ε/2 per side keeps
-    the filter complete: exact distance ≤ ε implies the expanded boxes
-    intersect.
+    Submit a :class:`~repro.joins.spec.DistanceJoinSpec` through
+    :class:`~repro.joins.JoinSession` instead.  A supplied ``box_join``
+    callable still runs the filter, wrapped as a
+    :class:`~repro.joins.strategies.CallableJoin`.
     """
-    if epsilon < 0:
-        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-    counters = counters if counters is not None else Counters()
-    join = box_join if box_join is not None else pbsm_join
-    expanded_a = [(eid, box.expanded(epsilon / 2.0)) for eid, box in items_a]
-    expanded_b = [(eid, box.expanded(epsilon / 2.0)) for eid, box in items_b]
-    candidates = join(expanded_a, expanded_b, counters=counters)
-    results = []
-    for eid_a, eid_b in candidates:
-        counters.refine_tests += 1
-        if refine(eid_a, eid_b):
-            results.append((eid_a, eid_b))
-    return results
-
-
-@dataclass
-class Synapse:
-    """A detected apposition between two neuron segments."""
-
-    segment_a: int
-    segment_b: int
-    neuron_a: int
-    neuron_b: int
-    gap: float
-    location: tuple[float, float, float]
+    deprecated_join("distance_join", "pbsm")
+    session = JoinSession(counters=counters)
+    strategy: JoinStrategy | None = CallableJoin(box_join) if box_join is not None else "pbsm"  # type: ignore[assignment]
+    spec = DistanceJoinSpec(items_a, items_b, epsilon, refine)
+    return session.run(spec, strategy=strategy)
 
 
 class SynapseDetector:
     """Within-ε self-join over a neuron dataset's capsule segments.
+
+    A thin application wrapper: builds a
+    :class:`~repro.joins.spec.SynapseJoinSpec` and runs it through a
+    :class:`~repro.joins.JoinSession` (one is created per detector unless
+    supplied, so repeated detections share planner telemetry).
 
     Parameters
     ----------
@@ -79,61 +69,46 @@ class SynapseDetector:
     epsilon:
         Apposition threshold (µm): surfaces closer than this form a synapse
         candidate.
+    session:
+        An existing :class:`~repro.joins.JoinSession` to run in (shares
+        stats/counters with other joins of the same workload).
     """
 
-    def __init__(self, dataset: NeuronDataset, epsilon: float = 0.05) -> None:
+    def __init__(
+        self,
+        dataset: NeuronDataset,
+        epsilon: float = 0.05,
+        session: JoinSession | None = None,
+    ) -> None:
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
         self.dataset = dataset
         self.epsilon = epsilon
-        self.counters = Counters()
+        self.session = session if session is not None else JoinSession()
+        self.counters = self.session.counters
 
-    def detect(self, box_join: BoxJoin | None = None) -> list[Synapse]:
+    @property
+    def stats(self):
+        """The owning session's :class:`~repro.joins.spec.JoinStats`."""
+        return self.session.stats
+
+    def detect(
+        self,
+        box_join: BoxJoin | None = None,
+        strategy: str | JoinStrategy | None = None,
+    ) -> list[Synapse]:
         """Run the join and materialize synapse records.
 
         Same-neuron segment pairs are excluded (a neuron does not synapse
         onto itself through adjacent segments), as are duplicate unordered
-        pairs.
+        pairs.  ``strategy`` pins the filter to a
+        :data:`~repro.joins.strategies.JOIN_REGISTRY` entry; the legacy
+        ``box_join`` callable is still honoured via
+        :class:`~repro.joins.strategies.CallableJoin`.
         """
-        items = self.dataset.items
-        capsules = self.dataset.capsules
-        neuron_of = self.dataset.neuron_of
-
-        def refine(eid_a: int, eid_b: int) -> bool:
-            return capsules[eid_a].distance_to(capsules[eid_b]) <= self.epsilon
-
-        raw = distance_join(
-            items, items, self.epsilon, refine, box_join=box_join, counters=self.counters
-        )
-        synapses = []
-        seen: set[tuple[int, int]] = set()
-        for eid_a, eid_b in raw:
-            if eid_a == eid_b:
-                continue
-            if neuron_of[eid_a] == neuron_of[eid_b]:
-                continue
-            pair = (min(eid_a, eid_b), max(eid_a, eid_b))
-            if pair in seen:
-                continue
-            seen.add(pair)
-            cap_a = capsules[pair[0]]
-            cap_b = capsules[pair[1]]
-            synapses.append(
-                Synapse(
-                    segment_a=pair[0],
-                    segment_b=pair[1],
-                    neuron_a=neuron_of[pair[0]],
-                    neuron_b=neuron_of[pair[1]],
-                    gap=cap_a.distance_to(cap_b),
-                    location=_apposition_point(cap_a, cap_b),
-                )
-            )
-        return synapses
-
-
-def _apposition_point(a: Capsule, b: Capsule) -> tuple[float, float, float]:
-    """Midpoint between the two segment midpoints — a stable, cheap stand-in
-    for the exact closest-approach point (sufficient for placement stats)."""
-    mid_a = a.axis.midpoint()
-    mid_b = b.axis.midpoint()
-    return tuple((p + q) / 2.0 for p, q in zip(mid_a, mid_b))  # type: ignore[return-value]
+        if box_join is not None and strategy is not None:
+            raise ValueError("pass either box_join or strategy, not both")
+        if box_join is not None:
+            strategy = CallableJoin(box_join)
+        spec = SynapseJoinSpec(self.dataset, epsilon=self.epsilon)
+        return self.session.run(spec, strategy=strategy)

@@ -1,17 +1,8 @@
-"""TOUCH: in-memory spatial join by hierarchical data-oriented partitioning
-(Nobari, Tauheed, Heinis, Karras, Bressan, Ailamaki — SIGMOD'13).
+"""Deprecated free-function surface of the TOUCH join.
 
-The authors' own pre-paper join, cited in §3.2 as outperforming both the
-nested loop and the sweep line in memory.  The algorithm:
-
-1. bulk-build an R-tree-style hierarchy over dataset A (data-oriented
-   partitioning — the "costly ... partitioning & indexing step prior to the
-   join" the paper wants grids to replace);
-2. *assign* each element of B to the **lowest** tree node whose MBR contains
-   its box (elements spanning several children stick at the parent);
-3. *probe*: for every node, join its assigned B bucket against all A
-   elements stored in the node's subtree — spatially distant pairs never
-   meet, because containment stopped them at disjoint branches.
+The implementation lives in :class:`repro.joins.strategies.TouchJoin`
+(registry name ``"touch"``); submit specs through
+:class:`repro.joins.JoinSession`.
 """
 
 from __future__ import annotations
@@ -19,9 +10,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.indexes.base import Item
-from repro.indexes.bulkload import str_pack
-from repro.indexes.rtree import Node
 from repro.instrumentation.counters import Counters
+from repro.joins._shims import deprecated_join
+from repro.joins.strategies import TouchJoin
 
 
 def touch_join(
@@ -31,66 +22,7 @@ def touch_join(
     counters: Counters | None = None,
 ) -> list[tuple[int, int]]:
     """Join A and B via hierarchical assignment over an STR tree on A."""
-    counters = counters if counters is not None else Counters()
-    if not items_a or not items_b:
-        return []
-
-    root, _height, _count = str_pack(list(items_a), max_entries, Node)
-    root_node: Node = root  # type: ignore[assignment]
-    buckets: dict[int, list[Item]] = {}
-
-    for eid_b, box_b in items_b:
-        # Descend while exactly one child MBR intersects the element: only
-        # then is the whole candidate set guaranteed to be in one subtree.
-        # Zero intersecting children means no A element can match — drop.
-        node = root_node
-        placed = True
-        while not node.is_leaf:
-            hits: list[Node] = []
-            for entry_box, child in node.entries:
-                counters.node_tests += 1
-                if entry_box.intersects(box_b):
-                    hits.append(child)  # type: ignore[arg-type]
-                    if len(hits) > 1:
-                        break
-            if not hits:
-                placed = False
-                break
-            if len(hits) > 1:
-                break
-            node = hits[0]
-        if placed:
-            buckets.setdefault(id(node), []).append((eid_b, box_b))
-
-    # Cache each node's subtree A-items lazily during one post-order pass.
-    pairs: list[tuple[int, int]] = []
-    _probe(root_node, [], buckets, pairs, counters)
-    return pairs
-
-
-def _probe(
-    node: Node,
-    ancestors_buckets: list[list[Item]],
-    buckets: dict[int, list[Item]],
-    pairs: list[tuple[int, int]],
-    counters: Counters,
-) -> None:
-    """Depth-first: join every A leaf item against the B buckets assigned to
-    the leaf's ancestors (and itself)."""
-    own = buckets.get(id(node))
-    if own:
-        ancestors_buckets = ancestors_buckets + [own]
-    if node.is_leaf:
-        if ancestors_buckets:
-            for box_entry in node.entries:
-                box_a, eid_a = box_entry[0], box_entry[1]
-                for bucket in ancestors_buckets:
-                    for eid_b, box_b in bucket:
-                        counters.comparisons += 1
-                        if box_a.intersects(box_b):
-                            pairs.append((eid_a, eid_b))
-        return
-    for entry_box, child in node.entries:
-        # Prune: a subtree can only match buckets overlapping its MBR; the
-        # per-item tests below handle exactness, this is a fast skip.
-        _probe(child, ancestors_buckets, buckets, pairs, counters)  # type: ignore[arg-type]
+    deprecated_join("touch_join", "touch")
+    return TouchJoin(max_entries=max_entries).join(
+        items_a, items_b, counters if counters is not None else Counters()
+    )

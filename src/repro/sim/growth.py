@@ -7,8 +7,10 @@ within a given distance of each other, they will form a synapse."
 Each step, every neuron's active growth cones extend by one new capsule
 segment (an *insert* — this workload exercises growth, not just motion), and
 every ``join_every`` steps a within-ε self-join detects new appositions.
-The join runs over the engine-maintained index state via the grid join, so
-the benchmark can compare join strategies inside a living simulation.
+The join runs as a :class:`~repro.joins.spec.SynapseJoinSpec` through the
+model's persistent :class:`~repro.joins.JoinSession`, so benchmarks can pin
+any registry strategy and read the accumulated join telemetry of a living
+simulation.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from repro.datasets.neuroscience import NeuronDataset
 from repro.geometry.aabb import AABB
 from repro.geometry.primitives import Capsule
 from repro.indexes.base import SpatialIndex
-from repro.joins.synapse import SynapseDetector
+from repro.joins import JoinSession, SynapseJoinSpec
 from repro.sim.models import Move, SimulationModel
 
 
@@ -72,6 +74,10 @@ class GrowthModel(SimulationModel):
             self._cones[neuron] = self._cones[neuron][-1:]
         self.grown: list[int] = []
         self.synapse_counts: list[int] = []
+        # One session for the whole simulation: every periodic detection
+        # shares the planner, counters and JoinStats, so the run's join
+        # telemetry accumulates alongside the query engine's.
+        self.join_session = JoinSession()
 
     def items(self) -> dict[int, AABB]:
         return {eid: capsule.bounds() for eid, capsule in self.dataset.capsules.items()}
@@ -102,8 +108,10 @@ class GrowthModel(SimulationModel):
         self.grown.append(grown)
 
         if self.join_every and step % self.join_every == self.join_every - 1:
-            detector = SynapseDetector(self.dataset, epsilon=self.epsilon)
-            self.synapse_counts.append(len(detector.detect()))
+            synapses = self.join_session.run(
+                SynapseJoinSpec(self.dataset, epsilon=self.epsilon)
+            )
+            self.synapse_counts.append(len(synapses))
         return []  # growth inserts; nothing moved
 
     def _random_unit(self) -> np.ndarray:

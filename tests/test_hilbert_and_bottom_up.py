@@ -15,7 +15,8 @@ from repro.indexes.hilbert import (
 from repro.indexes.linear_scan import LinearScan
 from repro.indexes.rtree import Node, RTree
 from repro.joins.iterated import IteratedSelfJoin
-from repro.joins.nested_loop import nested_loop_self_join
+from repro.instrumentation.counters import Counters
+from repro.joins.strategies import NestedLoopJoin
 from repro.moving.bottom_up import BottomUpRTree
 
 from conftest import (
@@ -190,7 +191,7 @@ class TestIteratedSelfJoin:
             moves = motion.step(live)
             join.step(moves)
             apply_moves(live, moves)
-            expected = set(nested_loop_self_join(list(live.items())))
+            expected = set(NestedLoopJoin().self_join(list(live.items()), Counters()))
             assert join.pairs == expected
             assert join.pair_count() == len(expected)
 
@@ -217,7 +218,7 @@ class TestIteratedSelfJoin:
         moves = motion.step(live)
         join.step(moves)
         apply_moves(live, moves)
-        assert join.pairs == set(nested_loop_self_join(list(live.items())))
+        assert join.pairs == set(NestedLoopJoin().self_join(list(live.items()), Counters()))
 
     def test_unknown_strategy(self):
         with pytest.raises(ValueError):

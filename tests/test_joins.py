@@ -1,23 +1,42 @@
-"""Spatial joins: every algorithm against the nested-loop oracle."""
+"""Legacy join surface: property tests and the deprecation shims.
+
+The deep oracle suite for the subsystem lives in ``test_join_session.py``;
+this file keeps the original property coverage running against the strategy
+classes (random-seed hypothesis sweeps, the tiny-cell shortcut, comparison
+budgets) and pins that every pre-session free function still answers
+correctly — through a ``DeprecationWarning``.
+"""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets.neuroscience import generate_neurons
 from repro.datasets.points import clustered_boxes, uniform_boxes
 from repro.geometry.aabb import AABB
 from repro.instrumentation.counters import Counters
-from repro.joins.grid_join import grid_join, tiny_cell_self_join
-from repro.joins.nested_loop import nested_loop_join, nested_loop_self_join
-from repro.joins.pbsm import pbsm_join
-from repro.joins.sweepline import sweepline_join
-from repro.joins.synapse import SynapseDetector, distance_join
-from repro.joins.touch import touch_join
+from repro.joins import (
+    grid_join,
+    nested_loop_join,
+    nested_loop_self_join,
+    pbsm_join,
+    sweepline_join,
+    tiny_cell_self_join,
+    touch_join,
+)
+from repro.joins.strategies import (
+    GridJoin,
+    NestedLoopJoin,
+    PBSMJoin,
+    SweeplineJoin,
+    TinyCellJoin,
+    TouchJoin,
+    make_join_strategy,
+)
 
 from conftest import UNIVERSE_3D
 
-ALGORITHMS = [sweepline_join, pbsm_join, touch_join, grid_join]
+ORACLE = NestedLoopJoin()
+STRATEGIES = [SweeplineJoin, PBSMJoin, TouchJoin, GridJoin]
 
 
 def _datasets(seed_a=1, seed_b=2, n_a=150, n_b=120):
@@ -27,60 +46,49 @@ def _datasets(seed_a=1, seed_b=2, n_a=150, n_b=120):
 
 
 class TestBinaryJoins:
-    @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    def test_matches_oracle_uniform(self, algorithm):
+    @pytest.mark.parametrize("strategy_cls", STRATEGIES)
+    def test_matches_oracle_uniform(self, strategy_cls):
         a, b = _datasets()
-        expected = sorted(nested_loop_join(a, b))
-        assert sorted(algorithm(a, b)) == expected
+        expected = sorted(ORACLE.join(a, b, Counters()))
+        assert sorted(strategy_cls().join(a, b, Counters())) == expected
 
-    @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    def test_matches_oracle_clustered(self, algorithm):
-        a = clustered_boxes(120, UNIVERSE_3D, clusters=4, seed=3)
-        b = [(eid + 10_000, box) for eid, box in clustered_boxes(90, UNIVERSE_3D, clusters=4, seed=4)]
-        expected = sorted(nested_loop_join(a, b))
-        assert sorted(algorithm(a, b)) == expected
-
-    @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    def test_empty_inputs(self, algorithm):
-        a, _ = _datasets()
-        assert algorithm([], a) == []
-        assert algorithm(a, []) == []
-
-    @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    def test_elongated_elements(self, algorithm):
+    @pytest.mark.parametrize("strategy_cls", STRATEGIES)
+    def test_elongated_elements(self, strategy_cls):
         """Narrow elements (the Figure 4 shape) must not break dedup."""
         a = clustered_boxes(60, UNIVERSE_3D, elongation=20.0, seed=5)
         b = [(eid + 10_000, box) for eid, box in clustered_boxes(60, UNIVERSE_3D, elongation=20.0, seed=6)]
-        assert sorted(algorithm(a, b)) == sorted(nested_loop_join(a, b))
+        expected = sorted(ORACLE.join(a, b, Counters()))
+        assert sorted(strategy_cls().join(a, b, Counters())) == expected
 
     @settings(max_examples=25, deadline=None)
     @given(st.integers(0, 10_000), st.integers(0, 10_000))
     def test_property_random_seeds(self, seed_a, seed_b):
         a = uniform_boxes(40, UNIVERSE_3D, 0.5, 8.0, seed=seed_a)
         b = [(eid + 10_000, box) for eid, box in uniform_boxes(35, UNIVERSE_3D, 0.5, 8.0, seed=seed_b)]
-        expected = sorted(nested_loop_join(a, b))
-        for algorithm in ALGORITHMS:
-            assert sorted(algorithm(a, b)) == expected
+        expected = sorted(ORACLE.join(a, b, Counters()))
+        for strategy_cls in STRATEGIES:
+            assert sorted(strategy_cls().join(a, b, Counters())) == expected
 
     def test_comparison_counts_below_nested_loop(self):
         a, b = _datasets(n_a=300, n_b=300)
         nested = Counters()
-        nested_loop_join(a, b, nested)
-        for algorithm in (pbsm_join, grid_join):
+        ORACLE.join(a, b, nested)
+        for name in ("pbsm", "grid"):
             counters = Counters()
-            algorithm(a, b, counters=counters)
+            make_join_strategy(name).join(a, b, counters)
             assert counters.comparisons < nested.comparisons / 5
 
 
 class TestSelfJoins:
     def test_self_join_id_ordering(self):
         items = uniform_boxes(80, UNIVERSE_3D, 1.0, 8.0, seed=7)
-        pairs = nested_loop_self_join(items)
+        pairs = ORACLE.self_join(items, Counters())
         assert all(a < b for a, b in pairs)
 
     def test_tiny_cell_matches_oracle(self):
         items = uniform_boxes(150, UNIVERSE_3D, 1.0, 4.0, seed=8)
-        assert sorted(tiny_cell_self_join(items)) == sorted(nested_loop_self_join(items))
+        expected = sorted(ORACLE.self_join(items, Counters()))
+        assert sorted(TinyCellJoin().self_join(items, Counters())) == expected
 
     def test_tiny_cell_shortcut_skips_tests(self):
         """Same-cell pairs are emitted with ZERO intersection tests."""
@@ -93,24 +101,45 @@ class TestSelfJoins:
             lo = rng.uniform(0, 0.5, 3)
             items.append((eid, AABB(lo, lo + 5.0)))
         counters = Counters()
-        pairs = tiny_cell_self_join(items, counters=counters)
-        assert sorted(pairs) == sorted(nested_loop_self_join(items))
+        pairs = TinyCellJoin().self_join(items, counters)
+        assert sorted(pairs) == sorted(ORACLE.self_join(items, Counters()))
         assert len(pairs) == (40 * 39) // 2
         assert counters.comparisons == 0
 
     def test_tiny_cell_with_point_elements_falls_back(self):
         rng = np.random.default_rng(10)
         items = [(eid, AABB.from_point(rng.uniform(0, 5, 3))) for eid in range(40)]
-        assert sorted(tiny_cell_self_join(items)) == sorted(nested_loop_self_join(items))
+        expected = sorted(ORACLE.self_join(items, Counters()))
+        assert sorted(TinyCellJoin().self_join(items, Counters())) == expected
 
     def test_tiny_cell_explicit_cell_size(self):
         items = uniform_boxes(100, UNIVERSE_3D, 1.0, 4.0, seed=11)
-        got = tiny_cell_self_join(items, cell_size=2.0)
-        assert sorted(got) == sorted(nested_loop_self_join(items))
+        got = TinyCellJoin(cell_size=2.0).self_join(items, Counters())
+        assert sorted(got) == sorted(ORACLE.self_join(items, Counters()))
 
 
-class TestDistanceJoin:
-    def test_distance_join_filters_and_refines(self):
+class TestDeprecatedShims:
+    """Every pre-session free function warns and still answers exactly."""
+
+    def test_binary_shims_warn_and_match(self):
+        a, b = _datasets(n_a=60, n_b=50)
+        expected = sorted(ORACLE.join(a, b, Counters()))
+        for shim in (nested_loop_join, sweepline_join, pbsm_join, touch_join, grid_join):
+            with pytest.deprecated_call():
+                got = shim(a, b)
+            assert sorted(got) == expected, shim.__name__
+
+    def test_self_shims_warn_and_match(self):
+        items = uniform_boxes(80, UNIVERSE_3D, 1.0, 6.0, seed=12)
+        expected = sorted(ORACLE.self_join(items, Counters()))
+        with pytest.deprecated_call():
+            assert sorted(nested_loop_self_join(items)) == expected
+        with pytest.deprecated_call():
+            assert sorted(tiny_cell_self_join(items)) == expected
+
+    def test_distance_join_shim(self):
+        from repro.joins import distance_join
+
         a = uniform_boxes(60, UNIVERSE_3D, 0.5, 2.0, seed=12)
         b = [(eid + 10_000, box) for eid, box in uniform_boxes(60, UNIVERSE_3D, 0.5, 2.0, seed=13)]
         boxes = dict(a) | dict(b)
@@ -118,7 +147,8 @@ class TestDistanceJoin:
         def refine(eid_a, eid_b):
             return boxes[eid_a].min_distance_to_box(boxes[eid_b]) <= 3.0
 
-        got = sorted(distance_join(a, b, epsilon=3.0, refine=refine))
+        with pytest.deprecated_call():
+            got = sorted(distance_join(a, b, epsilon=3.0, refine=refine))
         expected = sorted(
             (ea, eb)
             for ea, ba in a
@@ -127,44 +157,15 @@ class TestDistanceJoin:
         )
         assert got == expected
 
-    def test_negative_epsilon_rejected(self):
-        with pytest.raises(ValueError):
+    def test_distance_join_shim_rejects_negative_epsilon(self):
+        from repro.joins import distance_join
+
+        with pytest.raises(ValueError), pytest.deprecated_call():
             distance_join([], [], epsilon=-1.0, refine=lambda a, b: True)
 
-
-class TestSynapseDetector:
-    @pytest.fixture(scope="class")
-    def dataset(self):
-        return generate_neurons(neurons=12, segments_per_neuron=25, seed=14)
-
-    def test_matches_bruteforce(self, dataset):
-        epsilon = 0.25
-        detector = SynapseDetector(dataset, epsilon=epsilon)
-        got = {(s.segment_a, s.segment_b) for s in detector.detect()}
-        expected = set()
-        ids = list(dataset.capsules)
-        for i in range(len(ids)):
-            for j in range(i + 1, len(ids)):
-                a, b = ids[i], ids[j]
-                if dataset.neuron_of[a] == dataset.neuron_of[b]:
-                    continue
-                if dataset.capsules[a].distance_to(dataset.capsules[b]) <= epsilon:
-                    expected.add((min(a, b), max(a, b)))
-        assert got == expected
-
-    def test_excludes_same_neuron(self, dataset):
-        for synapse in SynapseDetector(dataset, epsilon=0.3).detect():
-            assert synapse.neuron_a != synapse.neuron_b
-
-    def test_synapse_records_have_locations(self, dataset):
-        for synapse in SynapseDetector(dataset, epsilon=0.3).detect():
-            assert len(synapse.location) == 3
-            assert synapse.gap <= 0.3
-
-    def test_pluggable_join(self, dataset):
-        default = {(s.segment_a, s.segment_b) for s in SynapseDetector(dataset, 0.2).detect()}
-        via_grid = {
-            (s.segment_a, s.segment_b)
-            for s in SynapseDetector(dataset, 0.2).detect(box_join=grid_join)
-        }
-        assert default == via_grid
+    def test_shims_count_comparisons(self):
+        a, b = _datasets(n_a=80, n_b=80)
+        counters = Counters()
+        with pytest.deprecated_call():
+            pbsm_join(a, b, counters=counters)
+        assert counters.comparisons > 0

@@ -1,5 +1,8 @@
 """KD-tree, quadtree/octree (replication) and loose octree."""
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.geometry.aabb import AABB
@@ -147,3 +150,30 @@ class TestLooseOctree:
             LooseOctree(looseness=0.5)
         with pytest.raises(ValueError):
             LooseOctree(max_level=-1)
+
+    def test_degenerate_universe_huge_query_terminates(self):
+        """Regression: a query box vastly larger than a single-point-derived
+        universe used to enumerate the full 2^(level*dims) cell window
+        (billions of empty cells — an effective hang).  The window must
+        clamp to occupied cells, as UniformGrid._coord does."""
+        tree = LooseOctree()  # universe derived from the data: degenerate
+        tree.bulk_load([(0, AABB.from_point((5.0, 5.0, 5.0)))])
+        start = time.perf_counter()
+        hits = tree.range_query(AABB((-1e9, -1e9, -1e9), (1e9, 1e9, 1e9)))
+        elapsed = time.perf_counter() - start
+        assert hits == [0]
+        assert elapsed < 1.0  # was minutes before the occupied-cell clamp
+        # The probe count is bounded by the population, not the window.
+        assert tree.counters.cells_probed <= tree.cell_count + 1
+
+    def test_degenerate_universe_queries_stay_exact(self):
+        """The occupied-cell path must answer exactly like the window path."""
+        rng = np.random.default_rng(31)
+        items = [(eid, AABB.from_point(rng.uniform(0, 1e-6, 3))) for eid in range(50)]
+        tree = LooseOctree()
+        tree.bulk_load(items)
+        assert sorted(tree.range_query(AABB((-1e3,) * 3, (1e3,) * 3))) == list(range(50))
+        assert tree.range_query(AABB((1.0,) * 3, (2.0,) * 3)) == []
+        for eid in range(0, 50, 2):
+            tree.delete(eid, items[eid][1])
+        assert sorted(tree.range_query(AABB((-1e3,) * 3, (1e3,) * 3))) == list(range(1, 50, 2))

@@ -419,6 +419,29 @@ class TestShardedExecutor:
         for got, query in zip(results, queries):
             assert sorted(got) == sorted(oracle.range_query(query))
 
+    def test_cross_shard_dedup_executes_duplicates_once(self, loaded):
+        """Duplicates that land in DIFFERENT shards must still collapse.
+
+        The batch interleaves two copies of the same 8 queries so a
+        contiguous 2-way split gives each shard 8 distinct queries —
+        per-shard dedup alone would report 0.  Global (pre-partition) dedup
+        must count all 8 duplicates and fan the unique results back out.
+        """
+        items, oracle = loaded
+        grid = build_index("uniform_grid")
+        grid.bulk_load(items)
+        base = make_queries(8, seed=43)
+        queries = base + base  # first shard = base, second shard = base again
+        session = QuerySession(grid, executor=ShardedExecutor(workers=2, min_shard=4))
+        results = session.range_query(queries)
+        assert session.stats.batch.queries == len(queries)
+        assert session.stats.batch.deduplicated >= len(base)
+        for got, query in zip(results, queries):
+            assert sorted(got) == sorted(oracle.range_query(query))
+        # Fan-out must hand back independent copies.
+        results[0].append(-1)
+        assert -1 not in results[len(base)]
+
     def test_small_batches_fall_back_to_single_process(self, loaded):
         items, _ = loaded
         grid = build_index("uniform_grid")
