@@ -125,6 +125,12 @@ from repro.joins import (
     available_join_strategies,
     make_join_strategy,
 )
+from repro.exec import (
+    MemoryBudget,
+    SpillManager,
+    external_bulk_load,
+    pbsm_working_set_bytes,
+)
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -171,6 +177,10 @@ __all__ = [
     "Synapse",
     "SynapseDetector",
     "IteratedSelfJoin",
+    "MemoryBudget",
+    "SpillManager",
+    "external_bulk_load",
+    "pbsm_working_set_bytes",
     "LinearScan",
     "RTree",
     "RStarTree",

@@ -31,6 +31,23 @@ def _routing_rows(runs: dict[str, int]) -> list[list[object]]:
     return rows
 
 
+def _spill_line(
+    tiles: int, written: int, read: int, high_water: int, chunks: int | None = None
+) -> str | None:
+    """The out-of-core funnel, rendered only when the governor saw action."""
+    if not (tiles or written or read or high_water or chunks):
+        return None
+    parts = [
+        f"spill: tiles={tiles:,}",
+        f"written={written:,}B",
+        f"read={read:,}B",
+        f"budget-high-water={high_water:,}B",
+    ]
+    if chunks:
+        parts.append(f"chunks={chunks:,}")
+    return " ".join(parts)
+
+
 def query_session_report(session: QuerySession) -> str:
     """A formatted executor-mix + dedup summary for one query session."""
     stats = session.stats
@@ -41,6 +58,15 @@ def query_session_report(session: QuerySession) -> str:
         f"flushes={stats.flushes:,} batches={batch.batches:,} "
         f"dedup={batch.deduplicated:,} ({dedup_share:.1%})"
     )
+    spill = _spill_line(
+        batch.tiles_spilled,
+        batch.spill_bytes_written,
+        batch.spill_bytes_read,
+        batch.budget_high_water,
+        batch.budget_chunks,
+    )
+    if spill is not None:
+        header = f"{header}\n{spill}"
     table = format_table(
         ["executor", "batches", "share %", "routing"],
         session_summary_rows(stats),
@@ -66,6 +92,14 @@ def join_report(session: JoinSession) -> str:
         f"refined={stats.refined:,} pairs={stats.pairs:,} "
         f"comparisons={stats.comparisons:,}"
     )
+    spill = _spill_line(
+        stats.tiles_spilled,
+        stats.spill_bytes_written,
+        stats.spill_bytes_read,
+        stats.budget_high_water,
+    )
+    if spill is not None:
+        header = f"{header}\n{spill}"
     strategy_table = format_table(
         ["strategy", "joins", "share %", "routing"],
         join_summary_rows(stats),

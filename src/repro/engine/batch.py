@@ -35,16 +35,34 @@ from repro.indexes.base import KNNResult, SpatialIndex
 
 @dataclass
 class BatchStats:
-    """Tallies of the engine's work, for benchmarks and capacity planning."""
+    """Tallies of the engine's work, for benchmarks and capacity planning.
+
+    The out-of-core fields mirror :class:`~repro.joins.spec.JoinStats`:
+    ``budget_chunks`` counts batches the session split to honour its
+    :class:`~repro.exec.budget.MemoryBudget`, ``tiles_spilled`` /
+    ``spill_bytes_written`` / ``spill_bytes_read`` any spill traffic charged
+    while serving batches, and ``budget_high_water`` is a gauge (merges take
+    the max).
+    """
 
     batches: int = 0
     queries: int = 0
     deduplicated: int = 0  # queries answered by copying another query's result
+    budget_chunks: int = 0
+    tiles_spilled: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
+    budget_high_water: int = 0
 
     def merge(self, other: "BatchStats") -> None:
         self.batches += other.batches
         self.queries += other.queries
         self.deduplicated += other.deduplicated
+        self.budget_chunks += other.budget_chunks
+        self.tiles_spilled += other.tiles_spilled
+        self.spill_bytes_written += other.spill_bytes_written
+        self.spill_bytes_read += other.spill_bytes_read
+        self.budget_high_water = max(self.budget_high_water, other.budget_high_water)
 
 
 @dataclass

@@ -50,6 +50,7 @@ from typing import Any, Callable, Sequence, Union
 import numpy as np
 
 from repro.engine.batch import BatchQueryEngine, BatchStats
+from repro.exec.budget import MemoryBudget
 from repro.geometry.aabb import AABB, as_box_array, as_point_array
 from repro.indexes.base import KNNResult, SpatialIndex
 
@@ -517,6 +518,13 @@ class QuerySession:
         the kernel engine).
     inline_cutoff:
         Largest batch the default heuristic routes to the scalar path.
+    budget:
+        A :class:`~repro.exec.budget.MemoryBudget` (or raw byte limit)
+        bounding each executor run's working set.  Flushed groups whose
+        estimated kernel working set exceeds the limit are executed in
+        budget-sized row chunks (results are identical — queries are
+        independent); ``stats.batch.budget_chunks`` counts the splits and
+        ``stats.batch.budget_high_water`` the reserved peak.
 
     Two usage styles, freely mixable:
 
@@ -543,10 +551,12 @@ class QuerySession:
         policy: Policy | None = None,
         dedup: bool = True,
         inline_cutoff: int = INLINE_CUTOFF,
+        budget: MemoryBudget | int | None = None,
     ) -> None:
         self.index = index
         self.dedup = dedup
         self.inline_cutoff = inline_cutoff
+        self.budget = MemoryBudget.coerce(budget)
         self._pinned = executor
         self._policy = policy
         self._buffer = QueryBuffer()
@@ -689,7 +699,7 @@ class QuerySession:
         payload = parts[0] if len(parts) == 1 else np.concatenate(parts)
         batch = QueryBatch(kind=kind, payload=payload, k=k)
         executor = self.choose_executor(batch)
-        results, stats = executor.run(self.index, batch, dedup=self.dedup)
+        results, stats = self._run_batch(executor, batch)
         self.stats.record_run(executor.name, stats)
         offset = 0
         for sub in submissions:
@@ -697,6 +707,39 @@ class QuerySession:
             chunk = results[offset : offset + n]
             offset += n
             sub.handle._resolve(chunk if sub.vector else chunk[0])
+
+    #: Kernel working-set bytes per payload byte: overlap masks, gather
+    #: indices and per-query result lists dominate the raw query array.
+    _KERNEL_OVERHEAD = 16
+
+    def _run_batch(self, executor: Executor, batch: QueryBatch) -> tuple[list, BatchStats]:
+        """Run one batch, split into budget-sized row chunks when governed.
+
+        Queries are independent, so chunking never changes results — it
+        only bounds the kernels' transient working set (dedup scope shrinks
+        to the chunk, which alters ``deduplicated`` tallies, not answers).
+        """
+        limit = self.budget.limit
+        estimate = batch.payload.nbytes * self._KERNEL_OVERHEAD
+        if limit is None or estimate <= limit or batch.size <= 1:
+            return executor.run(self.index, batch, dedup=self.dedup)
+        row_bytes = max(estimate // batch.size, 1)
+        chunk_rows = max(int(limit // row_bytes), 1)
+        results: list = []
+        stats = BatchStats()
+        for start in range(0, batch.size, chunk_rows):
+            chunk = QueryBatch(
+                kind=batch.kind, payload=batch.payload[start : start + chunk_rows], k=batch.k
+            )
+            with self.budget.reserving(chunk.payload.nbytes * self._KERNEL_OVERHEAD, force=True):
+                part, part_stats = executor.run(self.index, chunk, dedup=self.dedup)
+            results.extend(part)
+            stats.merge(part_stats)
+            stats.budget_chunks += 1
+        # The chunks answered one logical batch between them.
+        stats.batches = 1
+        stats.budget_high_water = max(stats.budget_high_water, self.budget.high_water)
+        return results, stats
 
     # -- immediate convenience surface ---------------------------------------
     #

@@ -1,0 +1,317 @@
+"""External PBSM: the spatial join whose working set obeys a memory budget.
+
+``pbsm_spill`` is the out-of-core member of
+:data:`~repro.joins.strategies.JOIN_REGISTRY`.  It is the same Partition
+Based Spatial-Merge as the in-memory ``pbsm`` strategy — identical tiling,
+identical reference-point dedup, the same merge kernel family — but its
+execution is staged so no phase materializes more than (a quarter of) the
+session's :class:`~repro.exec.budget.MemoryBudget`:
+
+1. **Histogram pass** — inputs are packed in bounded row chunks and each
+   chunk's tile replicas are only *counted*, producing the per-tile replica
+   histogram;
+2. **Partition pass** — contiguous tile ranges are grouped into *runs* whose
+   replica bytes fit the chunk budget, and a second bounded pass gathers each
+   chunk's replicas and spills them per run through the
+   :class:`~repro.exec.spill.SpillManager` (typed ``(eids, boxes, keys)``
+   segments over the real on-disk page store);
+3. **Merge pass** — runs stream back one at a time; each is key-sorted and
+   pushed through :func:`repro.joins.kernels.replica_tile_pairs`, whose
+   global reference-point dedup guarantees that a pair replicated across
+   tiles *and* runs is still reported exactly once.
+
+Because the tiling and dedup rule are global, the result is the exact
+nested-loop pair set — the oracle suite pins it with every other registry
+entry.  When the whole working set fits the budget (or no budget is given)
+the strategy degrades gracefully to a single in-memory run with zero spill
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.budget import MemoryBudget
+from repro.exec.spill import SpillHandle, SpillManager
+from repro.indexes.base import Item
+from repro.instrumentation.counters import Counters
+from repro.joins import kernels
+from repro.joins.strategies import JoinStrategy, _default_tiles, register
+
+#: Below this, chunking is all overhead: the partition passes never shrink
+#: their row chunks past it even under tiny budgets.
+MIN_CHUNK_BYTES = 1 << 16
+
+
+def _replica_bytes(dims: int) -> int:
+    """Spilled bytes per replica: box + eid + tile key."""
+    return 2 * dims * 8 + 16
+
+
+def spill_page_size(chunk_budget: int | None) -> int:
+    """Spill page size matched to the partition scale.
+
+    Segments are roughly ``chunk_budget``-sized; pages much larger than a
+    segment waste whole slots per spilled array (every segment spills three
+    typed arrays), pages much smaller multiply Python-level page loops.
+    ~1/16 of the chunk budget, clamped to [16 KiB, 1 MiB], keeps per-segment
+    slot waste under ~20% without ballooning the page count.
+    """
+    if chunk_budget is None:
+        return 1 << 20
+    return max(1 << 14, min(1 << 20, chunk_budget // 16))
+
+
+@register
+class SpillPBSMJoin(JoinStrategy):
+    """PBSM with budget-bounded phases and spill-to-disk partitions.
+
+    Parameters
+    ----------
+    budget:
+        A :class:`~repro.exec.budget.MemoryBudget`, raw byte limit, or
+        ``None`` (unlimited — runs as one in-memory partition, no spill).
+        Each phase holds at most ~``limit / 4`` bytes of arrays: one run
+        being gathered or merged, plus the kernels' own slab temporaries.
+    tiles_per_axis:
+        Tiling override (default: the same heuristic as ``pbsm``).
+    spill:
+        A shared :class:`~repro.exec.spill.SpillManager` (the session
+        passes its own, so spill files live until ``session.close()``).
+        When omitted, a private manager is created per join call and torn
+        down in a ``finally`` — an error mid-join leaves no files behind.
+    spill_dir:
+        Directory for the private manager's spill file (ignored when
+        ``spill`` is supplied).
+    """
+
+    name = "pbsm_spill"
+    # Forked shard workers would write through the parent's spill file
+    # descriptors concurrently; the sharded executor runs this inline.
+    forkable = False
+
+    def __init__(
+        self,
+        budget: MemoryBudget | int | None = None,
+        tiles_per_axis: int | None = None,
+        spill: SpillManager | None = None,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.budget = MemoryBudget.coerce(budget)
+        self.tiles_per_axis = tiles_per_axis
+        self.spill = spill
+        self.spill_dir = spill_dir
+
+    # -- the join -------------------------------------------------------------
+
+    def join(
+        self, items_a: Sequence[Item], items_b: Sequence[Item], counters: Counters
+    ) -> list[tuple[int, int]]:
+        if not items_a or not items_b:
+            return []
+        dims = items_a[0][1].dims
+        chunk_budget = self._chunk_budget()
+        owns_spill = self.spill is None
+        spill = (
+            self.spill
+            if self.spill is not None
+            else SpillManager(
+                dir=self.spill_dir,
+                page_size=spill_page_size(chunk_budget),
+                counters=counters,
+            )
+        )
+        try:
+            return self._join_staged(items_a, items_b, dims, chunk_budget, spill, counters)
+        finally:
+            if owns_spill:
+                spill.close()
+
+    def _join_staged(
+        self,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item],
+        dims: int,
+        chunk_budget: int | None,
+        spill: SpillManager,
+        counters: Counters,
+    ) -> list[tuple[int, int]]:
+        chunk_rows = self._chunk_rows(chunk_budget, dims)
+        hull_lo, hull_hi = _chunked_hull(items_a, chunk_rows)
+        lo_b, hi_b = _chunked_hull(items_b, chunk_rows)
+        hull_lo, hull_hi = np.minimum(hull_lo, lo_b), np.maximum(hull_hi, hi_b)
+        tiles = (
+            self.tiles_per_axis
+            if self.tiles_per_axis is not None
+            else _default_tiles(len(items_a) + len(items_b), dims)
+        )
+        sides, strides = kernels.tile_layout(hull_lo, hull_hi, tiles)
+        tile_count = tiles**dims
+        rep_bytes = _replica_bytes(dims)
+
+        # Pass 1: per-tile replica histogram, in bounded chunks.
+        histogram = np.zeros(tile_count, dtype=np.int64)
+        replicas = 0
+        for items in (items_a, items_b):
+            for chunk in _chunks(items, chunk_rows):
+                _, boxes = kernels.pack_items(chunk)
+                with self.budget.reserving(boxes.nbytes, force=True):
+                    _, keys = kernels._tile_replicas(boxes, hull_lo, sides, strides, tiles)
+                    np.add.at(histogram, keys, 1)
+                    replicas += keys.shape[0]
+        counters.cells_probed += replicas
+
+        total_bytes = replicas * rep_bytes
+        if chunk_budget is None or total_bytes <= chunk_budget:
+            # Everything fits in one partition: merge in memory, no spill.
+            run_of_tile = np.zeros(tile_count, dtype=np.int64)
+            runs = 1
+        else:
+            # Contiguous tile ranges whose replica bytes fit the chunk
+            # budget; a single over-budget tile becomes its own run.
+            prefix = np.cumsum(histogram * rep_bytes) - histogram * rep_bytes
+            run_of_tile = prefix // chunk_budget
+            runs = int(run_of_tile[-1]) + 1 if tile_count else 1
+
+        # Pass 2: gather replicas per run; spill when there is > 1 run.
+        segments_a: list[list[tuple[SpillHandle, SpillHandle, SpillHandle]]]
+        segments_a = [[] for _ in range(runs)]
+        segments_b = [[] for _ in range(runs)]
+        resident_a: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]]
+        resident_a = [[] for _ in range(runs)]
+        resident_b = [[] for _ in range(runs)]
+        spilling = runs > 1
+        # Every handle this join creates, so the finally can release them
+        # even when the merge dies mid-run on a *session-shared* manager
+        # (a private manager is torn down wholesale by the caller).
+        all_handles: list[SpillHandle] = []
+        try:
+            for items, segments, resident in (
+                (items_a, segments_a, resident_a),
+                (items_b, segments_b, resident_b),
+            ):
+                for chunk in _chunks(items, chunk_rows):
+                    eids, boxes = kernels.pack_items(chunk)
+                    with self.budget.reserving(2 * boxes.nbytes, force=True):
+                        rows, keys = kernels._tile_replicas(boxes, hull_lo, sides, strides, tiles)
+                        run_ids = run_of_tile[keys]
+                        order = np.argsort(run_ids, kind="stable")
+                        rows, keys, run_ids = rows[order], keys[order], run_ids[order]
+                        uniq_runs, starts = np.unique(run_ids, return_index=True)
+                        edges = np.append(starts, run_ids.shape[0])
+                        for run, seg_lo, seg_hi in zip(uniq_runs.tolist(), edges[:-1], edges[1:]):
+                            sl = slice(seg_lo, seg_hi)
+                            seg = (eids[rows[sl]], boxes[rows[sl]], keys[sl])
+                            if spilling:
+                                handles = tuple(
+                                    spill.spill(arr, tag=self.name) for arr in seg
+                                )
+                                all_handles.extend(handles)
+                                segments[run].append(handles)
+                            else:
+                                resident[run].append(seg)
+
+            # Pass 3: merge runs one at a time.
+            out_a: list[np.ndarray] = []
+            out_b: list[np.ndarray] = []
+            for run in range(runs):
+                side_arrays = []
+                run_bytes = 0
+                for segments, resident in ((segments_a, resident_a), (segments_b, resident_b)):
+                    if spilling:
+                        parts = [
+                            tuple(spill.read(handle) for handle in seg) for seg in segments[run]
+                        ]
+                        # Prompt frees let later runs reuse the page slots.
+                        for seg in segments[run]:
+                            for handle in seg:
+                                spill.free(handle)
+                    else:
+                        parts = resident[run]
+                    side_arrays.append(_concat_segments(parts, dims))
+                    run_bytes += sum(arr.nbytes for arr in side_arrays[-1])
+                (eids_ra, boxes_ra, keys_ra), (eids_rb, boxes_rb, keys_rb) = side_arrays
+                if eids_ra.shape[0] == 0 or eids_rb.shape[0] == 0:
+                    continue
+                with self.budget.reserving(run_bytes, force=True):
+                    slab = self._slab_pairs(chunk_budget, dims)
+                    for eids_r, boxes_r, keys_r in side_arrays:
+                        order = np.argsort(keys_r, kind="stable")
+                        eids_r[:], boxes_r[:], keys_r[:] = (
+                            eids_r[order],
+                            boxes_r[order],
+                            keys_r[order],
+                        )
+                    ids_a, ids_b = kernels.replica_tile_pairs(
+                        eids_ra, boxes_ra, keys_ra,
+                        eids_rb, boxes_rb, keys_rb,
+                        hull_lo, sides, strides, tiles, counters, slab_pairs=slab,
+                    )
+                    out_a.append(ids_a)
+                    out_b.append(ids_b)
+        finally:
+            for handle in all_handles:  # free() is idempotent
+                spill.free(handle)
+
+        if not out_a:
+            return []
+        all_a = np.concatenate(out_a)
+        all_b = np.concatenate(out_b)
+        return list(zip(all_a.tolist(), all_b.tolist()))
+
+    # -- sizing ---------------------------------------------------------------
+
+    def _chunk_budget(self) -> int | None:
+        """Per-phase byte allowance: a quarter of the budget (one run being
+        gathered/merged + input chunk + kernel temporaries + slack)."""
+        if self.budget.limit is None:
+            return None
+        return max(self.budget.limit // 4, MIN_CHUNK_BYTES)
+
+    def _chunk_rows(self, chunk_budget: int | None, dims: int) -> int:
+        if chunk_budget is None:
+            return 1 << 30
+        return max(chunk_budget // _replica_bytes(dims), 256)
+
+    def _slab_pairs(self, chunk_budget: int | None, dims: int) -> int:
+        if chunk_budget is None:
+            return kernels._SLAB_PAIRS
+        # A materialized candidate pair costs two gathered boxes plus the
+        # overlap corners and index arrays.
+        pair_bytes = 6 * dims * 8 + 4 * 8
+        return min(kernels._SLAB_PAIRS, max(chunk_budget // pair_bytes, 1 << 12))
+
+
+def _chunks(items: Sequence[Item], chunk_rows: int):
+    for start in range(0, len(items), chunk_rows):
+        yield items[start : start + chunk_rows]
+
+
+def _chunked_hull(items: Sequence[Item], chunk_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dataset hull corners computed in bounded packing chunks."""
+    lo: np.ndarray | None = None
+    hi: np.ndarray | None = None
+    for chunk in _chunks(items, chunk_rows):
+        _, boxes = kernels.pack_items(chunk)
+        chunk_lo = boxes[:, 0, :].min(axis=0)
+        chunk_hi = boxes[:, 1, :].max(axis=0)
+        lo = chunk_lo if lo is None else np.minimum(lo, chunk_lo)
+        hi = chunk_hi if hi is None else np.maximum(hi, chunk_hi)
+    assert lo is not None and hi is not None
+    return lo, hi
+
+
+def _concat_segments(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]], dims: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if not parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 2, dims), dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+        )
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(np.concatenate(field) for field in zip(*parts))  # type: ignore[return-value]

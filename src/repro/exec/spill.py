@@ -1,0 +1,213 @@
+"""SpillManager: typed NumPy spill files over the storage layer.
+
+When a strategy's working set exceeds its :class:`~repro.exec.budget
+.MemoryBudget`, it ships arrays here.  A spill write streams the array's
+bytes as fixed-size pages through a real on-disk
+:class:`~repro.storage.pagestore.FilePageStore` (so the memory is genuinely
+released), and reads come back through a bounded
+:class:`~repro.storage.buffer_pool.BufferPool` — the same two components the
+:class:`~repro.indexes.disk_rtree.DiskRTree` runs on, so page-transfer
+accounting is uniform across the library.
+
+A spilled array is *typed*: its :class:`SpillHandle` carries dtype and shape,
+and :meth:`SpillManager.read_rows` reconstructs any contiguous row range by
+fetching only the pages that cover it (the primitive the external bulk load's
+merge phase is built on).
+
+Lifecycle is explicit: the manager owns one tmpdir (created on demand,
+removed on :meth:`close`), every handle can be freed individually, and
+``close()`` is idempotent — sessions call it from their own ``close()``,
+strategies from ``finally`` blocks, so an error path never leaves orphan
+spill files behind.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro.instrumentation.counters import Counters
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagestore import FilePageStore
+
+
+class SpillHandle:
+    """One spilled array: page run + the dtype/shape to reassemble it."""
+
+    __slots__ = ("pages", "dtype", "shape", "nbytes", "tag", "live")
+
+    def __init__(
+        self,
+        pages: tuple[int, ...],
+        dtype: np.dtype,
+        shape: tuple[int, ...],
+        nbytes: int,
+        tag: object = None,
+    ) -> None:
+        self.pages = pages
+        self.dtype = dtype
+        self.shape = shape
+        self.nbytes = nbytes
+        self.tag = tag
+        self.live = True
+
+    @property
+    def rows(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+    @property
+    def row_bytes(self) -> int:
+        tail = 1
+        for extent in self.shape[1:]:
+            tail *= extent
+        return int(self.dtype.itemsize * tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.live else "freed"
+        return f"<SpillHandle {state} {self.dtype}{self.shape} tag={self.tag!r}>"
+
+
+class SpillManager:
+    """Writes and reads NumPy arrays as page runs in one spill file.
+
+    Parameters
+    ----------
+    dir:
+        Directory for the spill file.  ``None`` (default) creates a private
+        tmpdir that :meth:`close` removes entirely; a caller-supplied
+        directory is left in place with only the manager's file removed.
+    page_size:
+        Bytes per page (default 1 MiB — large pages keep the page count and
+        Python-level overhead low for array streaming).
+    pool_pages:
+        Read-path buffer pool capacity in pages.  Spill *writes* go
+        write-through (straight to the store) so no dirty frame pins
+        memory; only reads are cached, and eviction keeps residency at or
+        under this page budget no matter how much is spilled.
+    counters:
+        Shared counters: page transfers land in ``pages_read`` /
+        ``pages_written``, logical traffic in ``spill_bytes_written`` /
+        ``spill_bytes_read``, and each :meth:`spill` call bumps
+        ``tiles_spilled``.
+    """
+
+    def __init__(
+        self,
+        dir: str | None = None,
+        page_size: int = 1 << 20,
+        pool_pages: int = 8,
+        counters: Counters | None = None,
+    ) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self._owns_dir = dir is None
+        if dir is None:
+            dir = tempfile.mkdtemp(prefix="repro-spill-")
+        else:
+            os.makedirs(dir, exist_ok=True)
+        self.dir = dir
+        # A unique file per manager: FilePageStore opens with "w+b", so a
+        # shared fixed name would let two managers pointed at the same
+        # directory truncate each other's live spill file.
+        fd, self.path = tempfile.mkstemp(prefix="spill-", suffix=".pages", dir=dir)
+        os.close(fd)
+        self.store = FilePageStore(self.path, page_size=page_size, counters=self.counters)
+        self.pool = BufferPool(self.store, capacity=pool_pages)
+        self.closed = False
+        self._live = 0
+
+    # -- spill / read ---------------------------------------------------------
+
+    @property
+    def live_handles(self) -> int:
+        """Spilled arrays not yet freed."""
+        return self._live
+
+    def spill(self, array: np.ndarray, tag: object = None) -> SpillHandle:
+        """Write ``array`` out as pages; the caller may now drop the array."""
+        self._check_open()
+        data = np.ascontiguousarray(array)
+        raw = data.view(np.uint8).reshape(-1)
+        page_size = self.store.page_size
+        pages = tuple(
+            self.store.allocate(raw[start : start + page_size].tobytes())
+            for start in range(0, raw.shape[0], page_size)
+        )
+        handle = SpillHandle(pages, data.dtype, data.shape, int(data.nbytes), tag)
+        self.counters.tiles_spilled += 1
+        self.counters.spill_bytes_written += handle.nbytes
+        self._live += 1
+        return handle
+
+    def read(self, handle: SpillHandle) -> np.ndarray:
+        """Reassemble a whole spilled array (through the buffer pool)."""
+        return self.read_rows(handle, 0, handle.rows)
+
+    def read_rows(self, handle: SpillHandle, lo: int, hi: int) -> np.ndarray:
+        """Reassemble rows ``[lo, hi)``, fetching only the covering pages."""
+        self._check_open()
+        if not handle.live:
+            raise ValueError(f"spill handle already freed: {handle!r}")
+        if not 0 <= lo <= hi <= handle.rows:
+            raise ValueError(f"row range [{lo}, {hi}) out of [0, {handle.rows})")
+        row_bytes = handle.row_bytes
+        shape = (hi - lo, *handle.shape[1:])
+        if hi == lo or row_bytes == 0:
+            return np.empty(shape, dtype=handle.dtype)
+        start, stop = lo * row_bytes, hi * row_bytes
+        page_size = self.store.page_size
+        first, last = start // page_size, (stop - 1) // page_size
+        buffer = np.empty((last - first + 1) * page_size, dtype=np.uint8)
+        position = 0
+        for page_index in range(first, last + 1):
+            chunk = self.pool.read(handle.pages[page_index])
+            buffer[position : position + len(chunk)] = np.frombuffer(chunk, np.uint8)
+            position += page_size
+        self.counters.spill_bytes_read += stop - start
+        window = buffer[start - first * page_size : stop - first * page_size].copy()
+        return window.view(handle.dtype).reshape(shape)
+
+    def free(self, handle: SpillHandle) -> None:
+        """Release a spilled array's pages for reuse.  Idempotent."""
+        if not handle.live:
+            return
+        handle.live = False
+        self._live -= 1
+        if self.closed:
+            return
+        for page_id in handle.pages:
+            self.store.free(page_id)
+            self.pool.drop(page_id)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every frame, close and remove the spill file (and the tmpdir
+        when the manager created it).  Idempotent; safe on error paths."""
+        if self.closed:
+            return
+        self.closed = True
+        self.pool.drop_all()
+        self.store.close(unlink=True)
+        if self._owns_dir:
+            shutil.rmtree(self.dir, ignore_errors=True)
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("SpillManager is closed")

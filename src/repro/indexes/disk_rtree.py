@@ -94,6 +94,15 @@ class DiskRTree(SpatialIndex):
         groups = _tile(entries, self._dims, self.max_entries)
         pages = [self._allocate((True, group)) for group in groups]
         boxes = [union_all(box for box, _ in group) for group in groups]
+        self._root_page = self._pack_upper_levels(pages, boxes)
+        self._size = len(materialized)
+
+    def _pack_upper_levels(self, pages: list[int], boxes: list[AABB]) -> int:
+        """Tile ``(mbr, page)`` entries upward until one root page remains.
+
+        Shared by both bulk loads; sets ``_height`` (1 for the leaf level)
+        and returns the root page id.
+        """
         self._height = 1
         while len(pages) > 1:
             level_entries = list(zip(boxes, pages))
@@ -101,8 +110,49 @@ class DiskRTree(SpatialIndex):
             pages = [self._allocate((False, group)) for group in groups]
             boxes = [union_all(box for box, _ in group) for group in groups]
             self._height += 1
-        self._root_page = pages[0]
-        self._size = len(materialized)
+        return pages[0]
+
+    def bulk_load_external(
+        self,
+        items: Iterable[Item],
+        budget: object = None,
+        spill_dir: str | None = None,
+    ) -> None:
+        """STR rebuild with the build working set bounded by ``budget``.
+
+        Leaf groups stream out of the chunked external packer
+        (:mod:`repro.exec.external_build`) and are allocated straight into
+        the page store one at a time — the natural fit for this index: the
+        leaf level never exists in memory at all, only the one-entry-per-
+        leaf skeleton the upper levels tile (``max_entries``-fold smaller
+        per level).  ``items`` is consumed streaming.
+        """
+        from repro.exec.external_build import external_leaf_groups
+
+        self.store = PageStore(page_size=self.store.page_size, counters=self.counters)
+        self.pool = BufferPool(self.store, capacity=self.pool.capacity)
+        pages: list[int] = []
+        boxes: list[AABB] = []
+        size = 0
+        for group in external_leaf_groups(
+            items,
+            self.max_entries,
+            budget=budget,  # type: ignore[arg-type]
+            spill_dir=spill_dir,
+            counters=self.counters,
+        ):
+            if not pages:
+                self._dims = group[0][0].dims
+            pages.append(self._allocate((True, group)))
+            boxes.append(union_all(box for box, _ in group))
+            size += len(group)
+        if not pages:
+            self._root_page = None
+            self._height = 0
+            self._size = 0
+            return
+        self._root_page = self._pack_upper_levels(pages, boxes)
+        self._size = size
 
     def insert(self, eid: int, box: AABB) -> None:
         if self._dims is None:

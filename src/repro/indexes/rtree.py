@@ -122,6 +122,45 @@ class RTree(SpatialIndex):
         self._size = len(materialized)
         self._node_count = node_count
 
+    def bulk_load_external(
+        self,
+        items: Iterable[Item],
+        budget: object = None,
+        spill_dir: str | None = None,
+    ) -> None:
+        """STR rebuild whose *build* working set never exceeds ``budget``.
+
+        The chunked external packer (:mod:`repro.exec.external_build`)
+        sort-spills entry runs through the storage layer and merges them
+        into leaves, so arbitrarily large builds hold only budget-sized
+        chunks of sort/entry arrays at a time.  ``items`` is consumed
+        streaming — pass a generator for datasets that should never be
+        materialized as a list.  Query results are identical to
+        :meth:`bulk_load`; leaf composition may differ at slab boundaries.
+        """
+        from repro.exec.external_build import external_str_pack
+
+        build = external_str_pack(
+            items,
+            self.max_entries,
+            Node,
+            budget=budget,  # type: ignore[arg-type]
+            spill_dir=spill_dir,
+            counters=self.counters,
+        )
+        self._batch_pack.clear()
+        if build.size == 0:
+            self._root = Node(is_leaf=True)
+            self._height = 1
+            self._size = 0
+            self._node_count = 1
+            return
+        self._dims = build.dims
+        self._root = build.root  # type: ignore[assignment]
+        self._height = build.height
+        self._size = build.size
+        self._node_count = build.node_count
+
     # -- maintenance -------------------------------------------------------------
 
     def insert(self, eid: int, box: AABB) -> None:

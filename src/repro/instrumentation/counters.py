@@ -33,7 +33,12 @@ class Counters:
     * ``hash_probes`` — LSH bucket probes;
     * ``heap_ops`` — kNN priority-queue pushes/pops;
     * ``comparisons`` — pairwise candidate comparisons in joins;
-    * ``inserts`` / ``deletes`` / ``updates`` — index maintenance operations.
+    * ``inserts`` / ``deletes`` / ``updates`` — index maintenance operations;
+    * ``tiles_spilled`` / ``spill_bytes_written`` / ``spill_bytes_read`` —
+      out-of-core execution: tile/partition arrays evicted to the spill
+      store and the logical bytes shipped out and back
+      (:mod:`repro.exec.spill`; page-granular transfers land in
+      ``pages_read`` / ``pages_written`` as usual).
     """
 
     node_tests: int = 0
@@ -50,6 +55,9 @@ class Counters:
     inserts: int = 0
     deletes: int = 0
     updates: int = 0
+    tiles_spilled: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

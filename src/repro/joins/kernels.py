@@ -10,7 +10,9 @@ parallel integer row arrays — no Python-level pair loops.  Three families:
 * :func:`pbsm_pairs` — the fully vectorized Partition Based Spatial-Merge:
   tile replication, per-tile cross products, and reference-point dedup are
   all array expressions (one ``repeat``/``cumsum`` expansion instead of a
-  dict-of-buckets), processed in bounded slabs.
+  dict-of-buckets), processed in bounded slabs.  :func:`replica_tile_pairs`
+  is its merge phase alone, over pre-gathered replica arrays — the kernel
+  the out-of-core PBSM streams spilled partitions through.
 * :func:`tree_pairs` — candidate generation over an STR-packed R-tree with
   the *carried-query-set* traversal of :mod:`repro.indexes.batch_knn`: every
   node is expanded at most once per batch with the subset of probes whose
@@ -244,6 +246,87 @@ def pbsm_pairs(
         keep = intersecting & (owners == common[lo_g:hi_g][groups])
         out_a.append(ai[keep])
         out_b.append(bi[keep])
+
+    if not out_a:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(out_a), np.concatenate(out_b)
+
+
+def replica_tile_pairs(
+    eids_a: np.ndarray,
+    boxes_a: np.ndarray,
+    keys_a: np.ndarray,
+    eids_b: np.ndarray,
+    boxes_b: np.ndarray,
+    keys_b: np.ndarray,
+    hull_lo: np.ndarray,
+    sides: np.ndarray,
+    strides: np.ndarray,
+    tiles_per_axis: int,
+    counters: Counters,
+    slab_pairs: int = _SLAB_PAIRS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The PBSM merge phase over pre-gathered, key-sorted replica arrays.
+
+    Where :func:`pbsm_pairs` partitions *and* merges in one call over the
+    full input, this kernel is the merge alone: the caller hands it one
+    partition's worth of replicas — per-replica ``(eid, box, tile key)``
+    with keys sorted ascending — which is exactly what the out-of-core PBSM
+    (:mod:`repro.exec.external_join`) reads back from a spill file.  Pairs
+    keep the global reference-point dedup: a pair is reported only by the
+    tile owning its overlap's lower corner, so partitions never duplicate
+    output even though boxes are replicated across tiles *and* partitions.
+
+    Returns ``(ids_a, ids_b)`` element-id arrays (not row indices — the
+    original rows are gone once a partition is spilled).
+    """
+    if eids_a.shape[0] == 0 or eids_b.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    uniq_a, start_a = np.unique(keys_a, return_index=True)
+    uniq_b, start_b = np.unique(keys_b, return_index=True)
+    count_a = np.diff(np.append(start_a, keys_a.shape[0]))
+    count_b = np.diff(np.append(start_b, keys_b.shape[0]))
+
+    common, ia, ib = np.intersect1d(uniq_a, uniq_b, return_indices=True)
+    if common.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    ca, cb = count_a[ia], count_b[ib]
+    sa, sb = start_a[ia], start_b[ib]
+    pair_counts = ca * cb
+
+    out_a: list[np.ndarray] = []
+    out_b: list[np.ndarray] = []
+    slab_edges = [0]
+    running = 0
+    for g, p in enumerate(pair_counts):
+        running += int(p)
+        if running >= slab_pairs:
+            slab_edges.append(g + 1)
+            running = 0
+    if slab_edges[-1] != common.shape[0]:
+        slab_edges.append(common.shape[0])
+
+    for lo_g, hi_g in zip(slab_edges[:-1], slab_edges[1:]):
+        g_cb = cb[lo_g:hi_g]
+        g_pairs = pair_counts[lo_g:hi_g]
+        groups, local = expand_ranges(np.zeros_like(g_pairs), g_pairs)
+        total = groups.shape[0]
+        if total == 0:
+            continue
+        i = local // g_cb[groups]
+        j = local % g_cb[groups]
+        a_rep = sa[lo_g:hi_g][groups] + i
+        b_rep = sb[lo_g:hi_g][groups] + j
+        counters.comparisons += total
+
+        la, lb = boxes_a[a_rep], boxes_b[b_rep]
+        overlap_lo = np.maximum(la[:, 0, :], lb[:, 0, :])
+        overlap_hi = np.minimum(la[:, 1, :], lb[:, 1, :])
+        intersecting = np.all(overlap_lo <= overlap_hi, axis=1)
+        owners = _owning_keys(overlap_lo, hull_lo, sides, strides, tiles_per_axis)
+        keep = intersecting & (owners == common[lo_g:hi_g][groups])
+        out_a.append(eids_a[a_rep[keep]])
+        out_b.append(eids_b[b_rep[keep]])
 
     if not out_a:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)

@@ -44,6 +44,9 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.engine.session import _fork_is_safe
+from repro.exec.budget import MemoryBudget, pbsm_working_set_bytes
+from repro.exec.external_join import SpillPBSMJoin, spill_page_size
+from repro.exec.spill import SpillManager
 from repro.geometry.refine import batch_box_gaps, batch_capsule_gaps, pack_segments
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
@@ -190,15 +193,21 @@ def _run_join_shard(bounds: tuple[int, int]) -> tuple[Pairs, Counters]:
     if mode == "pair":
         pairs = strategy.join(items_a, chunk, counters)
     elif mode == "self":
-        # Reporter rule: the shard holding the pair's larger id reports it —
-        # structural cross-shard dedup, no hashing, no double counting.
-        pairs = [(a, b) for a, b in strategy.join(items_a, chunk, counters) if a < b]
+        # Direct self-join sharding: the full set arrives sorted by id and
+        # chunks are contiguous, so this shard's probes can only form new
+        # pairs with the id-*prefix* ending at the chunk — joining against
+        # the whole set (the old binary expansion) would test every pair
+        # from both sides.  Reporter rule unchanged: the shard holding the
+        # pair's larger id emits it, so no hashing, no double counting.
+        pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
     elif mode == "distance_pair":
         pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
     elif mode == "distance_self":
         pairs = [
             (a, b)
-            for a, b in strategy.distance_candidates(items_a, chunk, epsilon, counters)
+            for a, b in strategy.distance_candidates(
+                items_a[: bounds[1]], chunk, epsilon, counters
+            )
             if a < b
         ]
     else:  # pragma: no cover - executor only emits the four modes
@@ -213,16 +222,18 @@ class ShardedJoinExecutor(JoinExecutor):
     strategy over ``(A, probe chunk)``, and ships back its pairs plus the
     :class:`~repro.instrumentation.counters.Counters` it charged; the parent
     concatenates pairs and merges counters.  Self (and distance-self) joins
-    shard soundly because each worker answers the *binary* join of the full
-    set against its chunk and keeps only pairs whose probe element is the
-    larger id — every unordered pair lands in exactly one shard's output,
-    so cross-shard results need no dedup pass at all.
+    are sharded *directly*: the set is sorted by id, chunks are contiguous,
+    and each worker joins its chunk against only the id-prefix ending at
+    that chunk, keeping pairs whose probe element is the larger id.  Every
+    unordered pair still lands in exactly one shard's output (its larger
+    id lives in exactly one chunk, and the smaller id is always in that
+    chunk's prefix), so cross-shard results need no dedup pass — and the
+    summed comparison count is ~(s+1)/2s of the old full-set binary
+    expansion instead of 2x the inline self-join.
 
-    The structural-dedup price: the binary form tests each unordered pair
-    from both sides (~2x the inline self-join's comparisons, summed across
-    shards), and every worker repeats the strategy's build phase over the
-    full set — sharding a self-join nets out only with enough effective
-    workers.  Sharing the build across workers is a ROADMAP follow-up.
+    Remaining structural price: every worker repeats the strategy's build
+    phase over its prefix; sharing the build across workers is a ROADMAP
+    follow-up.
 
     Parameters
     ----------
@@ -256,7 +267,7 @@ class ShardedJoinExecutor(JoinExecutor):
         counters: Counters,
     ) -> Pairs:
         shards = min(self.workers, len(probes) // self.min_shard)
-        if shards < 2 or not strategy.binary or not _fork_is_safe():
+        if shards < 2 or not strategy.binary or not strategy.forkable or not _fork_is_safe():
             if mode == "pair":
                 return self._fallback.pair_pairs(strategy, items_a, probes, counters)
             if mode == "self":
@@ -264,6 +275,12 @@ class ShardedJoinExecutor(JoinExecutor):
             if mode == "distance_pair":
                 return self._fallback.distance_pairs(strategy, items_a, probes, epsilon, counters)
             return self._fallback.distance_pairs(strategy, probes, None, epsilon, counters)
+
+        if mode in ("self", "distance_self"):
+            # Direct self-join sharding needs id-contiguous chunks: worker k
+            # joins chunk k against the sorted prefix items[:end_k].
+            ordered = sorted(probes, key=lambda item: item[0])
+            items_a = probes = ordered
 
         edges = np.linspace(0, len(probes), shards + 1).astype(int)
         state = (strategy, items_a, probes, epsilon, mode)
@@ -339,6 +356,17 @@ class JoinSession:
         strategies charge (one is created when omitted).
     inline_cutoff:
         Largest total input the planner routes to the scalar nested loop.
+    budget:
+        A :class:`~repro.exec.budget.MemoryBudget` (or raw byte limit)
+        governing the session's join working sets.  When a spec's estimated
+        working set exceeds the limit, the planner routes it to the
+        out-of-core ``pbsm_spill`` strategy, which partitions through the
+        session's :class:`~repro.exec.spill.SpillManager`; spill traffic
+        and the budget high-water surface in :attr:`stats`.
+    spill_dir:
+        Directory for the session's spill files (default: a private tmpdir
+        created on first spill).  Either way, :meth:`close` — or leaving a
+        ``with`` block — removes them.
 
     Deferred and immediate styles, mirroring :class:`~repro.engine.QuerySession`::
 
@@ -348,6 +376,9 @@ class JoinSession:
 
         pairs = session.run(PairJoinSpec(items_a, items_b))  # immediate
         synapses = session.run(SynapseJoinSpec(dataset, epsilon=0.05))
+
+        with JoinSession(budget=256 * 1024 * 1024) as session:   # out-of-core
+            pairs = session.run(PairJoinSpec(huge_a, huge_b))    # spills
     """
 
     def __init__(
@@ -358,6 +389,8 @@ class JoinSession:
         executor: JoinExecutor | None = None,
         counters: Counters | None = None,
         inline_cutoff: int = INLINE_JOIN_CUTOFF,
+        budget: MemoryBudget | int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         if isinstance(strategy, str):
             strategy = make_join_strategy(strategy)
@@ -366,15 +399,67 @@ class JoinSession:
         self._executor = executor if executor is not None else InlineJoinExecutor()
         self.counters = counters if counters is not None else Counters()
         self.inline_cutoff = inline_cutoff
+        self.budget = MemoryBudget.coerce(budget)
+        self._spill_dir = spill_dir
+        self._spill: SpillManager | None = None
+        self._spill_strategy: SpillPBSMJoin | None = None
         self.stats = JoinStats()
         self._pending: list[tuple[JoinSpec, JoinHandle, JoinStrategy | None]] = []
         self._small = make_join_strategy("nested_loop")
         self._default = make_join_strategy("grid")
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's spill files (idempotent; also runs on
+        ``with`` exit).  The session remains usable — a later spill simply
+        opens a fresh manager."""
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+            self._spill_strategy = None
+
+    def __enter__(self) -> "JoinSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def spill_manager(self) -> SpillManager:
+        """The session's spill manager (created on first use)."""
+        if self._spill is None or self._spill.closed:
+            chunk_budget = self.budget.limit // 4 if self.budget.limit else None
+            self._spill = SpillManager(
+                dir=self._spill_dir,
+                page_size=spill_page_size(chunk_budget),
+                counters=self.counters,
+            )
+            self._spill_strategy = None
+        return self._spill
+
     # -- planning -------------------------------------------------------------
 
+    def estimated_working_set(self, spec: JoinSpec) -> int:
+        """Bytes the in-memory partitioned join would hold for ``spec``."""
+        if spec.kind == "pair":
+            n_a, n_b = len(spec.items_a), len(spec.items_b)
+            items = spec.items_a or spec.items_b
+        elif spec.kind == "self":
+            n_a = n_b = len(spec.items)
+            items = spec.items
+        elif spec.kind == "distance":
+            n_a = len(spec.items_a)
+            n_b = len(spec.items_b) if spec.items_b is not None else n_a
+            items = spec.items_a
+        else:
+            n_a = n_b = len(spec.dataset)
+            items = spec.dataset.items
+        dims = items[0][1].dims if items else 3
+        return pbsm_working_set_bytes(n_a, n_b, dims)
+
     def choose_strategy(self, spec: JoinSpec) -> JoinStrategy:
-        """The planner: tiny inputs scan, everything else rides the grid.
+        """The planner: tiny inputs scan, in-memory sets ride the grid, and
+        working sets over the session budget spill.
 
         A pinned ``strategy`` or a session ``policy`` overrides this
         entirely; any :data:`~repro.joins.strategies.JOIN_REGISTRY` entry is
@@ -386,6 +471,12 @@ class JoinSession:
             return self._policy(spec)
         if _spec_size(spec) <= self.inline_cutoff:
             return self._small
+        if self.budget.limit is not None and self.estimated_working_set(spec) > self.budget.limit:
+            if self._spill_strategy is None:
+                self._spill_strategy = SpillPBSMJoin(
+                    budget=self.budget, spill=self.spill_manager()
+                )
+            return self._spill_strategy
         return self._default
 
     def plan(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> JoinPlan:
@@ -464,7 +555,14 @@ class JoinSession:
         else:
             result = self._execute_synapse(spec, strategy, executor)
         self.stats.joins += 1
-        self.stats.comparisons += self.counters.comparisons - before.comparisons
+        delta = self.counters.diff(before)
+        self.stats.comparisons += delta.comparisons
+        self.stats.tiles_spilled += delta.tiles_spilled
+        self.stats.spill_bytes_written += delta.spill_bytes_written
+        self.stats.spill_bytes_read += delta.spill_bytes_read
+        self.stats.budget_high_water = max(
+            self.stats.budget_high_water, self.budget.high_water
+        )
         self.stats.record_run(strategy.name, executor.name)
         return result
 

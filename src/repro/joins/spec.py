@@ -169,6 +169,14 @@ class JoinStats:
     maps mirror :class:`~repro.engine.session.SessionStats.executor_runs` —
     :func:`repro.analysis.session_report.join_report` renders them the same
     way.
+
+    Out-of-core execution adds the spill funnel: ``tiles_spilled`` counts
+    tile/partition arrays evicted through the session's
+    :class:`~repro.exec.spill.SpillManager`, ``spill_bytes_written`` /
+    ``spill_bytes_read`` the logical bytes shipped out and back, and
+    ``budget_high_water`` the closest the session's
+    :class:`~repro.exec.budget.MemoryBudget` came to its limit (a gauge —
+    merges take the max, not the sum).
     """
 
     joins: int = 0
@@ -176,6 +184,10 @@ class JoinStats:
     pairs: int = 0
     refined: int = 0
     comparisons: int = 0
+    tiles_spilled: int = 0
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
+    budget_high_water: int = 0
     strategy_runs: dict[str, int] = field(default_factory=dict)
     executor_runs: dict[str, int] = field(default_factory=dict)
 
@@ -189,6 +201,10 @@ class JoinStats:
         self.pairs += other.pairs
         self.refined += other.refined
         self.comparisons += other.comparisons
+        self.tiles_spilled += other.tiles_spilled
+        self.spill_bytes_written += other.spill_bytes_written
+        self.spill_bytes_read += other.spill_bytes_read
+        self.budget_high_water = max(self.budget_high_water, other.budget_high_water)
         for name, runs in other.strategy_runs.items():
             self.strategy_runs[name] = self.strategy_runs.get(name, 0) + runs
         for name, runs in other.executor_runs.items():

@@ -50,6 +50,10 @@ class JoinStrategy(ABC):
     name: str = "strategy"
     #: Whether the strategy answers binary (A ⋈ B) joins.
     binary: bool = True
+    #: Whether the strategy is safe to run inside forked shard workers.
+    #: Spill-backed strategies are not: forked children would write through
+    #: the parent's spill file descriptors concurrently.
+    forkable: bool = True
 
     @abstractmethod
     def join(self, items_a: Sequence[Item], items_b: Sequence[Item], counters: Counters) -> Pairs:

@@ -13,13 +13,14 @@ expressible.  For the in-memory side, a set-associative
 of different node layouts (the CR-tree argument).
 """
 
-from repro.storage.pagestore import PageStore
+from repro.storage.pagestore import FilePageStore, PageStore
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.cache import Arena, CacheSimulator
 from repro.storage.layout import assign_addresses, replay_queries
 
 __all__ = [
     "PageStore",
+    "FilePageStore",
     "BufferPool",
     "Arena",
     "CacheSimulator",

@@ -37,6 +37,10 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
 
+    def __len__(self) -> int:
+        """Frames currently resident — never exceeds ``capacity``."""
+        return len(self._frames)
+
     def read(self, page_id: int) -> Any:
         """Fetch a page through the pool, counting hit or miss."""
         if page_id in self._frames:
@@ -67,6 +71,17 @@ class BufferPool:
         """Flush and drop every frame — the paper's 'clean cache' protocol."""
         self.flush()
         self._frames.clear()
+
+    def drop(self, page_id: int) -> None:
+        """Invalidate one frame *without* writeback — for pages the caller
+        freed in the store (a stale frame must not answer a reused slot)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    def drop_all(self) -> None:
+        """Invalidate every frame without writeback (store teardown)."""
+        self._frames.clear()
+        self._dirty.clear()
 
     def hit_rate(self) -> float:
         accesses = self.hits + self.misses

@@ -4,10 +4,16 @@ Payloads are kept as live Python objects (serialization would only slow the
 simulation down without changing the accounting); what makes this a "disk" is
 that every read and write is charged to a :class:`Counters` object, which the
 :class:`~repro.instrumentation.costmodel.DiskCostModel` then prices.
+
+:class:`FilePageStore` is the other half: the same page protocol and the same
+accounting, but payloads are byte blobs persisted in one real file, so evicted
+data genuinely leaves main memory.  It is the substrate the out-of-core
+subsystem (:mod:`repro.exec.spill`) writes tile and partition arrays through.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 from repro.instrumentation.counters import Counters
@@ -72,3 +78,98 @@ class PageStore:
 
     def page_ids(self) -> list[int]:
         return list(self._pages)
+
+
+class FilePageStore(PageStore):
+    """Fixed-size pages persisted in one real file on disk.
+
+    The page protocol (allocate / read / write / free) and the transfer
+    accounting are identical to :class:`PageStore`; the difference is that
+    payloads are ``bytes`` blobs of at most ``page_size`` written at
+    ``page_id * page_size`` in a backing file, so a freed in-memory reference
+    really releases the memory.  Freed slots are reused before the file
+    grows.  The :class:`~repro.storage.buffer_pool.BufferPool` composes with
+    it unchanged — that pairing is what :class:`repro.exec.spill.SpillManager`
+    builds on.
+    """
+
+    def __init__(
+        self, path: str, page_size: int = 1 << 20, counters: Counters | None = None
+    ) -> None:
+        super().__init__(page_size=page_size, counters=counters)
+        self.path = path
+        self._file = open(path, "w+b")
+        self._lengths: dict[int, int] = {}
+        self._free_slots: list[int] = []
+        self._slots = 0
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def allocate(self, payload: bytes | None = None) -> int:
+        """Reserve a page slot, optionally writing an initial payload."""
+        page_id = self._free_slots.pop() if self._free_slots else self._slots
+        if page_id == self._slots:
+            self._slots += 1
+        self._lengths[page_id] = 0
+        if payload is not None:
+            self._write_at(page_id, payload)
+            self.counters.pages_written += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        if page_id not in self._lengths:
+            raise KeyError(f"page {page_id} was never allocated")
+        self.counters.pages_read += 1
+        return self._read_at(page_id)
+
+    def write(self, page_id: int, payload: bytes) -> None:
+        if page_id not in self._lengths:
+            raise KeyError(f"page {page_id} was never allocated")
+        self._write_at(page_id, payload)
+        self.counters.pages_written += 1
+
+    def free(self, page_id: int) -> None:
+        if page_id not in self._lengths:
+            raise KeyError(f"page {page_id} was never allocated")
+        del self._lengths[page_id]
+        self._free_slots.append(page_id)
+
+    def peek(self, page_id: int) -> bytes:
+        return self._read_at(page_id)
+
+    def page_ids(self) -> list[int]:
+        return list(self._lengths)
+
+    @property
+    def file_bytes(self) -> int:
+        """Current size of the backing file (high-water, not live bytes)."""
+        return self._slots * self.page_size
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Close (and by default remove) the backing file.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self._file.close()
+        if unlink and os.path.exists(self.path):
+            os.remove(self.path)
+
+    # -- internals ------------------------------------------------------------
+
+    def _write_at(self, page_id: int, payload: bytes) -> None:
+        if len(payload) > self.page_size:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds page size {self.page_size}"
+            )
+        self._file.seek(page_id * self.page_size)
+        self._file.write(payload)
+        self._lengths[page_id] = len(payload)
+
+    def _read_at(self, page_id: int) -> bytes:
+        length = self._lengths[page_id]
+        if length == 0:
+            return b""
+        self._file.seek(page_id * self.page_size)
+        return self._file.read(length)

@@ -1,0 +1,112 @@
+"""The legacy free-function join surface: warn once, answer identically.
+
+Every pre-session free function is a :class:`DeprecationWarning` shim over
+the registry strategies.  The contract pinned here: each call emits exactly
+one deprecation warning (pointing at ``JoinSession``), and the returned
+pairs are identical to submitting the equivalent spec through the session.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.joins import (
+    DistanceJoinSpec,
+    JoinSession,
+    PairJoinSpec,
+    SelfJoinSpec,
+    distance_join,
+    grid_join,
+    nested_loop_join,
+    nested_loop_self_join,
+    pbsm_join,
+    sweepline_join,
+    tiny_cell_self_join,
+    touch_join,
+)
+
+
+def _boxes(n, seed, offset=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0.0, 18.0, size=(n, 3))
+    hi = np.minimum(lo + rng.uniform(0.2, 2.0, size=(n, 3)), 20.0)
+    return [(offset + eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
+
+
+ITEMS_A = _boxes(120, seed=1)
+ITEMS_B = _boxes(110, seed=2, offset=10_000)
+
+
+def _call_and_capture(fn, *args, **kwargs):
+    """Run the shim, returning (result, deprecation warnings emitted)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+#: shim -> (args, equivalent (spec, strategy) for the session path).
+BINARY_SHIMS = {
+    nested_loop_join: "nested_loop",
+    sweepline_join: "sweepline",
+    pbsm_join: "pbsm",
+    touch_join: "touch",
+    grid_join: "grid",
+}
+
+SELF_SHIMS = {
+    nested_loop_self_join: "nested_loop",
+    tiny_cell_self_join: "tiny_cell",
+}
+
+
+class TestJoinShims:
+    @pytest.mark.parametrize(
+        "shim", sorted(BINARY_SHIMS, key=lambda fn: fn.__name__), ids=lambda fn: fn.__name__
+    )
+    def test_binary_shim_warns_once_and_matches_session(self, shim):
+        result, deprecations = _call_and_capture(shim, ITEMS_A, ITEMS_B)
+        assert len(deprecations) == 1, f"{shim.__name__} warned {len(deprecations)} times"
+        message = str(deprecations[0].message)
+        assert "deprecated" in message and "JoinSession" in message
+        session_pairs = JoinSession().run(
+            PairJoinSpec(ITEMS_A, ITEMS_B), strategy=BINARY_SHIMS[shim]
+        )
+        assert sorted(result) == session_pairs
+
+    @pytest.mark.parametrize(
+        "shim", sorted(SELF_SHIMS, key=lambda fn: fn.__name__), ids=lambda fn: fn.__name__
+    )
+    def test_self_shim_warns_once_and_matches_session(self, shim):
+        result, deprecations = _call_and_capture(shim, ITEMS_A)
+        assert len(deprecations) == 1
+        assert "JoinSession" in str(deprecations[0].message)
+        session_pairs = JoinSession().run(SelfJoinSpec(ITEMS_A), strategy=SELF_SHIMS[shim])
+        assert sorted(result) == session_pairs
+
+    def test_distance_join_shim_warns_once_and_matches_session(self):
+        epsilon = 0.75
+
+        def refine(a, b):
+            return (a + b) % 3 != 0
+
+        result, deprecations = _call_and_capture(
+            distance_join, ITEMS_A, ITEMS_B, epsilon, refine
+        )
+        assert len(deprecations) == 1
+        assert "JoinSession" in str(deprecations[0].message)
+        session_pairs = JoinSession().run(
+            DistanceJoinSpec(ITEMS_A, ITEMS_B, epsilon, refine), strategy="pbsm"
+        )
+        assert sorted(result) == session_pairs
+
+    def test_every_shim_warns_on_every_call(self):
+        # "once" means once *per call* — not once per process: a second call
+        # must warn again (the shim uses a fresh stacklevel-3 warning).
+        for _ in range(2):
+            _, deprecations = _call_and_capture(nested_loop_join, ITEMS_A[:5], ITEMS_B[:5])
+            assert len(deprecations) == 1

@@ -410,6 +410,36 @@ class TestShardedJoinExecutor:
         assert session.counters.comparisons > 0
         assert session.stats.comparisons == session.counters.comparisons
 
+    def test_self_join_shards_directly_not_as_binary_expansion(self):
+        """ROADMAP known issue, fixed: sharding a self-join used to expand it
+        to the full binary join per shard (n² comparisons summed; ~2x the
+        inline n²/2).  Direct prefix sharding does n²·(s+1)/2s — with 4
+        shards 0.625·n², checked here with the deterministic nested loop."""
+        items = _uniform(600, 29)
+        n = len(items)
+        strategy = make_join_strategy("nested_loop")
+        executor = ShardedJoinExecutor(workers=4, min_shard=50)
+        counters = Counters()
+        pairs = executor.self_pairs(strategy, items, counters)
+        inline_counters = Counters()
+        expected = InlineJoinExecutor().self_pairs(strategy, items, inline_counters)
+        assert sorted(pairs) == sorted(expected)
+        # 4 shards: exactly (1+2+3+4)/16 = 0.625 n² prefix-join comparisons.
+        assert counters.comparisons == pytest.approx(0.625 * n * n, rel=0.01)
+        # Well under the old binary expansion's n² (2x the inline n²/2).
+        assert counters.comparisons < 1.3 * inline_counters.comparisons
+
+    def test_distance_self_join_shards_directly(self):
+        items = _uniform(500, 30)
+        n = len(items)
+        strategy = make_join_strategy("nested_loop")
+        executor = ShardedJoinExecutor(workers=4, min_shard=50)
+        counters = Counters()
+        pairs = executor.distance_pairs(strategy, items, None, 1.0, counters)
+        expected = InlineJoinExecutor().distance_pairs(strategy, items, None, 1.0, Counters())
+        assert sorted(pairs) == sorted(expected)
+        assert counters.comparisons <= 0.66 * n * n
+
 
 class TestTelemetry:
     def test_join_report_renders_routing(self):

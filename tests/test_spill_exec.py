@@ -1,0 +1,435 @@
+"""The out-of-core execution subsystem: budget, spill, external pipelines.
+
+Covers the four pieces of ``repro/exec/`` and their session wiring:
+
+* :class:`MemoryBudget` reservation accounting and telemetry;
+* :class:`SpillManager` typed round-trips and partial row reads;
+* the ``pbsm_spill`` strategy — exactness against the in-memory oracle
+  under budgets that force spilling, planner routing, stats/report feeds
+  (small-scale oracle equality for every dataset shape already runs in
+  ``test_join_session.py``, which parametrizes over the whole registry);
+* the acceptance pin: |A| = |B| = 100k under a budget ≤ 25% of the
+  in-memory working set — exact pairs, bounded slowdown, live counters;
+* the chunked external STR bulk load on RTree / R*-tree / DiskRTree;
+* the QuerySession budget governor (chunked batches, identical results).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.session_report import join_report, session_report
+from repro.exec import (
+    BudgetExceeded,
+    MemoryBudget,
+    SpillManager,
+    external_bulk_load,
+    pbsm_working_set_bytes,
+)
+from repro.exec.external_join import SpillPBSMJoin
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.rstar import RStarTree
+from repro.indexes.rtree import RTree
+from repro.indexes.disk_rtree import DiskRTree
+from repro.instrumentation.counters import Counters
+from repro.engine.session import QuerySession
+from repro.joins import (
+    JoinSession,
+    PairJoinSpec,
+    SelfJoinSpec,
+    make_join_strategy,
+)
+
+from conftest import make_items, make_queries
+
+
+def _sides(n, seed, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0.0, 99.0, size=(n, 3))
+    hi = np.minimum(lo + rng.uniform(0.05, extent, size=(n, 3)), 100.0)
+    return [(eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
+
+
+def _offset(items, offset):
+    return [(eid + offset, box) for eid, box in items]
+
+
+class TestMemoryBudget:
+    def test_reserve_release_high_water(self):
+        budget = MemoryBudget(1000)
+        budget.reserve(600)
+        budget.reserve(300)
+        assert budget.in_use == 900
+        assert budget.available == 100
+        budget.release(500)
+        assert budget.in_use == 400
+        assert budget.high_water == 900
+        assert budget.reservations == 2
+
+    def test_try_reserve_denial(self):
+        budget = MemoryBudget(100)
+        assert budget.try_reserve(80)
+        assert not budget.try_reserve(30)
+        assert budget.denials == 1
+        assert budget.in_use == 80
+
+    def test_reserve_raises_then_force_overcommits(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(BudgetExceeded):
+            budget.reserve(150)
+        budget.reserve(150, force=True)
+        assert budget.overcommits == 1
+        assert budget.in_use == 150
+        assert budget.high_water == 150
+
+    def test_unlimited_admits_everything(self):
+        budget = MemoryBudget.unlimited()
+        assert budget.limit is None
+        assert budget.fits(1 << 60)
+        budget.reserve(1 << 40)
+        assert budget.high_water == 1 << 40
+        assert budget.available is None
+
+    def test_reserving_context_releases_on_error(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(RuntimeError):
+            with budget.reserving(50):
+                assert budget.in_use == 50
+                raise RuntimeError("boom")
+        assert budget.in_use == 0
+        assert budget.high_water == 50
+
+    def test_coerce(self):
+        assert MemoryBudget.coerce(None).limit is None
+        assert MemoryBudget.coerce(4096).limit == 4096
+        original = MemoryBudget(10)
+        assert MemoryBudget.coerce(original) is original
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+        budget = MemoryBudget(10)
+        with pytest.raises(ValueError):
+            budget.reserve(-1)
+        with pytest.raises(ValueError):
+            budget.release(-1)
+
+
+class TestSpillManager:
+    def test_roundtrip_preserves_dtype_and_shape(self, tmp_path):
+        with SpillManager(dir=str(tmp_path)) as spill:
+            for array in (
+                np.arange(100, dtype=np.int64),
+                np.random.default_rng(0).uniform(size=(40, 2, 3)),
+                np.zeros((0, 2, 3)),
+                np.array([1.5]),
+            ):
+                handle = spill.spill(array)
+                back = spill.read(handle)
+                assert back.dtype == array.dtype
+                assert back.shape == array.shape
+                np.testing.assert_array_equal(back, array)
+
+    def test_read_rows_partial(self, tmp_path):
+        array = np.random.default_rng(1).uniform(size=(1000, 2, 3))
+        # Tiny pages so row ranges span many pages.
+        with SpillManager(dir=str(tmp_path), page_size=512) as spill:
+            handle = spill.spill(array)
+            for lo, hi in ((0, 1000), (0, 1), (999, 1000), (250, 750), (10, 10)):
+                np.testing.assert_array_equal(spill.read_rows(handle, lo, hi), array[lo:hi])
+            with pytest.raises(ValueError):
+                spill.read_rows(handle, 500, 100)
+
+    def test_counters_charged(self, tmp_path):
+        counters = Counters()
+        with SpillManager(dir=str(tmp_path), page_size=1024, counters=counters) as spill:
+            array = np.arange(1000, dtype=np.float64)  # 8000 bytes -> 8 pages
+            handle = spill.spill(array)
+            assert counters.tiles_spilled == 1
+            assert counters.spill_bytes_written == array.nbytes
+            assert counters.pages_written == 8
+            spill.read(handle)
+            assert counters.spill_bytes_read == array.nbytes
+            assert counters.pages_read == 8
+
+    def test_free_releases_pages_for_reuse(self, tmp_path):
+        with SpillManager(dir=str(tmp_path), page_size=1024) as spill:
+            first = spill.spill(np.arange(512, dtype=np.float64))
+            file_bytes = spill.store.file_bytes
+            spill.free(first)
+            assert spill.live_handles == 0
+            second = spill.spill(np.arange(512, dtype=np.float64))
+            assert spill.store.file_bytes == file_bytes  # slots reused
+            with pytest.raises(ValueError):
+                spill.read(first)
+            np.testing.assert_array_equal(
+                spill.read(second), np.arange(512, dtype=np.float64)
+            )
+
+    def test_close_is_idempotent_and_blocks_use(self, tmp_path):
+        spill = SpillManager(dir=str(tmp_path))
+        spill.spill(np.arange(10))
+        spill.close()
+        spill.close()
+        with pytest.raises(RuntimeError):
+            spill.spill(np.arange(10))
+
+    def test_owned_tmpdir_removed_on_close(self):
+        spill = SpillManager()
+        path = spill.dir
+        assert os.path.isdir(path)
+        spill.close()
+        assert not os.path.exists(path)
+
+    def test_managers_sharing_a_dir_do_not_clobber_each_other(self, tmp_path):
+        # Regression: a fixed spill file name + "w+b" open meant a second
+        # manager in the same directory truncated the first's live file.
+        first = SpillManager(dir=str(tmp_path))
+        array = np.random.default_rng(7).uniform(size=(500, 2, 3))
+        handle = first.spill(array)
+        second = SpillManager(dir=str(tmp_path))
+        second.spill(np.zeros(4096))
+        np.testing.assert_array_equal(first.read(handle), array)
+        first.close()
+        second.close()
+        assert os.listdir(tmp_path) == []
+
+
+class TestSpillPBSMJoin:
+    def test_unlimited_budget_never_spills(self):
+        items_a = _sides(500, seed=10)
+        items_b = _offset(_sides(500, seed=11), 10_000)
+        counters = Counters()
+        strategy = make_join_strategy("pbsm_spill")
+        pairs = sorted(strategy.join(items_a, items_b, counters))
+        oracle = Counters()
+        expected = sorted(make_join_strategy("pbsm").join(items_a, items_b, oracle))
+        assert pairs == expected
+        assert counters.tiles_spilled == 0
+        assert counters.spill_bytes_written == 0
+
+    def test_tiny_budget_spills_and_stays_exact(self):
+        items_a = _sides(1200, seed=12)
+        items_b = _offset(_sides(1100, seed=13), 10_000)
+        counters = Counters()
+        strategy = make_join_strategy("pbsm_spill", budget=200_000)
+        pairs = sorted(strategy.join(items_a, items_b, counters))
+        expected = sorted(make_join_strategy("pbsm").join(items_a, items_b, Counters()))
+        assert pairs == expected
+        assert counters.tiles_spilled > 0
+        assert counters.spill_bytes_written > 0
+        assert counters.spill_bytes_read == counters.spill_bytes_written
+
+    def test_session_routes_oversized_specs_to_spill(self):
+        items_a = _sides(1500, seed=14)
+        items_b = _offset(_sides(1500, seed=15), 10_000)
+        small_a, small_b = items_a[:100], items_b[:100]
+        with JoinSession(budget=150_000) as session:
+            pairs = session.run(PairJoinSpec(items_a, items_b))
+            session.run(PairJoinSpec(small_a, small_b))
+            assert session.stats.strategy_runs.get("pbsm_spill") == 1
+            # The small spec stayed on an in-memory strategy.
+            assert sum(session.stats.strategy_runs.values()) == 2
+            assert session.stats.strategy_runs.get("pbsm_spill", 0) == 1
+            expected = sorted(
+                make_join_strategy("pbsm").join(items_a, items_b, Counters())
+            )
+            assert pairs == expected
+            assert session.stats.tiles_spilled > 0
+            assert session.stats.spill_bytes_written > 0
+            assert session.stats.budget_high_water > 0
+            report = join_report(session)
+            assert "spill:" in report
+            assert "budget-high-water" in report
+            spill_dir = session.spill_manager().dir
+            assert os.path.isdir(spill_dir)
+        assert not os.path.exists(spill_dir)
+
+    def test_self_join_through_session_budget(self):
+        items = _sides(1400, seed=16)
+        with JoinSession(budget=150_000) as session:
+            pairs = session.run(SelfJoinSpec(items))
+        expected = sorted(make_join_strategy("pbsm").self_join(items, Counters()))
+        assert pairs == expected
+
+    def test_per_spec_pin_by_name(self):
+        items_a = _sides(300, seed=17)
+        items_b = _offset(_sides(300, seed=18), 10_000)
+        session = JoinSession()
+        pairs = session.run(PairJoinSpec(items_a, items_b), strategy="pbsm_spill")
+        expected = sorted(make_join_strategy("pbsm").join(items_a, items_b, Counters()))
+        assert pairs == expected
+        assert session.stats.strategy_runs == {"pbsm_spill": 1}
+
+    def test_error_path_leaves_no_spill_files(self, tmp_path, monkeypatch):
+        from repro.joins import kernels
+
+        items_a = _sides(1200, seed=19)
+        items_b = _offset(_sides(1200, seed=20), 10_000)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("merge kernel down")
+
+        monkeypatch.setattr(kernels, "replica_tile_pairs", explode)
+        strategy = SpillPBSMJoin(budget=150_000, spill_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="merge kernel down"):
+            strategy.join(items_a, items_b, Counters())
+        # The per-join manager tore down its file even though the join died.
+        assert os.listdir(tmp_path) == []
+
+    def test_error_on_shared_manager_frees_every_handle(self, monkeypatch):
+        # Regression: with a session-shared SpillManager a mid-merge error
+        # used to leak every not-yet-consumed run's pages until close().
+        from repro.joins import kernels
+
+        items_a = _sides(1200, seed=21)
+        items_b = _offset(_sides(1200, seed=22), 10_000)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("merge kernel down")
+
+        monkeypatch.setattr(kernels, "replica_tile_pairs", explode)
+        with SpillManager() as shared:
+            strategy = SpillPBSMJoin(budget=150_000, spill=shared)
+            with pytest.raises(RuntimeError, match="merge kernel down"):
+                strategy.join(items_a, items_b, Counters())
+            assert shared.live_handles == 0  # pages released for reuse
+
+
+class TestSpillAcceptance:
+    """The ISSUE 5 acceptance pin at |A| = |B| = 100k."""
+
+    def test_100k_quarter_budget_exact_and_bounded(self):
+        n = 100_000
+        items_a = _sides(n, seed=30, extent=1.0)
+        items_b = _offset(_sides(n, seed=31, extent=1.0), 1_000_000)
+
+        memory = JoinSession(strategy="pbsm")
+        start = time.perf_counter()
+        expected = memory.run(PairJoinSpec(items_a, items_b))
+        memory_time = time.perf_counter() - start
+
+        working_set = pbsm_working_set_bytes(n, n)
+        budget = working_set // 4
+        with JoinSession(budget=budget) as session:
+            start = time.perf_counter()
+            pairs = session.run(PairJoinSpec(items_a, items_b))
+            spill_time = time.perf_counter() - start
+
+            assert pairs == expected
+            assert session.stats.strategy_runs == {"pbsm_spill": 1}
+            # Spill counters are live and rendered.
+            assert session.stats.tiles_spilled > 0
+            assert session.stats.spill_bytes_written > 0
+            assert session.stats.spill_bytes_read > 0
+            assert session.stats.budget_high_water > 0
+            report = join_report(session)
+            assert "spill: tiles=" in report
+        # Within 5x of the in-memory vectorized PBSM (typically ~1.5-2.5x).
+        assert spill_time <= 5.0 * max(memory_time, 1e-9), (
+            f"spilling PBSM took {spill_time:.2f}s vs {memory_time:.2f}s in memory"
+        )
+
+
+class TestExternalBuild:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        items = make_items(4000, seed=40)
+        queries = make_queries(60, seed=41)
+        oracle = LinearScan()
+        oracle.bulk_load(items)
+        expected = [sorted(oracle.range_query(q)) for q in queries]
+        return items, queries, expected
+
+    @pytest.mark.parametrize("cls", [RTree, RStarTree, DiskRTree])
+    def test_budgeted_build_answers_like_oracle(self, cls, workload):
+        items, queries, expected = workload
+        tree = cls()
+        # Streaming input + a budget far below the entry arrays: must spill.
+        tree.bulk_load_external(iter(items), budget=64_000)
+        assert len(tree) == len(items)
+        assert tree.counters.spill_bytes_written > 0
+        got = [sorted(tree.range_query(q)) for q in queries]
+        assert got == expected
+
+    @pytest.mark.parametrize("cls", [RTree, DiskRTree])
+    def test_unbudgeted_build_matches_and_never_spills(self, cls, workload):
+        items, queries, expected = workload
+        tree = cls()
+        tree.bulk_load_external(items)
+        assert tree.counters.spill_bytes_written == 0
+        got = [sorted(tree.range_query(q)) for q in queries]
+        assert got == expected
+
+    @pytest.mark.parametrize("cls", [RTree, DiskRTree])
+    def test_empty_build_resets(self, cls):
+        tree = cls()
+        tree.bulk_load_external([], budget=64_000)
+        assert len(tree) == 0
+        assert tree.range_query(AABB((0, 0, 0), (100, 100, 100))) == []
+
+    def test_generic_dispatch(self, workload):
+        items, queries, expected = workload
+        tree = RTree()
+        external_bulk_load(tree, items, budget=64_000)
+        assert [sorted(tree.range_query(q)) for q in queries] == expected
+        with pytest.raises(TypeError, match="external bulk load"):
+            external_bulk_load(LinearScan(), items, budget=64_000)
+
+    def test_streaming_validation_matches_bulk_load(self):
+        # bulk_load_external validates while streaming: same errors as the
+        # materializing validate_items path.
+        good = make_items(50, seed=42)
+        with pytest.raises(ValueError, match="duplicate element id"):
+            RTree().bulk_load_external(good + [good[0]], budget=64_000)
+        mixed = good + [(999, AABB((0.0, 0.0), (1.0, 1.0)))]
+        with pytest.raises(ValueError, match="dims"):
+            RTree().bulk_load_external(mixed, budget=64_000)
+
+    def test_budget_high_water_tracked(self, workload):
+        items, _, _ = workload
+        budget = MemoryBudget(64_000)
+        tree = RTree()
+        tree.bulk_load_external(items, budget=budget)
+        assert budget.high_water > 0
+        assert budget.in_use == 0  # every phase released what it reserved
+
+
+class TestQuerySessionBudget:
+    def test_chunked_batches_answer_identically(self):
+        items = make_items(3000, seed=50)
+        index = RTree()
+        index.bulk_load(items)
+        queries = make_queries(200, seed=51)
+        free = QuerySession(index)
+        governed = QuerySession(index, budget=8192)
+        expected = free.range_query(queries)
+        got = governed.range_query(queries)
+        assert [sorted(r) for r in got] == [sorted(r) for r in expected]
+        assert governed.stats.batch.budget_chunks > 1
+        assert governed.stats.batch.budget_high_water > 0
+        report = session_report(governed)
+        assert "budget-high-water" in report
+
+    def test_chunked_knn_is_identical(self):
+        items = make_items(2000, seed=52)
+        index = RTree()
+        index.bulk_load(items)
+        points = np.random.default_rng(53).uniform(0, 100, size=(300, 3))
+        free = QuerySession(index)
+        governed = QuerySession(index, budget=4096)
+        assert governed.knn(points, k=5) == free.knn(points, k=5)
+        assert governed.stats.batch.budget_chunks > 1
+
+    def test_unbudgeted_session_reports_no_spill_line(self):
+        items = make_items(500, seed=54)
+        index = RTree()
+        index.bulk_load(items)
+        session = QuerySession(index)
+        session.range_query(make_queries(20, seed=55))
+        assert "spill:" not in session_report(session)

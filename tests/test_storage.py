@@ -1,11 +1,14 @@
-"""Page store, buffer pool and cache simulator."""
+"""Page store, buffer pool, cache simulator — and the spill substrate."""
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.instrumentation.counters import Counters
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.cache import Arena, CacheSimulator
-from repro.storage.pagestore import PageStore
+from repro.storage.pagestore import FilePageStore, PageStore
 
 
 class TestPageStore:
@@ -94,6 +97,120 @@ class TestBufferPool:
         pool.read(pid)
         pool.read(pid)
         assert counters.pages_read == 2  # nothing cached
+
+
+class TestFilePageStore:
+    def test_roundtrip_and_accounting(self, tmp_path):
+        counters = Counters()
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=64, counters=counters)
+        pid = store.allocate(b"hello")
+        assert counters.pages_written == 1
+        assert store.read(pid) == b"hello"
+        assert counters.pages_read == 1
+        store.write(pid, b"rewritten")
+        assert counters.pages_written == 2
+        assert store.peek(pid) == b"rewritten"
+        assert counters.pages_read == 1  # peek is free
+        store.close()
+
+    def test_payloads_persist_in_real_file(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        store = FilePageStore(str(path), page_size=16)
+        store.allocate(b"0123456789abcdef")
+        store._file.flush()
+        assert path.stat().st_size >= 16
+        store.close()
+        assert not path.exists()  # close unlinks by default
+
+    def test_free_slots_are_reused(self, tmp_path):
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=16)
+        first = store.allocate(b"aa")
+        store.allocate(b"bb")
+        store.free(first)
+        reused = store.allocate(b"cc")
+        assert reused == first
+        assert store.file_bytes == 2 * 16  # the file did not grow
+        with pytest.raises(KeyError):
+            store.read(999)
+        store.close()
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=4)
+        with pytest.raises(ValueError):
+            store.allocate(b"too large")
+        store.close()
+
+    def test_buffer_pool_composes(self, tmp_path):
+        counters = Counters()
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=16, counters=counters)
+        pids = [store.allocate(bytes([i]) * 8) for i in range(4)]
+        pool = BufferPool(store, capacity=2)
+        for pid in pids:
+            assert pool.read(pid) == store.peek(pid)
+        assert len(pool) <= 2
+        assert counters.pages_read == 4  # one charged miss per cold page
+        assert pool.read(pids[-1]) == store.peek(pids[-1])
+        assert counters.pages_read == 4  # warm hit: no disk transfer
+        store.close()
+
+
+class TestSpillLifecycle:
+    """ISSUE 5 satellite: no orphan spill files, bounded pool residency."""
+
+    def _boxes(self, n, seed, offset=0):
+        rng = np.random.default_rng(seed)
+        from repro.geometry.aabb import AABB
+
+        lo = rng.uniform(0.0, 49.0, size=(n, 3))
+        hi = np.minimum(lo + rng.uniform(0.1, 1.5, size=(n, 3)), 50.0)
+        return [(offset + eid, AABB(l, h)) for eid, (l, h) in enumerate(zip(lo, hi))]
+
+    def test_session_close_removes_every_spill_file(self, tmp_path):
+        from repro.joins import JoinSession, PairJoinSpec
+
+        spill_dir = tmp_path / "spills"
+        session = JoinSession(budget=120_000, spill_dir=str(spill_dir))
+        session.run(PairJoinSpec(self._boxes(1200, 1), self._boxes(1200, 2, offset=10_000)))
+        assert session.stats.tiles_spilled > 0
+        assert os.listdir(spill_dir) != []
+        session.close()
+        assert os.listdir(spill_dir) == []  # caller-owned dir survives, empty
+        session.close()  # idempotent
+
+    def test_strategy_error_removes_every_spill_file(self, tmp_path, monkeypatch):
+        from repro.exec.external_join import SpillPBSMJoin
+        from repro.joins import kernels
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("merge kernel down")
+
+        monkeypatch.setattr(kernels, "replica_tile_pairs", explode)
+        strategy = SpillPBSMJoin(budget=120_000, spill_dir=str(tmp_path))
+        with pytest.raises(RuntimeError):
+            strategy.join(
+                self._boxes(1200, 3), self._boxes(1200, 4, offset=10_000), Counters()
+            )
+        assert os.listdir(tmp_path) == []
+
+    def test_pool_residency_bounded_under_spill_pressure(self, tmp_path):
+        from repro.exec.spill import SpillManager
+
+        pool_pages = 4
+        with SpillManager(
+            dir=str(tmp_path), page_size=1024, pool_pages=pool_pages
+        ) as spill:
+            handles = [
+                spill.spill(np.random.default_rng(i).uniform(size=2048))  # 16 pages
+                for i in range(5)
+            ]
+            for handle in handles:
+                spill.read(handle)
+                assert len(spill.pool) <= pool_pages
+            # Partial re-reads churn the pool without exceeding the budget.
+            for handle in handles:
+                spill.read_rows(handle, 100, 1900)
+                assert len(spill.pool) <= pool_pages
+            assert spill.pool.misses > 0
 
 
 class TestArena:
