@@ -65,6 +65,19 @@ nested-loop pair set)::
 See ``examples/join_session.py`` for the planner, deferred handles, the
 sharded executor and the telemetry report.
 
+For concurrent clients, the serving tier puts both sessions behind the
+event loop: a :class:`ServingSession` batches awaitable requests under a
+:class:`FlushPolicy` and executes shards on a persistent shared-memory
+:class:`WorkerPool` (indexes cross the process boundary once, as
+snapshots — not once per flush)::
+
+    async with ServingSession(index) as serving:
+        ids = await serving.range_query(AABB((10, 10, 10), (20, 20, 20)))
+        nearest = await serving.knn((50.0, 50.0, 50.0), k=8)
+        pairs = await serving.join(SelfJoinSpec(items))
+
+See ``examples/serving.py`` for N concurrent clients over one pool.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every reproduced figure.
 """
@@ -131,6 +144,14 @@ from repro.exec import (
     external_bulk_load,
     pbsm_working_set_bytes,
 )
+from repro.serving import (
+    AsyncExecutor,
+    FlushPolicy,
+    ServingSession,
+    WorkerPool,
+    default_pool,
+    shutdown_default_pool,
+)
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -177,6 +198,12 @@ __all__ = [
     "Synapse",
     "SynapseDetector",
     "IteratedSelfJoin",
+    "AsyncExecutor",
+    "FlushPolicy",
+    "ServingSession",
+    "WorkerPool",
+    "default_pool",
+    "shutdown_default_pool",
     "MemoryBudget",
     "SpillManager",
     "external_bulk_load",

@@ -48,6 +48,21 @@ def _spill_line(
     return " ".join(parts)
 
 
+def _serving_line(stats: SessionStats | JoinStats) -> str | None:
+    """The async serving-tier telemetry, rendered once an event-loop
+    executor has attributed flushes to causes."""
+    if not stats.flush_triggers and not stats.queue_high_water:
+        return None
+    causes = ",".join(
+        f"{cause}:{count}" for cause, count in sorted(stats.flush_triggers.items())
+    )
+    return (
+        f"serving: triggers={causes or '-'} "
+        f"queue-high-water={stats.queue_high_water:,} "
+        f"flush-wall={stats.flush_seconds:.3f}s"
+    )
+
+
 def query_session_report(session: QuerySession) -> str:
     """A formatted executor-mix + dedup summary for one query session."""
     stats = session.stats
@@ -67,6 +82,9 @@ def query_session_report(session: QuerySession) -> str:
     )
     if spill is not None:
         header = f"{header}\n{spill}"
+    serving = _serving_line(stats)
+    if serving is not None:
+        header = f"{header}\n{serving}"
     table = format_table(
         ["executor", "batches", "share %", "routing"],
         session_summary_rows(stats),
@@ -100,6 +118,9 @@ def join_report(session: JoinSession) -> str:
     )
     if spill is not None:
         header = f"{header}\n{spill}"
+    serving = _serving_line(stats)
+    if serving is not None:
+        header = f"{header}\n{serving}"
     strategy_table = format_table(
         ["strategy", "joins", "share %", "routing"],
         join_summary_rows(stats),

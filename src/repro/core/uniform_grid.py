@@ -647,6 +647,45 @@ class UniformGrid(SpatialIndex):
 
     # -- introspection ---------------------------------------------------------------
 
+    def export_items(self) -> tuple[np.ndarray, np.ndarray] | None:
+        dims = self._universe.dims if self._universe else 0
+        eids = np.fromiter(self._boxes.keys(), dtype=np.int64, count=len(self._boxes))
+        return eids, boxes_to_array(list(self._boxes.values()), dims=dims)
+
+    def snapshot_export(self) -> tuple[dict[str, np.ndarray], float] | None:
+        """The compacted snapshot as plain arrays, for shared-memory export.
+
+        Returns ``(arrays, cell_size)`` where ``arrays`` holds every
+        :class:`_GridSnapshot` field plus the ``(2, d)`` universe corners,
+        or ``None`` when the grid is empty or unlinearizable.  A dirty
+        overlay forces a compacting rebuild first so the exported base
+        arrays alone describe the full contents — the serving worker pool
+        rehydrates them into a read-only grid without replaying patches
+        (:mod:`repro.serving.snapshots`).
+        """
+        if not self._boxes:
+            return None
+        snap = self._ensure_snapshot()
+        if snap is not None and snap.dirty:
+            snap = self._build_snapshot()
+            self._snapshot = snap
+        if snap is None:
+            return None
+        assert self._universe is not None
+        arrays = {
+            "keys": snap.keys,
+            "starts": snap.starts,
+            "counts": snap.counts,
+            "entry_rows": snap.entry_rows,
+            "eids": snap.eids,
+            "boxes": snap.boxes,
+            "strides": snap.strides,
+            "tops": snap.tops,
+            "origin": snap.origin,
+            "universe": np.array([self._universe.lo, self._universe.hi], dtype=np.float64),
+        }
+        return arrays, float(snap.cell)
+
     @property
     def occupied_cells(self) -> int:
         return sum(1 for bucket in self._cells.values() if bucket)

@@ -43,6 +43,8 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import sys
+import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, Union
@@ -123,9 +125,15 @@ class ResultHandle:
     value is that query's result (``list[int]`` or
     :data:`~repro.indexes.base.KNNResult`); for array submissions it is the
     per-query list of results, in submission order.
+
+    Handles are also ``await``-able: under an
+    :class:`~repro.serving.async_executor.AsyncExecutor` the executor
+    attaches an asyncio waiter at submit time, and ``await handle`` parks
+    the task until the executor's flush settles it.  Awaiting a handle with
+    no waiter degrades to the synchronous flush-on-read path.
     """
 
-    __slots__ = ("query", "tag", "_session", "_value", "_error", "_resolved")
+    __slots__ = ("query", "tag", "_session", "_value", "_error", "_resolved", "_waiter")
 
     def __init__(self, session: "QuerySession", query: Query | None, tag: Any = None) -> None:
         self.query = query
@@ -134,6 +142,7 @@ class ResultHandle:
         self._value: Any = None
         self._error: BaseException | None = None
         self._resolved = False
+        self._waiter: Any = None  # asyncio.Future, attached by AsyncExecutor
 
     @property
     def resolved(self) -> bool:
@@ -160,6 +169,11 @@ class ResultHandle:
         if self._error is not None:
             raise self._error
         return self._value
+
+    def __await__(self):
+        if not self._resolved and self._waiter is not None:
+            yield from self._waiter.__await__()
+        return self.result()
 
     def _resolve(self, value: Any) -> None:
         self._value = value
@@ -325,29 +339,40 @@ def _fork_is_safe() -> bool:
 
 
 class ShardedExecutor(Executor):
-    """Partitions the query array across a process pool of forked workers.
+    """Partitions the query array across a pool of worker processes.
 
     The batch engine is stateless over results, so the query axis shards
-    trivially: each worker inherits the parent's index (and any warm batch
-    snapshot) through ``fork``, runs the kernel engine over its contiguous
-    chunk, and ships back ``(results, BatchStats)``; the parent concatenates
-    results in submission order and merges the stats.
+    trivially: each worker answers a contiguous chunk and ships back
+    ``(results, BatchStats)``; the parent concatenates results in
+    submission order and merges the stats.
+
+    By default the work runs on a **persistent**
+    :class:`~repro.serving.pool.WorkerPool`: the index crosses the process
+    boundary once, as a shared-memory snapshot, and each flush ships only
+    probe arrays and result ids.  When the index has no shared-memory
+    representation (``export_index_payload`` returns ``None``) — or
+    ``pool=False`` pins the legacy behaviour — the executor forks a fresh
+    ``multiprocessing.Pool`` per run, inheriting the index through fork.
 
     Parameters
     ----------
     workers:
-        Pool size (default: CPU count, capped at 8).
+        Shard count cap (default: CPU count, capped at 8).
     min_shard:
         Smallest worthwhile per-worker chunk; batches smaller than
         ``2 * min_shard`` fall back to single-process :class:`BatchExecutor`
-        execution, as do platforms where forking is unavailable or unsafe
-        (anything but Linux, unless the user set the ``fork`` start method
-        explicitly).
+        execution, as do platforms where no multiprocess path is viable.
+    pool:
+        ``None`` (default) — route through the process-wide
+        :func:`~repro.serving.pool.default_pool`; a
+        :class:`~repro.serving.pool.WorkerPool` — route through that pool;
+        ``False`` — always use the legacy per-flush fork path (the
+        benchmark baseline).
 
     Notes
     -----
     Worker-side :class:`~repro.instrumentation.counters.Counters` charges die
-    with the forked children — only the returned ``BatchStats`` merge back.
+    with the workers — only the returned ``BatchStats`` merge back.
     Dedup is global: duplicate queries are collapsed in the parent *before*
     the array is partitioned, so duplicates landing in different shards are
     still executed exactly once and fanned back out on merge.
@@ -355,7 +380,12 @@ class ShardedExecutor(Executor):
 
     name = "sharded"
 
-    def __init__(self, workers: int | None = None, min_shard: int = 512) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_shard: int = 512,
+        pool: Any = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if min_shard < 1:
@@ -363,7 +393,17 @@ class ShardedExecutor(Executor):
         cpus = multiprocessing.cpu_count()
         self.workers = workers if workers is not None else min(cpus, 8)
         self.min_shard = min_shard
+        self.pool = pool
         self._fallback = BatchExecutor()
+
+    def _resolve_pool(self):
+        if self.pool is False:
+            return None
+        if self.pool is not None:
+            return self.pool
+        from repro.serving.pool import default_pool
+
+        return default_pool()
 
     def run(
         self, index: SpatialIndex, batch: QueryBatch, *, dedup: bool
@@ -388,6 +428,21 @@ class ShardedExecutor(Executor):
                 inverse = None
 
         shards = min(self.workers, batch.size // self.min_shard)
+        if shards >= 2:
+            pool = self._resolve_pool()
+            if pool is not None:
+                try:
+                    entry = pool.ensure_index(index)
+                    if entry is not None:
+                        results, stats = pool.run_query_shards(
+                            entry, batch.kind, batch.payload, batch.k, dedup, shards
+                        )
+                        return self._fan_out(results, stats, inverse, dropped)
+                except Exception:
+                    # Pool-infrastructure failure: fall through to the
+                    # fork/in-process paths, which reproduce any genuine
+                    # query error on the same inputs.
+                    pass
         if shards < 2 or not _fork_is_safe():
             results, stats = self._fallback.run(index, batch, dedup=dedup)
             return self._fan_out(results, stats, inverse, dropped)
@@ -479,16 +534,29 @@ class SessionStats:
     ``batch`` accumulates the merged :class:`BatchStats` of every executor
     run; ``executor_runs`` counts batches per executor name, which is the
     telemetry the cost heuristic is judged by
-    (:func:`repro.analysis.session_report`)."""
+    (:func:`repro.analysis.session_report`).
+
+    The serving tier adds queue/flush telemetry: ``queue_high_water`` is
+    the deepest the buffer got before a flush (a gauge), ``flush_triggers``
+    counts flushes per cause (``"full"`` / ``"deadline"`` / ``"idle"`` —
+    recorded by :class:`~repro.serving.async_executor.AsyncExecutor`; plain
+    synchronous flushes don't tag themselves), and ``flush_seconds`` is the
+    total wall-clock spent inside :meth:`QuerySession.flush`."""
 
     batch: BatchStats = field(default_factory=BatchStats)
     flushes: int = 0
     submitted: int = 0
     executor_runs: dict[str, int] = field(default_factory=dict)
+    queue_high_water: int = 0
+    flush_triggers: dict[str, int] = field(default_factory=dict)
+    flush_seconds: float = 0.0
 
     def record_run(self, executor_name: str, stats: BatchStats) -> None:
         self.batch.merge(stats)
         self.executor_runs[executor_name] = self.executor_runs.get(executor_name, 0) + 1
+
+    def record_trigger(self, cause: str) -> None:
+        self.flush_triggers[cause] = self.flush_triggers.get(cause, 0) + 1
 
 
 # -- the session ---------------------------------------------------------------
@@ -563,6 +631,12 @@ class QuerySession:
         self.stats = SessionStats()
         self._inline = InlineExecutor()
         self._batch = BatchExecutor()
+        # Concurrency: `_lock` guards the buffer and submission tallies;
+        # `_flush_lock` serializes whole flushes (drain → execute → resolve),
+        # so a competing flush-on-read blocks until every drained handle has
+        # settled instead of observing drained-but-unresolved handles.
+        self._lock = threading.Lock()
+        self._flush_lock = threading.Lock()
 
     # -- executor choice ------------------------------------------------------
 
@@ -586,6 +660,14 @@ class QuerySession:
 
     # -- submission (deferred) ------------------------------------------------
 
+    def _enqueue(self, submission: _Submission, count: int) -> None:
+        with self._lock:
+            self._buffer.add(submission)
+            self.stats.submitted += count
+            depth = len(self._buffer)
+            if depth > self.stats.queue_high_water:
+                self.stats.queue_high_water = depth
+
     def submit(self, query: Query) -> ResultHandle:
         """Buffer one query value; returns its deferred handle."""
         handle = ResultHandle(self, query)
@@ -600,8 +682,7 @@ class QuerySession:
             kind, k = "point", None
         else:
             raise TypeError(f"not a query value: {query!r}")
-        self._buffer.add(_Submission(kind, payload, k, handle, vector=False))
-        self.stats.submitted += 1
+        self._enqueue(_Submission(kind, payload, k, handle, vector=False), 1)
         return handle
 
     def submit_all(self, queries: Sequence[Query]) -> list[ResultHandle]:
@@ -618,8 +699,7 @@ class QuerySession:
         """
         payload = as_box_array(boxes)
         handle = ResultHandle(self, None, tag)
-        self._buffer.add(_Submission("range", payload, None, handle, vector=True))
-        self.stats.submitted += payload.shape[0]
+        self._enqueue(_Submission("range", payload, None, handle, vector=True), payload.shape[0])
         return handle
 
     def submit_knns(
@@ -634,8 +714,7 @@ class QuerySession:
             raise ValueError(f"k must be >= 0, got {k}")
         payload = as_point_array(points)
         handle = ResultHandle(self, None, tag)
-        self._buffer.add(_Submission("knn", payload, k, handle, vector=True))
-        self.stats.submitted += payload.shape[0]
+        self._enqueue(_Submission("knn", payload, k, handle, vector=True), payload.shape[0])
         return handle
 
     def submit_points(
@@ -644,8 +723,7 @@ class QuerySession:
         """Buffer a stabbing-query point array."""
         payload = as_point_array(points)
         handle = ResultHandle(self, None, tag)
-        self._buffer.add(_Submission("point", payload, None, handle, vector=True))
-        self.stats.submitted += payload.shape[0]
+        self._enqueue(_Submission("point", payload, None, handle, vector=True), payload.shape[0])
         return handle
 
     @property
@@ -666,27 +744,38 @@ class QuerySession:
         (``result()`` re-raises it) instead of orphaning them; the other
         groups still run, and the first error propagates once the buffer is
         fully settled.
+
+        Flushes are serialized: concurrent callers (threads, or an async
+        executor racing a flush-on-read) queue on the flush lock, and each
+        sees either a fully settled buffer or runs its own complete flush.
         """
-        groups = self._buffer.drain()
-        if not groups:
-            return
-        self.stats.flushes += 1
-        first_error: Exception | None = None
-        for (kind, k), submissions in groups:
+        with self._flush_lock:
+            with self._lock:
+                groups = self._buffer.drain()
+            if not groups:
+                return
+            self.stats.flushes += 1
+            start = time.perf_counter()
+            first_error: Exception | None = None
             try:
-                self._run_group(kind, k, submissions)
-            except Exception as error:
-                # Confine ordinary errors to the group that raised them;
-                # BaseExceptions (KeyboardInterrupt, SystemExit) propagate
-                # immediately — unexecuted submissions stay unsettled and
-                # their reads raise RuntimeError.
-                for sub in submissions:
-                    if not sub.handle.resolved:
-                        sub.handle._fail(error)
-                if first_error is None:
-                    first_error = error
-        if first_error is not None:
-            raise first_error
+                for (kind, k), submissions in groups:
+                    try:
+                        self._run_group(kind, k, submissions)
+                    except Exception as error:
+                        # Confine ordinary errors to the group that raised
+                        # them; BaseExceptions (KeyboardInterrupt,
+                        # SystemExit) propagate immediately — unexecuted
+                        # submissions stay unsettled and their reads raise
+                        # RuntimeError.
+                        for sub in submissions:
+                            if not sub.handle.resolved:
+                                sub.handle._fail(error)
+                        if first_error is None:
+                            first_error = error
+            finally:
+                self.stats.flush_seconds += time.perf_counter() - start
+            if first_error is not None:
+                raise first_error
 
     def _run_group(self, kind: str, k: int | None, submissions: list[_Submission]) -> None:
         # Zero-row payloads contribute nothing (and may carry a placeholder

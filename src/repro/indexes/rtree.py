@@ -345,6 +345,12 @@ class RTree(SpatialIndex):
 
     # -- introspection -------------------------------------------------------------
 
+    def export_items(self) -> tuple[np.ndarray, np.ndarray] | None:
+        items = _collect_leaf_items(self._root)
+        items.sort(key=lambda item: item[0])
+        eids = np.fromiter((eid for eid, _ in items), dtype=np.int64, count=len(items))
+        return eids, boxes_to_array([box for _, box in items], dims=self._dims or 0)
+
     def __len__(self) -> int:
         return self._size
 

@@ -37,6 +37,9 @@ session's telemetry.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -78,9 +81,14 @@ class JoinHandle:
     (flush-on-read).  The value is the spec's natural result: sorted id
     pairs for box/distance joins, :class:`~repro.joins.spec.Synapse` records
     for synapse specs.
+
+    Like query handles, join handles are ``await``-able once an
+    :class:`~repro.serving.async_executor.AsyncExecutor` has attached a
+    waiter; without one, ``await handle`` degrades to the synchronous
+    flush-on-read path.
     """
 
-    __slots__ = ("spec", "tag", "_session", "_value", "_error", "_resolved")
+    __slots__ = ("spec", "tag", "_session", "_value", "_error", "_resolved", "_waiter")
 
     def __init__(self, session: "JoinSession", spec: JoinSpec) -> None:
         self.spec = spec
@@ -89,6 +97,7 @@ class JoinHandle:
         self._value: Any = None
         self._error: BaseException | None = None
         self._resolved = False
+        self._waiter: Any = None  # asyncio.Future, attached by AsyncExecutor
 
     @property
     def resolved(self) -> bool:
@@ -109,6 +118,11 @@ class JoinHandle:
         if self._error is not None:
             raise self._error
         return self._value
+
+    def __await__(self):
+        if not self._resolved and self._waiter is not None:
+            yield from self._waiter.__await__()
+        return self.result()
 
     def _resolve(self, value: Any) -> None:
         self._value = value
@@ -235,19 +249,34 @@ class ShardedJoinExecutor(JoinExecutor):
     phase over its prefix; sharing the build across workers is a ROADMAP
     follow-up.
 
+    By default the shards run on the persistent
+    :class:`~repro.serving.pool.WorkerPool`: both join sides are published
+    once as shared-memory ``(eids, boxes)`` tables (the self-join sides in
+    id-sorted order, which the prefix rule requires) and each flush ships
+    only shard bounds out and pairs back.  Strategies that cannot cross a
+    process boundary by pickle (e.g. a closure-carrying ``CallableJoin``)
+    use the legacy per-flush fork path instead.
+
     Parameters
     ----------
     workers:
         Pool size (default: CPU count, capped at 8).
     min_shard:
         Smallest worthwhile probe chunk; smaller jobs (and strategies
-        without a binary form, and non-fork platforms) fall back to
-        :class:`InlineJoinExecutor`.
+        without a binary form, and platforms with no multiprocess path)
+        fall back to :class:`InlineJoinExecutor`.
+    pool:
+        ``None`` (default) — the process-wide
+        :func:`~repro.serving.pool.default_pool`; a
+        :class:`~repro.serving.pool.WorkerPool` — that pool; ``False`` —
+        always the legacy per-flush fork path (the benchmark baseline).
     """
 
     name = "sharded"
 
-    def __init__(self, workers: int | None = None, min_shard: int = 2048) -> None:
+    def __init__(
+        self, workers: int | None = None, min_shard: int = 2048, pool: Any = None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if min_shard < 1:
@@ -255,7 +284,59 @@ class ShardedJoinExecutor(JoinExecutor):
         cpus = multiprocessing.cpu_count()
         self.workers = workers if workers is not None else min(cpus, 8)
         self.min_shard = min_shard
+        self.pool = pool
         self._fallback = InlineJoinExecutor()
+        self._portable: dict[int, tuple[JoinStrategy, bool]] = {}
+
+    def _resolve_pool(self):
+        if self.pool is False:
+            return None
+        if self.pool is not None:
+            return self.pool
+        from repro.serving.pool import default_pool
+
+        return default_pool()
+
+    def _strategy_is_portable(self, strategy: JoinStrategy) -> bool:
+        """Can ``strategy`` ride a task message to a pool worker?
+
+        The legacy fork path never pickles the strategy, so closure-carrying
+        strategies worked there; probe once per instance and route the
+        unpicklable ones back through fork.
+        """
+        cached = self._portable.get(id(strategy))
+        if cached is not None and cached[0] is strategy:
+            return cached[1]
+        try:
+            pickle.dumps(strategy)
+            portable = True
+        except Exception:
+            portable = False
+        self._portable[id(strategy)] = (strategy, portable)
+        return portable
+
+    def _run_pooled(
+        self,
+        pool,
+        mode: str,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        probes: Sequence[Item],
+        epsilon: float,
+        counters: Counters,
+        shards: int,
+    ) -> Pairs:
+        if mode in ("self", "distance_self"):
+            build = chunk_side = pool.ensure_items(probes, sort_by_id=True)
+        else:
+            build = pool.ensure_items(items_a)
+            chunk_side = pool.ensure_items(probes)
+        parts = pool.run_join_shards(strategy, mode, build, chunk_side, epsilon, shards)
+        pairs: Pairs = []
+        for shard_pairs, shard_counters in parts:
+            pairs.extend(shard_pairs)
+            counters.merge(shard_counters)
+        return pairs
 
     def _run(
         self,
@@ -267,6 +348,18 @@ class ShardedJoinExecutor(JoinExecutor):
         counters: Counters,
     ) -> Pairs:
         shards = min(self.workers, len(probes) // self.min_shard)
+        use_pool = shards >= 2 and strategy.binary and strategy.forkable
+        if use_pool:
+            pool = self._resolve_pool()
+            if pool is not None and self._strategy_is_portable(strategy):
+                try:
+                    return self._run_pooled(
+                        pool, mode, strategy, items_a, probes, epsilon, counters, shards
+                    )
+                except Exception:
+                    # Pool-infrastructure failure: the fork/inline paths
+                    # below reproduce any genuine join error.
+                    pass
         if shards < 2 or not strategy.binary or not strategy.forkable or not _fork_is_safe():
             if mode == "pair":
                 return self._fallback.pair_pairs(strategy, items_a, probes, counters)
@@ -407,6 +500,11 @@ class JoinSession:
         self._pending: list[tuple[JoinSpec, JoinHandle, JoinStrategy | None]] = []
         self._small = make_join_strategy("nested_loop")
         self._default = make_join_strategy("grid")
+        # Concurrency: `_lock` guards the pending list; `_flush_lock`
+        # serializes whole flushes so a competing flush-on-read never sees
+        # drained-but-unresolved handles (same discipline as QuerySession).
+        self._lock = threading.Lock()
+        self._flush_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -504,7 +602,10 @@ class JoinSession:
         if isinstance(strategy, str):
             strategy = make_join_strategy(strategy)
         handle = JoinHandle(self, spec)
-        self._pending.append((spec, handle, strategy))
+        with self._lock:
+            self._pending.append((spec, handle, strategy))
+            if len(self._pending) > self.stats.queue_high_water:
+                self.stats.queue_high_water = len(self._pending)
         return handle
 
     @property
@@ -517,18 +618,35 @@ class JoinSession:
         A spec whose execution raises settles its handle with that error;
         the other specs still run, and the first error propagates once the
         buffer is settled (the same containment contract as query flushes).
+
+        Flushes are serialized across threads, and a spec that fails while
+        the session's spill manager is open releases the spill files
+        immediately: a strategy that dies mid-merge leaves partitions
+        parked on disk, and deferring cleanup to :meth:`close` would leak
+        the tmpdir for the session's whole remaining lifetime.  The next
+        over-budget spec simply opens a fresh manager.
         """
-        pending, self._pending = self._pending, []
-        first_error: Exception | None = None
-        for spec, handle, strategy in pending:
+        with self._flush_lock:
+            with self._lock:
+                pending, self._pending = self._pending, []
+            if not pending:
+                return
+            start = time.perf_counter()
+            first_error: Exception | None = None
             try:
-                handle._resolve(self._execute(spec, strategy))
-            except Exception as error:
-                handle._fail(error)
-                if first_error is None:
-                    first_error = error
-        if first_error is not None:
-            raise first_error
+                for spec, handle, strategy in pending:
+                    try:
+                        handle._resolve(self._execute(spec, strategy))
+                    except Exception as error:
+                        handle._fail(error)
+                        if self._spill is not None:
+                            self.close()
+                        if first_error is None:
+                            first_error = error
+            finally:
+                self.stats.flush_seconds += time.perf_counter() - start
+            if first_error is not None:
+                raise first_error
 
     def run(self, spec: JoinSpec, strategy: str | JoinStrategy | None = None) -> Any:
         """Submit + flush + read: the immediate surface."""

@@ -190,10 +190,19 @@ class JoinStats:
     budget_high_water: int = 0
     strategy_runs: dict[str, int] = field(default_factory=dict)
     executor_runs: dict[str, int] = field(default_factory=dict)
+    # Serving telemetry, mirroring SessionStats: the deepest the spec
+    # buffer got (a gauge), flush counts per cause, and total wall-clock
+    # inside flush().
+    queue_high_water: int = 0
+    flush_triggers: dict[str, int] = field(default_factory=dict)
+    flush_seconds: float = 0.0
 
     def record_run(self, strategy_name: str, executor_name: str) -> None:
         self.strategy_runs[strategy_name] = self.strategy_runs.get(strategy_name, 0) + 1
         self.executor_runs[executor_name] = self.executor_runs.get(executor_name, 0) + 1
+
+    def record_trigger(self, cause: str) -> None:
+        self.flush_triggers[cause] = self.flush_triggers.get(cause, 0) + 1
 
     def merge(self, other: "JoinStats") -> None:
         self.joins += other.joins
@@ -209,3 +218,7 @@ class JoinStats:
             self.strategy_runs[name] = self.strategy_runs.get(name, 0) + runs
         for name, runs in other.executor_runs.items():
             self.executor_runs[name] = self.executor_runs.get(name, 0) + runs
+        self.queue_high_water = max(self.queue_high_water, other.queue_high_water)
+        for cause, count in other.flush_triggers.items():
+            self.flush_triggers[cause] = self.flush_triggers.get(cause, 0) + count
+        self.flush_seconds += other.flush_seconds

@@ -1,0 +1,37 @@
+"""The serving tier: event-loop front ends over a persistent worker pool.
+
+The paper's motivating workload — neuroscientists interactively probing an
+indexed brain model — is a *serving* problem: many concurrent range / kNN /
+join requests against a shared index, not one scripted batch.  The session
+layer (PRs 3-5) already decouples submission from execution; this package
+adds the two missing pieces:
+
+* :class:`~repro.serving.pool.WorkerPool` — a **long-lived** process pool
+  whose workers attach index snapshots through
+  ``multiprocessing.shared_memory``.  A snapshot is exported exactly once
+  per (index, pool); after that, only probe arrays and result id arrays
+  cross process boundaries.  ``ShardedExecutor`` and
+  ``ShardedJoinExecutor`` route through it instead of forking a fresh pool
+  per flush.
+* :class:`~repro.serving.async_executor.AsyncExecutor` — an event-loop
+  flush policy over one :class:`~repro.engine.QuerySession` or
+  :class:`~repro.joins.session.JoinSession`: batch under load, flush on
+  submit when the loop goes idle, and never hold a request past the
+  latency budget.  Handles become ``await``-able.
+
+:class:`~repro.serving.async_executor.ServingSession` bundles both into the
+"heavy traffic" front door used by ``benchmarks/bench_serving.py`` and
+``examples/serving.py``.
+"""
+
+from repro.serving.async_executor import AsyncExecutor, FlushPolicy, ServingSession
+from repro.serving.pool import WorkerPool, default_pool, shutdown_default_pool
+
+__all__ = [
+    "AsyncExecutor",
+    "FlushPolicy",
+    "ServingSession",
+    "WorkerPool",
+    "default_pool",
+    "shutdown_default_pool",
+]

@@ -1,0 +1,296 @@
+"""Event-loop executors: asyncio front ends over the session layer.
+
+A session batches best when many requests land between flushes; an event
+loop interleaves many client tasks naturally.  :class:`AsyncExecutor`
+connects the two with a *flush policy*:
+
+* **batch under load** — submissions buffer in the session exactly as in
+  synchronous use; concurrent client tasks coalesce into one flush;
+* **flush on idle** — when the event loop goes quiet (a scheduling pass
+  adds no new submissions), pending work flushes immediately instead of
+  waiting out a timer;
+* **latency budget** — no request waits longer than
+  :attr:`FlushPolicy.max_delay` for stragglers, and a queue reaching
+  :attr:`FlushPolicy.max_batch` flushes at once.
+
+Each flush runs in a worker thread (``asyncio.to_thread``), so the loop
+keeps accepting submissions while the kernels execute.  Handles submitted
+through the executor become awaitable: ``await handle`` parks the client
+task until its flush settles it.  Flush causes and latencies feed the
+session stats (``flush_triggers`` / ``flush_seconds`` / per-flush
+latencies), which :func:`repro.analysis.session_report.session_report`
+renders as the serving telemetry line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.session import KNNQuery, PointQuery, Query, QuerySession, RangeQuery, ResultHandle
+from repro.geometry.aabb import AABB
+from repro.indexes.base import KNNResult, SpatialIndex
+from repro.joins.session import JoinHandle, JoinSession
+from repro.joins.spec import JoinSpec
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the event-loop flusher commits the buffered queue.
+
+    ``max_batch`` bounds queue depth (reaching it flushes with cause
+    ``"full"``); ``max_delay`` is the latency budget in seconds (cause
+    ``"deadline"``); ``idle_flush`` flushes as soon as a scheduling pass
+    adds nothing new (cause ``"idle"`` — the flush-on-submit-when-idle
+    behaviour).  Disable ``idle_flush`` to maximize batch size under a
+    pure latency budget.
+    """
+
+    max_batch: int = 1024
+    max_delay: float = 0.002
+    idle_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+
+
+class AsyncExecutor:
+    """Drives one session's flushes from the event loop.
+
+    Wraps a :class:`~repro.engine.session.QuerySession` or
+    :class:`~repro.joins.session.JoinSession`; ``submit*`` mirrors the
+    session's surface but returns handles that are safe to ``await``.  One
+    flusher task owns flush timing; submissions never flush inline, so a
+    client task's latency is (time to next flush) + (its share of one
+    batched execution) rather than one full execution per request.
+    """
+
+    def __init__(self, session: QuerySession | JoinSession, policy: FlushPolicy | None = None) -> None:
+        self.session = session
+        self.policy = policy if policy is not None else FlushPolicy()
+        self.flush_latencies: list[float] = []
+        self._pending: list[Any] = []  # handles whose waiters we complete
+        self._seq = 0
+        self._wake: asyncio.Event | None = None
+        self._flusher: asyncio.Task | None = None
+        self._closed = False
+
+    # -- submission ------------------------------------------------------------
+
+    def _register(self, handle):
+        loop = asyncio.get_running_loop()
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if self._flusher is None or self._flusher.done():
+            if self._closed:
+                raise RuntimeError("AsyncExecutor is closed")
+            self._flusher = loop.create_task(self._run_flusher())
+        handle._waiter = loop.create_future()
+        self._pending.append(handle)
+        self._seq += 1
+        self._wake.set()
+        return handle
+
+    async def submit(self, request: Query | JoinSpec, *args: Any, **kwargs: Any):
+        """Buffer one query value or join spec; returns an awaitable handle."""
+        return self._register(self.session.submit(request, *args, **kwargs))
+
+    async def submit_ranges(self, boxes, tag: Any = None) -> ResultHandle:
+        return self._register(self.session.submit_ranges(boxes, tag))
+
+    async def submit_knns(self, points, k: int, tag: Any = None) -> ResultHandle:
+        return self._register(self.session.submit_knns(points, k, tag))
+
+    async def submit_points(self, points, tag: Any = None) -> ResultHandle:
+        return self._register(self.session.submit_points(points, tag))
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted through this executor and not yet settled."""
+        return len(self._pending)
+
+    # -- the flusher -----------------------------------------------------------
+
+    async def _run_flusher(self) -> None:
+        assert self._wake is not None
+        loop = asyncio.get_running_loop()
+        while not self._closed:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                break
+            if not self._pending:
+                continue
+            deadline = loop.time() + self.policy.max_delay
+            trigger = "deadline"
+            while True:
+                if self.session.pending >= self.policy.max_batch:
+                    trigger = "full"
+                    break
+                seq_before = self._seq
+                # One scheduling pass: every runnable client task gets to
+                # submit.  If none did, the loop is idle — flush now.
+                await asyncio.sleep(0)
+                if self.policy.idle_flush and self._seq == seq_before:
+                    trigger = "idle"
+                    break
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    trigger = "deadline"
+                    break
+                if self._seq == seq_before:
+                    # Not idle-flushing: nothing new this pass, so yield for
+                    # a real slice of the budget instead of spinning.
+                    await asyncio.sleep(min(remaining, self.policy.max_delay / 4))
+            await self._flush_once(trigger)
+
+    async def _flush_once(self, trigger: str) -> None:
+        pending, self._pending = self._pending, []
+        if not pending and not self.session.pending:
+            return
+        start = time.perf_counter()
+        try:
+            # The thread hop keeps the loop responsive during execution —
+            # new submissions buffer for the next flush meanwhile.
+            await asyncio.to_thread(self.session.flush)
+        except Exception:
+            # The session already settled each affected handle with its
+            # error; per-request `await handle` re-raises it.  The flush-
+            # level exception has no other consumer here.
+            pass
+        elapsed = time.perf_counter() - start
+        self.flush_latencies.append(elapsed)
+        self.session.stats.record_trigger(trigger)
+        for handle in pending:
+            waiter = handle._waiter
+            if waiter is not None and not waiter.done():
+                waiter.set_result(None)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p99/max of per-flush wall-clock latencies, in seconds."""
+        if not self.flush_latencies:
+            return {"flushes": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        lat = np.sort(np.asarray(self.flush_latencies))
+        return {
+            "flushes": float(lat.shape[0]),
+            "p50": float(np.percentile(lat, 50)),
+            "p99": float(np.percentile(lat, 99)),
+            "max": float(lat[-1]),
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Flush stragglers and stop the flusher (idempotent)."""
+        if self._closed:
+            if self._flusher is not None:
+                await self._flusher
+                self._flusher = None
+            return
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        await self._flush_once("close")
+
+    async def __aenter__(self) -> "AsyncExecutor":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+
+class ServingSession:
+    """The "heavy traffic" front door: async queries + joins over one pool.
+
+    Bundles a :class:`~repro.engine.session.QuerySession` and a
+    :class:`~repro.joins.session.JoinSession` — both routed through one
+    persistent :class:`~repro.serving.pool.WorkerPool` — behind awaitable
+    convenience methods.  N client tasks share the two flushers, so
+    concurrent requests batch into few executor runs while each client
+    just awaits its own answer::
+
+        async with ServingSession(index) as serving:
+            ids = await serving.range_query(box)
+            nn = await serving.knn((1.0, 2.0, 3.0), k=8)
+            pairs = await serving.join(SelfJoinSpec(items))
+
+    The pool is shared (the process-wide default unless one is passed) and
+    is therefore *not* closed with the session.
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        *,
+        pool=None,
+        policy: FlushPolicy | None = None,
+        workers: int | None = None,
+        min_shard: int = 512,
+        join_min_shard: int = 2048,
+    ) -> None:
+        from repro.engine.session import ShardedExecutor
+        from repro.joins.session import ShardedJoinExecutor
+        from repro.serving.pool import default_pool
+
+        self.pool = pool if pool is not None else default_pool()
+        self.index = index
+        # Shard as wide as the pool actually is — not as wide as the CPU
+        # count the executors would otherwise assume.
+        workers = workers if workers is not None else self.pool.workers
+        self.queries = QuerySession(
+            index, executor=ShardedExecutor(workers=workers, min_shard=min_shard, pool=self.pool)
+        )
+        self.joins = JoinSession(
+            executor=ShardedJoinExecutor(workers=workers, min_shard=join_min_shard, pool=self.pool)
+        )
+        self.query_executor = AsyncExecutor(self.queries, policy)
+        self.join_executor = AsyncExecutor(self.joins, policy)
+
+    # -- awaitable request surface --------------------------------------------
+
+    async def range_query(self, box: AABB) -> list[int]:
+        handle = await self.query_executor.submit(RangeQuery(box))
+        return await handle
+
+    async def knn(self, point: Sequence[float], k: int) -> KNNResult:
+        handle = await self.query_executor.submit(KNNQuery(tuple(point), k=k))
+        return await handle
+
+    async def point_query(self, point: Sequence[float]) -> list[int]:
+        handle = await self.query_executor.submit(PointQuery(tuple(point)))
+        return await handle
+
+    async def join(self, spec: JoinSpec, strategy: Any = None) -> Any:
+        handle = await self.join_executor.submit(spec, strategy)
+        return await handle
+
+    async def submit(self, request: Query | JoinSpec) -> ResultHandle | JoinHandle:
+        """Route a query value or join spec to the right executor."""
+        if isinstance(request, (RangeQuery, KNNQuery, PointQuery)):
+            return await self.query_executor.submit(request)
+        return await self.join_executor.submit(request)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        await self.query_executor.aclose()
+        await self.join_executor.aclose()
+        self.joins.close()  # spill files; the shared pool stays up
+
+    async def __aenter__(self) -> "ServingSession":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

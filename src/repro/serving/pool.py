@@ -1,0 +1,338 @@
+"""The long-lived worker pool behind the sharded executors.
+
+Before this module, ``ShardedExecutor``/``ShardedJoinExecutor`` forked a
+fresh ``multiprocessing.Pool`` on *every flush*: each flush paid pool
+start-up plus a full copy-on-write (or re-pickle) of the index.  A
+:class:`WorkerPool` amortizes both: its ``ProcessPoolExecutor`` workers
+persist across flushes, and the index crosses the process boundary **once**
+per (index, pool) as a shared-memory snapshot
+(:mod:`repro.serving.snapshots`).  Steady-state flushes ship probe arrays
+out and result arrays back — nothing else.
+
+Registration is keyed by object identity with a mutation fingerprint: when
+an index mutates, the next flush re-exports a fresh snapshot (and retires
+the old segments); when it doesn't, the export count stays put — the
+zero-re-pickle property the serving tests pin.
+
+The pool is crash-tolerant: a task batch that dies with the worker
+(``BrokenProcessPool``) recreates the executor and retries once; the shared
+segments survive because the *parent* owns them.  :meth:`close` (or ``with``
+exit, or the ``atexit`` hook of the :func:`default_pool` singleton) unlinks
+every segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.batch import BatchStats
+from repro.indexes.base import Item, SpatialIndex
+from repro.instrumentation.counters import Counters
+from repro.serving import worker as _worker
+from repro.serving.shm import SegmentGroup
+from repro.serving.snapshots import (
+    export_index_payload,
+    export_items_payload,
+    index_fingerprint,
+)
+
+_TOKENS = itertools.count()
+
+
+class _Export:
+    """Parent-side record of one published payload."""
+
+    __slots__ = ("source", "token", "kind", "scalars", "group", "fingerprint", "size")
+
+    def __init__(self, source, token, kind, scalars, group, fingerprint, size) -> None:
+        self.source = source  # strong ref: keeps id() keys valid
+        self.token = token
+        self.kind = kind
+        self.scalars = scalars
+        self.group = group
+        self.fingerprint = fingerprint
+        self.size = size
+
+
+def _items_fingerprint(items: Sequence[Item]) -> tuple:
+    if not items:
+        return (0,)
+    return (len(items), items[0][0], items[-1][0])
+
+
+class WorkerPool:
+    """A persistent process pool serving shared-memory index snapshots.
+
+    Parameters
+    ----------
+    workers:
+        Worker count (default: CPU count, capped at 8).
+    context:
+        ``multiprocessing`` start-method name; default ``"fork"`` where
+        :func:`~repro.engine.session._fork_is_safe` allows it, else
+        ``"spawn"``.  Unlike the legacy per-flush fork path, spawn is
+        serviceable here: workers start once and never pickle an index.
+
+    Thread-safe: concurrent sessions may register and run through one pool.
+    """
+
+    def __init__(self, workers: int | None = None, context: str | None = None) -> None:
+        from repro.engine.session import _fork_is_safe
+
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        cpus = multiprocessing.cpu_count()
+        self.workers = workers if workers is not None else min(cpus, 8)
+        if context is None:
+            context = "fork" if _fork_is_safe() else "spawn"
+        self._context = context
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.RLock()
+        self._index_exports: dict[int, _Export] = {}
+        self._item_exports: dict[tuple[int, bool], _Export] = {}
+        #: Lifetime count of index snapshot exports — the telemetry the
+        #: export-exactly-once tests assert on.
+        self.exports = 0
+        self.shards_run = 0
+        self.closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._executor is None:
+            ctx = multiprocessing.get_context(self._context)
+            self._executor = ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
+        return self._executor
+
+    def _recreate_executor(self) -> ProcessPoolExecutor:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        return self._ensure_executor()
+
+    def close(self) -> None:
+        """Shut the workers down and unlink every shared segment.
+
+        Idempotent, and unconditional about reclamation: segments are
+        unlinked even when workers already crashed.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            for exports in (self._index_exports, self._item_exports):
+                for entry in exports.values():
+                    entry.group.close()
+                exports.clear()
+            self.closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def segment_bytes(self) -> int:
+        """Total bytes currently published through shared memory."""
+        with self._lock:
+            return sum(
+                entry.group.nbytes
+                for exports in (self._index_exports, self._item_exports)
+                for entry in exports.values()
+            )
+
+    # -- registration ----------------------------------------------------------
+
+    def ensure_index(self, index: SpatialIndex) -> _Export | None:
+        """The live export of ``index``, (re)publishing if absent or stale.
+
+        Returns ``None`` when the index has no shared-memory representation
+        (callers fall back to single-process execution).
+        """
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("WorkerPool is closed")
+            key = id(index)
+            entry = self._index_exports.get(key)
+            if (
+                entry is not None
+                and entry.source is index
+                and entry.fingerprint == index_fingerprint(index)
+            ):
+                return entry
+            payload = export_index_payload(index)
+            if payload is None:
+                if entry is not None:
+                    entry.group.close()
+                    del self._index_exports[key]
+                return None
+            kind, arrays, scalars = payload
+            group = SegmentGroup(arrays)
+            if entry is not None:
+                entry.group.close()
+            entry = _Export(
+                source=index,
+                token=f"idx-{key}-{next(_TOKENS)}",
+                kind=kind,
+                scalars=scalars,
+                group=group,
+                # Stamped *after* export: exporting may itself (re)build the
+                # index's snapshot, which is part of the fingerprint.
+                fingerprint=index_fingerprint(index),
+                size=len(index),
+            )
+            self._index_exports[key] = entry
+            self.exports += 1
+            return entry
+
+    def ensure_items(self, items: Sequence[Item], *, sort_by_id: bool = False) -> _Export:
+        """The live export of a join-side item sequence.
+
+        ``sort_by_id=True`` publishes the id-sorted permutation (cached
+        separately) — the order prefix-sharded self joins require.
+        """
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("WorkerPool is closed")
+            key = (id(items), sort_by_id)
+            fingerprint = _items_fingerprint(items)
+            entry = self._item_exports.get(key)
+            if entry is not None and entry.source is items and entry.fingerprint == fingerprint:
+                return entry
+            seq = sorted(items, key=lambda item: item[0]) if sort_by_id else items
+            group = SegmentGroup(export_items_payload(list(seq)))
+            if entry is not None:
+                entry.group.close()
+            entry = _Export(
+                source=items,
+                token=f"items-{key[0]}-{next(_TOKENS)}",
+                kind="items",
+                scalars={},
+                group=group,
+                fingerprint=fingerprint,
+                size=len(items),
+            )
+            self._item_exports[key] = entry
+            return entry
+
+    # -- execution -------------------------------------------------------------
+
+    def _map(self, fn, tasks: list[tuple]) -> list[Any]:
+        """Run ``fn(*task)`` for every task, retrying once on a dead pool."""
+        with self._lock:
+            executor = self._ensure_executor()
+        try:
+            futures = [executor.submit(fn, *task) for task in tasks]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            with self._lock:
+                executor = self._recreate_executor()
+            futures = [executor.submit(fn, *task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def run_query_shards(
+        self,
+        entry: _Export,
+        batch_kind: str,
+        payload: np.ndarray,
+        k: int | None,
+        dedup: bool,
+        shards: int,
+    ) -> tuple[list, BatchStats]:
+        """Partition ``payload`` row-wise across the workers and merge."""
+        bounds = np.linspace(0, payload.shape[0], shards + 1).astype(int)
+        tasks = [
+            (
+                entry.token,
+                entry.kind,
+                entry.group.meta,
+                entry.scalars,
+                batch_kind,
+                payload[a:b],
+                k,
+                dedup,
+            )
+            for a, b in zip(bounds[:-1], bounds[1:])
+            if b > a
+        ]
+        parts = self._map(_worker.query_shard_task, tasks)
+        results: list = []
+        stats = BatchStats()
+        for shard_results, shard_stats in parts:
+            results.extend(shard_results)
+            stats.merge(shard_stats)
+        stats.batches = 1  # the shards answered one logical batch
+        self.shards_run += len(tasks)
+        return results, stats
+
+    def run_join_shards(
+        self,
+        strategy,
+        mode: str,
+        build: _Export,
+        probes: _Export,
+        epsilon: float,
+        shards: int,
+    ) -> list[tuple[Any, Counters]]:
+        """Partition the probe side across the workers; returns raw parts."""
+        edges = np.linspace(0, probes.size, shards + 1).astype(int)
+        tasks = [
+            (
+                strategy,
+                mode,
+                build.token,
+                build.group.meta,
+                probes.token,
+                probes.group.meta,
+                (int(a), int(b)),
+                epsilon,
+            )
+            for a, b in zip(edges[:-1], edges[1:])
+            if b > a
+        ]
+        parts = self._map(_worker.join_shard_task, tasks)
+        self.shards_run += len(tasks)
+        return parts
+
+
+# -- the shared default pool ---------------------------------------------------
+
+_DEFAULT: WorkerPool | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_pool() -> WorkerPool:
+    """The process-wide shared pool (created on first use).
+
+    Sessions that don't pass an explicit pool land here, so every index in
+    the process shares one set of workers — the serving-tier analogue of a
+    database's one background worker fleet.
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None or _DEFAULT.closed:
+            _DEFAULT = WorkerPool()
+        return _DEFAULT
+
+
+def shutdown_default_pool() -> None:
+    """Close the shared pool (idempotent; also runs at interpreter exit)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.close()
+            _DEFAULT = None
+
+
+atexit.register(shutdown_default_pool)

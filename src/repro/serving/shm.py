@@ -1,0 +1,143 @@
+"""Shared-memory array segments: the zero-copy payload channel of the pool.
+
+A :class:`SegmentGroup` owns one ``multiprocessing.shared_memory`` segment
+per exported array.  The parent writes each array into its segment once; a
+worker :func:`attach`-es by name and gets back NumPy views over the same
+physical pages — nothing is pickled, nothing is copied, and repeated
+flushes reuse the mapping.  The parent side is the single owner: only it
+unlinks, and :meth:`SegmentGroup.close` is idempotent so pool teardown (and
+error paths) can always reclaim ``/dev/shm``.
+
+Segment names carry a recognizable prefix (``repro-srv-<pid>-``) so tests
+and operators can audit for leaks by listing ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+#: Prefix of every segment this process creates (pid-scoped so concurrent
+#: processes never collide and leak audits can attribute segments).
+SEGMENT_PREFIX = f"repro-srv-{os.getpid()}"
+
+_SEGMENT_IDS = itertools.count()
+
+
+def _segment_name(field: str) -> str:
+    # A random component guards against pid reuse across host processes
+    # racing on /dev/shm; the counter keeps names unique within a process.
+    return f"{SEGMENT_PREFIX}-{next(_SEGMENT_IDS)}-{secrets.token_hex(4)}-{field}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without the resource tracker adopting it.
+
+    Only the creating process owns (and unlinks) a segment.  Before Python
+    3.13 (``track=False``), attaching also registers the segment with the
+    resource tracker, which breaks single-owner semantics both ways: a
+    spawn worker's own tracker unlinks the parent's live segments at worker
+    exit, and a fork worker *shares* the parent's tracker, so
+    unregister-after-attach would erase the parent's registration instead.
+    Suppressing registration for the duration of the attach is the only
+    variant that is correct under both start methods.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SegmentGroup:
+    """Parent-side owner of one payload's shared-memory segments.
+
+    ``meta`` is the picklable description a worker needs to attach: for
+    every array, ``(segment name, dtype string, shape)``.  It is small —
+    sending it with each task costs nothing next to the probe arrays.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        self.segments: dict[str, shared_memory.SharedMemory] = {}
+        self.meta: dict[str, tuple[str, str, tuple[int, ...]]] = {}
+        self.nbytes = 0
+        try:
+            for field, array in arrays.items():
+                data = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    name=_segment_name(field), create=True, size=max(int(data.nbytes), 1)
+                )
+                if data.nbytes:
+                    view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+                    view[...] = data
+                self.segments[field] = segment
+                self.meta[field] = (segment.name, data.dtype.str, tuple(data.shape))
+                self.nbytes += int(data.nbytes)
+        except Exception:
+            self.close()
+            raise
+        self.closed = False
+
+    def close(self) -> None:
+        """Unlink every segment.  Idempotent; safe mid-``__init__``."""
+        for segment in self.segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        self.segments = {}
+        self.closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedArrays:
+    """Worker-side view of a :class:`SegmentGroup`: arrays + their mappings.
+
+    The ``SharedMemory`` objects must outlive every array view built over
+    their buffers, so the cache entry keeps both together; :meth:`release`
+    closes the mappings (never unlinks — the parent owns the segments).
+    """
+
+    def __init__(self, meta: dict[str, tuple[str, str, tuple[int, ...]]]) -> None:
+        self.arrays: dict[str, np.ndarray] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        for field, (name, dtype, shape) in meta.items():
+            segment = _attach_untracked(name)
+            self._segments.append(segment)
+            self.arrays[field] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+    def release(self) -> None:
+        self.arrays = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view still alive
+                pass
+        self._segments = []
+
+
+def live_segment_names(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of this process's live segments (Linux: a /dev/shm listing).
+
+    The leak-audit primitive the lifecycle tests assert on; returns ``[]``
+    where /dev/shm does not exist (non-Linux).
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return sorted(entry for entry in os.listdir(root) if entry.startswith(prefix))

@@ -1,0 +1,219 @@
+"""Index snapshots as plain arrays: export, staleness, worker rehydration.
+
+The worker pool never pickles an index.  The parent exports a *payload* —
+a dict of contiguous arrays describing the index contents — publishes it
+through :class:`~repro.serving.shm.SegmentGroup`, and each worker rebuilds a
+query-equivalent engine from the attached views:
+
+* ``"grid"`` payloads carry the :class:`~repro.core.uniform_grid._GridSnapshot`
+  arrays (compacted, so no overlay replay is needed) and rehydrate into a
+  read-only :class:`SnapshotGridIndex` — the worker probes the *same* bucket
+  tables the parent built, through the same vectorized kernels.
+* ``"packed"`` payloads carry the ``(eids, boxes)`` element tables of any
+  index implementing :meth:`~repro.indexes.base.SpatialIndex.export_items`
+  and rehydrate into an STR-packed R-tree.  This is query-equivalent by the
+  library-wide contract: range/point results are id *sets* and kNN lists
+  follow the deterministic ``(distance, id)`` order, so every exact index
+  over the same elements answers identically.
+
+Exports are cached per (index, pool); :func:`index_fingerprint` detects
+mutations (maintenance counters plus the identity of the structures every
+``bulk_load`` replaces) so stale payloads are re-exported instead of served.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.uniform_grid import UniformGrid, _GridSnapshot
+from repro.geometry.aabb import AABB, array_to_boxes
+from repro.indexes.base import Item, KNNResult, SpatialIndex
+from repro.indexes.linear_scan import LinearScan
+from repro.indexes.rtree import RTree
+
+#: Payload kinds a worker knows how to rehydrate.
+PAYLOAD_KINDS = ("grid", "packed")
+
+
+# -- parent side: export + staleness -------------------------------------------
+
+
+def export_index_payload(
+    index: SpatialIndex,
+) -> tuple[str, dict[str, np.ndarray], dict[str, float]] | None:
+    """``(kind, arrays, scalars)`` describing ``index``, or ``None``.
+
+    ``None`` means the index cannot be served from shared memory (no
+    exportable representation, or it is empty — fan-out would be pure
+    overhead); callers fall back to single-process execution.
+    """
+    if isinstance(index, UniformGrid):
+        exported = index.snapshot_export()
+        if exported is not None:
+            arrays, cell = exported
+            return "grid", arrays, {"cell": cell}
+    packed = index.export_items()
+    if packed is None:
+        return None
+    eids, boxes = packed
+    if eids.shape[0] == 0:
+        return None
+    return "packed", {"eids": eids, "boxes": boxes}, {}
+
+
+def index_fingerprint(index: SpatialIndex) -> tuple:
+    """A cheap staleness stamp: equal fingerprints ⇒ identical contents.
+
+    Maintenance operations bump ``counters.inserts/deletes/updates`` in
+    every index, and ``bulk_load`` replaces the container objects listed
+    below, so any mutation path moves the fingerprint.  Benign events (a
+    counter reset, a snapshot rebuild) may also move it — that only costs
+    one redundant export, never a stale answer.
+    """
+    c = index.counters
+    parts: list = [
+        type(index).__name__,
+        len(index),
+        c.inserts,
+        c.deletes,
+        c.updates,
+    ]
+    for attr in ("_boxes", "_root", "_grids"):
+        obj = getattr(index, attr, None)
+        if obj is not None:
+            parts.append(id(obj))
+    snap = getattr(index, "_snapshot", None)
+    if snap is not None:
+        parts.extend((id(snap), snap.dirty, len(snap.extra_eids)))
+    return tuple(parts)
+
+
+def items_fingerprint(items: Sequence[Item]) -> tuple:
+    """Staleness stamp for a join-side item sequence.
+
+    Join specs carry materialized ``(eid, AABB)`` sequences; tuples/lists
+    are treated as immutable once submitted (the spec dataclasses are
+    frozen), so identity plus length suffices.
+    """
+    return (id(items), len(items))
+
+
+def export_items_payload(items: Sequence[Item]) -> dict[str, np.ndarray]:
+    """Pack an item sequence into ``{"eids", "boxes"}`` arrays."""
+    from repro.geometry.aabb import boxes_to_array
+
+    eids = np.fromiter((eid for eid, _ in items), dtype=np.int64, count=len(items))
+    boxes = boxes_to_array([box for _, box in items])
+    return {"eids": eids, "boxes": boxes}
+
+
+# -- worker side: rehydration --------------------------------------------------
+
+
+class _Population:
+    """Stands in for the grid's ``_boxes`` dict in the read-only shell:
+    the batch kernels only ask it for truthiness and length."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __bool__(self) -> bool:
+        return self.n > 0
+
+
+class SnapshotGridIndex(UniformGrid):
+    """A read-only :class:`UniformGrid` rebuilt from exported snapshot arrays.
+
+    The dense ``_GridSnapshot`` tables are adopted directly (typically as
+    views over shared memory), so the vectorized ``batch_range_query`` /
+    ``batch_knn`` paths run unchanged.  The scalar paths — which the batch
+    kernels fall back to on oversized cell windows — cannot walk the absent
+    bucket dicts, so they delegate to a lazily built
+    :class:`~repro.indexes.linear_scan.LinearScan` oracle over the same
+    tables (identical answers by the ordering contract).  Mutations raise.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], cell: float) -> None:
+        corners = arrays["universe"]
+        universe = AABB(corners[0].tolist(), corners[1].tolist())
+        super().__init__(universe=universe, cell_size=float(cell))
+        self._snapshot = _GridSnapshot(
+            keys=arrays["keys"],
+            starts=arrays["starts"],
+            counts=arrays["counts"],
+            entry_rows=arrays["entry_rows"],
+            eids=arrays["eids"],
+            boxes=arrays["boxes"],
+            strides=arrays["strides"],
+            tops=arrays["tops"],
+            origin=arrays["origin"],
+            cell=float(cell),
+        )
+        self._boxes = _Population(int(arrays["eids"].shape[0]))  # type: ignore[assignment]
+        self._oracle: LinearScan | None = None
+
+    # -- read-only --------------------------------------------------------
+
+    def bulk_load(self, items) -> None:
+        raise TypeError("SnapshotGridIndex is read-only")
+
+    def insert(self, eid: int, box: AABB) -> None:
+        raise TypeError("SnapshotGridIndex is read-only")
+
+    def delete(self, eid: int, box: AABB) -> None:
+        raise TypeError("SnapshotGridIndex is read-only")
+
+    def update(self, eid: int, old_box: AABB, new_box: AABB) -> None:
+        raise TypeError("SnapshotGridIndex is read-only")
+
+    # -- scalar paths through the oracle ----------------------------------
+
+    def _scan(self) -> LinearScan:
+        if self._oracle is None:
+            snap = self._snapshot
+            assert snap is not None
+            oracle = LinearScan(counters=self.counters)
+            oracle._boxes = dict(zip(snap.eids.tolist(), array_to_boxes(snap.boxes)))
+            oracle._dense = (snap.eids, snap.boxes)
+            self._oracle = oracle
+        return self._oracle
+
+    def range_query(self, box: AABB) -> list[int]:
+        return self._scan().range_query(box)
+
+    def knn(self, point, k: int) -> KNNResult:
+        return self._scan().knn(point, k)
+
+    def export_items(self) -> tuple[np.ndarray, np.ndarray] | None:
+        snap = self._snapshot
+        assert snap is not None
+        return snap.eids.copy(), snap.boxes.copy()
+
+
+def items_from_arrays(eids: np.ndarray, boxes: np.ndarray) -> list[Item]:
+    """Rebuild the ``(eid, AABB)`` list a join strategy consumes.
+
+    Row order is preserved — the parent ships self-join payloads sorted by
+    id, and prefix sharding depends on that order surviving the round trip.
+    """
+    return list(zip(eids.tolist(), array_to_boxes(boxes)))
+
+
+def build_worker_index(
+    kind: str, arrays: dict[str, np.ndarray], scalars: dict[str, float]
+) -> SpatialIndex:
+    """Rehydrate one payload into a query-serving index (worker side)."""
+    if kind == "grid":
+        return SnapshotGridIndex(arrays, scalars["cell"])
+    if kind == "packed":
+        tree = RTree(max_entries=16)
+        tree.bulk_load(items_from_arrays(arrays["eids"], arrays["boxes"]))
+        return tree
+    raise ValueError(f"unknown payload kind: {kind!r}")

@@ -1,0 +1,134 @@
+"""Worker-process entry points of the serving pool.
+
+Everything here runs inside pool workers.  A worker receives a *task*: the
+shared-memory metadata of a registered payload plus the probe slice to
+execute.  The payload is attached and rehydrated **once per worker** and
+cached under the parent-issued token — subsequent tasks against the same
+token skip straight to the kernels, so steady-state traffic ships only
+probe arrays in and result arrays out.
+
+The parent issues a fresh token whenever an index mutates, so a token is an
+immutable name for one exported snapshot; the small LRU here releases the
+mappings of superseded tokens.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.engine.batch import BatchQueryEngine, BatchStats
+from repro.indexes.base import Item, SpatialIndex
+from repro.instrumentation.counters import Counters
+from repro.serving.shm import AttachedArrays
+from repro.serving.snapshots import build_worker_index, items_from_arrays
+
+#: Superseded payloads kept attached per worker before eviction.  Small: a
+#: steady-state serving worker uses one or two live payloads; anything past
+#: the cap is a stale snapshot whose mappings should be released.
+_CACHE_CAP = 8
+
+Meta = dict[str, tuple[str, str, tuple[int, ...]]]
+
+
+class _CacheEntry:
+    __slots__ = ("attached", "index", "items")
+
+    def __init__(self, attached: AttachedArrays) -> None:
+        self.attached = attached
+        self.index: SpatialIndex | None = None
+        self.items: list[Item] | None = None
+
+
+_CACHE: OrderedDict[str, _CacheEntry] = OrderedDict()
+
+
+def _entry_for(token: str, meta: Meta) -> _CacheEntry:
+    entry = _CACHE.get(token)
+    if entry is None:
+        entry = _CacheEntry(AttachedArrays(meta))
+        _CACHE[token] = entry
+        while len(_CACHE) > _CACHE_CAP:
+            _, evicted = _CACHE.popitem(last=False)
+            evicted.attached.release()
+    _CACHE.move_to_end(token)
+    return entry
+
+
+def _reset_cache() -> None:
+    """Release every cached payload (tests only)."""
+    while _CACHE:
+        _, entry = _CACHE.popitem()
+        entry.attached.release()
+
+
+def query_shard_task(
+    token: str,
+    kind: str,
+    meta: Meta,
+    scalars: dict[str, float],
+    batch_kind: str,
+    chunk: np.ndarray,
+    k: int | None,
+    dedup: bool,
+) -> tuple[list, BatchStats]:
+    """Answer one probe chunk against a rehydrated index snapshot."""
+    from repro.engine.session import QueryBatch, _run_on_engine
+
+    entry = _entry_for(token, meta)
+    if entry.index is None:
+        entry.index = build_worker_index(kind, entry.attached.arrays, scalars)
+    engine = BatchQueryEngine.kernel(entry.index, dedup=dedup)
+    results = _run_on_engine(engine, QueryBatch(kind=batch_kind, payload=chunk, k=k))
+    return results, engine.stats
+
+
+def _items_for(token: str, meta: Meta) -> list[Item]:
+    entry = _entry_for(token, meta)
+    if entry.items is None:
+        arrays = entry.attached.arrays
+        entry.items = items_from_arrays(arrays["eids"], arrays["boxes"])
+    return entry.items
+
+
+def join_shard_task(
+    strategy,
+    mode: str,
+    token_a: str,
+    meta_a: Meta,
+    token_b: str,
+    meta_b: Meta,
+    bounds: tuple[int, int],
+    epsilon: float,
+):
+    """Join the build side against one probe chunk.
+
+    Shard semantics are identical to the fork path
+    (:func:`repro.joins.session._run_join_shard`): binary modes join the
+    full build side against the chunk; self modes exploit the id-sorted
+    payload order — the chunk joins only the prefix ending at the chunk,
+    and the shard holding a pair's larger id reports it, so every pair
+    lands in exactly one shard with no cross-shard dedup pass.
+    """
+    items_a = _items_for(token_a, meta_a)
+    probes = items_a if token_b == token_a else _items_for(token_b, meta_b)
+    chunk = probes[bounds[0] : bounds[1]]
+    counters = Counters()
+    if mode == "pair":
+        pairs = strategy.join(items_a, chunk, counters)
+    elif mode == "self":
+        pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
+    elif mode == "distance_pair":
+        pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
+    elif mode == "distance_self":
+        pairs = [
+            (a, b)
+            for a, b in strategy.distance_candidates(
+                items_a[: bounds[1]], chunk, epsilon, counters
+            )
+            if a < b
+        ]
+    else:  # pragma: no cover - the pool only emits the four modes
+        raise ValueError(f"unknown join shard mode: {mode!r}")
+    return pairs, counters

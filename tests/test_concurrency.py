@@ -1,0 +1,233 @@
+"""Concurrent-session safety: threads and tasks sharing one session.
+
+The sessions promise a small but real concurrency contract (ISSUE 6):
+``submit()`` and flush-on-read may interleave freely across threads, every
+submitted query executes exactly once, handles keep their values, qids stay
+unique, and the stats tallies add up.  These tests drive one
+:class:`QuerySession` and one :class:`JoinSession` from many threads at
+once and check the books afterwards.
+
+``_fork_is_safe`` — the predicate gating every process-pool path — gets
+direct unit coverage here for both platform branches (Linux/fork sanctioned,
+macOS/spawn refused unless fork is explicitly configured).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+
+import pytest
+
+from conftest import knn_pairs, make_items
+from repro import (
+    AABB,
+    JoinSession,
+    KNNQuery,
+    QuerySession,
+    RangeQuery,
+    SelfJoinSpec,
+    UniformGrid,
+)
+from repro.engine.session import _fork_is_safe
+from repro.indexes.linear_scan import LinearScan
+
+pytestmark = pytest.mark.serving
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+THREADS = 8
+PER_THREAD = 25
+
+
+def thread_boxes(tid: int) -> list[AABB]:
+    import random
+
+    rng = random.Random(7_000 + tid)
+    boxes = []
+    for _ in range(PER_THREAD):
+        lo = [rng.uniform(0.0, 92.0) for _ in range(3)]
+        hi = [c + rng.uniform(1.0, 7.0) for c in lo]
+        boxes.append(AABB(lo, hi))
+    return boxes
+
+
+@pytest.fixture
+def loaded():
+    items = make_items(500, seed=17)
+    grid = UniformGrid(universe=UNIVERSE, cell_size=5.0)
+    grid.bulk_load(items)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    return grid, oracle
+
+
+class TestConcurrentQuerySession:
+    def test_interleaved_submit_and_read_match_oracle(self, loaded):
+        grid, oracle = loaded
+        session = QuerySession(grid)
+        errors: list[str] = []
+        barrier = threading.Barrier(THREADS)
+
+        def client(tid: int) -> None:
+            barrier.wait()
+            for box in thread_boxes(tid):
+                handle = session.submit(RangeQuery(box))
+                got = sorted(handle.result())  # flush-on-read storms
+                expected = sorted(oracle.range_query(box))
+                if got != expected:
+                    errors.append(f"thread {tid}: {got} != {expected}")
+
+        threads = [threading.Thread(target=client, args=(tid,)) for tid in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert session.pending == 0
+        # Exactly-once accounting: every submission executed in some flush,
+        # none twice, none lost.
+        assert session.stats.submitted == THREADS * PER_THREAD
+        assert session.stats.batch.queries == THREADS * PER_THREAD
+        assert 1 <= session.stats.flushes <= THREADS * PER_THREAD
+        assert 1 <= session.stats.queue_high_water <= THREADS * PER_THREAD
+
+    def test_threaded_submissions_keep_qids_unique_and_handles_ordered(self, loaded):
+        grid, oracle = loaded
+        session = QuerySession(grid)
+        per_thread_handles: dict[int, list] = {}
+        barrier = threading.Barrier(THREADS)
+
+        def submitter(tid: int) -> None:
+            barrier.wait()
+            handles = []
+            for i, box in enumerate(thread_boxes(tid)):
+                if i % 2:
+                    handles.append(session.submit(KNNQuery(tuple(box.lo), k=3)))
+                else:
+                    handles.append(session.submit(RangeQuery(box)))
+            per_thread_handles[tid] = handles
+
+        threads = [threading.Thread(target=submitter, args=(tid,)) for tid in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        qids = [
+            handle.query.qid
+            for handles in per_thread_handles.values()
+            for handle in handles
+        ]
+        assert len(set(qids)) == THREADS * PER_THREAD  # qid stability
+        assert session.stats.queue_high_water == THREADS * PER_THREAD
+
+        session.flush()  # one flush settles every thread's handles
+        for tid, handles in per_thread_handles.items():
+            for handle, box in zip(handles, thread_boxes(tid)):
+                if isinstance(handle.query, KNNQuery):
+                    assert knn_pairs(handle.result()) == knn_pairs(
+                        oracle.knn(tuple(box.lo), 3)
+                    )
+                else:
+                    assert sorted(handle.result()) == sorted(oracle.range_query(box))
+        assert session.stats.flushes == 1
+
+    def test_stats_stay_monotonic_under_interleaving(self, loaded):
+        grid, _ = loaded
+        session = QuerySession(grid)
+        observed: list[tuple[int, int]] = []
+        stop = threading.Event()
+
+        def sampler() -> None:
+            while not stop.is_set():
+                observed.append((session.stats.submitted, session.stats.flushes))
+
+        def client(tid: int) -> None:
+            for box in thread_boxes(tid):
+                session.submit(RangeQuery(box)).result()
+
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        clients = [threading.Thread(target=client, args=(tid,)) for tid in range(4)]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        stop.set()
+        watcher.join()
+
+        for series in (
+            [submitted for submitted, _ in observed],
+            [flushes for _, flushes in observed],
+        ):
+            assert series == sorted(series)  # counters never run backwards
+
+
+class TestConcurrentJoinSession:
+    def test_interleaved_join_clients_match_oracle(self):
+        datasets = {tid: make_items(40, seed=900 + tid) for tid in range(THREADS)}
+        expected = {
+            tid: sorted(JoinSession().run(SelfJoinSpec(items)))
+            for tid, items in datasets.items()
+        }
+        session = JoinSession()
+        errors: list[str] = []
+        barrier = threading.Barrier(THREADS)
+
+        def client(tid: int) -> None:
+            barrier.wait()
+            for _ in range(5):
+                got = sorted(session.submit(SelfJoinSpec(datasets[tid])).result())
+                if got != expected[tid]:
+                    errors.append(f"thread {tid} diverged")
+
+        threads = [threading.Thread(target=client, args=(tid,)) for tid in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert session.pending == 0
+        assert session.stats.joins == THREADS * 5
+        assert session.stats.queue_high_water >= 1
+
+
+class TestForkIsSafe:
+    def test_unsafe_when_fork_is_unavailable(self, monkeypatch):
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", lambda: ["spawn"])
+        assert _fork_is_safe() is False
+
+    def test_linux_with_fork_is_safe(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["fork", "spawn"]
+        )
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert _fork_is_safe() is True
+
+    def test_macos_defaults_to_unsafe(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn", "fork", "forkserver"],
+        )
+        monkeypatch.setattr(sys, "platform", "darwin")
+        monkeypatch.setattr(
+            multiprocessing, "get_start_method", lambda allow_none=False: None
+        )
+        assert _fork_is_safe() is False
+
+    def test_macos_with_explicit_fork_opts_in(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn", "fork", "forkserver"],
+        )
+        monkeypatch.setattr(sys, "platform", "darwin")
+        monkeypatch.setattr(
+            multiprocessing, "get_start_method", lambda allow_none=False: "fork"
+        )
+        assert _fork_is_safe() is True

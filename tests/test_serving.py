@@ -1,0 +1,465 @@
+"""The serving tier: shared-memory worker pool + event-loop executors.
+
+These tests pin the contracts ISSUE 6 introduces:
+
+* **shared-memory lifecycle** — every ``SegmentGroup`` the pool publishes
+  is unlinked by ``close()`` / ``with``-exit, including after a worker
+  crash (``live_segment_names`` audits ``/dev/shm`` directly);
+* **zero re-pickle** — an index crosses the process boundary exactly once
+  per (index, pool) as a snapshot; a poisoned ``__reduce__`` proves no
+  pickle fallback, and ``pool.exports`` stays at one across many flushes
+  until the index actually mutates;
+* **oracle equivalence under concurrency** — a sustained mixed
+  range/kNN/point/join workload from N async clients answers exactly what
+  the inline LinearScan / nested-loop oracles answer, query for query;
+* **flush policy** — the event-loop flusher attributes every flush to
+  ``full`` / ``deadline`` / ``idle`` and feeds the serving telemetry line;
+* **spill hygiene** — a join that dies mid-merge releases the session's
+  spill tmpdir immediately (the cleanup-on-error fix), and the session
+  stays usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from conftest import knn_pairs, make_items
+from repro import (
+    AABB,
+    FlushPolicy,
+    JoinSession,
+    KNNQuery,
+    PointQuery,
+    QuerySession,
+    RangeQuery,
+    RTree,
+    SelfJoinSpec,
+    ServingSession,
+    ShardedExecutor,
+    ShardedJoinExecutor,
+    UniformGrid,
+    WorkerPool,
+    default_pool,
+    shutdown_default_pool,
+)
+from repro.engine.session import BatchExecutor
+from repro.indexes.linear_scan import LinearScan
+from repro.joins.session import InlineJoinExecutor
+from repro.serving.async_executor import AsyncExecutor
+from repro.serving.shm import AttachedArrays, SegmentGroup, live_segment_names
+
+pytestmark = pytest.mark.serving
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+
+@pytest.fixture(autouse=True)
+def clean_shared_pool():
+    """The /dev/shm audits need a clean slate: earlier test files may have
+    routed sharded batches through the process-wide default pool, whose
+    cached exports legitimately stay live until interpreter exit."""
+    shutdown_default_pool()
+    yield
+
+
+def build_grid(items):
+    grid = UniformGrid(universe=UNIVERSE, cell_size=5.0)
+    grid.bulk_load(items)
+    return grid
+
+
+def make_boxes(count: int, seed: int, extent: float = 6.0) -> list[AABB]:
+    rng = random.Random(seed)
+    boxes = []
+    for _ in range(count):
+        lo = [rng.uniform(0.0, 95.0) for _ in range(3)]
+        hi = [c + rng.uniform(1.0, extent) for c in lo]
+        boxes.append(AABB(lo, hi))
+    return boxes
+
+
+@pytest.fixture
+def loaded():
+    items = make_items(600, seed=31)
+    oracle = LinearScan()
+    oracle.bulk_load(items)
+    return items, build_grid(items), oracle
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(workers=2)
+    yield p
+    p.close()
+
+
+# -- shared-memory segments ----------------------------------------------------
+
+
+class TestSegments:
+    def test_roundtrip_and_unlink(self):
+        arrays = {
+            "eids": np.arange(32, dtype=np.int64),
+            "boxes": np.random.default_rng(0).uniform(size=(32, 2, 3)),
+            "empty": np.empty((0, 3), dtype=np.float64),
+        }
+        group = SegmentGroup(arrays)
+        assert len(live_segment_names()) == 3
+        attached = AttachedArrays(group.meta)
+        for field, array in arrays.items():
+            np.testing.assert_array_equal(attached.arrays[field], array)
+        attached.release()
+        group.close()
+        assert live_segment_names() == []
+
+    def test_close_is_idempotent(self):
+        group = SegmentGroup({"a": np.ones(4)})
+        group.close()
+        group.close()
+        assert group.closed
+        assert live_segment_names() == []
+
+    def test_failed_construction_reclaims_partial_segments(self, monkeypatch):
+        import repro.serving.shm as shm
+
+        name = f"{shm.SEGMENT_PREFIX}-collide"
+        monkeypatch.setattr(shm, "_segment_name", lambda field: name)
+        with pytest.raises(FileExistsError):
+            SegmentGroup({"a": np.ones(4), "b": np.ones(4)})
+        assert live_segment_names() == []
+
+
+# -- the worker pool -----------------------------------------------------------
+
+
+class PickleBombGrid(UniformGrid):
+    """An index whose pickling is an error: proof the pool ships snapshots."""
+
+    def __reduce__(self):
+        raise AssertionError("index crossed the process boundary via pickle")
+
+
+class TestWorkerPool:
+    def run_batch(self, session, oracle, seed, count=200):
+        boxes = make_boxes(count, seed)
+        handles = [session.submit(RangeQuery(box)) for box in boxes]
+        rng = random.Random(seed + 1)
+        points = [tuple(rng.uniform(0.0, 100.0) for _ in range(3)) for _ in range(count)]
+        khandles = [session.submit(KNNQuery(p, k=4)) for p in points]
+        session.flush()
+        for box, handle in zip(boxes, handles):
+            assert sorted(handle.result()) == sorted(oracle.range_query(box))
+        for p, handle in zip(points, khandles):
+            assert knn_pairs(handle.result()) == knn_pairs(oracle.knn(p, 4))
+
+    @pytest.mark.parametrize("build", ["grid", "rtree"])
+    def test_pooled_shards_match_oracle(self, loaded, pool, build):
+        items, grid, oracle = loaded
+        if build == "grid":
+            index = grid
+        else:
+            index = RTree(max_entries=16)
+            index.bulk_load(items)
+        session = QuerySession(
+            index, executor=ShardedExecutor(workers=2, min_shard=32, pool=pool)
+        )
+        self.run_batch(session, oracle, seed=11)
+        # One flush, two kind-groups (range + kNN) — two sharded runs.
+        assert session.stats.executor_runs == {"sharded": 2}
+        assert pool.exports == 1
+        assert pool.shards_run > 0
+
+    def test_index_exported_exactly_once_across_flushes(self, pool):
+        items = make_items(600, seed=31)
+        index = PickleBombGrid(universe=UNIVERSE, cell_size=5.0)
+        index.bulk_load(items)
+        oracle = LinearScan()
+        oracle.bulk_load(items)
+        session = QuerySession(
+            index, executor=ShardedExecutor(workers=2, min_shard=16, pool=pool)
+        )
+        for flush in range(10):
+            self.run_batch(session, oracle, seed=100 + flush, count=64)
+        assert session.stats.flushes == 10
+        # The zero-re-pickle pin: ten flushes, one snapshot export — and the
+        # poisoned __reduce__ proves no flush fell back to pickling.
+        assert pool.exports == 1
+
+    def test_mutation_triggers_a_fresh_export(self, loaded, pool):
+        items, grid, oracle = loaded
+        session = QuerySession(
+            grid, executor=ShardedExecutor(workers=2, min_shard=16, pool=pool)
+        )
+        self.run_batch(session, oracle, seed=21, count=64)
+        assert pool.exports == 1
+        new_item = (10_000, AABB((1.0, 1.0, 1.0), (2.0, 2.0, 2.0)))
+        grid.insert(*new_item)
+        oracle.insert(*new_item)
+        self.run_batch(session, oracle, seed=22, count=64)
+        assert pool.exports == 2
+
+    def test_join_item_exports_are_cached(self, loaded, pool):
+        items, _, _ = loaded
+        session = JoinSession(
+            executor=ShardedJoinExecutor(workers=2, min_shard=50, pool=pool)
+        )
+        shared = tuple(items)
+        expected = sorted(JoinSession().run(SelfJoinSpec(shared)))
+        assert sorted(session.run(SelfJoinSpec(shared))) == expected
+        assert sorted(session.run(SelfJoinSpec(shared))) == expected
+        assert session.stats.executor_runs == {"sharded": 2}
+        assert len(pool._item_exports) == 1
+
+    def test_worker_crash_recovers_and_segments_survive(self, loaded, pool):
+        items, grid, oracle = loaded
+        session = QuerySession(
+            grid, executor=ShardedExecutor(workers=2, min_shard=16, pool=pool)
+        )
+        self.run_batch(session, oracle, seed=31, count=64)
+        live_before = live_segment_names()
+        assert live_before
+        for process in list(pool._executor._processes.values()):
+            os.kill(process.pid, signal.SIGKILL)
+        time.sleep(0.1)
+        # The retry path recreates the executor; the parent-owned segments
+        # were never at risk, so the rerun reuses the one export.
+        self.run_batch(session, oracle, seed=32, count=64)
+        assert pool.exports == 1
+        assert live_segment_names() == live_before
+        pool.close()
+        assert live_segment_names() == []
+
+    def test_with_block_unlinks_every_segment(self, loaded):
+        items, grid, oracle = loaded
+        with WorkerPool(workers=2) as scoped:
+            session = QuerySession(
+                grid, executor=ShardedExecutor(workers=2, min_shard=16, pool=scoped)
+            )
+            self.run_batch(session, oracle, seed=41, count=64)
+            assert scoped.segment_bytes > 0
+            assert live_segment_names()
+        assert live_segment_names() == []
+        assert scoped.closed
+
+    def test_default_pool_is_a_resettable_singleton(self):
+        first = default_pool()
+        assert default_pool() is first
+        shutdown_default_pool()
+        assert first.closed
+        second = default_pool()
+        assert second is not first
+        shutdown_default_pool()
+
+    def test_unexportable_index_falls_back_without_pooling(self, pool):
+        # KD-trees have no packed export; the sharded executor must still
+        # answer (legacy paths) and the pool must not register anything.
+        from repro import KDTree
+
+        items = make_items(300, seed=5, points=True)
+        index = KDTree()
+        index.bulk_load(items)
+        oracle = LinearScan()
+        oracle.bulk_load(items)
+        session = QuerySession(
+            index, executor=ShardedExecutor(workers=2, min_shard=16, pool=pool)
+        )
+        boxes = make_boxes(80, seed=6)
+        handles = [session.submit(RangeQuery(box)) for box in boxes]
+        session.flush()
+        for box, handle in zip(boxes, handles):
+            assert sorted(handle.result()) == sorted(oracle.range_query(box))
+        assert pool.exports == 0
+
+
+# -- the async serving tier ----------------------------------------------------
+
+
+class TestAsyncServing:
+    def test_mixed_workload_matches_oracle(self, loaded, pool):
+        items, grid, oracle = loaded
+        join_oracle = sorted(JoinSession().run(SelfJoinSpec(tuple(items))))
+        shared_items = tuple(items)
+
+        async def client(serving, cid):
+            rng = random.Random(1000 + cid)
+            for _ in range(5):
+                lo = [rng.uniform(0.0, 95.0) for _ in range(3)]
+                hi = [c + rng.uniform(1.0, 6.0) for c in lo]
+                box = AABB(lo, hi)
+                assert sorted(await serving.range_query(box)) == sorted(
+                    oracle.range_query(box)
+                )
+                point = tuple(rng.uniform(0.0, 100.0) for _ in range(3))
+                assert knn_pairs(await serving.knn(point, 4)) == knn_pairs(
+                    oracle.knn(point, 4)
+                )
+                stab = tuple(rng.uniform(0.0, 100.0) for _ in range(3))
+                assert sorted(await serving.point_query(stab)) == sorted(
+                    oracle.range_query(AABB(stab, stab))
+                )
+            assert sorted(await serving.join(SelfJoinSpec(shared_items))) == join_oracle
+
+        async def main():
+            async with ServingSession(
+                grid, pool=pool, workers=2, min_shard=4, join_min_shard=50
+            ) as serving:
+                await asyncio.gather(*(client(serving, cid) for cid in range(8)))
+                return serving.queries.stats, serving.joins.stats
+
+        qstats, jstats = asyncio.run(main())
+        assert qstats.submitted == 8 * 5 * 3
+        assert qstats.batch.queries == qstats.submitted
+        # Concurrent clients coalesced: far fewer flushes than requests,
+        # and the queue demonstrably held several clients at once.
+        assert qstats.flushes <= qstats.submitted // 2
+        assert qstats.queue_high_water >= 2
+        assert sum(qstats.flush_triggers.values()) == qstats.flushes
+        assert jstats.joins == 8
+        assert jstats.queue_high_water >= 1
+
+    def test_flush_trigger_full(self, loaded):
+        _, grid, oracle = loaded
+        session = QuerySession(grid, executor=BatchExecutor())
+        policy = FlushPolicy(max_batch=4, max_delay=0.5, idle_flush=False)
+        boxes = make_boxes(4, seed=51)
+
+        async def main():
+            async with AsyncExecutor(session, policy) as executor:
+                handles = await asyncio.gather(
+                    *(executor.submit(RangeQuery(box)) for box in boxes)
+                )
+                return [await handle for handle in handles]
+
+        results = asyncio.run(main())
+        for box, ids in zip(boxes, results):
+            assert sorted(ids) == sorted(oracle.range_query(box))
+        assert session.stats.flush_triggers.get("full", 0) >= 1
+        assert "idle" not in session.stats.flush_triggers
+
+    def test_flush_trigger_deadline(self, loaded):
+        _, grid, _ = loaded
+        session = QuerySession(grid, executor=BatchExecutor())
+        policy = FlushPolicy(max_batch=10_000, max_delay=0.05, idle_flush=False)
+
+        async def main():
+            async with AsyncExecutor(session, policy) as executor:
+                handle = await executor.submit(RangeQuery(AABB((0, 0, 0), (5, 5, 5))))
+                return await handle
+
+        asyncio.run(main())
+        assert session.stats.flush_triggers == {"deadline": 1}
+        assert session.stats.flush_seconds > 0.0
+
+    def test_flush_trigger_idle(self, loaded):
+        _, grid, _ = loaded
+        session = QuerySession(grid, executor=BatchExecutor())
+
+        async def main():
+            async with AsyncExecutor(session, FlushPolicy(max_delay=1.0)) as executor:
+                handles = await asyncio.gather(
+                    *(executor.submit(RangeQuery(box)) for box in make_boxes(3, seed=52))
+                )
+                for handle in handles:
+                    await handle
+
+        asyncio.run(main())
+        assert session.stats.flush_triggers == {"idle": 1}
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_delay=-0.1)
+
+    def test_error_propagates_to_the_awaiting_client(self, loaded):
+        _, grid, oracle = loaded
+        session = QuerySession(grid, executor=BatchExecutor())
+
+        async def main():
+            async with AsyncExecutor(session) as executor:
+                bad = await executor.submit(RangeQuery(AABB((0.0, 0.0), (1.0, 1.0))))
+                good = await executor.submit(KNNQuery((10.0, 10.0, 10.0), k=3))
+                with pytest.raises(ValueError):
+                    await bad
+                return await good
+
+        result = asyncio.run(main())
+        assert knn_pairs(result) == knn_pairs(oracle.knn((10.0, 10.0, 10.0), 3))
+
+    def test_aclose_flushes_stragglers(self, loaded):
+        _, grid, oracle = loaded
+        session = QuerySession(grid, executor=BatchExecutor())
+        box = make_boxes(1, seed=53)[0]
+
+        async def main():
+            executor = AsyncExecutor(session, FlushPolicy(max_batch=100, max_delay=30.0, idle_flush=False))
+            handle = await executor.submit(RangeQuery(box))
+            await executor.aclose()
+            assert executor.latency_summary()["flushes"] >= 1
+            return handle
+
+        handle = asyncio.run(main())
+        # Settled by the close-time flush — reading it must not re-flush.
+        assert sorted(handle.result()) == sorted(oracle.range_query(box))
+        assert session.pending == 0
+
+    def test_serving_session_routes_specs_and_queries(self, loaded, pool):
+        items, grid, _ = loaded
+        from repro.analysis.session_report import session_report
+
+        async def main():
+            async with ServingSession(grid, pool=pool, workers=2) as serving:
+                query_handle = await serving.submit(RangeQuery(AABB((0, 0, 0), (9, 9, 9))))
+                join_handle = await serving.submit(SelfJoinSpec(tuple(items[:50])))
+                await query_handle
+                await join_handle
+                return session_report(serving.queries), session_report(serving.joins)
+
+        query_report, join_report_text = asyncio.run(main())
+        assert "serving:" in query_report
+        assert "serving:" in join_report_text
+
+
+# -- spill cleanup on flush error (the tmpdir-leak fix) ------------------------
+
+
+class TestSpillCleanupOnError:
+    def test_failed_merge_releases_the_spill_tmpdir(self, monkeypatch):
+        items = make_items(200, seed=3)
+        session = JoinSession(budget=2048)  # tiny: every real spec spills
+        manager = session.spill_manager()
+        spill_dir = manager.dir
+        assert os.path.isdir(spill_dir)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("merge died")
+
+        monkeypatch.setattr("repro.joins.kernels.tile_layout", boom)
+        with pytest.raises(RuntimeError, match="merge died"):
+            session.run(SelfJoinSpec(items))
+        # The fix under test: the error path released the spill files
+        # immediately instead of parking them until session close.
+        assert not os.path.exists(spill_dir)
+        assert session._spill is None
+
+        monkeypatch.undo()
+        expected = sorted(JoinSession().run(SelfJoinSpec(items)))
+        assert sorted(session.run(SelfJoinSpec(items))) == expected  # fresh manager
+        session.close()
+        assert not os.path.exists(session._spill_dir or spill_dir)
+
+    def test_clean_flush_keeps_the_manager_open(self):
+        items = make_items(200, seed=4)
+        session = JoinSession(budget=2048)
+        expected = sorted(JoinSession().run(SelfJoinSpec(items)))
+        assert sorted(session.run(SelfJoinSpec(items))) == expected
+        assert session.stats.strategy_runs.get("pbsm_spill") == 1
+        assert session._spill is not None and not session._spill.closed
+        session.close()
