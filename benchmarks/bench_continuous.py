@@ -1,0 +1,155 @@
+"""Continuous queries: incremental maintenance vs per-tick recompute.
+
+The continuous tier's performance claim: at simulation churn rates (≤ 10 % of
+objects move per tick) maintaining a standing result from the tick's affected
+set alone beats re-answering from a throwaway rebuild — the recompute policy
+pays O(n) per tick for the rebuild no matter how little moved, while the
+incremental policy pays O(churn) grid updates plus membership patches.
+
+The bench pins it at the paper's analysis scale (n=100k moving objects,
+10 % churn) by running the *same* update sequence through two sessions with
+the policy pinned, and asserting incremental sustains ≥ 3x the ticks/second
+of recompute at full scale.  Delta streams from both policies are checked
+identical at quick scale (the full exactness grid lives in
+``tests/test_continuous.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_continuous.py          # full scale
+    PYTHONPATH=src python benchmarks/bench_continuous.py --quick  # CI smoke
+
+Also collectable by pytest (``python -m pytest benchmarks/bench_continuous.py``),
+where it runs at quick scale and checks correctness, not wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np
+
+from bench_common import emit
+from repro import AABB, ContinuousRangeQuery, ContinuousSession
+from repro.analysis.reporting import format_table
+from repro.analysis.session_report import continuous_report
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+FULL_N, QUICK_N = 100_000, 5_000
+TICKS = 5
+CHURN = 0.10  # fraction of objects moved per tick
+EXTENT = 0.8
+SUBSCRIPTIONS = 8
+
+
+def build_items(n: int, seed: int = 17) -> list[tuple[int, AABB]]:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0.0, 100.0 - EXTENT, size=(n, 3))
+    return [
+        (eid, AABB(lo[eid], lo[eid] + EXTENT)) for eid in range(n)
+    ]
+
+
+def make_tick_updates(
+    items: dict[int, AABB], tick: int, seed: int = 29
+) -> list[tuple[int, AABB, AABB]]:
+    """One tick's drift: CHURN·n objects shift by a small random step."""
+    rng = np.random.default_rng(seed + tick)
+    n = len(items)
+    moved = rng.choice(n, size=int(n * CHURN), replace=False)
+    steps = rng.uniform(-0.5, 0.5, size=(len(moved), 3))
+    updates = []
+    for eid, step in zip(moved.tolist(), steps):
+        old = items[eid]
+        lo = np.clip(np.asarray(old.lo) + step, 0.0, 100.0 - EXTENT)
+        updates.append((eid, old, AABB(lo, lo + EXTENT)))
+    return updates
+
+
+def subscription_boxes(seed: int = 43) -> list[AABB]:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(5.0, 75.0, size=(SUBSCRIPTIONS, 3))
+    return [AABB(l, l + 20.0) for l in lo]
+
+
+def run_policy(policy: str, n: int) -> tuple[float, ContinuousSession, list]:
+    """Drive TICKS of drift through one pinned-policy session; returns
+    (seconds spent in tick(), the session, per-subscription delta streams)."""
+    items = dict(build_items(n))
+    session = ContinuousSession(list(items.items()), UNIVERSE, policy=policy)
+    subs = [session.subscribe(ContinuousRangeQuery(box)) for box in subscription_boxes()]
+    elapsed = 0.0
+    for tick in range(TICKS):
+        updates = make_tick_updates(items, tick)
+        for eid, _, new in updates:
+            items[eid] = new
+        start = time.perf_counter()
+        session.tick(updates)
+        elapsed += time.perf_counter() - start
+    return elapsed, session, [sub.deltas for sub in subs]
+
+
+def run(quick: bool = False) -> dict[str, float]:
+    n = QUICK_N if quick else FULL_N
+    results: dict[str, tuple[float, ContinuousSession, list]] = {}
+    for policy in ("recompute", "incremental"):
+        results[policy] = run_policy(policy, n)
+
+    recompute_s, recompute_session, recompute_deltas = results["recompute"]
+    incremental_s, incremental_session, incremental_deltas = results["incremental"]
+    speedup = recompute_s / incremental_s if incremental_s else float("inf")
+
+    # Same update sequence → the two policies must emit identical streams.
+    assert incremental_deltas == recompute_deltas, (
+        "incremental and recompute delta streams diverged"
+    )
+
+    emit(
+        f"Continuous queries — n={n:,}, {TICKS} ticks, "
+        f"{CHURN:.0%} churn, {SUBSCRIPTIONS} standing range queries\n"
+        + format_table(
+            ["policy", "tick wall (s)", "ticks/s", "vs recompute"],
+            [
+                ["recompute", recompute_s, TICKS / recompute_s, 1.0],
+                ["incremental", incremental_s, TICKS / incremental_s, speedup],
+            ],
+        )
+        + "\n\nincremental session telemetry\n"
+        + continuous_report(incremental_session)
+    )
+    return {
+        "recompute_s": recompute_s,
+        "incremental_s": incremental_s,
+        "speedup": speedup,
+        "deltas": float(incremental_session.stats.deltas),
+    }
+
+
+def test_continuous_bench_quick_scale():
+    """Harness smoke: both policies agree delta-for-delta at quick scale."""
+    results = run(quick=True)
+    assert results["deltas"] == TICKS * SUBSCRIPTIONS
+    assert results["speedup"] > 1.0  # maintaining beats rebuilding even small
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale (5k)")
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if args.quick:
+        return
+    # The acceptance bar: at ≤ 10 % churn and 100k objects, incremental
+    # maintenance must be at least 3x faster than per-tick recompute.
+    assert results["speedup"] >= 3.0, (
+        f"incremental speedup {results['speedup']:.1f}x below the 3x bar"
+    )
+
+
+if __name__ == "__main__":
+    main()

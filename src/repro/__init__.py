@@ -78,6 +78,23 @@ snapshots — not once per flush)::
 
 See ``examples/serving.py`` for N concurrent clients over one pool.
 
+Moving datasets — the paper's structural-plasticity workload — get
+*continuous* queries: submit a spec once to a :class:`ContinuousSession` and
+each ``tick(updates)`` yields an exact delta (results added / removed, pairs
+added / dissolved) maintained by a planner that routes per tick between full
+recompute, incremental safe-region maintenance, and predictive TPR/LUR
+evaluation::
+
+    from repro import ContinuousSession, ContinuousRangeQuery, ContinuousJoinSpec
+
+    session = ContinuousSession(items, universe)
+    region = session.subscribe(ContinuousRangeQuery(box))
+    contacts = session.subscribe(ContinuousJoinSpec(epsilon=0.05))
+    deltas = session.tick(moves)        # {cqid: Delta(added=…, removed=…)}
+
+The serving tier pushes the same streams to async clients
+(:class:`ContinuousServing`); see ``examples/continuous_monitoring.py``.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every reproduced figure.
 """
@@ -146,11 +163,24 @@ from repro.exec import (
 )
 from repro.serving import (
     AsyncExecutor,
+    ContinuousServing,
+    DeltaStream,
     FlushPolicy,
     ServingSession,
     WorkerPool,
     default_pool,
     shutdown_default_pool,
+)
+from repro.continuous import (
+    ContinuousJoinSpec,
+    ContinuousKNNQuery,
+    ContinuousRangeQuery,
+    ContinuousSession,
+    ContinuousStats,
+    Delete,
+    Delta,
+    Insert,
+    Subscription,
 )
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
@@ -198,6 +228,17 @@ __all__ = [
     "Synapse",
     "SynapseDetector",
     "IteratedSelfJoin",
+    "ContinuousSession",
+    "ContinuousStats",
+    "ContinuousRangeQuery",
+    "ContinuousKNNQuery",
+    "ContinuousJoinSpec",
+    "Subscription",
+    "Delta",
+    "Insert",
+    "Delete",
+    "ContinuousServing",
+    "DeltaStream",
     "AsyncExecutor",
     "FlushPolicy",
     "ServingSession",

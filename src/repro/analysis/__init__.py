@@ -7,6 +7,7 @@ from repro.analysis.breakdown import (
     memory_breakdown_report,
 )
 from repro.analysis.session_report import (
+    continuous_report,
     join_report,
     join_summary_rows,
     query_session_report,
@@ -21,6 +22,7 @@ __all__ = [
     "memory_breakdown_report",
     "coarse_breakdown_rows",
     "session_report",
+    "continuous_report",
     "query_session_report",
     "join_report",
     "session_summary_rows",

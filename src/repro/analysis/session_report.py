@@ -12,6 +12,7 @@ the paper's figures judge the indexes.
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table, percent_bar
+from repro.continuous.session import ContinuousSession
 from repro.engine import QuerySession, SessionStats
 from repro.joins.session import JoinSession
 from repro.joins.spec import JoinStats
@@ -132,8 +133,47 @@ def join_report(session: JoinSession) -> str:
     return f"{header}\n{strategy_table}\n{executor_table}"
 
 
-def session_report(session: QuerySession | JoinSession) -> str:
-    """Routing telemetry for either session kind, dispatched on type."""
+def continuous_report(session: ContinuousSession) -> str:
+    """Policy-routing + delta-volume + safe-region summary for one
+    continuous session — the maintenance planner's answer sheet.
+
+    The routing table counts per-tick policy decisions (``resync`` rows are
+    post-fault recoveries through the recompute oracle); the safe-region
+    line splits results that provably survived ticks untouched from those
+    whose region was violated and re-evaluated.
+    """
+    stats = session.stats
+    counters = session.counters
+    header = (
+        f"ticks={stats.ticks:,} subscriptions={len(session.subscriptions):,} "
+        f"updates={stats.updates:,} deltas={stats.deltas:,} "
+        f"(empty={stats.empty_deltas:,})"
+    )
+    volume = (
+        f"delta volume: results +{stats.results_added:,}/-{stats.results_removed:,} "
+        f"pairs +{stats.pairs_added:,}/-{stats.pairs_removed:,}"
+    )
+    checks = counters.safe_region_hits + counters.safe_region_invalidations
+    hit_share = counters.safe_region_hits / checks if checks else 0.0
+    safe = (
+        f"safe regions: hits={counters.safe_region_hits:,} "
+        f"invalidations={counters.safe_region_invalidations:,} "
+        f"({hit_share:.1%} held)"
+    )
+    lines = [header, volume, safe]
+    if stats.faults or stats.resyncs:
+        lines.append(f"faults={stats.faults:,} resyncs={stats.resyncs:,}")
+    table = format_table(
+        ["policy", "evaluations", "share %", "routing"],
+        _routing_rows(stats.policy_routes),
+    )
+    return "\n".join(lines) + f"\n{table}"
+
+
+def session_report(session: QuerySession | JoinSession | ContinuousSession) -> str:
+    """Routing telemetry for any session kind, dispatched on type."""
     if isinstance(session, JoinSession):
         return join_report(session)
+    if isinstance(session, ContinuousSession):
+        return continuous_report(session)
     return query_session_report(session)

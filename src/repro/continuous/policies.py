@@ -1,0 +1,440 @@
+"""Maintenance policies: three ways to keep a standing result exact.
+
+The iterated-join literature the paper leans on (Sowell et al.) frames
+continuous evaluation as a recompute-vs-maintain trade-off; the moving-object
+survey in §3 adds the predictive-index option.  The session's planner routes
+each subscription, each tick, to one of:
+
+* :class:`RecomputePolicy` — the throwaway philosophy: rebuild a fresh grid
+  from the authoritative state and re-answer from scratch.  Always correct,
+  pays O(n) per tick, and doubles as the *oracle* every other policy is
+  tested against (and the resync path after a mid-tick fault).
+* :class:`IncrementalPolicy` — maintain the answer, not the index: an
+  incrementally-updated grid absorbs the tick's updates, and each result is
+  patched from the tick's *affected set* alone, generalizing
+  :class:`~repro.joins.iterated.IteratedSelfJoin`'s retract-and-reprobe trick
+  to range / kNN / join specs with per-spec safe-region checks.
+* :class:`PredictivePolicy` — the TPR/LUR bet: a predictive (or lazy) index
+  absorbs motion nearly for free, and invalidated results are re-asked
+  against it; exactness comes from those indexes' built-in refinement
+  against exact current boxes.
+
+Every policy maintains the same invariant the oracle suite pins: after
+``evaluate``, the subscription's result equals a full recompute against the
+authoritative state.  Safe-region accounting (hits = results provably
+unchanged without re-evaluation; invalidations = safe region violated) flows
+into :class:`~repro.instrumentation.counters.Counters`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.uniform_grid import UniformGrid
+from repro.engine import QuerySession
+from repro.geometry.aabb import AABB
+from repro.indexes.base import KNNResult, SpatialIndex
+from repro.joins.session import JoinSession
+from repro.joins.spec import DistanceJoinSpec
+from repro.moving.lur_tree import LURTree
+from repro.moving.tpr import TPRIndex
+
+from repro.continuous.spec import (
+    ContinuousJoinSpec,
+    ContinuousSpec,
+    TickBatch,
+    knn_ids,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.continuous.session import ContinuousSession, Subscription
+
+Pair = tuple[int, int]
+
+
+def _ordered(a: int, b: int) -> Pair:
+    return (a, b) if a < b else (b, a)
+
+
+class MaintenancePolicy:
+    """One maintenance strategy shared by every subscription routed to it.
+
+    ``apply`` runs every tick on every *instantiated* policy — each accepts
+    the batch immediately (delta-maintenance policies may fold it into their
+    backing lazily, but always before the next probe), so routing can switch
+    per tick without a rebuild.  ``adopt`` initializes per-spec state when a subscription
+    arrives (from routing or a post-fault resync); ``forget`` drops it.
+    ``evaluate`` returns the tick's exact ``(added, removed)`` sets and must
+    commit ``sub.result`` only as its final action — the session relies on
+    ``sub.result`` always equaling the last *emitted* result, so a policy
+    that raises mid-evaluation leaves only its own internal state suspect
+    (discarded by the resync's ``adopt``).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, session: "ContinuousSession") -> None:
+        self.session = session
+        self.counters = session.counters
+
+    def apply(self, batch: TickBatch) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def adopt(self, sub: "Subscription") -> None:
+        """Initialize per-spec state from the subscription's current result."""
+
+    def forget(self, sub: "Subscription") -> None:
+        """Drop per-spec state for an unsubscribed / re-routed subscription."""
+
+    def evaluate(
+        self, sub: "Subscription", batch: TickBatch
+    ) -> tuple[set, set]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# -- recompute -----------------------------------------------------------------
+
+
+class RecomputePolicy(MaintenancePolicy):
+    """Throwaway rebuild: fresh grid + from-scratch answers, once per tick.
+
+    The rebuilt grid and its :class:`~repro.engine.QuerySession` are shared
+    by every subscription evaluated in the same tick (keyed on the tick
+    number), so N recompute-routed specs pay one rebuild.  Join specs run a
+    :class:`~repro.joins.spec.DistanceJoinSpec` through a persistent
+    :class:`~repro.joins.JoinSession`, riding the planner/strategy registry
+    and accumulating its telemetry.
+    """
+
+    name = "recompute"
+
+    def __init__(self, session: "ContinuousSession") -> None:
+        super().__init__(session)
+        self.rebuilds = 0
+        self._cache: tuple[int, QuerySession] | None = None
+        self._joins = JoinSession(counters=self.counters)
+
+    def apply(self, batch: TickBatch) -> None:
+        self._cache = None  # state changed; next evaluate rebuilds
+
+    def _query_session(self) -> QuerySession:
+        tick = self.session.ticks
+        if self._cache is None or self._cache[0] != tick:
+            grid = UniformGrid(universe=self.session.universe, counters=self.counters)
+            grid.bulk_load(list(self.session.state_items()))
+            self.rebuilds += 1
+            self._cache = (tick, QuerySession(grid, executor=self.session._make_executor()))
+        return self._cache[1]
+
+    def full_result(self, spec: ContinuousSpec):
+        """The from-scratch answer: a set for range/join, an ordered
+        ``(distance, id)`` list for kNN."""
+        if spec.kind == "range":
+            return set(self._query_session().range_query([spec.box])[0])
+        if spec.kind == "knn":
+            return self._query_session().knn([spec.point], spec.k)[0]
+        items = tuple(self.session.state_items())
+        if not items:
+            return set()
+        refine = spec.refine
+        if refine is not None and spec.epsilon:
+            # ContinuousJoinSpec's refine *sharpens* the box-gap predicate;
+            # DistanceJoinSpec's refine *replaces* it (candidates are only
+            # strategy-dependent supersets).  Fold the gap test in so the
+            # oracle's pair set is strategy-independent and matches the
+            # incremental path.
+            state, eps, user = self.session._state, spec.epsilon, refine
+            refine = lambda a, b: (
+                state[a].min_distance_to_box(state[b]) <= eps and user(a, b)
+            )
+        return set(
+            self._joins.run(DistanceJoinSpec(items, None, spec.epsilon, refine))
+        )
+
+    def evaluate(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        new = self.full_result(sub.spec)
+        new_set = knn_ids(new) if sub.spec.kind == "knn" else new
+        old_set = sub.result_set()
+        added, removed = new_set - old_set, old_set - new_set
+        sub.result = new
+        return added, removed
+
+
+# -- shared incremental/predictive machinery -----------------------------------
+
+
+class _DeltaMaintenance(MaintenancePolicy):
+    """Maintain answers against a live backing index (never rebuilt).
+
+    Subclasses provide the backing (:meth:`_make_backing` / :meth:`_apply`)
+    and the per-kind evaluation hooks; the safe-region logic — which results
+    provably survived the tick untouched — is shared.
+    """
+
+    def __init__(self, session: "ContinuousSession") -> None:
+        super().__init__(session)
+        self._backing: SpatialIndex = self._make_backing()
+        self._backing.bulk_load(list(session.state_items()))
+        self._probe_session = QuerySession(
+            self._backing, executor=session._make_executor()
+        )
+        # Ticks accepted but not yet folded into the backing index — the
+        # "maintain the answer, not the index" discipline taken to its
+        # conclusion: range results are patched from the affected set alone
+        # and never probe, so the backing only pays for updates when a kNN
+        # invalidation, join re-probe or predictive re-ask actually needs
+        # it (flushed in tick order by :meth:`_sync`).
+        self._pending: list[TickBatch] = []
+        # Per-join-spec partner adjacency (eid -> set of partners), the
+        # retract-and-reprobe working state.
+        self._partners: dict[int, dict[int, set[int]]] = {}
+
+    def _make_backing(self) -> SpatialIndex:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _apply(self, batch: TickBatch) -> None:
+        """Default per-element sync; subclasses may override (TPR advances)."""
+        for eid, (old, new) in sorted(batch.moved.items()):
+            self._backing.update(eid, old, new)
+        for eid, box in sorted(batch.inserted.items()):
+            self._backing.insert(eid, box)
+        for eid, box in sorted(batch.deleted.items()):
+            self._backing.delete(eid, box)
+
+    def apply(self, batch: TickBatch) -> None:
+        self._pending.append(batch)
+
+    def _sync(self) -> None:
+        """Fold every deferred tick into the backing index, oldest first."""
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for batch in pending:
+                self._apply(batch)
+
+    # -- per-spec state ---------------------------------------------------------
+
+    def adopt(self, sub: "Subscription") -> None:
+        if sub.spec.kind == "join":
+            partners: dict[int, set[int]] = {}
+            for a, b in sub.result:
+                partners.setdefault(a, set()).add(b)
+                partners.setdefault(b, set()).add(a)
+            self._partners[sub.spec.cqid] = partners
+
+    def forget(self, sub: "Subscription") -> None:
+        self._partners.pop(sub.spec.cqid, None)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        if batch.is_empty:
+            # Zero-motion tick: nothing can have changed, for any spec kind.
+            self.counters.safe_region_hits += 1
+            return set(), set()
+        kind = sub.spec.kind
+        if kind == "range":
+            return self._evaluate_range(sub, batch)
+        if kind == "knn":
+            return self._evaluate_knn(sub, batch)
+        return self._evaluate_join(sub, batch)
+
+    def _evaluate_range(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        """Patch membership from the affected set alone: elements that did
+        not change this tick cannot enter or leave the box."""
+        box = sub.spec.box
+        current: set = sub.result
+        added: set = set()
+        removed: set = set()
+        for eid in batch.affected_ids():
+            now = self.session.state_box(eid)
+            inside = now is not None and now.intersects(box)
+            self.counters.elem_tests += 1
+            if inside and eid not in current:
+                added.add(eid)
+            elif not inside and eid in current:
+                removed.add(eid)
+        if added or removed:
+            self.counters.safe_region_invalidations += 1
+            sub.result = (current - removed) | added
+        else:
+            self.counters.safe_region_hits += 1
+        return added, removed
+
+    def _evaluate_knn(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        """Safe-region check on the cached top-k, recompute only on violation.
+
+        The cached ``(distance, id)`` list stays exact while (a) no member
+        changed or disappeared, (b) no changed or new element reaches within
+        the kth distance (``<=`` — a tie can displace a member under the
+        ``(distance, id)`` order), and (c) the list is full (a short list
+        means every tracked element is a member, so any insert violates).
+        """
+        spec = sub.spec
+        current: KNNResult = sub.result
+        members = knn_ids(current)
+        d_k = current[-1][0] if len(current) == spec.k else math.inf
+        short = len(current) < spec.k
+
+        invalid = bool(members & batch.affected_ids())
+        if not invalid and (batch.inserted or batch.moved):
+            if short and batch.inserted:
+                invalid = True
+            else:
+                for eid, box in list(batch.inserted.items()) + [
+                    (eid, new) for eid, (_, new) in batch.moved.items()
+                ]:
+                    self.counters.elem_tests += 1
+                    if box.min_distance_to_point(spec.point) <= d_k:
+                        invalid = True
+                        break
+        if not invalid:
+            self.counters.safe_region_hits += 1
+            return set(), set()
+        self.counters.safe_region_invalidations += 1
+        new = self._knn(spec.point, spec.k)
+        new_members = knn_ids(new)
+        added, removed = new_members - members, members - new_members
+        sub.result = new
+        return added, removed
+
+    def _knn(self, point: Sequence[float], k: int) -> KNNResult:
+        self._sync()
+        return self._probe_session.knn([point], k)[0]
+
+    def _evaluate_join(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        """The IteratedSelfJoin trick, with deltas: retract every pair
+        touching a changed element, re-probe the changed survivors' (ε-
+        expanded) boxes as one batch, and report the difference.  Pairs
+        between untouched elements carry over — their geometry is frozen, so
+        the predicate's value is too."""
+        spec: ContinuousJoinSpec = sub.spec
+        partners = self._partners[spec.cqid]
+        affected = batch.affected_ids()
+
+        before: set[Pair] = set()
+        for eid in affected:
+            for other in partners.get(eid, ()):
+                before.add(_ordered(eid, other))
+        for a, b in before:
+            partners[a].discard(b)
+            partners[b].discard(a)
+        for eid in batch.deleted:
+            partners.pop(eid, None)
+
+        survivors = sorted(eid for eid in affected if eid not in batch.deleted)
+        after: set[Pair] = set()
+        if survivors:
+            eps = spec.epsilon
+            boxes = []
+            for eid in survivors:
+                box = self.session.state_box(eid)
+                boxes.append(box.expanded(eps) if eps else box)
+            hits = self._probe_candidates(boxes)
+            for eid, candidates in zip(survivors, hits):
+                my_box = self.session.state_box(eid)
+                for other in candidates:
+                    if other == eid:
+                        continue
+                    pair = _ordered(eid, other)
+                    if pair in after:
+                        continue
+                    if eps:
+                        self.counters.refine_tests += 1
+                        if my_box.min_distance_to_box(self.session.state_box(other)) > eps:
+                            continue
+                    if spec.refine is not None:
+                        self.counters.refine_tests += 1
+                        if not spec.refine(*pair):
+                            continue
+                    after.add(pair)
+            for a, b in after:
+                partners.setdefault(a, set()).add(b)
+                partners.setdefault(b, set()).add(a)
+
+        added, removed = after - before, before - after
+        if added or removed:
+            self.counters.safe_region_invalidations += 1
+            sub.result = (sub.result - removed) | added
+        else:
+            self.counters.safe_region_hits += 1
+        return added, removed
+
+    def _probe_candidates(self, boxes: Sequence[AABB]) -> list[list[int]]:
+        """Ids whose stored box intersects each probe box, one batch."""
+        self._sync()
+        return self._probe_session.range_query(boxes)
+
+
+class IncrementalPolicy(_DeltaMaintenance):
+    """Incremental maintenance over a live uniform grid.
+
+    The grid absorbs each tick's updates in place (cheap cell switches under
+    simulation motion — the paper's own argument for grids) and serves the
+    join re-probes and kNN recomputes; range results never touch it at all,
+    being patched from the affected set by pure membership tests.
+    """
+
+    name = "incremental"
+
+    def _make_backing(self) -> SpatialIndex:
+        return UniformGrid(
+            universe=self.session.universe,
+            cell_size=self.session.cell_size,
+            counters=self.counters,
+        )
+
+
+class PredictivePolicy(_DeltaMaintenance):
+    """Predictive evaluation on a TPR (default) or LUR backing index.
+
+    The index absorbs motion without structural work — TPR swept boxes
+    cover predicted positions until the horizon, LUR grace boxes absorb
+    jitter — and invalidated results are *re-asked* against it (both
+    indexes refine candidates against exact current boxes, so answers stay
+    exact even under wild misprediction; mispredictions cost time, never
+    correctness).  Range specs are re-evaluated from the index whenever the
+    tick is non-empty: that is the predictive bet — evaluation is cheap
+    because maintenance was.
+    """
+
+    name = "predictive"
+
+    def _make_backing(self) -> SpatialIndex:
+        session = self.session
+        if session.predictive_backing == "lur":
+            options = {"grace": 0.5, **session.predictive_options}
+            return LURTree(counters=self.counters, **options)
+        options = {"max_speed": 0.1, "horizon": 10, **session.predictive_options}
+        return TPRIndex(counters=self.counters, **options)
+
+    def _apply(self, batch: TickBatch) -> None:
+        if isinstance(self._backing, TPRIndex):
+            # advance() owns the clock: one bump per tick, then the tick's
+            # true motion (prediction escapes re-anchor inside).
+            self._backing.advance(batch.moves())
+            for eid, box in sorted(batch.inserted.items()):
+                self._backing.insert(eid, box)
+            for eid, box in sorted(batch.deleted.items()):
+                self._backing.delete(eid, box)
+        else:
+            super()._apply(batch)
+
+    def _evaluate_range(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
+        self._sync()
+        new = set(self._probe_session.range_query([sub.spec.box])[0])
+        old = sub.result
+        added, removed = new - old, old - new
+        if added or removed:
+            self.counters.safe_region_invalidations += 1
+        else:
+            self.counters.safe_region_hits += 1
+        sub.result = new
+        return added, removed
+
+
+POLICY_CLASSES: dict[str, type[MaintenancePolicy]] = {
+    RecomputePolicy.name: RecomputePolicy,
+    IncrementalPolicy.name: IncrementalPolicy,
+    PredictivePolicy.name: PredictivePolicy,
+}

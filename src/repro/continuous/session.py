@@ -1,0 +1,396 @@
+"""The continuous session: submit once, receive exact deltas forever.
+
+:class:`ContinuousSession` owns the authoritative ``eid → box`` state of a
+moving dataset and a set of standing subscriptions.  Each ``tick(updates)``:
+
+1. normalizes the updates into a :class:`~repro.continuous.spec.TickBatch`
+   and folds them into the authoritative state;
+2. syncs every instantiated maintenance policy's backing structure;
+3. routes each subscription to a policy — the **planner** — and collects
+   its exact per-tick :class:`~repro.continuous.spec.Delta`.
+
+The planner routes on observed churn and spec shape (EWMA-smoothed):
+
+* churn above ``recompute_churn`` → ``recompute`` (when most elements
+  change, maintaining the answer costs more than rebuilding it — the
+  throwaway philosophy);
+* join specs otherwise → ``incremental`` (the retract-and-reprobe trick);
+* range/kNN specs under smooth small motion (mean displacement below
+  ``predictive_displacement``) → ``predictive`` (TPR/LUR absorb it);
+  teleport-style motion → ``incremental``.
+
+A subscription may pin a policy explicitly (``subscribe(spec,
+policy="incremental")``) — the oracle suite uses this to prove every
+(policy × spec kind) pair exact.
+
+**Fault containment.**  A policy raising mid-``tick`` marks only the failing
+subscription dirty; the authoritative state and every other subscription
+stay consistent, and the error propagates after the tick completes.  On the
+next tick a dirty subscription re-syncs through the recompute policy — its
+delta then spans the missed tick(s), the routed policy re-``adopt``s it
+(rebuilding safe-region state from scratch), and nothing of the failed
+evaluation leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.geometry.aabb import AABB
+from repro.indexes.base import Item, validate_items
+from repro.instrumentation.counters import Counters
+
+from repro.continuous.policies import POLICY_CLASSES, MaintenancePolicy, RecomputePolicy
+from repro.continuous.spec import (
+    ContinuousJoinSpec,
+    ContinuousKNNQuery,
+    ContinuousRangeQuery,
+    ContinuousSpec,
+    Delta,
+    TickBatch,
+    Update,
+    knn_ids,
+    normalize_updates,
+)
+
+AUTO = "auto"
+RESYNC = "resync"
+
+
+@dataclass
+class ContinuousStats:
+    """Session-level telemetry, the continuous analogue of ``JoinStats``.
+
+    ``policy_routes`` counts per-tick routing decisions by policy name
+    (plus ``"resync"`` for post-fault recoveries); delta volumes are split
+    by element kind to mirror the issue's results/pairs vocabulary.
+    Safe-region hits/invalidations live in the shared
+    :class:`~repro.instrumentation.counters.Counters` (they are primitive
+    ops, bumped inside the policies).
+    """
+
+    ticks: int = 0
+    updates: int = 0
+    deltas: int = 0
+    empty_deltas: int = 0
+    results_added: int = 0
+    results_removed: int = 0
+    pairs_added: int = 0
+    pairs_removed: int = 0
+    resyncs: int = 0
+    faults: int = 0
+    policy_routes: dict[str, int] = field(default_factory=dict)
+
+    def record_route(self, policy: str) -> None:
+        self.policy_routes[policy] = self.policy_routes.get(policy, 0) + 1
+
+    def record_delta(self, kind: str, delta: Delta) -> None:
+        self.deltas += 1
+        if delta.is_empty:
+            self.empty_deltas += 1
+        if kind == "join":
+            self.pairs_added += len(delta.added)
+            self.pairs_removed += len(delta.removed)
+        else:
+            self.results_added += len(delta.added)
+            self.results_removed += len(delta.removed)
+
+
+class Subscription:
+    """One standing query's live state inside a session.
+
+    ``result`` is the current exact answer (a set of eids for range, an
+    ordered ``(distance, eid)`` list for kNN, a set of ``(low, high)`` pairs
+    for joins) and always equals the accumulation of ``deltas`` over the
+    initial result.  ``listeners`` are called with each tick's delta —
+    the hook the serving tier's push streams attach to.
+    """
+
+    def __init__(self, session: "ContinuousSession", spec: ContinuousSpec, pinned: str | None) -> None:
+        self.session = session
+        self.spec = spec
+        self.pinned = pinned
+        self.result: Any = None
+        self.initial: Any = None
+        self.deltas: list[Delta] = []
+        self.latest: Delta | None = None
+        self.listeners: list[Callable[["Subscription", Delta], None]] = []
+        self.routed: str | None = None  # policy currently holding per-spec state
+        self.dirty = False
+
+    @property
+    def cqid(self) -> int:
+        return self.spec.cqid
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    def result_set(self) -> set:
+        """Membership view of the current result (ids, or id pairs)."""
+        return knn_ids(self.result) if self.kind == "knn" else set(self.result)
+
+    def cancel(self) -> None:
+        self.session.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Subscription(cqid={self.cqid}, kind={self.kind!r}, "
+            f"policy={self.pinned or AUTO!r}, |result|={len(self.result)})"
+        )
+
+
+class ContinuousSession:
+    """Standing queries over a moving dataset, with exact per-tick deltas.
+
+    Parameters
+    ----------
+    items:
+        Initial ``(eid, box)`` state.
+    universe:
+        Simulation domain (grids size their cells from it; required only
+        for an empty initial state that grows later).
+    policy:
+        Default routing: ``"auto"`` (the planner) or a policy name to pin
+        for every subscription that does not pin its own.
+    recompute_churn:
+        Churn fraction (EWMA of affected/tracked) above which the planner
+        falls back to per-tick recompute.
+    predictive_displacement:
+        Mean per-tick displacement (EWMA) below which range/kNN specs route
+        to the predictive policy; defaults to 1% of the universe diagonal.
+    predictive_backing / predictive_options:
+        ``"tpr"`` (default) or ``"lur"``, and constructor overrides for the
+        backing index (e.g. ``{"max_speed": 0.05}``).
+    executor_factory:
+        Optional zero-arg callable producing a query executor for each
+        policy's internal :class:`~repro.engine.QuerySession` — pass
+        ``lambda: ShardedExecutor(pool=pool)`` to run probe batches on a
+        shared :class:`~repro.serving.WorkerPool` (mutation fingerprints
+        make the pool re-export snapshots as the backing indexes change).
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Item] = (),
+        universe: AABB | None = None,
+        *,
+        policy: str = AUTO,
+        counters: Counters | None = None,
+        recompute_churn: float = 0.3,
+        predictive_displacement: float | None = None,
+        cell_size: float | None = None,
+        predictive_backing: str = "tpr",
+        predictive_options: dict[str, Any] | None = None,
+        executor_factory: Callable[[], Any] | None = None,
+        keep_history: bool = True,
+    ) -> None:
+        if policy != AUTO and policy not in POLICY_CLASSES:
+            raise ValueError(f"unknown policy: {policy!r}")
+        if predictive_backing not in ("tpr", "lur"):
+            raise ValueError(f"unknown predictive backing: {predictive_backing!r}")
+        if not 0.0 < recompute_churn <= 1.0:
+            raise ValueError(f"recompute_churn must be in (0, 1], got {recompute_churn}")
+        materialized = validate_items(items)
+        self._state: dict[int, AABB] = dict(materialized)
+        self.universe = universe if universe is not None else self._bounds()
+        self.policy = policy
+        self.counters = counters if counters is not None else Counters()
+        self.recompute_churn = recompute_churn
+        if predictive_displacement is None and self.universe is not None:
+            lo, hi = self.universe.lo, self.universe.hi
+            diag = sum((h - l) ** 2 for l, h in zip(lo, hi)) ** 0.5
+            predictive_displacement = 0.01 * diag
+        self.predictive_displacement = predictive_displacement or 0.0
+        self.cell_size = cell_size
+        self.predictive_backing = predictive_backing
+        self.predictive_options = dict(predictive_options or {})
+        self.executor_factory = executor_factory
+        self.keep_history = keep_history
+        self.stats = ContinuousStats()
+        self.ticks = 0
+        self._subs: dict[int, Subscription] = {}
+        self._policies: dict[str, MaintenancePolicy] = {}
+        self._churn_ewma: float | None = None
+        self._displacement_ewma: float | None = None
+        self._ewma_alpha = 0.3
+
+    # -- authoritative state -----------------------------------------------------
+
+    def _bounds(self) -> AABB | None:
+        if not self._state:
+            return None
+        boxes = iter(self._state.values())
+        acc = next(boxes)
+        for box in boxes:
+            acc = acc.union(box)
+        return acc
+
+    def state_items(self) -> Iterator[Item]:
+        """The authoritative ``(eid, box)`` state, deterministic order."""
+        return iter(sorted(self._state.items()))
+
+    def state_box(self, eid: int) -> AABB | None:
+        return self._state.get(eid)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __contains__(self, eid: int) -> bool:
+        return eid in self._state
+
+    def _make_executor(self):
+        return self.executor_factory() if self.executor_factory is not None else None
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(self, spec: ContinuousSpec, policy: str | None = None) -> Subscription:
+        """Register a standing query; its initial result is computed now
+        (from scratch) and only deltas flow afterwards."""
+        if not isinstance(spec, (ContinuousRangeQuery, ContinuousKNNQuery, ContinuousJoinSpec)):
+            raise TypeError(f"not a continuous spec: {spec!r}")
+        if policy is not None and policy not in POLICY_CLASSES:
+            raise ValueError(f"unknown policy: {policy!r}")
+        if spec.cqid in self._subs:
+            raise ValueError(f"spec {spec.cqid} already subscribed")
+        if policy is None and self.policy != AUTO:
+            policy = self.policy
+        sub = Subscription(self, spec, policy)
+        recompute = self._policy("recompute")
+        sub.result = recompute.full_result(spec)
+        sub.initial = (
+            list(sub.result) if spec.kind == "knn" else set(sub.result)
+        )
+        self._subs[spec.cqid] = sub
+        return sub
+
+    def unsubscribe(self, sub: Subscription | int) -> None:
+        cqid = sub.cqid if isinstance(sub, Subscription) else sub
+        gone = self._subs.pop(cqid, None)
+        if gone is not None and gone.routed is not None:
+            self._policies[gone.routed].forget(gone)
+
+    @property
+    def subscriptions(self) -> list[Subscription]:
+        return [self._subs[cqid] for cqid in sorted(self._subs)]
+
+    # -- the tick ---------------------------------------------------------------
+
+    def tick(self, updates: Iterable[Update] = ()) -> dict[int, Delta]:
+        """Fold one tick's updates into every standing result.
+
+        Returns ``cqid → Delta`` for every subscription.  If a maintenance
+        policy raises, the remaining subscriptions still complete, the
+        failing subscription is queued for next-tick resync, and the first
+        error re-raises after the tick's bookkeeping."""
+        batch = normalize_updates(updates, self._state)
+        self.ticks += 1
+        self.stats.ticks += 1
+        self.stats.updates += batch.size
+        for eid, (_, new) in batch.moved.items():
+            self._state[eid] = new
+        self._state.update(batch.inserted)
+        for eid in batch.deleted:
+            del self._state[eid]
+        for instantiated in self._policies.values():
+            instantiated.apply(batch)
+        self._observe(batch)
+
+        deltas: dict[int, Delta] = {}
+        first_error: Exception | None = None
+        for sub in self.subscriptions:
+            resync = sub.dirty
+            name = "recompute" if resync else self._route(sub)
+            policy = self._policy(name)
+            if sub.routed != name:
+                if sub.routed is not None:
+                    self._policies[sub.routed].forget(sub)
+                policy.adopt(sub)
+                sub.routed = name
+            try:
+                added, removed = policy.evaluate(sub, batch)
+            except Exception as exc:
+                sub.dirty = True
+                self.stats.faults += 1
+                # Whatever per-spec state the policy half-mutated is dead:
+                # drop it now, and let the resync's adopt() rebuild it from
+                # the last emitted result, which evaluate() never got far
+                # enough to commit.
+                policy.forget(sub)
+                sub.routed = None
+                if first_error is None:
+                    first_error = exc
+                continue
+            if resync:
+                sub.dirty = False
+                self.stats.resyncs += 1
+                # Hand the subscription straight back: the planner's policy
+                # re-adopts from the freshly committed result, so the next
+                # tick maintains incrementally again instead of paying a
+                # second recompute.
+                target = self._route(sub)
+                if target != sub.routed:
+                    self._policies[sub.routed].forget(sub)
+                    self._policy(target).adopt(sub)
+                    sub.routed = target
+            self.stats.record_route(RESYNC if resync else name)
+            delta = Delta(tick=self.ticks, added=frozenset(added), removed=frozenset(removed))
+            sub.latest = delta
+            if self.keep_history:
+                sub.deltas.append(delta)
+            deltas[sub.cqid] = delta
+            self.stats.record_delta(sub.kind, delta)
+            for listener in sub.listeners:
+                listener(sub, delta)
+        if first_error is not None:
+            raise first_error
+        return deltas
+
+    # -- the planner -------------------------------------------------------------
+
+    def _observe(self, batch: TickBatch) -> None:
+        tracked = max(len(self._state), 1)
+        churn = batch.size / tracked
+        displacement = batch.mean_displacement()
+        alpha = self._ewma_alpha
+        if self._churn_ewma is None:
+            self._churn_ewma = churn
+            self._displacement_ewma = displacement
+        else:
+            self._churn_ewma = alpha * churn + (1 - alpha) * self._churn_ewma
+            self._displacement_ewma = (
+                alpha * displacement + (1 - alpha) * self._displacement_ewma
+            )
+
+    def _route(self, sub: Subscription) -> str:
+        """Pick this tick's policy: pinned wins, then churn, then spec shape."""
+        if sub.pinned is not None:
+            return sub.pinned
+        churn = self._churn_ewma or 0.0
+        if churn > self.recompute_churn:
+            return "recompute"
+        if sub.kind == "join":
+            return "incremental"
+        displacement = self._displacement_ewma or 0.0
+        if displacement <= self.predictive_displacement and self.predictive_displacement > 0:
+            return "predictive"
+        return "incremental"
+
+    def _policy(self, name: str) -> MaintenancePolicy:
+        policy = self._policies.get(name)
+        if policy is None:
+            policy = POLICY_CLASSES[name](self)
+            self._policies[name] = policy
+        return policy
+
+    @property
+    def recompute(self) -> RecomputePolicy:
+        """The recompute policy doubles as the session's oracle."""
+        return self._policy("recompute")  # type: ignore[return-value]
+
+    def oracle_result(self, sub: Subscription | ContinuousSpec):
+        """A from-scratch answer against the current authoritative state —
+        what the accumulated deltas must always reproduce."""
+        spec = sub.spec if isinstance(sub, Subscription) else sub
+        return self.recompute.full_result(spec)

@@ -38,7 +38,11 @@ class Counters:
       out-of-core execution: tile/partition arrays evicted to the spill
       store and the logical bytes shipped out and back
       (:mod:`repro.exec.spill`; page-granular transfers land in
-      ``pages_read`` / ``pages_written`` as usual).
+      ``pages_read`` / ``pages_written`` as usual);
+    * ``safe_region_hits`` / ``safe_region_invalidations`` — continuous-query
+      maintenance (:mod:`repro.continuous`): standing results whose cached
+      answer provably survived a tick versus those whose safe region was
+      violated and had to be re-evaluated.
     """
 
     node_tests: int = 0
@@ -58,6 +62,8 @@ class Counters:
     tiles_spilled: int = 0
     spill_bytes_written: int = 0
     spill_bytes_read: int = 0
+    safe_region_hits: int = 0
+    safe_region_invalidations: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -57,7 +57,7 @@ from repro.joins.session import (
     JoinSession,
     ShardedJoinExecutor,
 )
-from repro.joins.iterated import IteratedSelfJoin
+from repro.joins.iterated import IteratedSelfJoin, PairDelta
 from repro.joins.synapse import SynapseDetector, distance_join
 
 # Deprecated free-function shims (see the per-module docstrings).
@@ -90,6 +90,7 @@ __all__ = [
     "Synapse",
     "SynapseDetector",
     "IteratedSelfJoin",
+    "PairDelta",
     # deprecated shims
     "nested_loop_join",
     "nested_loop_self_join",

@@ -28,6 +28,7 @@ grid's vectorized kernel instead of a per-element ``range_query`` loop.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.uniform_grid import UniformGrid
@@ -37,6 +38,24 @@ from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
 
 Move = tuple[int, AABB, AABB]
+
+
+@dataclass(frozen=True)
+class PairDelta:
+    """The exact pair-set change produced by one :meth:`IteratedSelfJoin.step`.
+
+    ``added`` and ``removed`` are disjoint sets of ``(low id, high id)``
+    tuples; folding every step's delta into the initial pair set reproduces
+    :attr:`IteratedSelfJoin.pairs` — the contract the continuous-query tier
+    (:mod:`repro.continuous`) builds on.
+    """
+
+    added: frozenset
+    removed: frozenset
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
 
 
 class IteratedSelfJoin:
@@ -93,9 +112,14 @@ class IteratedSelfJoin:
     def pair_count(self) -> int:
         return sum(len(p) for p in self._partners.values()) // 2
 
-    def step(self, moves: Sequence[Move]) -> None:
-        """Fold one simulation step's motion into the pair set."""
+    def step(self, moves: Sequence[Move]) -> PairDelta:
+        """Fold one simulation step's motion into the pair set.
+
+        Returns the step's exact :class:`PairDelta` (pairs that appeared and
+        pairs that dissolved), so subscribers can consume the join as a
+        delta stream instead of re-reading :attr:`pairs` each step."""
         if self.strategy == "recompute":
+            before = self.pairs
             for eid, old_box, new_box in moves:
                 if eid not in self._boxes or self._boxes[eid] != old_box:
                     raise KeyError(f"element {eid} with box {old_box} not tracked")
@@ -107,7 +131,8 @@ class IteratedSelfJoin:
             self._session = QuerySession(self._grid)
             self._partners = {eid: set() for eid in self._boxes}
             self._full_join()
-            return
+            after = self.pairs
+            return PairDelta(added=frozenset(after - before), removed=frozenset(before - after))
 
         # Incremental: update the grid first so probes see final positions.
         moved: list[int] = []
@@ -118,12 +143,24 @@ class IteratedSelfJoin:
             self._boxes[eid] = new_box
             moved.append(eid)
         # Retract every pair touching a moved element, then re-probe the
-        # whole moved set as one session batch.
+        # whole moved set as one session batch.  Only pairs touching the
+        # moved set can change, so the delta is computed from that
+        # neighbourhood alone — never from a full pair-set diff.
+        before_local: set[tuple[int, int]] = set()
         for eid in moved:
             for other in self._partners[eid]:
+                before_local.add((eid, other) if eid < other else (other, eid))
                 self._partners[other].discard(eid)
             self._partners[eid] = set()
         self._probe(moved)
+        after_local: set[tuple[int, int]] = set()
+        for eid in moved:
+            for other in self._partners[eid]:
+                after_local.add((eid, other) if eid < other else (other, eid))
+        return PairDelta(
+            added=frozenset(after_local - before_local),
+            removed=frozenset(before_local - after_local),
+        )
 
     # -- internals ---------------------------------------------------------------------
 

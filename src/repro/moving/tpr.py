@@ -162,6 +162,33 @@ class TPRIndex(SpatialIndex):
                 results.append(eid)
         return results
 
+    def time_slice_query(self, box: AABB, at_time: int) -> list[int]:
+        """The TPR family's signature query: who *will* intersect ``box``
+        at the (future) time ``at_time``?
+
+        Candidates come from the tree's swept boxes, refined against each
+        element's predicted box at ``at_time``.  The answer is conservative
+        in exactly the TPR sense: as long as every element's true per-step
+        center displacement stays within ``max_speed`` per axis and its
+        extents do not grow, its predicted box contains its true box, so
+        the returned ids are a superset of the true intersecting set at
+        ``at_time`` (never a wrong exclusion).  ``at_time == now`` refines
+        on exact boxes and is the plain :meth:`range_query`.
+        """
+        if at_time < self._now:
+            raise ValueError(f"time-slice query in the past: {at_time} < now={self._now}")
+        if at_time == self._now:
+            return self.range_query(box)
+        counters = self.counters
+        results = []
+        for eid in self._anchors:
+            # Swept boxes only cover anchor→horizon; beyond that, predict
+            # directly (the tree filter would under-approximate).
+            counters.refine_tests += 1
+            if self._predicted_box(eid, at_time).intersects(box):
+                results.append(eid)
+        return results
+
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
         """Exact kNN via widening fetches (swept-box distance lower-bounds
         exact distance, same argument as the LUR-tree)."""

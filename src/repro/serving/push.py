@@ -1,0 +1,212 @@
+"""Push-based serving: async subscriptions yielding per-tick deltas.
+
+The serving tier built in PR 6 is pull-based — a client awaits one answer
+per request.  Continuous queries invert that: a client subscribes once and
+the *server* pushes each tick's exact delta.  :class:`ContinuousServing`
+wraps a :class:`~repro.continuous.ContinuousSession` for the event loop:
+
+* ``subscribe(spec)`` returns a :class:`DeltaStream`, an async iterator a
+  client task consumes with ``async for delta in stream``;
+* ``await serving.tick(updates)`` runs the session's maintenance in a
+  worker thread (``asyncio.to_thread`` — the loop keeps serving while
+  kernels run) and fans each subscription's delta out to its streams.
+
+Backpressure is explicit: each stream buffers at most ``max_queue`` deltas;
+a slower consumer loses nothing because deltas are *merged*, not dropped —
+a merged delta of ticks t..t+j is exactly the accumulated change, the same
+contract the oracle suite proves per tick (``dropped`` counts merges for
+telemetry).  Closing a stream (or the serving wrapper) detaches it from the
+session cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from repro.continuous.session import ContinuousSession, Subscription
+from repro.continuous.spec import ContinuousSpec, Delta, Update
+
+_CLOSED = object()
+
+
+class DeltaStream:
+    """One client's async view of a subscription's delta stream.
+
+    Async-iterate to receive every tick's delta (empty deltas included —
+    they carry the tick heartbeat).  When the producer outruns the
+    consumer past ``max_queue`` buffered deltas, the newest delta is merged
+    into the queue tail, so the stream stays exact while bounded.
+    """
+
+    def __init__(self, serving: "ContinuousServing", sub: Subscription, max_queue: int) -> None:
+        self._serving = serving
+        self.subscription = sub
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._max_queue = max_queue
+        self._closed = False
+        self.delivered = 0
+        self.merged = 0
+
+    @property
+    def spec(self) -> ContinuousSpec:
+        return self.subscription.spec
+
+    @property
+    def current(self):
+        """The subscription's current exact result (set / kNN list / pairs)."""
+        return self.subscription.result
+
+    # -- producer side (called on the event loop via call_soon_threadsafe) -----
+
+    def _push(self, delta: Delta) -> None:
+        if self._closed:
+            return
+        if self._queue.qsize() >= self._max_queue:
+            tail: Delta = self._queue._queue[-1]  # type: ignore[attr-defined]
+            # Delta composition: an element re-added after a removal (or
+            # removed after an addition) nets out of the merged delta.
+            merged_added = (set(tail.added) - set(delta.removed)) | (
+                set(delta.added) - set(tail.removed)
+            )
+            merged_removed = (set(tail.removed) - set(delta.added)) | (
+                set(delta.removed) - set(tail.added)
+            )
+            self._queue._queue[-1] = Delta(  # type: ignore[attr-defined]
+                tick=delta.tick,
+                added=frozenset(merged_added),
+                removed=frozenset(merged_removed),
+            )
+            self.merged += 1
+            return
+        self._queue.put_nowait(delta)
+
+    # -- consumer side ----------------------------------------------------------
+
+    def __aiter__(self) -> "DeltaStream":
+        return self
+
+    async def __anext__(self) -> Delta:
+        if self._closed and self._queue.empty():
+            raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is _CLOSED:
+            raise StopAsyncIteration
+        self.delivered += 1
+        return item
+
+    async def get(self) -> Delta:
+        """Await the next delta (one-shot form of the iterator)."""
+        return await self.__anext__()
+
+    def close(self) -> None:
+        """Stop receiving; pending deltas still drain, then iteration ends."""
+        if self._closed:
+            return
+        self._closed = True
+        self._serving._detach(self)
+        self._queue.put_nowait(_CLOSED)
+
+
+class ContinuousServing:
+    """Async front end over one :class:`~repro.continuous.ContinuousSession`.
+
+    The session stays the single-writer: only :meth:`tick` mutates it, and
+    ticks are serialized by an internal lock, so N subscriber tasks and one
+    ticking producer coexist without touching session internals
+    concurrently::
+
+        serving = ContinuousServing(session)
+        stream = serving.subscribe(ContinuousRangeQuery(box))
+        ...
+        await serving.tick(moves)       # pushes a delta to every stream
+        delta = await stream.get()
+    """
+
+    def __init__(self, session: ContinuousSession, *, max_queue: int = 256) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.session = session
+        self.max_queue = max_queue
+        self._streams: dict[int, list[DeltaStream]] = {}
+        self._tick_lock = asyncio.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+
+    # -- subscription management ------------------------------------------------
+
+    def subscribe(self, spec: ContinuousSpec, policy: str | None = None) -> DeltaStream:
+        """Register a standing query and return its push stream.  Multiple
+        streams over the same live subscription share one maintenance."""
+        if self._closed:
+            raise RuntimeError("ContinuousServing is closed")
+        sub = self.session.subscribe(spec, policy=policy)
+        return self._attach(sub)
+
+    def stream(self, sub: Subscription) -> DeltaStream:
+        """A push stream over an already-subscribed query."""
+        if self._closed:
+            raise RuntimeError("ContinuousServing is closed")
+        return self._attach(sub)
+
+    def _attach(self, sub: Subscription) -> DeltaStream:
+        stream = DeltaStream(self, sub, self.max_queue)
+        first = sub.cqid not in self._streams
+        self._streams.setdefault(sub.cqid, []).append(stream)
+        if first:
+            sub.listeners.append(self._fanout)
+        return stream
+
+    def _detach(self, stream: DeltaStream) -> None:
+        cqid = stream.subscription.cqid
+        streams = self._streams.get(cqid, [])
+        if stream in streams:
+            streams.remove(stream)
+        if not streams and cqid in self._streams:
+            del self._streams[cqid]
+            listeners = stream.subscription.listeners
+            if self._fanout in listeners:
+                listeners.remove(self._fanout)
+
+    def _fanout(self, sub: Subscription, delta: Delta) -> None:
+        # Runs inside the tick — in the worker thread when ticked through
+        # this wrapper (the thread-safe hop keeps queue state loop-owned),
+        # or synchronously when the session is ticked directly.
+        loop = self._loop
+        for stream in list(self._streams.get(sub.cqid, ())):
+            if loop is not None and not loop.is_closed():
+                loop.call_soon_threadsafe(stream._push, delta)
+            else:
+                stream._push(delta)
+
+    # -- the producer surface ----------------------------------------------------
+
+    async def tick(self, updates: Iterable[Update] = ()) -> dict[int, Delta]:
+        """Run one maintenance tick off-loop and push every delta."""
+        if self._closed:
+            raise RuntimeError("ContinuousServing is closed")
+        self._loop = asyncio.get_running_loop()
+        async with self._tick_lock:
+            updates = list(updates)
+            deltas = await asyncio.to_thread(self.session.tick, updates)
+        # Let the fan-out callbacks scheduled by the tick run before the
+        # producer observes completion, so `await tick()` happens-after
+        # every stream received its delta.
+        await asyncio.sleep(0)
+        return deltas
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for streams in list(self._streams.values()):
+            for stream in list(streams):
+                stream.close()
+
+    async def __aenter__(self) -> "ContinuousServing":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

@@ -25,6 +25,7 @@ from repro.sim.nbody import BarnesHutTree, NBodyModel
 from repro.sim.material import MaterialModel
 from repro.sim.growth import GrowthModel
 from repro.sim.monitors import (
+    ContinuousDensityMonitor,
     DensityMonitor,
     NearestNeighborMonitor,
     RangeMonitor,
@@ -42,6 +43,7 @@ __all__ = [
     "GrowthModel",
     "RangeMonitor",
     "DensityMonitor",
+    "ContinuousDensityMonitor",
     "NearestNeighborMonitor",
     "VisualizationMonitor",
 ]

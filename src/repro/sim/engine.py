@@ -83,6 +83,7 @@ class TimeSteppedSimulation:
         index: SpatialIndex,
         monitors: Iterable[Monitor] = (),
         maintenance: str = "update",
+        continuous: "bool | object" = False,
     ) -> None:
         if maintenance not in ("update", "rebuild", "adaptive"):
             raise ValueError(f"unknown maintenance strategy: {maintenance!r}")
@@ -95,6 +96,23 @@ class TimeSteppedSimulation:
         self.maintenance = maintenance
         self._state: dict[int, AABB] = dict(model.items())
         self.index.bulk_load(list(self._state.items()))
+        # Standing queries: a ContinuousSession ticked with each step's
+        # motion during the maintenance phase, so subscriber monitors read
+        # exact delta-maintained results for free in the monitor phase.
+        self.continuous = None
+        if continuous:
+            from repro.continuous import ContinuousSession
+
+            if continuous is True:
+                self.continuous = ContinuousSession(
+                    list(self._state.items()), universe=model.universe()
+                )
+            else:
+                self.continuous = continuous
+            for monitor in self.monitors:
+                hook = getattr(monitor, "subscribe_continuous", None)
+                if hook is not None:
+                    hook(self.continuous)
         self.reports: list[StepReport] = []
         self._step = 0
 
@@ -144,6 +162,8 @@ class TimeSteppedSimulation:
     def _maintain(self, moves: Sequence[Move], expected_queries: int) -> str:
         for eid, _, new_box in moves:
             self._state[eid] = new_box
+        if self.continuous is not None:
+            self.continuous.tick(moves)
         if self.maintenance == "adaptive":
             assert isinstance(self.index, AdaptiveSimulationIndex)
             return self.index.step(moves, expected_queries).value

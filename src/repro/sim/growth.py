@@ -53,6 +53,7 @@ class GrowthModel(SimulationModel):
         epsilon: float = 0.05,
         join_every: int = 5,
         seed: int = 0,
+        continuous: bool = False,
     ) -> None:
         self.dataset = dataset
         self.segment_length = segment_length
@@ -78,6 +79,25 @@ class GrowthModel(SimulationModel):
         # shares the planner, counters and JoinStats, so the run's join
         # telemetry accumulates alongside the query engine's.
         self.join_session = JoinSession()
+        # Continuous mode: instead of re-running the synapse join from
+        # scratch every join_every steps, subscribe one standing
+        # ContinuousJoinSpec whose refine is the synapse predicate (exact
+        # capsule gap ≤ ε, same-neuron pairs excluded) and feed each step's
+        # new segments as inserts — the maintained pair set equals the
+        # SynapseJoinSpec result at every step, probing only around growth.
+        self.continuous_session = None
+        self.synapse_subscription = None
+        if continuous:
+            from repro.continuous import ContinuousJoinSpec, ContinuousSession
+
+            self.continuous_session = ContinuousSession(
+                self.items().items(), universe=dataset.universe
+            )
+            self.synapse_subscription = self.continuous_session.subscribe(
+                ContinuousJoinSpec(
+                    epsilon=epsilon, refine=self._synapse_refine, tag="synapses"
+                )
+            )
 
     def items(self) -> dict[int, AABB]:
         return {eid: capsule.bounds() for eid, capsule in self.dataset.capsules.items()}
@@ -85,10 +105,17 @@ class GrowthModel(SimulationModel):
     def universe(self) -> AABB:
         return self.dataset.universe
 
+    def _synapse_refine(self, a: int, b: int) -> bool:
+        """The synapse predicate on segment ids: cross-neuron, within ε."""
+        if self.dataset.neuron_of[a] == self.dataset.neuron_of[b]:
+            return False
+        return self.dataset.capsules[a].distance_to(self.dataset.capsules[b]) <= self.epsilon
+
     def advance(self, index: SpatialIndex, step: int) -> list[Move]:
         lo = np.asarray(self.dataset.universe.lo)
         hi = np.asarray(self.dataset.universe.hi)
         grown = 0
+        inserts: list[tuple[int, AABB]] = []
         for neuron, cones in self._cones.items():
             new_cones = []
             for tip, direction in cones:
@@ -100,6 +127,7 @@ class GrowthModel(SimulationModel):
                 self.dataset.capsules[eid] = capsule
                 self.dataset.neuron_of[eid] = neuron
                 index.insert(eid, capsule.bounds())
+                inserts.append((eid, capsule.bounds()))
                 grown += 1
                 new_cones.append((end, direction))
                 if self._rng.random() < self.branch_probability:
@@ -107,7 +135,15 @@ class GrowthModel(SimulationModel):
             self._cones[neuron] = new_cones
         self.grown.append(grown)
 
-        if self.join_every and step % self.join_every == self.join_every - 1:
+        if self.continuous_session is not None:
+            from repro.continuous import Insert
+
+            self.continuous_session.tick(
+                [Insert(eid, box) for eid, box in inserts]
+            )
+            if self.join_every and step % self.join_every == self.join_every - 1:
+                self.synapse_counts.append(len(self.synapse_subscription.result))
+        elif self.join_every and step % self.join_every == self.join_every - 1:
             synapses = self.join_session.run(
                 SynapseJoinSpec(self.dataset, epsilon=self.epsilon)
             )

@@ -134,6 +134,58 @@ class DensityMonitor:
         )
 
 
+class ContinuousDensityMonitor:
+    """A :class:`DensityMonitor` that subscribes instead of re-asking.
+
+    Fixed regions of interest are the canonical continuous workload: the
+    windows never move, only the elements do.  When the simulation carries a
+    :class:`~repro.continuous.ContinuousSession`, this monitor registers one
+    :class:`~repro.continuous.ContinuousRangeQuery` per region and the
+    engine's maintenance tick keeps every count exact through delta
+    maintenance — ``expected_queries`` is 0 because the monitor issues no
+    per-step queries at all.  ``history`` matches :class:`DensityMonitor`'s
+    row-per-step format; ``delta_sizes`` records per-step maintenance volume
+    (|added| + |removed| summed over regions).
+    """
+
+    def __init__(self, regions: list[AABB]) -> None:
+        if not regions:
+            raise ValueError("ContinuousDensityMonitor needs at least one region")
+        self.regions = regions
+        self.history: list[list[int]] = []
+        self.delta_sizes: list[int] = []
+        self._subs: list = []
+
+    def expected_queries(self) -> int:
+        return 0
+
+    def subscribe_continuous(self, continuous) -> None:
+        """Engine hook: register one standing range query per region."""
+        from repro.continuous import ContinuousRangeQuery
+
+        self._subs = [
+            continuous.subscribe(ContinuousRangeQuery(region, tag="density"))
+            for region in self.regions
+        ]
+
+    def observe(self, index: SpatialIndex, step: int) -> None:
+        """Fallback when no continuous session is wired: behave like
+        :class:`DensityMonitor` (so the monitor composes with any engine)."""
+        if not self._subs:
+            self.history.append(
+                [len(index.range_query(region)) for region in self.regions]
+            )
+            return
+        self.history.append([len(sub.result) for sub in self._subs])
+        self.delta_sizes.append(
+            sum(
+                len(sub.latest.added) + len(sub.latest.removed)
+                for sub in self._subs
+                if sub.latest is not None
+            )
+        )
+
+
 class VisualizationMonitor:
     """In-situ visualization sampling: a regular grid of small range queries
     forming one density 'frame' per step."""

@@ -1,0 +1,694 @@
+"""Continuous queries over moving objects, pinned by a per-tick recompute oracle.
+
+The contract under test: for **every** maintenance policy and **every** spec
+kind, the delta stream a :class:`~repro.continuous.ContinuousSession` emits
+is *exact* — at every tick
+
+* the subscription's live result equals a full recompute against the
+  authoritative state (the session's :meth:`oracle_result`, a throwaway
+  rebuild), and
+* folding the accumulated deltas into the initial result reproduces that
+  same live result (no delta lost, duplicated or misordered).
+
+Workloads cover the shapes the issue names: uniform drift, clustered
+teleports, insert/delete churn, and zero-motion ticks — both as seeded
+deterministic runs (the policy × kind × workload grid) and as
+hypothesis-driven random update programs under the derandomized CI profile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import continuous_report, session_report
+from repro.continuous import (
+    ContinuousJoinSpec,
+    ContinuousKNNQuery,
+    ContinuousRangeQuery,
+    ContinuousSession,
+    Delete,
+    Delta,
+    Insert,
+    knn_ids,
+    normalize_updates,
+)
+from repro.geometry.aabb import AABB
+from repro.joins.iterated import IteratedSelfJoin, PairDelta
+from repro.serving import ContinuousServing
+from tests.conftest import UNIVERSE_3D, make_items
+
+pytestmark = pytest.mark.continuous
+
+POLICIES = ["recompute", "incremental", "predictive"]
+KINDS = ["range", "knn", "join"]
+WORKLOADS = ["drift", "teleport", "churn", "still"]
+
+
+# -- workload generators -------------------------------------------------------
+
+
+def _boxed(rng: random.Random, universe: AABB = UNIVERSE_3D, extent: float = 4.0) -> AABB:
+    lo = [rng.uniform(u, v - extent) for u, v in zip(universe.lo, universe.hi)]
+    return AABB(lo, [c + rng.uniform(0.3, extent) for c in lo])
+
+
+def _shift(box: AABB, offset: list[float], universe: AABB = UNIVERSE_3D) -> AABB:
+    lo = list(box.lo)
+    hi = list(box.hi)
+    for axis, delta in enumerate(offset):
+        delta = max(universe.lo[axis] - lo[axis], min(delta, universe.hi[axis] - hi[axis]))
+        lo[axis] += delta
+        hi[axis] += delta
+    return AABB(lo, hi)
+
+
+def workload_updates(name: str, state: dict[int, AABB], rng: random.Random, tick: int, next_eid: list):
+    """One tick's raw updates for a named workload shape."""
+    updates: list = []
+    eids = sorted(state)
+    if name == "still":
+        # Motion on even ticks only: odd ticks are zero-motion and must be
+        # answered entirely from safe regions.
+        if tick % 2 == 1:
+            return updates
+        name = "drift"
+    if name == "drift":
+        for eid in rng.sample(eids, k=max(1, len(eids) // 10)):
+            offset = [rng.uniform(-0.4, 0.4) for _ in range(3)]
+            updates.append((eid, state[eid], _shift(state[eid], offset)))
+    elif name == "teleport":
+        # A clustered subset jumps to one random far-away site.
+        cluster = rng.sample(eids, k=max(1, len(eids) // 8))
+        site = [rng.uniform(10, 80) for _ in range(3)]
+        for eid in cluster:
+            target = [c + rng.uniform(-3, 3) for c in site]
+            box = state[eid]
+            offset = [t - l for t, l in zip(target, box.lo)]
+            updates.append((eid, box, _shift(box, offset)))
+    elif name == "churn":
+        for eid in rng.sample(eids, k=max(1, len(eids) // 12)):
+            offset = [rng.uniform(-1.5, 1.5) for _ in range(3)]
+            updates.append((eid, state[eid], _shift(state[eid], offset)))
+        for _ in range(rng.randint(1, 3)):
+            eid = next_eid[0]
+            next_eid[0] += 1
+            updates.append(Insert(eid, _boxed(rng)))
+        moved = {u[0] for u in updates if isinstance(u, tuple)}
+        victims = [e for e in eids if e not in moved]
+        for eid in rng.sample(victims, k=min(2, len(victims))):
+            updates.append(Delete(eid))
+    else:  # pragma: no cover - guard against typos in parametrize lists
+        raise AssertionError(name)
+    return updates
+
+
+def make_specs(kind: str):
+    if kind == "range":
+        return [
+            ContinuousRangeQuery(AABB((20, 20, 20), (60, 60, 60))),
+            ContinuousRangeQuery(AABB((0, 0, 0), (15, 15, 15)), tag="corner"),
+        ]
+    if kind == "knn":
+        return [
+            ContinuousKNNQuery((50.0, 50.0, 50.0), k=6),
+            ContinuousKNNQuery((5.0, 90.0, 40.0), k=3, tag="edge"),
+        ]
+    return [ContinuousJoinSpec(epsilon=1.5), ContinuousJoinSpec(epsilon=0.0, tag="touch")]
+
+
+def assert_exact(session: ContinuousSession, sub) -> None:
+    """The two-sided oracle: live result == recompute, accumulation == live."""
+    oracle = session.oracle_result(sub)
+    if sub.kind == "knn":
+        assert sub.result == oracle  # exact ordered (distance, id) lists
+        accumulated = set(knn_ids(sub.initial))
+    else:
+        assert sub.result == oracle
+        accumulated = set(sub.initial)
+    for delta in sub.deltas:
+        accumulated = delta.apply(accumulated)  # raises on any inexact delta
+    assert accumulated == sub.result_set()
+
+
+def drive(session: ContinuousSession, subs, workload: str, ticks: int, seed: int) -> None:
+    rng = random.Random(seed)
+    next_eid = [10_000]
+    for tick in range(ticks):
+        state = dict(session.state_items())
+        updates = workload_updates(workload, state, rng, tick, next_eid)
+        session.tick(updates)
+        for sub in subs:
+            assert_exact(session, sub)
+
+
+# -- the (policy × kind × workload) oracle grid --------------------------------
+
+
+class TestDeltaStreamsExact:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_policy_kind_workload(self, policy, kind, workload):
+        items = make_items(150, seed=11)
+        session = ContinuousSession(items, UNIVERSE_3D, policy=policy)
+        subs = [session.subscribe(spec) for spec in make_specs(kind)]
+        drive(session, subs, workload, ticks=10, seed=17)
+        assert session.stats.policy_routes.get(policy, 0) > 0
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_auto_planner_stays_exact(self, kind):
+        """Auto routing may switch policies tick-to-tick (adopt/forget
+        churn); exactness must survive every handoff."""
+        items = make_items(120, seed=12)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        subs = [session.subscribe(spec) for spec in make_specs(kind)]
+        for workload, seed in (("drift", 3), ("teleport", 4), ("churn", 5), ("still", 6)):
+            drive(session, subs, workload, ticks=4, seed=seed)
+        assert sum(session.stats.policy_routes.values()) == session.stats.deltas
+
+    def test_mixed_spec_kinds_one_session(self):
+        items = make_items(100, seed=13)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        subs = [session.subscribe(s) for kind in KINDS for s in make_specs(kind)]
+        drive(session, subs, "churn", ticks=8, seed=23)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_motion_ticks_emit_empty_deltas(self, policy):
+        items = make_items(80, seed=14)
+        session = ContinuousSession(items, UNIVERSE_3D, policy=policy)
+        subs = [session.subscribe(s) for kind in KINDS for s in make_specs(kind)]
+        before_hits = session.counters.safe_region_hits
+        deltas = session.tick([])
+        assert all(delta.is_empty for delta in deltas.values())
+        for sub in subs:
+            assert_exact(session, sub)
+        if policy != "recompute":
+            assert session.counters.safe_region_hits > before_hits
+
+    def test_lur_backing_predictive(self):
+        items = make_items(90, seed=15)
+        session = ContinuousSession(
+            items, UNIVERSE_3D, policy="predictive", predictive_backing="lur"
+        )
+        subs = [session.subscribe(s) for kind in KINDS for s in make_specs(kind)]
+        drive(session, subs, "drift", ticks=8, seed=31)
+
+    def test_knn_ties_invalidate_at_equal_distance(self):
+        """A mover landing exactly at the kth distance must displace the
+        higher-id member under the (distance, id) order — the ``<=`` in the
+        safe-region check."""
+        # Point items at known distances from the query point.
+        items = [
+            (1, AABB((10, 0, 0), (10, 0, 0))),
+            (2, AABB((20, 0, 0), (20, 0, 0))),
+            (9, AABB((30, 0, 0), (30, 0, 0))),
+            (4, AABB((90, 0, 0), (90, 0, 0))),
+        ]
+        session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+        sub = session.subscribe(ContinuousKNNQuery((0.0, 0.0, 0.0), k=3))
+        assert knn_ids(sub.result) == {1, 2, 9}
+        # id 4 moves to distance 30 — exactly d_k.  (30.0, 4) < (30.0, 9).
+        session.tick([(4, items[3][1], AABB((30, 0, 0), (30, 0, 0)))])
+        assert_exact(session, sub)
+        assert knn_ids(sub.result) == {1, 2, 4}
+
+    def test_result_shorter_than_k_grows_with_inserts(self):
+        items = [(1, AABB((5, 5, 5), (6, 6, 6))), (2, AABB((40, 40, 40), (41, 41, 41)))]
+        session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+        sub = session.subscribe(ContinuousKNNQuery((0.0, 0.0, 0.0), k=5))
+        assert len(sub.result) == 2
+        session.tick([Insert(3, AABB((70, 70, 70), (71, 71, 71)))])
+        assert_exact(session, sub)
+        assert len(sub.result) == 3
+
+    def test_join_refine_callable_consulted_on_reprobe(self):
+        """The refine predicate reads *current* geometry: a pair inside the
+        box filter but failing refine must stay out after motion."""
+        boxes = {}
+
+        def parity_refine(a: int, b: int) -> bool:
+            return (a + b) % 2 == 0
+
+        items = make_items(60, seed=16)
+        boxes.update(dict(items))
+        session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+        sub = session.subscribe(ContinuousJoinSpec(epsilon=2.0, refine=parity_refine))
+        assert all((a + b) % 2 == 0 for a, b in sub.result)
+        drive(session, [sub], "drift", ticks=6, seed=41)
+        assert all((a + b) % 2 == 0 for a, b in sub.result)
+
+
+# -- hypothesis: random update programs ----------------------------------------
+
+
+def _coords(draw, lo=0.0, hi=92.0):
+    return [
+        draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+        for _ in range(3)
+    ]
+
+
+@st.composite
+def update_programs(draw):
+    """(initial items, list of ticks, each a list of raw updates)."""
+    n = draw(st.integers(min_value=4, max_value=40))
+    items = []
+    for eid in range(n):
+        lo = _coords(draw)
+        extent = draw(st.floats(min_value=0.1, max_value=6.0))
+        items.append((eid, AABB(lo, [c + extent for c in lo])))
+    alive = {eid for eid, _ in items}
+    boxes = dict(items)
+    next_eid = n
+    ticks = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        updates = []
+        touched = set()
+        for _ in range(draw(st.integers(min_value=0, max_value=8))):
+            op = draw(st.sampled_from(["move", "insert", "delete"]))
+            candidates = sorted(alive - touched)
+            if op == "move" and candidates:
+                eid = draw(st.sampled_from(candidates))
+                offset = _coords(draw, lo=-5.0, hi=5.0)
+                new = _shift(boxes[eid], offset)
+                updates.append((eid, boxes[eid], new))
+                boxes[eid] = new
+                touched.add(eid)
+            elif op == "insert":
+                lo = _coords(draw)
+                box = AABB(lo, [c + 1.0 for c in lo])
+                updates.append(Insert(next_eid, box))
+                alive.add(next_eid)
+                boxes[next_eid] = box
+                touched.add(next_eid)
+                next_eid += 1
+            elif op == "delete" and len(candidates) > 1:
+                eid = draw(st.sampled_from(candidates))
+                updates.append(Delete(eid))
+                alive.discard(eid)
+                del boxes[eid]
+                touched.add(eid)
+        ticks.append(updates)
+    return items, ticks
+
+
+class TestHypothesisOracle:
+    @settings(max_examples=25)
+    @given(program=update_programs(), policy=st.sampled_from(POLICIES + ["auto"]))
+    def test_any_program_any_policy(self, program, policy):
+        items, ticks = program
+        session = ContinuousSession(
+            items,
+            UNIVERSE_3D,
+            policy="auto" if policy == "auto" else policy,
+        )
+        subs = [
+            session.subscribe(ContinuousRangeQuery(AABB((10, 10, 10), (70, 70, 70)))),
+            session.subscribe(ContinuousKNNQuery((50.0, 50.0, 50.0), k=4)),
+            session.subscribe(ContinuousJoinSpec(epsilon=1.0)),
+        ]
+        for updates in ticks:
+            session.tick(updates)
+            for sub in subs:
+                assert_exact(session, sub)
+
+
+# -- update normalization ------------------------------------------------------
+
+
+class TestNormalizeUpdates:
+    STATE = {1: AABB((0, 0, 0), (1, 1, 1)), 2: AABB((5, 5, 5), (6, 6, 6))}
+
+    def test_insert_then_move_nets_to_insert(self):
+        a, b = AABB((10, 10, 10), (11, 11, 11)), AABB((12, 12, 12), (13, 13, 13))
+        batch = normalize_updates([Insert(7, a), (7, a, b)], dict(self.STATE))
+        assert batch.inserted == {7: b} and not batch.moved and not batch.deleted
+
+    def test_insert_then_delete_nets_to_nothing(self):
+        a = AABB((10, 10, 10), (11, 11, 11))
+        batch = normalize_updates([Insert(7, a), Delete(7)], dict(self.STATE))
+        assert batch.is_empty
+
+    def test_move_then_delete_nets_to_delete_at_start_box(self):
+        b = AABB((2, 2, 2), (3, 3, 3))
+        batch = normalize_updates([(1, self.STATE[1], b), Delete(1)], dict(self.STATE))
+        assert batch.deleted == {1: self.STATE[1]} and not batch.moved
+
+    def test_move_chain_folds_and_roundtrip_cancels(self):
+        a = self.STATE[1]
+        b = AABB((2, 2, 2), (3, 3, 3))
+        batch = normalize_updates([(1, a, b), (1, b, a)], dict(self.STATE))
+        assert batch.is_empty
+        batch = normalize_updates([(1, a, b), (1, b, b.expanded(1.0))], dict(self.STATE))
+        assert batch.moved == {1: (a, b.expanded(1.0))}
+
+    def test_validation_rejects_stale_old_box(self):
+        with pytest.raises(KeyError):
+            normalize_updates([(1, AABB((9, 9, 9), (10, 10, 10)), self.STATE[1])], dict(self.STATE))
+        with pytest.raises(ValueError):
+            normalize_updates([Insert(1, self.STATE[1])], dict(self.STATE))
+        with pytest.raises(KeyError):
+            normalize_updates([Delete(99)], dict(self.STATE))
+
+    def test_delta_apply_rejects_inconsistency(self):
+        delta = Delta(tick=1, added=frozenset({1}), removed=frozenset({2}))
+        with pytest.raises(ValueError):
+            delta.apply({1, 2})  # adds an element already present
+        with pytest.raises(ValueError):
+            delta.apply(set())  # removes an element not present
+
+
+# -- the planner ---------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_high_churn_routes_to_recompute(self):
+        items = make_items(60, seed=21)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        sub = session.subscribe(ContinuousRangeQuery(AABB((10, 10, 10), (50, 50, 50))))
+        rng = random.Random(1)
+        for _ in range(3):
+            state = dict(session.state_items())
+            updates = [
+                (eid, box, _shift(box, [rng.uniform(-2, 2)] * 3))
+                for eid, box in state.items()
+            ]
+            session.tick(updates)
+        assert session.stats.policy_routes.get("recompute", 0) > 0
+        assert sub.routed == "recompute"
+
+    def test_small_drift_routes_range_to_predictive(self):
+        items = make_items(60, seed=22)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        sub = session.subscribe(ContinuousKNNQuery((50.0, 50.0, 50.0), k=4))
+        drive(session, [sub], "drift", ticks=4, seed=7)
+        assert sub.routed == "predictive"
+
+    def test_joins_route_incremental_under_low_churn(self):
+        items = make_items(60, seed=23)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        sub = session.subscribe(ContinuousJoinSpec(epsilon=1.0))
+        drive(session, [sub], "drift", ticks=4, seed=8)
+        assert sub.routed == "incremental"
+
+    def test_pinned_policy_wins_over_planner(self):
+        items = make_items(50, seed=24)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        pinned = session.subscribe(
+            ContinuousRangeQuery(AABB((0, 0, 0), (40, 40, 40))), policy="recompute"
+        )
+        drive(session, [pinned], "drift", ticks=3, seed=9)
+        assert session.stats.policy_routes == {"recompute": 3}
+
+    def test_teleports_keep_range_off_predictive(self):
+        items = make_items(60, seed=25)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        sub = session.subscribe(ContinuousRangeQuery(AABB((10, 10, 10), (80, 80, 80))))
+        drive(session, [sub], "teleport", ticks=4, seed=10)
+        assert sub.routed == "incremental"
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestFaultInjection:
+    """A policy raising mid-tick must not corrupt the session: the error
+    propagates, other subscriptions finish their tick, and the failed one
+    re-syncs from recompute next tick with no leaked safe-region state —
+    the continuous-tier mirror of the PR 6 spill-tmpdir regression."""
+
+    def _session(self):
+        items = make_items(80, seed=31)
+        session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+        victim = session.subscribe(ContinuousJoinSpec(epsilon=1.5, refine=self._refine))
+        bystander = session.subscribe(ContinuousRangeQuery(AABB((10, 10, 10), (60, 60, 60))))
+        knn = session.subscribe(ContinuousKNNQuery((40.0, 40.0, 40.0), k=5))
+        return session, victim, bystander, knn
+
+    def _refine(self, a: int, b: int) -> bool:
+        if getattr(self, "_explode", False):
+            raise Boom("refine blew up mid-tick")
+        return True
+
+    def _tick(self, session, rng):
+        # Teleport the sampled elements into one tight cluster: the join's
+        # re-probe is then guaranteed candidate pairs, so the refine callable
+        # (the fault site) actually runs every tick.
+        state = dict(session.state_items())
+        updates = []
+        for eid in rng.sample(sorted(state), k=8):
+            old = state[eid]
+            extent = [h - l for l, h in zip(old.lo, old.hi)]
+            lo = [50.0 + rng.uniform(-1.0, 1.0) for _ in range(3)]
+            new = AABB(lo, [c + e for c, e in zip(lo, extent)])
+            updates.append((eid, old, new))
+        return session.tick(updates)
+
+    def test_fault_resyncs_next_tick(self):
+        session, victim, bystander, knn = self._session()
+        rng = random.Random(2)
+        self._tick(session, rng)
+        emitted_before_fault = list(victim.deltas)
+        result_before_fault = set(victim.result)
+
+        self._explode = True
+        with pytest.raises(Boom):
+            self._tick(session, rng)
+        # The faulted subscription: no delta emitted, last result intact,
+        # per-spec maintenance state dropped (nothing leaked).
+        assert victim.dirty and victim.routed is None
+        assert list(victim.deltas) == emitted_before_fault
+        assert set(victim.result) == result_before_fault
+        incremental = session._policies["incremental"]
+        assert victim.spec.cqid not in incremental._partners
+        # Bystanders completed the faulted tick and stayed exact.
+        assert_exact(session, bystander)
+        assert_exact(session, knn)
+        assert session.stats.faults == 1
+
+        # Next tick: the victim re-syncs through recompute; its delta spans
+        # the missed tick, so accumulation still reconstructs the oracle.
+        self._explode = False
+        self._tick(session, rng)
+        assert not victim.dirty
+        assert session.stats.resyncs == 1
+        assert session.stats.policy_routes.get("resync") == 1
+        assert_exact(session, victim)
+        # And per-spec state was rebuilt for the routed policy.
+        assert victim.routed == "incremental"
+        assert victim.spec.cqid in incremental._partners
+        # Fully back to normal maintenance afterwards.
+        self._tick(session, rng)
+        assert_exact(session, victim)
+        assert session.stats.resyncs == 1
+
+    def test_authoritative_state_applies_despite_fault(self):
+        session, victim, _, _ = self._session()
+        state = dict(session.state_items())
+        eid, other = sorted(state)[:2]
+        # Land right on another element so the join's re-probe is guaranteed
+        # a candidate pair — the refine callable (the fault site) must run.
+        new_box = state[other]
+        self._explode = True
+        with pytest.raises(Boom):
+            session.tick([(eid, state[eid], new_box)])
+        assert session.state_box(eid) == new_box
+
+
+# -- telemetry -----------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_stats_and_counters_flow(self):
+        items = make_items(100, seed=41)
+        session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+        subs = [session.subscribe(s) for kind in KINDS for s in make_specs(kind)]
+        drive(session, subs, "churn", ticks=6, seed=42)
+        stats = session.stats
+        assert stats.ticks == 6
+        assert stats.deltas == 6 * len(subs)
+        assert stats.updates > 0
+        checks = session.counters.safe_region_hits + session.counters.safe_region_invalidations
+        assert checks > 0
+        added = stats.results_added + stats.pairs_added
+        removed = stats.results_removed + stats.pairs_removed
+        assert added + removed == sum(
+            len(d.added) + len(d.removed) for sub in subs for d in sub.deltas
+        )
+
+    def test_continuous_report_renders(self):
+        items = make_items(60, seed=43)
+        session = ContinuousSession(items, UNIVERSE_3D)
+        subs = [session.subscribe(s) for s in make_specs("join")]
+        drive(session, subs, "drift", ticks=4, seed=44)
+        report = continuous_report(session)
+        assert "safe regions" in report and "policy" in report
+        assert session_report(session) == report  # dispatch on type
+
+    def test_counters_snapshot_diff_cover_new_fields(self):
+        from repro.instrumentation import Counters
+
+        counters = Counters()
+        counters.safe_region_hits = 3
+        counters.safe_region_invalidations = 2
+        snap = counters.snapshot()
+        counters.safe_region_hits = 10
+        diff = counters.diff(snap)
+        assert diff.safe_region_hits == 7 and diff.safe_region_invalidations == 0
+        assert "safe_region_hits" in counters.as_dict()
+
+
+# -- IteratedSelfJoin delta surface --------------------------------------------
+
+
+class TestIteratedSelfJoinDeltas:
+    @pytest.mark.parametrize("strategy", ["incremental", "recompute"])
+    def test_step_returns_exact_pair_delta(self, strategy):
+        items = make_items(80, seed=51)
+        join = IteratedSelfJoin(items, UNIVERSE_3D, strategy=strategy)
+        boxes = dict(items)
+        accumulated = set(join.pairs)
+        rng = random.Random(6)
+        for _ in range(6):
+            moves = []
+            for eid in rng.sample(sorted(boxes), k=10):
+                new = _shift(boxes[eid], [rng.uniform(-2, 2)] * 3)
+                moves.append((eid, boxes[eid], new))
+                boxes[eid] = new
+            delta = join.step(moves)
+            assert isinstance(delta, PairDelta)
+            assert not (delta.added & delta.removed)
+            accumulated = (accumulated - delta.removed) | delta.added
+            assert accumulated == join.pairs
+
+
+# -- the async push surface ----------------------------------------------------
+
+
+class TestContinuousServing:
+    def _updates(self, session, rng, k=8):
+        state = dict(session.state_items())
+        return [
+            (eid, state[eid], _shift(state[eid], [rng.uniform(-2, 2)] * 3))
+            for eid in rng.sample(sorted(state), k=k)
+        ]
+
+    def test_streams_receive_every_delta(self):
+        async def main():
+            items = make_items(80, seed=61)
+            session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+            async with ContinuousServing(session) as serving:
+                stream = serving.subscribe(ContinuousRangeQuery(AABB((15, 15, 15), (70, 70, 70))))
+                join_stream = serving.subscribe(ContinuousJoinSpec(epsilon=1.0))
+                received: list[Delta] = []
+
+                async def consume():
+                    async for delta in stream:
+                        received.append(delta)
+
+                consumer = asyncio.create_task(consume())
+                rng = random.Random(7)
+                for _ in range(5):
+                    await serving.tick(self._updates(session, rng))
+                await asyncio.sleep(0)
+                stream.close()
+                await consumer
+                assert len(received) == 5
+                accumulated = set(stream.subscription.initial)
+                for delta in received:
+                    accumulated = delta.apply(accumulated)
+                assert accumulated == set(stream.current)
+                assert join_stream.current == session.oracle_result(join_stream.subscription)
+
+        asyncio.run(main())
+
+    def test_backpressure_merges_exactly(self):
+        async def main():
+            items = make_items(60, seed=62)
+            session = ContinuousSession(items, UNIVERSE_3D, policy="incremental")
+            async with ContinuousServing(session, max_queue=2) as serving:
+                stream = serving.subscribe(ContinuousRangeQuery(AABB((10, 10, 10), (80, 80, 80))))
+                rng = random.Random(8)
+                for _ in range(10):  # no consumer: queue overflows and merges
+                    await serving.tick(self._updates(session, rng))
+                assert stream.merged > 0
+                accumulated = set(stream.subscription.initial)
+                drained = 0
+                while drained < 2:
+                    delta = await stream.get()
+                    accumulated = delta.apply(accumulated)
+                    drained += 1
+                assert accumulated == set(stream.current)
+
+        asyncio.run(main())
+
+    def test_two_streams_one_subscription(self):
+        async def main():
+            items = make_items(50, seed=63)
+            session = ContinuousSession(items, UNIVERSE_3D, policy="recompute")
+            async with ContinuousServing(session) as serving:
+                first = serving.subscribe(ContinuousKNNQuery((50.0, 50.0, 50.0), k=4))
+                second = serving.stream(first.subscription)
+                rng = random.Random(9)
+                await serving.tick(self._updates(session, rng))
+                a, b = await first.get(), await second.get()
+                assert a == b
+                second.close()
+                await serving.tick(self._updates(session, rng))
+                assert (await first.get()).tick == 2
+                # the closed stream got nothing new
+                assert second._queue.qsize() <= 1
+
+        asyncio.run(main())
+
+
+# -- simulation subscribers ----------------------------------------------------
+
+
+class TestSimulationSubscribers:
+    def test_engine_monitor_subscribes(self):
+        from repro.core import UniformGrid
+        from repro.sim import ContinuousDensityMonitor, TimeSteppedSimulation
+        from repro.sim.plasticity import PlasticityModel
+
+        items = dict(make_items(80, seed=71))
+        regions = [AABB((10, 10, 10), (40, 40, 40)), AABB((30, 30, 30), (90, 90, 90))]
+        monitor = ContinuousDensityMonitor(regions)
+        model = PlasticityModel(items, UNIVERSE_3D, neighbourhood_queries=2, seed=3)
+        sim = TimeSteppedSimulation(
+            model, UniformGrid(universe=UNIVERSE_3D), monitors=[monitor], continuous=True
+        )
+        sim.run(5)
+        assert len(monitor.history) == 5
+        assert len(monitor.delta_sizes) == 5
+        for sub, region in zip(monitor._subs, regions):
+            assert sub.result == sim.continuous.oracle_result(sub)
+            assert monitor.history[-1][regions.index(region)] == len(sub.result)
+
+    def test_growth_model_continuous_matches_batch_join(self):
+        from repro.core import UniformGrid
+        from repro.datasets.neuroscience import generate_neurons
+        from repro.joins import JoinSession
+        from repro.joins.spec import SynapseJoinSpec
+        from repro.sim import GrowthModel, TimeSteppedSimulation
+
+        epsilon = 0.3
+        batch_ds = generate_neurons(neurons=5, segments_per_neuron=4, seed=30)
+        cont_ds = generate_neurons(neurons=5, segments_per_neuron=4, seed=30)
+        batch = GrowthModel(batch_ds, join_every=1, epsilon=epsilon, seed=9)
+        cont = GrowthModel(cont_ds, join_every=1, epsilon=epsilon, seed=9, continuous=True)
+        TimeSteppedSimulation(batch, UniformGrid(universe=batch_ds.universe)).run(5)
+        TimeSteppedSimulation(cont, UniformGrid(universe=cont_ds.universe)).run(5)
+        assert batch.synapse_counts == cont.synapse_counts
+        synapses = JoinSession().run(SynapseJoinSpec(cont_ds, epsilon=epsilon))
+        assert {(s.segment_a, s.segment_b) for s in synapses} == cont.synapse_subscription.result

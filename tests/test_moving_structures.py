@@ -1,0 +1,315 @@
+"""Direct correctness of the legacy moving-object structures under churn.
+
+``test_moving_objects.py`` drives pure motion; the continuous tier leans on
+these structures for *mixed* update sequences — moves, inserts and deletes
+interleaved — so this suite pins each one against the LinearScan brute force
+under randomized op sequences, plus the TPR family's signature time-slice
+query (a conservative superset of the true future answer).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.indexes.linear_scan import LinearScan
+from repro.moving.bottom_up import BottomUpRTree
+from repro.moving.buffered_rtree import BufferedRTree
+from repro.moving.lur_tree import LURTree
+from repro.moving.tpr import TPRIndex
+
+from conftest import (
+    UNIVERSE_3D,
+    assert_same_knn,
+    assert_same_range_results,
+    make_items,
+    make_queries,
+)
+
+pytestmark = pytest.mark.continuous
+
+
+def _clamped(lo, extent, universe=UNIVERSE_3D) -> AABB:
+    lo = [min(max(c, u), h - e) for c, u, h, e in zip(lo, universe.lo, universe.hi, extent)]
+    return AABB(lo, [c + e for c, e in zip(lo, extent)])
+
+
+def _random_box(rng: random.Random, max_extent: float = 3.0) -> AABB:
+    extent = [rng.uniform(0.1, max_extent) for _ in range(3)]
+    lo = [rng.uniform(l, h) for l, h in zip(UNIVERSE_3D.lo, UNIVERSE_3D.hi)]
+    return _clamped(lo, extent)
+
+
+def _moved(box: AABB, rng: random.Random, sigma: float) -> AABB:
+    extent = [h - l for l, h in zip(box.lo, box.hi)]
+    lo = [l + rng.uniform(-sigma, sigma) for l in box.lo]
+    return _clamped(lo, extent)
+
+
+def run_random_ops(
+    index,
+    live: dict[int, AABB],
+    rng: random.Random,
+    steps: int = 60,
+    move_sigma: float = 1.5,
+    teleport_every: int = 7,
+    churn_every: int = 4,
+):
+    """Interleave moves, teleports, inserts and deletes, mirroring every op
+    into ``live`` (the brute-force state).  Yields after every op batch so
+    callers can interpose oracle checks."""
+    next_eid = max(live, default=-1) + 1
+    for step in range(steps):
+        if live and step % churn_every == 1:
+            eid = rng.choice(sorted(live))
+            index.delete(eid, live.pop(eid))
+        if step % churn_every == 2:
+            box = _random_box(rng)
+            index.insert(next_eid, box)
+            live[next_eid] = box
+            next_eid += 1
+        if live:
+            k = min(len(live), 5)
+            for eid in rng.sample(sorted(live), k=k):
+                old = live[eid]
+                if step % teleport_every == teleport_every - 1:
+                    new = _random_box(rng)
+                else:
+                    new = _moved(old, rng, move_sigma)
+                index.update(eid, old, new)
+                live[eid] = new
+        yield step
+
+
+QUERIES = make_queries(8, seed=23)
+POINTS = [(20.0, 20.0, 20.0), (50.0, 50.0, 50.0), (80.0, 30.0, 60.0)]
+
+
+def check_exact(index, live: dict[int, AABB]) -> None:
+    items = sorted(live.items())
+    assert_same_range_results(index, items, QUERIES)
+    assert_same_knn(index, items, POINTS, k=5)
+    assert len(index) == len(live)
+
+
+STRUCTURES = {
+    "lur": lambda: LURTree(grace=0.5),
+    "lur-loose": lambda: LURTree(grace=3.0),
+    "buffered": lambda: BufferedRTree(buffer_capacity=40),
+    "buffered-lazy": lambda: BufferedRTree(buffer_capacity=10_000),
+    "bottom-up": lambda: BottomUpRTree(max_entries=8, refresh_fraction=0.05),
+    "tpr": lambda: TPRIndex(max_speed=0.5, horizon=6),
+}
+
+
+class TestRandomOpSequences:
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_exact_under_mixed_churn(self, name):
+        index = STRUCTURES[name]()
+        live = dict(make_items(150, seed=51))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(name)
+        for step in run_random_ops(index, live, rng):
+            if step % 15 == 14:
+                check_exact(index, live)
+        check_exact(index, live)
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_exact_from_empty(self, name):
+        """Structures must also grow from nothing — the insert path builds
+        the tree the bulk loader normally would."""
+        index = STRUCTURES[name]()
+        index.bulk_load([])
+        live: dict[int, AABB] = {}
+        rng = random.Random(f"{name}-empty")
+        for _ in run_random_ops(index, live, rng, steps=30, churn_every=2):
+            pass
+        check_exact(index, live)
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_delete_to_empty(self, name):
+        index = STRUCTURES[name]()
+        live = dict(make_items(40, seed=52))
+        index.bulk_load(sorted(live.items()))
+        for eid in sorted(live):
+            index.delete(eid, live.pop(eid))
+        assert len(index) == 0
+        for query in QUERIES:
+            assert index.range_query(query) == []
+
+
+class TestLURLazyUpdates:
+    def test_lazy_state_never_visible(self):
+        """Queries between lazy updates must refine to exact answers — the
+        grace box is an implementation detail, never an answer."""
+        index = LURTree(grace=2.0)
+        live = dict(make_items(120, seed=53))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(6)
+        for step in run_random_ops(index, live, rng, steps=40, move_sigma=0.4):
+            if step % 5 == 0:
+                check_exact(index, live)
+        assert index.lazy_updates > index.structural_updates
+
+    def test_delete_after_lazy_move(self):
+        """A lazily-moved element must still be deletable by its *current*
+        box (the caller's view), not the stale grace box."""
+        index = LURTree(grace=5.0)
+        box = AABB((10, 10, 10), (11, 11, 11))
+        index.bulk_load([(1, box)])
+        moved = AABB((12, 12, 12), (13, 13, 13))
+        index.update(1, box, moved)
+        assert index.lazy_updates == 1
+        index.delete(1, moved)
+        assert len(index) == 0
+
+
+class TestBufferedFlush:
+    def test_flush_preserves_answers(self):
+        index = BufferedRTree(buffer_capacity=10_000)
+        live = dict(make_items(120, seed=54))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(7)
+        for _ in run_random_ops(index, live, rng, steps=25):
+            pass
+        assert index.pending_operations > 0
+        before = {q: sorted(index.range_query(q)) for q in QUERIES}
+        index.flush()
+        assert index.pending_operations == 0
+        for q in QUERIES:
+            assert sorted(index.range_query(q)) == before[q]
+        check_exact(index, live)
+
+    def test_capacity_flushes_mid_sequence(self):
+        index = BufferedRTree(buffer_capacity=16)
+        live = dict(make_items(120, seed=55))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(8)
+        for step in run_random_ops(index, live, rng, steps=40):
+            if step % 10 == 9:
+                check_exact(index, live)
+        assert index.flushes > 0
+
+
+class TestBottomUpReinsertion:
+    def test_both_paths_exercised_and_exact(self):
+        """Small moves patch leaves in place; teleports take the classic
+        delete+insert detour — both must stay exact, including through the
+        wholesale map refresh the escape counter triggers."""
+        index = BottomUpRTree(max_entries=8, refresh_fraction=0.02)
+        live = dict(make_items(200, seed=56))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(9)
+        for step in run_random_ops(
+            index, live, rng, steps=50, move_sigma=0.3, teleport_every=3
+        ):
+            if step % 12 == 11:
+                check_exact(index, live)
+        assert index.in_place_updates > 0
+        assert index.structural_updates > 0
+        check_exact(index, live)
+
+    def test_stale_map_detour_never_loses_elements(self):
+        """Splits from inserts relocate mapped entries; the verified fast
+        path must detect the stale pointer and fall back, not drop the
+        element or patch a detached leaf."""
+        index = BottomUpRTree(max_entries=4, refresh_fraction=1.0)
+        live = dict(make_items(30, seed=57))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(10)
+        next_eid = max(live) + 1
+        for _ in range(40):  # force many splits without a map refresh
+            box = _random_box(rng)
+            index.insert(next_eid, box)
+            live[next_eid] = box
+            next_eid += 1
+        for eid in sorted(live):
+            old = live[eid]
+            new = _moved(old, rng, 0.5)
+            index.update(eid, old, new)
+            live[eid] = new
+        check_exact(index, live)
+
+    def test_refresh_map_restores_fast_path(self):
+        index = BottomUpRTree(max_entries=4, refresh_fraction=1.0)
+        live = dict(make_items(50, seed=58))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(11)
+        next_eid = max(live) + 1
+        for _ in range(30):
+            box = _random_box(rng)
+            index.insert(next_eid, box)
+            live[next_eid] = box
+            next_eid += 1
+        index.refresh_map()
+        before = index.in_place_updates
+        for eid in sorted(live)[:20]:
+            old = live[eid]
+            new = _moved(old, rng, 0.01)  # tiny: stays inside the leaf MBR
+            index.update(eid, old, new)
+            live[eid] = new
+        assert index.in_place_updates > before
+        check_exact(index, live)
+
+
+class TestTPRTimeSlice:
+    def _bounded_motion(self, live, rng, max_speed):
+        """One tick of center displacement bounded by ``max_speed`` per axis,
+        extents frozen — the regime where TPR predictions are conservative."""
+        moves = []
+        for eid in sorted(live):
+            old = live[eid]
+            extent = [h - l for l, h in zip(old.lo, old.hi)]
+            lo = [l + rng.uniform(-max_speed, max_speed) for l in old.lo]
+            new = _clamped(lo, extent)
+            moves.append((eid, old, new))
+        return moves
+
+    def test_now_slice_is_range_query(self):
+        index = TPRIndex(max_speed=0.4, horizon=5)
+        items = make_items(100, seed=59)
+        index.bulk_load(items)
+        box = AABB((20, 20, 20), (60, 60, 60))
+        assert index.time_slice_query(box, index.now) == index.range_query(box)
+
+    def test_past_slice_raises(self):
+        index = TPRIndex()
+        index.bulk_load(make_items(10, seed=60))
+        index.advance([])
+        with pytest.raises(ValueError):
+            index.time_slice_query(AABB((0, 0, 0), (1, 1, 1)), 0)
+
+    @pytest.mark.parametrize("lookahead", [1, 3, 6])
+    def test_future_slice_is_conservative_superset(self, lookahead):
+        """Under speed-bounded motion, the predicted answer at t+Δ must
+        contain every element that truly intersects the box at t+Δ."""
+        max_speed = 0.5
+        index = TPRIndex(max_speed=max_speed, horizon=8)
+        live = dict(make_items(150, seed=61, max_extent=2.0))
+        index.bulk_load(sorted(live.items()))
+        rng = random.Random(12)
+        for _ in range(4):  # age some anchors so predictions are non-trivial
+            moves = self._bounded_motion(live, rng, max_speed)
+            index.advance(moves)
+            for eid, _, new in moves:
+                live[eid] = new
+
+        box = AABB((30, 30, 30), (70, 70, 70))
+        predicted = set(index.time_slice_query(box, index.now + lookahead))
+        # Play the future: the same bounded motion for `lookahead` ticks.
+        future = dict(live)
+        for _ in range(lookahead):
+            moves = self._bounded_motion(future, rng, max_speed)
+            for eid, _, new in moves:
+                future[eid] = new
+        truth = {eid for eid, b in future.items() if b.intersects(box)}
+        assert truth <= predicted
+
+    def test_time_slice_counts_refines(self):
+        index = TPRIndex(max_speed=0.2, horizon=4)
+        index.bulk_load(make_items(50, seed=62))
+        before = index.counters.snapshot()
+        index.time_slice_query(AABB((10, 10, 10), (90, 90, 90)), index.now + 2)
+        assert index.counters.diff(before).refine_tests >= len(index)

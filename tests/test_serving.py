@@ -22,6 +22,7 @@ These tests pin the contracts ISSUE 6 introduces:
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import os
 import random
 import signal
@@ -93,9 +94,14 @@ def loaded():
     return items, build_grid(items), oracle
 
 
-@pytest.fixture
-def pool():
-    p = WorkerPool(workers=2)
+@pytest.fixture(params=["fork", "spawn"])
+def pool(request):
+    """One WorkerPool per supported start method: the shm attach/unlink
+    lifecycle must survive spawn (no inherited memory) exactly as it does
+    fork.  Skips only where the platform lacks the method."""
+    if request.param not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"platform lacks the {request.param!r} start method")
+    p = WorkerPool(workers=2, context=request.param)
     yield p
     p.close()
 
