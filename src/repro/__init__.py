@@ -182,6 +182,13 @@ from repro.continuous import (
     Insert,
     Subscription,
 )
+from repro.approx import (
+    SPLIT_RULES,
+    SpillTree,
+    SplitRule,
+    available_split_rules,
+    make_split_rule,
+)
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
@@ -267,6 +274,11 @@ __all__ = [
     "optimal_cell_size",
     "MaintenanceCosts",
     "UpdateEconomics",
+    "SpillTree",
+    "SplitRule",
+    "SPLIT_RULES",
+    "available_split_rules",
+    "make_split_rule",
     "LURTree",
     "BufferedRTree",
     "BottomUpRTree",

@@ -49,6 +49,20 @@ def _spill_line(
     return " ".join(parts)
 
 
+def _approx_line(stats: SessionStats) -> str | None:
+    """The approximate-kNN funnel, rendered once the planner has routed any
+    batch through a defeatist kernel."""
+    batch = stats.batch
+    if not batch.approx_descents:
+        return None
+    per_query = batch.leaves_scanned / batch.approx_descents
+    return (
+        f"approx: descents={batch.approx_descents:,} "
+        f"leaves-scanned={batch.leaves_scanned:,} ({per_query:.2f}/query) "
+        f"recall-est>={batch.recall_estimate:.3f}"
+    )
+
+
 def _serving_line(stats: SessionStats | JoinStats) -> str | None:
     """The async serving-tier telemetry, rendered once an event-loop
     executor has attributed flushes to causes."""
@@ -83,6 +97,9 @@ def query_session_report(session: QuerySession) -> str:
     )
     if spill is not None:
         header = f"{header}\n{spill}"
+    approx = _approx_line(stats)
+    if approx is not None:
+        header = f"{header}\n{approx}"
     serving = _serving_line(stats)
     if serving is not None:
         header = f"{header}\n{serving}"

@@ -1,0 +1,34 @@
+"""Approximate-kNN tier: spill trees with pluggable split rules.
+
+Exactness past recall ~0.9 is wasted work at serving scale; this package
+adds the approximate tier behind the same ``SpatialIndex`` surface the
+exact indexes share.  :class:`SpillTree` duplicates boundary points into
+both children of every split (overlap fraction ``tau``) so a defeatist —
+no-backtrack — descent still finds the neighbourhood, and the session
+planner routes ``KNNQuery(accuracy=...)`` between the exact kernels and
+the defeatist sweep using the tree's measured recall.
+"""
+
+from repro.approx.spill_tree import SpillTree
+from repro.approx.split_rules import (
+    SPLIT_RULES,
+    MaxVarianceKD,
+    PCASplit,
+    RandomProjection,
+    SplitRule,
+    TwoMeans,
+    available_split_rules,
+    make_split_rule,
+)
+
+__all__ = [
+    "SpillTree",
+    "SplitRule",
+    "MaxVarianceKD",
+    "RandomProjection",
+    "PCASplit",
+    "TwoMeans",
+    "SPLIT_RULES",
+    "available_split_rules",
+    "make_split_rule",
+]

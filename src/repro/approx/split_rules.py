@@ -1,0 +1,148 @@
+"""Pluggable split rules for the spill tree.
+
+A spill tree node splits its points by *projecting* them onto a direction
+and thresholding near the median; the rule only chooses the direction, so
+every rule plugs into the same overlap/descent machinery.  The four classic
+choices (the spatialtree lineage: metric-tree splits generalized to any
+projection) trade build cost against how well one no-backtrack descent
+preserves neighbourhoods:
+
+* ``kd`` — the axis of maximum variance (a one-hot direction): the cheapest
+  rule and the KD-tree's own heuristic.
+* ``rp`` — a random unit direction: oblivious to the data, but repeated
+  levels act like a random projection and adapt to intrinsic dimension.
+* ``pca`` — the top principal component: the direction of maximum variance
+  over all orientations, the best single linear view of the node.
+* ``two_means`` — the direction between two Lloyd-iterated cluster centers:
+  splits *between* clusters rather than through them.
+
+Rules are deterministic given the generator handed in (the tree seeds one
+per rebuild), so builds — and therefore approximate answers — reproduce
+run-to-run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def _unit(vector: np.ndarray) -> np.ndarray | None:
+    norm = float(np.linalg.norm(vector))
+    if norm <= 0.0 or not np.isfinite(norm):
+        return None
+    return vector / norm
+
+
+def _max_variance_axis(pts: np.ndarray) -> np.ndarray:
+    direction = np.zeros(pts.shape[1])
+    direction[int(np.argmax(pts.var(axis=0)))] = 1.0
+    return direction
+
+
+class SplitRule(ABC):
+    """Chooses the projection direction for one spill-tree node.
+
+    ``direction(pts, rng)`` receives the node's ``(n, d)`` points (n >= 2)
+    and must return a unit ``(d,)`` direction.  Rules fall back to the
+    max-variance axis whenever their own construction degenerates (zero
+    variance, coincident centers), so the tree never sees a zero direction.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def direction(self, pts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """A unit ``(d,)`` projection direction for splitting ``pts``."""
+
+
+class MaxVarianceKD(SplitRule):
+    """One-hot direction on the axis of maximum variance (KD-style)."""
+
+    name = "kd"
+
+    def direction(self, pts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return _max_variance_axis(pts)
+
+
+class RandomProjection(SplitRule):
+    """A uniformly random unit direction (Dasgupta–Freund RP trees)."""
+
+    name = "rp"
+
+    def direction(self, pts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        unit = _unit(rng.standard_normal(pts.shape[1]))
+        return unit if unit is not None else _max_variance_axis(pts)
+
+
+class PCASplit(SplitRule):
+    """The top principal component of the node's points."""
+
+    name = "pca"
+
+    def direction(self, pts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        centered = pts - pts.mean(axis=0)
+        cov = centered.T @ centered
+        _, vectors = np.linalg.eigh(cov)
+        unit = _unit(vectors[:, -1]) if np.any(cov) else None
+        return unit if unit is not None else _max_variance_axis(pts)
+
+
+class TwoMeans(SplitRule):
+    """The direction between two k-means centers (a few Lloyd rounds).
+
+    Centers are seeded at the extremes of the max-variance axis — a
+    deterministic, well-separated start — then refined on a bounded sample
+    so the rule stays O(sample) per node.
+    """
+
+    name = "two_means"
+
+    def __init__(self, rounds: int = 4, sample: int = 256) -> None:
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+        self.sample = sample
+
+    def direction(self, pts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        work = pts
+        if pts.shape[0] > self.sample:
+            work = pts[rng.choice(pts.shape[0], size=self.sample, replace=False)]
+        seed_axis = _max_variance_axis(pts)
+        proj = work @ seed_axis
+        centers = np.stack([work[int(np.argmin(proj))], work[int(np.argmax(proj))]])
+        for _ in range(self.rounds):
+            d0 = np.linalg.norm(work - centers[0], axis=1)
+            d1 = np.linalg.norm(work - centers[1], axis=1)
+            near_one = d1 < d0
+            if not near_one.any() or near_one.all():
+                break
+            centers = np.stack([work[~near_one].mean(axis=0), work[near_one].mean(axis=0)])
+        unit = _unit(centers[1] - centers[0])
+        return unit if unit is not None else seed_axis
+
+
+SPLIT_RULES: dict[str, type[SplitRule]] = {
+    MaxVarianceKD.name: MaxVarianceKD,
+    RandomProjection.name: RandomProjection,
+    PCASplit.name: PCASplit,
+    TwoMeans.name: TwoMeans,
+}
+
+
+def available_split_rules() -> list[str]:
+    """Registered split-rule names, in registry order."""
+    return list(SPLIT_RULES)
+
+
+def make_split_rule(rule: str | SplitRule) -> SplitRule:
+    """Coerce a rule name (or pass through an instance) to a ``SplitRule``."""
+    if isinstance(rule, SplitRule):
+        return rule
+    try:
+        return SPLIT_RULES[rule]()
+    except KeyError:
+        raise KeyError(
+            f"unknown split rule {rule!r}; available: {', '.join(SPLIT_RULES)}"
+        ) from None

@@ -189,6 +189,14 @@ class _DeltaMaintenance(MaintenancePolicy):
         # Per-join-spec partner adjacency (eid -> set of partners), the
         # retract-and-reprobe working state.
         self._partners: dict[int, dict[int, set[int]]] = {}
+        # Per-kNN-spec distance slack: the (k+1)-th neighbor's distance at
+        # the last full probe, since tightened by every outsider that came
+        # near.  While the patched k-th distance stays strictly below it,
+        # no non-member can belong in the top-k, so member motion is
+        # absorbed by patching distances instead of invalidating.  Absent
+        # entries read as 0.0 — the legacy invalidate-on-any-member-motion
+        # behavior — so adopted results start conservative.
+        self._knn_slack: dict[int, float] = {}
 
     def _make_backing(self) -> SpatialIndex:  # pragma: no cover - interface
         raise NotImplementedError
@@ -221,9 +229,14 @@ class _DeltaMaintenance(MaintenancePolicy):
                 partners.setdefault(a, set()).add(b)
                 partners.setdefault(b, set()).add(a)
             self._partners[sub.spec.cqid] = partners
+        elif sub.spec.kind == "knn":
+            # The adopted result was computed elsewhere; any slack from a
+            # previous tenure here is stale geometry.
+            self._knn_slack.pop(sub.spec.cqid, None)
 
     def forget(self, sub: "Subscription") -> None:
         self._partners.pop(sub.spec.cqid, None)
+        self._knn_slack.pop(sub.spec.cqid, None)
 
     # -- evaluation -------------------------------------------------------------
 
@@ -262,45 +275,83 @@ class _DeltaMaintenance(MaintenancePolicy):
         return added, removed
 
     def _evaluate_knn(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
-        """Safe-region check on the cached top-k, recompute only on violation.
+        """Distance-slack safe region: recompute only when geometry demands.
 
-        The cached ``(distance, id)`` list stays exact while (a) no member
-        changed or disappeared, (b) no changed or new element reaches within
-        the kth distance (``<=`` — a tie can displace a member under the
-        ``(distance, id)`` order), and (c) the list is full (a short list
-        means every tracked element is a member, so any insert violates).
+        The slack for a spec is the (k+1)-th neighbor's distance at the last
+        full probe (tightened by every outsider seen since); every
+        non-member provably sits at or beyond it.  A tick then invalidates
+        the cached ``(distance, id)`` list only when
+
+        (a) a member disappeared,
+        (b) member motion pushed the *patched* k-th distance to the slack
+            (``>=`` — at the slack a tie could displace a member under the
+            ``(distance, id)`` order), or
+        (c) an inserted or moved outsider reached within the patched k-th
+            distance (``<=``, same tie argument; a short list means every
+            tracked element is a member, so any entrant violates).
+
+        Otherwise the tick is a hit: moved members keep their seats with
+        freshly patched exact distances, and outsiders that came closer than
+        the old slack tighten it.  Distances are patched with the same
+        scalar ``min_distance_to_point`` the probe path uses, so a held
+        result stays bit-identical to a recompute.
         """
         spec = sub.spec
+        cqid = spec.cqid
         current: KNNResult = sub.result
         members = knn_ids(current)
-        d_k = current[-1][0] if len(current) == spec.k else math.inf
-        short = len(current) < spec.k
+        slack = self._knn_slack.get(cqid, 0.0)
 
-        invalid = bool(members & batch.affected_ids())
-        if not invalid and (batch.inserted or batch.moved):
-            if short and batch.inserted:
+        invalid = any(eid in members for eid in batch.deleted)
+        patched = current
+        moved_members = [eid for eid in batch.moved if eid in members]
+        if not invalid and moved_members:
+            moved_d = {}
+            for eid in moved_members:
+                self.counters.elem_tests += 1
+                moved_d[eid] = batch.moved[eid][1].min_distance_to_point(spec.point)
+            patched = sorted((moved_d.get(eid, d), eid) for d, eid in current)
+            if len(patched) == spec.k and patched[-1][0] >= slack:
                 invalid = True
-            else:
-                for eid, box in list(batch.inserted.items()) + [
-                    (eid, new) for eid, (_, new) in batch.moved.items()
-                ]:
-                    self.counters.elem_tests += 1
-                    if box.min_distance_to_point(spec.point) <= d_k:
-                        invalid = True
-                        break
+        if not invalid and (batch.inserted or batch.moved):
+            d_k = patched[-1][0] if len(patched) == spec.k else math.inf
+            nearest = math.inf
+            for eid, box in list(batch.inserted.items()) + [
+                (eid, new) for eid, (_, new) in batch.moved.items() if eid not in members
+            ]:
+                self.counters.elem_tests += 1
+                dist = box.min_distance_to_point(spec.point)
+                if dist <= d_k:
+                    invalid = True
+                    break
+                nearest = min(nearest, dist)
+            if not invalid and nearest < slack:
+                self._knn_slack[cqid] = nearest
         if not invalid:
             self.counters.safe_region_hits += 1
+            if patched is not current:
+                sub.result = patched
             return set(), set()
         self.counters.safe_region_invalidations += 1
-        new = self._knn(spec.point, spec.k)
+        new, new_slack = self._knn(spec.point, spec.k)
+        self._knn_slack[cqid] = new_slack
         new_members = knn_ids(new)
         added, removed = new_members - members, members - new_members
         sub.result = new
         return added, removed
 
-    def _knn(self, point: Sequence[float], k: int) -> KNNResult:
+    def _knn(self, point: Sequence[float], k: int) -> tuple[KNNResult, float]:
+        """Full probe, plus the next slack: the (k+1)-th neighbor's distance.
+
+        One ``k+1`` probe serves both — its first ``k`` entries are exactly
+        the ``k`` probe's answer (per-element distances don't depend on
+        ``k``, and the expanding-window search only ever *grows* its
+        candidate pool, whose extra candidates all sit beyond the window
+        radius that confirmed the first ``k``)."""
         self._sync()
-        return self._probe_session.knn([point], k)[0]
+        probe = self._probe_session.knn([point], k + 1)[0]
+        slack = probe[k][0] if len(probe) > k else math.inf
+        return probe[:k], slack
 
     def _evaluate_join(self, sub: "Subscription", batch: TickBatch) -> tuple[set, set]:
         """The IteratedSelfJoin trick, with deltas: retract every pair

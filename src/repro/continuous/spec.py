@@ -66,7 +66,10 @@ class ContinuousKNNQuery:
     The subscription's ``current`` is the ordered ``[(distance, eid), ...]``
     list; deltas carry *membership* changes (the set of eids entering and
     leaving the top-k).  Distances of surviving members are exact on every
-    tick because any member motion invalidates the cached answer.
+    tick: member motion is patched in place while the distance slack to the
+    (k+1)-th neighbor proves the membership unchanged, and only a slack
+    violation (or an outsider reaching the k-th distance) forces a
+    recompute.
     """
 
     point: tuple[float, ...]

@@ -43,6 +43,12 @@ class BatchStats:
     ``spill_bytes_written`` / ``spill_bytes_read`` any spill traffic charged
     while serving batches, and ``budget_high_water`` is a gauge (merges take
     the max).
+
+    The approximate-kNN fields (:mod:`repro.approx`) follow the same split:
+    ``approx_descents`` / ``leaves_scanned`` count defeatist work served
+    through the engine, and ``recall_estimate`` is a gauge — the *lowest*
+    calibrated recall any approximate batch was routed with (merges take the
+    min; it stays 1.0 while every answer is exact).
     """
 
     batches: int = 0
@@ -53,6 +59,9 @@ class BatchStats:
     spill_bytes_written: int = 0
     spill_bytes_read: int = 0
     budget_high_water: int = 0
+    approx_descents: int = 0
+    leaves_scanned: int = 0
+    recall_estimate: float = 1.0
 
     def merge(self, other: "BatchStats") -> None:
         self.batches += other.batches
@@ -63,6 +72,9 @@ class BatchStats:
         self.spill_bytes_written += other.spill_bytes_written
         self.spill_bytes_read += other.spill_bytes_read
         self.budget_high_water = max(self.budget_high_water, other.budget_high_water)
+        self.approx_descents += other.approx_descents
+        self.leaves_scanned += other.leaves_scanned
+        self.recall_estimate = min(self.recall_estimate, other.recall_estimate)
 
 
 @dataclass
@@ -140,13 +152,26 @@ class BatchQueryEngine:
 
     # -- kNN -----------------------------------------------------------------
 
-    def knn(self, points: np.ndarray | Sequence[Sequence[float]], k: int) -> list[KNNResult]:
+    def knn(
+        self,
+        points: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        accuracy: float | None = None,
+    ) -> list[KNNResult]:
         """One ``(distance, id)`` list per query point.
 
         Each list is sorted ascending by ``(distance, id)`` — the
         deterministic tie-break every index kernel implements (see
         :mod:`repro.indexes.base`) — so deduplicated fan-out and direct
         execution are indistinguishable.
+
+        ``accuracy`` is the session planner's *routing decision*, not a
+        target to resolve: ``None`` (default) runs the exact kernel, while a
+        float means the planner already established the index's defeatist
+        kernel meets that recall — the batch runs through
+        ``approx_batch_knn`` and the defeatist work is diffed from the
+        index's counters into :class:`BatchStats`.  If the index has no
+        approximate kernel the engine quietly serves the batch exactly.
         """
         pts = as_point_array(points)
         m = pts.shape[0]
@@ -154,13 +179,32 @@ class BatchQueryEngine:
         self.stats.queries += m
         if m == 0:
             return []
+        run = self.index.batch_knn
+        if accuracy is not None:
+            approx_kernel = getattr(self.index, "approx_batch_knn", None)
+            if approx_kernel is not None:
+                run = self._approx_knn_kernel(approx_kernel)
         if self.dedup and m > 1:
             unique, inverse = np.unique(pts, axis=0, return_inverse=True)
             if unique.shape[0] < m:
                 self.stats.deduplicated += m - unique.shape[0]
-                unique_results = self.index.batch_knn(unique, k)
+                unique_results = run(unique, k)
                 return [list(unique_results[i]) for i in inverse]
-        return self.index.batch_knn(pts, k)
+        return run(pts, k)
+
+    def _approx_knn_kernel(self, approx_kernel):
+        """Wrap the defeatist kernel to diff its work into the stats."""
+
+        def run(pts: np.ndarray, k: int) -> list[KNNResult]:
+            counters = self.index.counters
+            descents0 = counters.approx_descents
+            leaves0 = counters.leaves_scanned
+            results = approx_kernel(pts, k)
+            self.stats.approx_descents += counters.approx_descents - descents0
+            self.stats.leaves_scanned += counters.leaves_scanned - leaves0
+            return results
+
+        return run
 
     # -- point ---------------------------------------------------------------
 

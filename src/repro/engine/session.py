@@ -79,12 +79,23 @@ class RangeQuery:
 
 @dataclass(frozen=True)
 class KNNQuery:
-    """The ``k`` elements nearest to ``point`` by box distance."""
+    """The ``k`` elements nearest to ``point`` by box distance.
+
+    ``accuracy`` is the recall target the answer must meet: ``"exact"``
+    (default) demands the oracle answer through the exact kernels, while a
+    float in ``(0, 1]`` permits the planner to route the query through an
+    approximate defeatist kernel (:mod:`repro.approx`) **when** the backing
+    index offers one whose measured recall meets the target — otherwise the
+    query silently runs exactly.  The result shape and ``(distance, id)``
+    ordering are identical either way; only the answer *set* may differ
+    under approximate routing.
+    """
 
     point: tuple[float, ...]
     k: int
     tag: Any = None
     qid: int = field(default_factory=_next_qid, compare=False)
+    accuracy: float | str = "exact"
 
     kind = "knn"
 
@@ -94,6 +105,24 @@ class KNNQuery:
         if self.k < 0:
             raise ValueError(f"k must be >= 0, got {self.k}")
         object.__setattr__(self, "point", tuple(float(c) for c in self.point))
+        object.__setattr__(self, "accuracy", _validate_accuracy(self.accuracy))
+
+
+def _validate_accuracy(accuracy: float | str) -> float | str:
+    """Normalize an accuracy knob: ``"exact"`` or a recall target in (0, 1]."""
+    if accuracy == "exact":
+        return "exact"
+    try:
+        target = float(accuracy)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"accuracy must be 'exact' or a recall target in (0, 1], got {accuracy!r}"
+        ) from None
+    if not 0.0 < target <= 1.0:
+        raise ValueError(
+            f"accuracy must be 'exact' or a recall target in (0, 1], got {accuracy!r}"
+        )
+    return target
 
 
 @dataclass(frozen=True)
@@ -201,12 +230,16 @@ class QueryBatch:
     """One homogeneous, normalized batch handed to an executor.
 
     ``payload`` is ``(m, 2, d)`` for range batches and ``(m, d)`` for kNN /
-    point batches; ``k`` is set for kNN only.
+    point batches; ``k`` is set for kNN only.  ``accuracy`` is the
+    session's *resolved* routing decision for a kNN batch: ``None`` means
+    exact, a float means the planner verified the index's approximate
+    kernel meets that recall target and the executor should use it.
     """
 
     kind: str
     payload: np.ndarray
     k: int | None = None
+    accuracy: float | None = None
 
     @property
     def size(self) -> int:
@@ -260,11 +293,22 @@ class InlineExecutor(Executor):
         elif batch.kind == "knn":
             assert batch.k is not None
             k = batch.k
-            answer = lambda row: index.knn(tuple(row.tolist()), k)
+            approx = (
+                getattr(index, "approx_knn", None)
+                if batch.accuracy is not None
+                else None
+            )
+            if approx is not None:
+                answer = lambda row: approx(tuple(row.tolist()), k)
+            else:
+                answer = lambda row: index.knn(tuple(row.tolist()), k)
         else:  # pragma: no cover - QueryBuffer only emits the three kinds
             raise ValueError(f"unknown batch kind: {batch.kind!r}")
 
         stats = BatchStats(batches=1, queries=batch.size)
+        counters = index.counters
+        descents0 = counters.approx_descents
+        leaves0 = counters.leaves_scanned
         results: list = []
         memo: dict[bytes, Any] = {}
         for row in batch.payload:
@@ -277,6 +321,8 @@ class InlineExecutor(Executor):
             if key is not None:
                 memo[key] = hits
             results.append(hits)
+        stats.approx_descents = counters.approx_descents - descents0
+        stats.leaves_scanned = counters.leaves_scanned - leaves0
         return results, stats
 
 
@@ -300,27 +346,29 @@ def _run_on_engine(engine: BatchQueryEngine, batch: QueryBatch) -> list:
         return engine.point_query(batch.payload)
     if batch.kind == "knn":
         assert batch.k is not None
-        return engine.knn(batch.payload, batch.k)
+        return engine.knn(batch.payload, batch.k, accuracy=batch.accuracy)
     raise ValueError(f"unknown batch kind: {batch.kind!r}")
 
 
-# Worker-side view of (index, kind, k, dedup).  Assigned only inside the
-# forked children via the pool initializer — each pool hands its own state
-# object to its own workers, so concurrent sessions/threads in the parent
-# never race on it.
-_SHARD_STATE: tuple[SpatialIndex, str, int | None, bool] | None = None
+# Worker-side view of (index, kind, k, dedup, accuracy).  Assigned only
+# inside the forked children via the pool initializer — each pool hands its
+# own state object to its own workers, so concurrent sessions/threads in the
+# parent never race on it.
+_SHARD_STATE: tuple[SpatialIndex, str, int | None, bool, float | None] | None = None
 
 
-def _init_shard(state: tuple[SpatialIndex, str, int | None, bool]) -> None:
+def _init_shard(state: tuple[SpatialIndex, str, int | None, bool, float | None]) -> None:
     global _SHARD_STATE
     _SHARD_STATE = state
 
 
 def _run_shard(chunk: np.ndarray) -> tuple[list, BatchStats]:
     assert _SHARD_STATE is not None, "shard worker started without state"
-    index, kind, k, dedup = _SHARD_STATE
+    index, kind, k, dedup, accuracy = _SHARD_STATE
     engine = BatchQueryEngine.kernel(index, dedup=dedup)
-    results = _run_on_engine(engine, QueryBatch(kind=kind, payload=chunk, k=k))
+    results = _run_on_engine(
+        engine, QueryBatch(kind=kind, payload=chunk, k=k, accuracy=accuracy)
+    )
     return results, engine.stats
 
 
@@ -423,6 +471,7 @@ class ShardedExecutor(Executor):
                     kind=batch.kind,
                     payload=unique.reshape(unique.shape[0], *batch.payload.shape[1:]),
                     k=batch.k,
+                    accuracy=batch.accuracy,
                 )
             else:
                 inverse = None
@@ -435,7 +484,13 @@ class ShardedExecutor(Executor):
                     entry = pool.ensure_index(index)
                     if entry is not None:
                         results, stats = pool.run_query_shards(
-                            entry, batch.kind, batch.payload, batch.k, dedup, shards
+                            entry,
+                            batch.kind,
+                            batch.payload,
+                            batch.k,
+                            dedup,
+                            shards,
+                            accuracy=batch.accuracy,
                         )
                         return self._fan_out(results, stats, inverse, dropped)
                 except Exception:
@@ -451,7 +506,7 @@ class ShardedExecutor(Executor):
 
         # The initializer's state rides into each child through fork (no
         # pickling of the index), and is assigned only worker-side.
-        state = (index, batch.kind, batch.k, dedup)
+        state = (index, batch.kind, batch.k, dedup, batch.accuracy)
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=shards, initializer=_init_shard, initargs=(state,)) as pool:
             parts = pool.map(_run_shard, chunks)
@@ -493,14 +548,17 @@ class _Submission:
     k: int | None
     handle: ResultHandle
     vector: bool
+    accuracy: float | None = None  # kNN recall target; None = exact
 
 
 class QueryBuffer:
     """Accumulates submissions until the session flushes.
 
-    The buffer preserves submission order inside each (kind, k) group —
-    that order is the contract handles rely on — while letting the flush
-    concatenate each group into one contiguous payload per executor run.
+    The buffer preserves submission order inside each (kind, k, accuracy)
+    group — that order is the contract handles rely on — while letting the
+    flush concatenate each group into one contiguous payload per executor
+    run.  Accuracy is part of the grouping key so exact and approximate
+    kNN submissions at the same ``k`` never share a kernel run.
     """
 
     def __init__(self) -> None:
@@ -514,11 +572,11 @@ class QueryBuffer:
         self._submissions.append(submission)
         self._count += submission.payload.shape[0]
 
-    def drain(self) -> list[tuple[tuple[str, int | None], list[_Submission]]]:
-        """Empty the buffer, grouped by (kind, k) in first-seen order."""
-        groups: dict[tuple[str, int | None], list[_Submission]] = {}
+    def drain(self) -> list[tuple[tuple[str, int | None, float | None], list[_Submission]]]:
+        """Empty the buffer, grouped by (kind, k, accuracy) in first-seen order."""
+        groups: dict[tuple[str, int | None, float | None], list[_Submission]] = {}
         for sub in self._submissions:
-            groups.setdefault((sub.kind, sub.k), []).append(sub)
+            groups.setdefault((sub.kind, sub.k, sub.accuracy), []).append(sub)
         self._submissions = []
         self._count = 0
         return list(groups.items())
@@ -654,9 +712,39 @@ class QuerySession:
             return self._pinned
         if self._policy is not None:
             return self._policy(self.index, batch)
-        if batch.size <= self.inline_cutoff or not self.index.supports_batch_kind(batch.kind):
+        capability = (
+            "approx_knn"
+            if batch.kind == "knn" and batch.accuracy is not None
+            else batch.kind
+        )
+        if batch.size <= self.inline_cutoff or not self.index.supports_batch_kind(capability):
             return self._inline
         return self._batch
+
+    def _resolve_accuracy(self, k: int | None, accuracy: float | None) -> float | None:
+        """Route the accuracy knob for one kNN group.
+
+        A recall target may only be honoured approximately when the index
+        offers a defeatist kernel (``supports_batch_kind("approx_knn")``)
+        *and* its self-calibrated :meth:`estimated_recall` meets the target;
+        otherwise the group falls back to the exact kernels — accuracy is a
+        floor, never a licence to degrade.  The calibrated recall of every
+        approximately-routed group flows into
+        ``stats.batch.recall_estimate`` (a min-gauge)."""
+        if accuracy is None or k is None or k <= 0:
+            return None
+        if not self.index.supports_batch_kind("approx_knn"):
+            return None
+        estimate = getattr(self.index, "estimated_recall", None)
+        if estimate is None:
+            return None
+        measured = estimate(k)
+        if measured < accuracy:
+            return None
+        self.stats.batch.recall_estimate = min(
+            self.stats.batch.recall_estimate, measured
+        )
+        return accuracy
 
     # -- submission (deferred) ------------------------------------------------
 
@@ -677,6 +765,11 @@ class QuerySession:
         elif isinstance(query, KNNQuery):
             payload = as_point_array([query.point])
             kind, k = "knn", query.k
+            accuracy = None if query.accuracy == "exact" else query.accuracy
+            self._enqueue(
+                _Submission(kind, payload, k, handle, vector=False, accuracy=accuracy), 1
+            )
+            return handle
         elif isinstance(query, PointQuery):
             payload = as_point_array([query.point])
             kind, k = "point", None
@@ -707,14 +800,30 @@ class QuerySession:
         points: np.ndarray | Sequence[Sequence[float]],
         k: int,
         tag: Any = None,
+        accuracy: float | str = "exact",
     ) -> ResultHandle:
         """Buffer a kNN point array; the handle resolves to one
-        ``(distance, id)`` list per point (empty when ``k == 0``)."""
+        ``(distance, id)`` list per point (empty when ``k == 0``).
+
+        ``accuracy`` follows the :class:`KNNQuery` knob: ``"exact"``
+        (default) or a recall target in ``(0, 1]`` the planner may honour
+        with an approximate kernel."""
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        target = _validate_accuracy(accuracy)
         payload = as_point_array(points)
         handle = ResultHandle(self, None, tag)
-        self._enqueue(_Submission("knn", payload, k, handle, vector=True), payload.shape[0])
+        self._enqueue(
+            _Submission(
+                "knn",
+                payload,
+                k,
+                handle,
+                vector=True,
+                accuracy=None if target == "exact" else target,
+            ),
+            payload.shape[0],
+        )
         return handle
 
     def submit_points(
@@ -758,9 +867,9 @@ class QuerySession:
             start = time.perf_counter()
             first_error: Exception | None = None
             try:
-                for (kind, k), submissions in groups:
+                for (kind, k, accuracy), submissions in groups:
                     try:
-                        self._run_group(kind, k, submissions)
+                        self._run_group(kind, k, accuracy, submissions)
                     except Exception as error:
                         # Confine ordinary errors to the group that raised
                         # them; BaseExceptions (KeyboardInterrupt,
@@ -777,7 +886,13 @@ class QuerySession:
             if first_error is not None:
                 raise first_error
 
-    def _run_group(self, kind: str, k: int | None, submissions: list[_Submission]) -> None:
+    def _run_group(
+        self,
+        kind: str,
+        k: int | None,
+        accuracy: float | None,
+        submissions: list[_Submission],
+    ) -> None:
         # Zero-row payloads contribute nothing (and may carry a placeholder
         # dim of 0 that would poison concatenation).
         parts = [sub.payload for sub in submissions if sub.payload.shape[0]]
@@ -786,7 +901,9 @@ class QuerySession:
                 sub.handle._resolve([] if sub.vector else None)
             return
         payload = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        batch = QueryBatch(kind=kind, payload=payload, k=k)
+        batch = QueryBatch(
+            kind=kind, payload=payload, k=k, accuracy=self._resolve_accuracy(k, accuracy)
+        )
         executor = self.choose_executor(batch)
         results, stats = self._run_batch(executor, batch)
         self.stats.record_run(executor.name, stats)
@@ -818,7 +935,10 @@ class QuerySession:
         stats = BatchStats()
         for start in range(0, batch.size, chunk_rows):
             chunk = QueryBatch(
-                kind=batch.kind, payload=batch.payload[start : start + chunk_rows], k=batch.k
+                kind=batch.kind,
+                payload=batch.payload[start : start + chunk_rows],
+                k=batch.k,
+                accuracy=batch.accuracy,
             )
             with self.budget.reserving(chunk.payload.nbytes * self._KERNEL_OVERHEAD, force=True):
                 part, part_stats = executor.run(self.index, chunk, dedup=self.dedup)
@@ -841,10 +961,13 @@ class QuerySession:
         return self.submit_ranges(boxes).result()
 
     def knn(
-        self, points: np.ndarray | Sequence[Sequence[float]], k: int
+        self,
+        points: np.ndarray | Sequence[Sequence[float]],
+        k: int,
+        accuracy: float | str = "exact",
     ) -> list[KNNResult]:
         """Submit + flush + read: one ``(distance, id)`` list per point."""
-        return self.submit_knns(points, k).result()
+        return self.submit_knns(points, k, accuracy=accuracy).result()
 
     def point_query(
         self, points: np.ndarray | Sequence[Sequence[float]]

@@ -123,17 +123,22 @@ class SpatialIndex(ABC):
         """Capability probe: does this index vectorize batches of ``kind``?
 
         ``kind`` is ``"range"``, ``"point"`` (both served by
-        ``batch_range_query`` — stabbing queries are degenerate ranges) or
-        ``"knn"``.  True when the class overrides the corresponding batch
-        method, i.e. batching buys more than the base class's per-query
-        loop.  The query-session cost heuristic uses this to route batches
-        on loop-only indexes through the scalar path, which skips the array
-        normalization the loop would pay for nothing.
+        ``batch_range_query`` — stabbing queries are degenerate ranges),
+        ``"knn"``, or ``"approx_knn"``.  For the exact kinds, True when the
+        class overrides the corresponding batch method, i.e. batching buys
+        more than the base class's per-query loop; for ``"approx_knn"``,
+        True when the class provides a defeatist ``approx_batch_knn``
+        kernel (the spill tree).  The query-session cost heuristic uses
+        this to route batches on loop-only indexes through the scalar path
+        and to decide whether an ``accuracy`` target can be honoured
+        approximately at all.
         """
         if kind in ("range", "point"):
             return type(self).batch_range_query is not SpatialIndex.batch_range_query
         if kind == "knn":
             return type(self).batch_knn is not SpatialIndex.batch_knn
+        if kind == "approx_knn":
+            return getattr(type(self), "approx_batch_knn", None) is not None
         raise ValueError(f"unknown batch kind: {kind!r}")
 
     # -- introspection ---------------------------------------------------------

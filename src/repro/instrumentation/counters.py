@@ -42,7 +42,10 @@ class Counters:
     * ``safe_region_hits`` / ``safe_region_invalidations`` — continuous-query
       maintenance (:mod:`repro.continuous`): standing results whose cached
       answer provably survived a tick versus those whose safe region was
-      violated and had to be re-evaluated.
+      violated and had to be re-evaluated;
+    * ``approx_descents`` / ``leaves_scanned`` — approximate kNN
+      (:mod:`repro.approx`): queries answered by defeatist (no-backtrack)
+      spill-tree descent, and the leaf buckets brute-forced to answer them.
     """
 
     node_tests: int = 0
@@ -64,6 +67,8 @@ class Counters:
     spill_bytes_read: int = 0
     safe_region_hits: int = 0
     safe_region_invalidations: int = 0
+    approx_descents: int = 0
+    leaves_scanned: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

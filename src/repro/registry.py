@@ -17,6 +17,7 @@ themselves, so ``INDEX_REGISTRY["rtree"](max_entries=32)`` and
 
 from __future__ import annotations
 
+from repro.approx.spill_tree import SpillTree
 from repro.core.multires_grid import MultiResolutionGrid
 from repro.core.spatial_lsh import SpatialLSH
 from repro.core.uniform_grid import UniformGrid
@@ -46,6 +47,7 @@ INDEX_REGISTRY: dict[str, type[SpatialIndex]] = {
     "uniform_grid": UniformGrid,
     "multires_grid": MultiResolutionGrid,
     "spatial_lsh": SpatialLSH,
+    "spill_tree": SpillTree,
 }
 
 

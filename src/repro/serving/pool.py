@@ -249,8 +249,13 @@ class WorkerPool:
         k: int | None,
         dedup: bool,
         shards: int,
+        accuracy: float | None = None,
     ) -> tuple[list, BatchStats]:
-        """Partition ``payload`` row-wise across the workers and merge."""
+        """Partition ``payload`` row-wise across the workers and merge.
+
+        ``accuracy`` rides along for kNN batches the session planner
+        resolved to approximate routing: each worker then answers its shard
+        through the snapshot's defeatist kernel."""
         bounds = np.linspace(0, payload.shape[0], shards + 1).astype(int)
         tasks = [
             (
@@ -262,6 +267,7 @@ class WorkerPool:
                 payload[a:b],
                 k,
                 dedup,
+                accuracy,
             )
             for a, b in zip(bounds[:-1], bounds[1:])
             if b > a

@@ -72,15 +72,23 @@ def query_shard_task(
     chunk: np.ndarray,
     k: int | None,
     dedup: bool,
+    accuracy: float | None = None,
 ) -> tuple[list, BatchStats]:
-    """Answer one probe chunk against a rehydrated index snapshot."""
+    """Answer one probe chunk against a rehydrated index snapshot.
+
+    ``accuracy`` is the parent planner's resolved routing decision: a float
+    routes a kNN chunk through the snapshot's defeatist kernel (spill
+    payloads); ``None`` — and any snapshot without an approximate kernel —
+    serves exactly."""
     from repro.engine.session import QueryBatch, _run_on_engine
 
     entry = _entry_for(token, meta)
     if entry.index is None:
         entry.index = build_worker_index(kind, entry.attached.arrays, scalars)
     engine = BatchQueryEngine.kernel(entry.index, dedup=dedup)
-    results = _run_on_engine(engine, QueryBatch(kind=batch_kind, payload=chunk, k=k))
+    results = _run_on_engine(
+        engine, QueryBatch(kind=batch_kind, payload=chunk, k=k, accuracy=accuracy)
+    )
     return results, engine.stats
 
 

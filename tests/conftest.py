@@ -98,6 +98,32 @@ def assert_same_knn(index: SpatialIndex, items: list[Item], points, k: int) -> N
         assert got == expected, f"knn mismatch at {point}: {got} != {expected}"
 
 
+def recall(oracle_pairs, approx_pairs) -> float:
+    """Fraction of the oracle's neighbor ids an approximate answer found.
+
+    Works on one ``KNNResult`` or on parallel lists of them (a batch):
+    distances are ignored — recall is an id-set measure, the standard
+    figure of merit for defeatist search — and an empty oracle counts as
+    perfect recall.
+    """
+    if oracle_pairs and isinstance(oracle_pairs[0], tuple):
+        oracle_pairs, approx_pairs = [oracle_pairs], [approx_pairs]
+    hits = total = 0
+    for oracle_result, approx_result in zip(oracle_pairs, approx_pairs, strict=True):
+        want = {eid for _, eid in oracle_result}
+        got = {eid for _, eid in approx_result}
+        hits += len(want & got)
+        total += len(want)
+    return hits / total if total else 1.0
+
+
+@pytest.fixture(name="recall")
+def recall_fixture():
+    """The shared recall measure as a fixture (import ``recall`` directly
+    for use outside test functions)."""
+    return recall
+
+
 @pytest.fixture
 def items_3d() -> list[Item]:
     return make_items(400, seed=7)

@@ -505,6 +505,74 @@ class TestFaultInjection:
         assert session.state_box(eid) == new_box
 
 
+# -- kNN distance-slack safe regions -------------------------------------------
+
+
+class TestKNNSlackSafeRegion:
+    """Member motion alone must not invalidate a kNN result: the slack to
+    the (k+1)-th neighbor absorbs small drift, and the held result is
+    patched to exact distances (pinned against the oracle each tick)."""
+
+    def _neighbourhood(self, rng: random.Random):
+        center = (50.0, 50.0, 50.0)
+        items: dict[int, AABB] = {}
+        for eid in range(6):  # the standing top-k members, within ~3 of center
+            lo = [c + rng.uniform(-1.5, 1.5) for c in center]
+            items[eid] = AABB(lo, [v + 0.2 for v in lo])
+        for eid in range(6, 106):  # a far cloud, always > 25 away
+            while True:
+                lo = [rng.uniform(0.0, 95.0) for _ in range(3)]
+                box = AABB(lo, [v + 0.5 for v in lo])
+                if box.min_distance_to_point(center) > 25.0:
+                    break
+            items[eid] = box
+        return center, items
+
+    @pytest.mark.parametrize("policy", ["incremental", "predictive"])
+    def test_small_drift_holds_safe_region(self, policy):
+        rng = random.Random(77)
+        center, items = self._neighbourhood(rng)
+        session = ContinuousSession(list(items.items()), UNIVERSE_3D, policy=policy)
+        sub = session.subscribe(ContinuousKNNQuery(center, k=5))
+        ticks = 25
+        for _ in range(ticks):
+            updates = []
+            for eid in range(6):  # every member jitters every tick
+                box = session.state_box(eid)
+                offset = [rng.uniform(-0.05, 0.05) for _ in range(3)]
+                updates.append((eid, box, _shift(box, offset)))
+            for eid in rng.sample(range(6, 106), k=12):  # the cloud drifts too
+                box = session.state_box(eid)
+                offset = [rng.uniform(-0.5, 0.5) for _ in range(3)]
+                updates.append((eid, box, _shift(box, offset)))
+            session.tick(updates)
+            assert_exact(session, sub)  # held results are patched, still exact
+        counters = session.counters
+        # Members moved on all 25 ticks: the old member-motion rule would
+        # have recomputed 25 times.  Only the first evaluation (no slack
+        # recorded yet) may invalidate.
+        assert counters.safe_region_invalidations <= 1
+        assert counters.safe_region_hits >= ticks - 1
+
+    def test_outsider_crossing_slack_invalidates(self):
+        rng = random.Random(78)
+        center, items = self._neighbourhood(rng)
+        session = ContinuousSession(list(items.items()), UNIVERSE_3D, policy="incremental")
+        sub = session.subscribe(ContinuousKNNQuery(center, k=5))
+        # Establish the slack with one jitter tick...
+        box = session.state_box(0)
+        session.tick([(0, box, _shift(box, [0.01, 0.0, 0.0]))])
+        before = session.counters.safe_region_invalidations
+        # ...then teleport a cloud element onto the query point: it lands
+        # inside the k-th distance, so the cached membership must change.
+        intruder = session.state_box(99)
+        offset = [c - l for c, l in zip(center, intruder.lo)]
+        delta = session.tick([(99, intruder, _shift(intruder, offset))])[sub.cqid]
+        assert session.counters.safe_region_invalidations == before + 1
+        assert 99 in delta.added
+        assert_exact(session, sub)
+
+
 # -- telemetry -----------------------------------------------------------------
 
 

@@ -50,11 +50,13 @@ from repro import (
     default_pool,
     shutdown_default_pool,
 )
+from repro.approx import SpillTree
 from repro.engine.session import BatchExecutor
 from repro.indexes.linear_scan import LinearScan
 from repro.joins.session import InlineJoinExecutor
 from repro.serving.async_executor import AsyncExecutor
 from repro.serving.shm import AttachedArrays, SegmentGroup, live_segment_names
+from repro.serving.snapshots import build_worker_index, export_index_payload
 
 pytestmark = pytest.mark.serving
 
@@ -282,6 +284,83 @@ class TestWorkerPool:
         for box, handle in zip(boxes, handles):
             assert sorted(handle.result()) == sorted(oracle.range_query(box))
         assert pool.exports == 0
+
+
+# -- tree & spill payloads ------------------------------------------------------
+
+
+class TestTreeAndSpillPayloads:
+    """R-tree-family indexes ship their packed node cache (kind ``"tree"``)
+    and spill trees their flat defeatist arrays (kind ``"spill"``): workers
+    attach the structure directly instead of STR-rebuilding an R-tree from
+    the raw ``(eids, boxes)`` payload."""
+
+    def _tree(self, items):
+        tree = RTree(max_entries=8)
+        tree.bulk_load(items)
+        return tree
+
+    def test_worker_attaches_tree_payload_without_rebuild(self, loaded, monkeypatch):
+        items, _, oracle = loaded
+        tree = self._tree(items)
+        payload = export_index_payload(tree)
+        assert payload is not None and payload[0] == "tree"
+        kind, arrays, scalars = payload
+        eids, boxes = tree.export_items()
+
+        def explode(self, items):
+            raise AssertionError("worker rebuilt an R-tree from raw items")
+
+        # The build-cost pin: with bulk_load poisoned, the tree payload
+        # still rehydrates (it adopts the exported node cache)...
+        monkeypatch.setattr(RTree, "bulk_load", explode)
+        snapshot = build_worker_index(kind, arrays, scalars)
+        # ...while the legacy packed payload would have to rebuild.
+        with pytest.raises(AssertionError, match="rebuilt"):
+            build_worker_index("packed", {"eids": eids, "boxes": boxes}, {})
+
+        assert len(snapshot) == len(tree)
+        probe_boxes = make_boxes(60, seed=47)
+        for got, box in zip(snapshot.batch_range_query(probe_boxes), probe_boxes):
+            assert sorted(got) == sorted(oracle.range_query(box))
+        rng = random.Random(48)
+        points = np.asarray(
+            [[rng.uniform(0.0, 100.0) for _ in range(3)] for _ in range(60)]
+        )
+        assert snapshot.batch_knn(points, 4) == tree.batch_knn(points, 4)
+
+    def test_pool_publishes_node_cache_for_trees(self, loaded, pool):
+        items, _, oracle = loaded
+        tree = self._tree(items)
+        session = QuerySession(
+            tree, executor=ShardedExecutor(workers=2, min_shard=32, pool=pool)
+        )
+        boxes = make_boxes(80, seed=51)
+        handles = [session.submit(RangeQuery(box)) for box in boxes]
+        session.flush()
+        for box, handle in zip(boxes, handles):
+            assert sorted(handle.result()) == sorted(oracle.range_query(box))
+        entry = pool.ensure_index(tree)
+        assert entry.kind == "tree"
+        assert pool.exports == 1  # the lookup above reused the live export
+
+    def test_pool_serves_defeatist_spill_batches(self, pool):
+        items = make_items(600, seed=33, points=True)
+        spill = SpillTree(tau=0.25, leaf_size=32, seed=9)
+        spill.bulk_load(items)
+        rng = random.Random(7)
+        points = [tuple(rng.uniform(0.0, 100.0) for _ in range(3)) for _ in range(400)]
+        expected = spill.approx_batch_knn(np.asarray(points, dtype=np.float64), 4)
+        session = QuerySession(
+            spill, executor=ShardedExecutor(workers=2, min_shard=32, pool=pool)
+        )
+        got = session.knn(points, 4, accuracy=0.5)
+        assert got == expected  # sharding must not change a single answer
+        assert session.stats.executor_runs == {"sharded": 1}
+        assert session.stats.batch.approx_descents == len(points)
+        entry = pool.ensure_index(spill)
+        assert entry.kind == "spill"
+        assert pool.exports == 1
 
 
 # -- the async serving tier ----------------------------------------------------
