@@ -49,6 +49,17 @@ def _spill_line(
     return " ".join(parts)
 
 
+def _mapped_line(views: int, mapped: int, tile_runs: int) -> str | None:
+    """The zero-copy storage funnel, rendered once any read was served as a
+    mapped view (or any mapped work unit went to a pool worker)."""
+    if not (views or mapped or tile_runs):
+        return None
+    parts = [f"mapped: views={views:,}", f"bytes={mapped:,}B"]
+    if tile_runs:
+        parts.append(f"tile-runs={tile_runs:,}")
+    return " ".join(parts)
+
+
 def _approx_line(stats: SessionStats) -> str | None:
     """The approximate-kNN funnel, rendered once the planner has routed any
     batch through a defeatist kernel."""
@@ -97,6 +108,11 @@ def query_session_report(session: QuerySession) -> str:
     )
     if spill is not None:
         header = f"{header}\n{spill}"
+    mapped = _mapped_line(
+        batch.zero_copy_reads, batch.mapped_bytes, batch.tile_runs_dispatched
+    )
+    if mapped is not None:
+        header = f"{header}\n{mapped}"
     approx = _approx_line(stats)
     if approx is not None:
         header = f"{header}\n{approx}"
@@ -136,6 +152,11 @@ def join_report(session: JoinSession) -> str:
     )
     if spill is not None:
         header = f"{header}\n{spill}"
+    mapped = _mapped_line(
+        stats.zero_copy_reads, stats.mapped_bytes, stats.tile_runs_dispatched
+    )
+    if mapped is not None:
+        header = f"{header}\n{mapped}"
     serving = _serving_line(stats)
     if serving is not None:
         header = f"{header}\n{serving}"

@@ -905,7 +905,17 @@ class QuerySession:
             kind=kind, payload=payload, k=k, accuracy=self._resolve_accuracy(k, accuracy)
         )
         executor = self.choose_executor(batch)
+        # Zero-copy storage telemetry lives on the index's counters (the
+        # mapped page store charges them); diff around the batch so views
+        # served for *these* queries land in this batch's stats.
+        counters = getattr(self.index, "counters", None)
+        before = counters.snapshot() if counters is not None else None
         results, stats = self._run_batch(executor, batch)
+        if before is not None:
+            delta = counters.diff(before)
+            stats.zero_copy_reads += delta.zero_copy_reads
+            stats.mapped_bytes += delta.mapped_bytes
+            stats.tile_runs_dispatched += delta.tile_runs_dispatched
         self.stats.record_run(executor.name, stats)
         offset = 0
         for sub in submissions:

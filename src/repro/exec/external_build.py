@@ -24,6 +24,15 @@ packing order, so consumers decide where leaves live:
 leaf straight into its page store without ever holding the leaf level in
 memory.  Upper levels are built from one ``(mbr, child)`` entry per leaf —
 ``max_entries``-fold smaller than the data, always in-budget.
+
+With ``workers`` >= 2 the merge phase parallelizes over the serving pool:
+each slab's run ranges are exported as picklable
+:class:`~repro.exec.spill.MappedRun` descriptors and a pool worker maps the
+spill file read-only, gathers its rows zero-copy and tiles the slab
+(:func:`repro.serving.worker.str_slab_task`).  Slabs are dispatched in
+waves of ``workers`` so the parent never holds more than one wave of leaf
+groups; group order — and therefore the packed tree — is identical to the
+single-process merge.
 """
 
 from __future__ import annotations
@@ -68,12 +77,16 @@ def external_leaf_groups(
     spill: SpillManager | None = None,
     spill_dir: str | None = None,
     counters: Counters | None = None,
+    workers: int | None = None,
 ) -> Iterator[list[tuple[AABB, int]]]:
     """Yield STR leaf entry groups ``[(box, eid), ...]`` in packing order.
 
     The build working set (sort arrays, runs, slab gathers) stays within
     the budget; the items iterable itself is consumed streaming and never
-    materialized as a whole.
+    materialized as a whole.  ``workers`` >= 2 tiles spilled slabs on the
+    serving pool (mapped read-only by each worker) in dispatch waves; group
+    order is identical either way, and any pool failure falls back to the
+    in-process merge per wave.
     """
     budget = MemoryBudget.coerce(budget)
     counters = counters if counters is not None else Counters()
@@ -91,29 +104,48 @@ def external_leaf_groups(
         total = sum(run.size for run in runs)
         _assign_positions(runs, spill, budget)
         slab_size = _slab_rows(total, dims, max_entries, chunk_budget)
+        slabs = [
+            (p0, min(p0 + slab_size, total)) for p0 in range(0, total, slab_size)
+        ]
+        spilled = all(isinstance(run.keys, SpillHandle) for run in runs)
+        pool = None
+        if workers is not None and workers >= 2 and spilled and len(slabs) >= 2:
+            from repro.serving.pool import default_pool
 
-        for p0 in range(0, total, slab_size):
-            p1 = min(p0 + slab_size, total)
-            entries: list[tuple[AABB, int]] = []
-            with budget.reserving((p1 - p0) * _entry_bytes(dims), force=True):
-                for run in runs:
-                    assert run.positions is not None
-                    lo = int(np.searchsorted(run.positions, p0, side="left"))
-                    hi = int(np.searchsorted(run.positions, p1, side="left"))
-                    if lo == hi:
-                        continue
-                    boxes = _fetch_rows(spill, run.boxes, lo, hi)
-                    eids = _fetch_rows(spill, run.eids, lo, hi)
-                    entries.extend(
-                        (AABB(box[0], box[1]), int(eid))
-                        for box, eid in zip(boxes, eids)
+            pool = default_pool()
+
+        # Waves of ``workers`` slabs bound the parent's in-flight results;
+        # within a wave, futures come back in dispatch order, so the group
+        # stream is identical to the sequential merge.
+        wave = max(workers or 1, 1)
+        for wave_start in range(0, len(slabs), wave):
+            wave_slabs = slabs[wave_start : wave_start + wave]
+            parts = None
+            if pool is not None:
+                try:
+                    tasks = [
+                        (dims, max_entries, _slab_segments(runs, spill, p0, p1))
+                        for p0, p1 in wave_slabs
+                    ]
+                    parts = pool.run_slab_tasks(tasks)
+                    counters.tile_runs_dispatched += len(tasks)
+                except Exception:
+                    # Pool-infrastructure failure: merge this wave (and, if
+                    # the pool stays down, the next ones) in-process.
+                    parts = None
+            if parts is not None:
+                for packed, worker_counters in parts:
+                    counters.merge(worker_counters)
+                    for group_boxes, group_eids in packed:
+                        yield [
+                            (AABB(box[0], box[1]), int(eid))
+                            for box, eid in zip(group_boxes, group_eids)
+                        ]
+            else:
+                for p0, p1 in wave_slabs:
+                    yield from _merge_slab(
+                        runs, spill, p0, p1, dims, max_entries, budget
                     )
-                groups: list[list[tuple[AABB, int]]] = []
-                # The slab is an axis-0 slice of the global sort — exactly
-                # STR's state after its outer sort — so the in-memory tiler
-                # finishes from axis 1 (axis 0 again for 1-d data).
-                _tile_recursive(entries, min(1, dims - 1), dims, max_entries, groups)
-            yield from groups
     finally:
         for run in runs:
             for field in (run.keys, run.eids, run.boxes):
@@ -210,6 +242,56 @@ def _assign_positions(runs: list[_Run], spill: SpillManager, budget: MemoryBudge
             offset += run.size
 
 
+def _slab_segments(
+    runs: list[_Run], spill: SpillManager, p0: int, p1: int
+) -> list[tuple]:
+    """One slab's dispatchable gather list: ``(eids_run, boxes_run, lo,
+    hi)`` MappedRun descriptor tuples, in run order (the inline order)."""
+    segments = []
+    for run in runs:
+        assert run.positions is not None
+        lo = int(np.searchsorted(run.positions, p0, side="left"))
+        hi = int(np.searchsorted(run.positions, p1, side="left"))
+        if lo == hi:
+            continue
+        segments.append(
+            (spill.describe(run.eids), spill.describe(run.boxes), lo, hi)
+        )
+    return segments
+
+
+def _merge_slab(
+    runs: list[_Run],
+    spill: SpillManager,
+    p0: int,
+    p1: int,
+    dims: int,
+    max_entries: int,
+    budget: MemoryBudget,
+) -> list[list[tuple[AABB, int]]]:
+    """Gather one slab's rows from every run and tile it in-process."""
+    entries: list[tuple[AABB, int]] = []
+    with budget.reserving((p1 - p0) * _entry_bytes(dims), force=True):
+        for run in runs:
+            assert run.positions is not None
+            lo = int(np.searchsorted(run.positions, p0, side="left"))
+            hi = int(np.searchsorted(run.positions, p1, side="left"))
+            if lo == hi:
+                continue
+            boxes = _fetch_rows(spill, run.boxes, lo, hi)
+            eids = _fetch_rows(spill, run.eids, lo, hi)
+            entries.extend(
+                (AABB(box[0], box[1]), int(eid))
+                for box, eid in zip(boxes, eids)
+            )
+        groups: list[list[tuple[AABB, int]]] = []
+        # The slab is an axis-0 slice of the global sort — exactly STR's
+        # state after its outer sort — so the in-memory tiler finishes
+        # from axis 1 (axis 0 again for 1-d data).
+        _tile_recursive(entries, min(1, dims - 1), dims, max_entries, groups)
+    return groups
+
+
 def _slab_rows(total: int, dims: int, max_entries: int, chunk_budget: int | None) -> int:
     """STR's first-axis slab size, shrunk (never below a leaf) to the budget."""
     pages = math.ceil(total / max_entries)
@@ -253,6 +335,7 @@ def external_str_pack(
     spill: SpillManager | None = None,
     spill_dir: str | None = None,
     counters: Counters | None = None,
+    workers: int | None = None,
 ) -> ExternalBuild:
     """The external counterpart of :func:`repro.indexes.bulkload.str_pack`.
 
@@ -267,7 +350,8 @@ def external_str_pack(
     size = 0
     dims: int | None = None
     for group in external_leaf_groups(
-        items, max_entries, budget, spill=spill, spill_dir=spill_dir, counters=counters
+        items, max_entries, budget, spill=spill, spill_dir=spill_dir,
+        counters=counters, workers=workers,
     ):
         if dims is None:
             dims = group[0][0].dims
@@ -294,6 +378,7 @@ def external_bulk_load(
     items: Iterable[Item],
     budget: MemoryBudget | int | None = None,
     spill_dir: str | None = None,
+    workers: int | None = None,
 ) -> None:
     """Bulk-load any index exposing ``bulk_load_external`` under a budget.
 
@@ -307,4 +392,4 @@ def external_bulk_load(
             f"{type(index).__name__} has no external bulk load; "
             "RTree, RStarTree and DiskRTree support it"
         )
-    hook(items, budget=budget, spill_dir=spill_dir)
+    hook(items, budget=budget, spill_dir=spill_dir, workers=workers)

@@ -15,26 +15,37 @@ session's :class:`~repro.exec.budget.MemoryBudget`:
    chunk's replicas and spills them per run through the
    :class:`~repro.exec.spill.SpillManager` (typed ``(eids, boxes, keys)``
    segments over the real on-disk page store);
-3. **Merge pass** — runs stream back one at a time; each is key-sorted and
-   pushed through :func:`repro.joins.kernels.replica_tile_pairs`, whose
-   global reference-point dedup guarantees that a pair replicated across
-   tiles *and* runs is still reported exactly once.
+3. **Merge pass** — runs stream back one at a time as zero-copy mapped
+   views; each is key-sorted and pushed through
+   :func:`repro.joins.kernels.replica_tile_pairs`, whose global
+   reference-point dedup guarantees that a pair replicated across tiles
+   *and* runs is still reported exactly once.
 
-Because the tiling and dedup rule are global, the result is the exact
-nested-loop pair set — the oracle suite pins it with every other registry
-entry.  When the whole working set fits the budget (or no budget is given)
-the strategy degrades gracefully to a single in-memory run with zero spill
-traffic.
+Because a tile lives in exactly one run and the dedup rule is global, the
+runs are **independent**: merging them in any process, in any order, yields
+disjoint pair sets whose union is the exact nested-loop result.  That is
+what :meth:`SpillPBSMJoin.plan_tile_runs` exposes — the
+:class:`~repro.joins.session.ShardedJoinExecutor` dispatches each run as a
+bundle of picklable :class:`~repro.exec.spill.MappedRun` descriptors to pool
+workers, which map the spill file read-only and run the same
+:func:`merge_run_arrays` the inline path uses (``shard_protocol =
+"tile_runs"``).  The strategy is ``forkable`` because shard workers never
+touch the parent's file descriptors — they open their own read-only mapping.
+
+When the whole working set fits the budget (or no budget is given) the
+strategy degrades gracefully to a single in-memory run with zero spill
+traffic, and the sharded executor runs it inline.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.exec.budget import MemoryBudget
-from repro.exec.spill import SpillHandle, SpillManager
+from repro.exec.spill import MappedRun, SpillHandle, SpillManager
 from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
 from repro.joins import kernels
@@ -56,12 +67,155 @@ def spill_page_size(chunk_budget: int | None) -> int:
     Segments are roughly ``chunk_budget``-sized; pages much larger than a
     segment waste whole slots per spilled array (every segment spills three
     typed arrays), pages much smaller multiply Python-level page loops.
-    ~1/16 of the chunk budget, clamped to [16 KiB, 1 MiB], keeps per-segment
-    slot waste under ~20% without ballooning the page count.
+    ~1/16 of the chunk budget, clamped to [16 KiB, 1 MiB] and rounded down
+    to a 4 KiB multiple (so zero-copy float64 views over page-aligned
+    offsets stay 8-byte aligned), keeps per-segment slot waste under ~20%
+    without ballooning the page count.
     """
     if chunk_budget is None:
         return 1 << 20
-    return max(1 << 14, min(1 << 20, chunk_budget // 16))
+    return max(1 << 14, min(1 << 20, chunk_budget // 16)) & ~0xFFF
+
+
+# -- the shared merge ----------------------------------------------------------
+
+#: One gathered segment: ``(eids, boxes, keys)`` replica arrays.
+Segment = tuple[np.ndarray, np.ndarray, np.ndarray]
+#: One spilled segment: the same triple as :class:`SpillHandle`\ s.
+SegmentHandles = tuple[SpillHandle, SpillHandle, SpillHandle]
+#: One exported segment: the same triple as :class:`MappedRun` descriptors.
+SegmentRuns = tuple[MappedRun, MappedRun, MappedRun]
+#: One dispatchable tile-run task: the layout plus both sides' descriptors.
+TileRunTask = tuple["TileRunLayout", list[SegmentRuns], list[SegmentRuns]]
+
+
+@dataclass(frozen=True)
+class TileRunLayout:
+    """The global tiling a run merge needs besides the replica arrays.
+
+    Picklable and small (three tiny arrays plus scalars): the parent
+    computes it once in the histogram pass and every merge — inline or in a
+    pool worker — shares it, which is what keeps the reference-point dedup
+    global across runs.
+    """
+
+    hull_lo: np.ndarray
+    sides: np.ndarray
+    strides: np.ndarray
+    tiles: int
+    dims: int
+    slab_pairs: int
+
+
+def concat_segments(parts: list[Segment], dims: int) -> Segment:
+    """Concatenate gathered segments fieldwise (empty-safe)."""
+    if not parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 2, dims), dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+        )
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(np.concatenate(field) for field in zip(*parts))  # type: ignore[return-value]
+
+
+def merge_run_arrays(
+    layout: TileRunLayout, side_a: Segment, side_b: Segment, counters: Counters
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge one run's replica arrays into result id pairs.
+
+    This is the single merge implementation shared by the inline pass-3 loop
+    and the pool workers' ``merge_run_task`` — same stable key sort, same
+    kernel, so sharded output is bit-identical to inline.  Sorting rebinds
+    through fancy indexing (a copy) rather than assigning in place, so the
+    inputs may be read-only zero-copy views over the spill file.
+    """
+    eids_ra, boxes_ra, keys_ra = side_a
+    eids_rb, boxes_rb, keys_rb = side_b
+    if eids_ra.shape[0] == 0 or eids_rb.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order_a = np.argsort(keys_ra, kind="stable")
+    eids_ra, boxes_ra, keys_ra = eids_ra[order_a], boxes_ra[order_a], keys_ra[order_a]
+    order_b = np.argsort(keys_rb, kind="stable")
+    eids_rb, boxes_rb, keys_rb = eids_rb[order_b], boxes_rb[order_b], keys_rb[order_b]
+    return kernels.replica_tile_pairs(
+        eids_ra, boxes_ra, keys_ra,
+        eids_rb, boxes_rb, keys_rb,
+        layout.hull_lo, layout.sides, layout.strides, layout.tiles,
+        counters, slab_pairs=layout.slab_pairs,
+    )
+
+
+# -- the sharding plan ---------------------------------------------------------
+
+
+class SpillPlan:
+    """Parent-side result of the partition passes: spilled per-run segments.
+
+    The plan owns the spill handles (and the spill manager itself when the
+    strategy created a private one): callers dispatch :meth:`run_tasks`,
+    collect every worker result, and only then :meth:`release` — so the
+    descriptors stay valid for the whole merge, including a pool
+    crash-retry.
+    """
+
+    def __init__(
+        self,
+        layout: TileRunLayout,
+        runs: int,
+        segments_a: list[list[SegmentHandles]],
+        segments_b: list[list[SegmentHandles]],
+        spill: SpillManager,
+        handles: list[SpillHandle],
+        owns_spill: bool,
+    ) -> None:
+        self.layout = layout
+        self.runs = runs
+        self.segments_a = segments_a
+        self.segments_b = segments_b
+        self.spill = spill
+        self._handles = handles
+        self._owns_spill = owns_spill
+        self.released = False
+
+    def run_tasks(self) -> list[TileRunTask]:
+        """One dispatchable task per run, with both sides' segments exported
+        as :class:`~repro.exec.spill.MappedRun` descriptor triples."""
+        describe = self.spill.describe
+        return [
+            (
+                self.layout,
+                [tuple(describe(h) for h in seg) for seg in self.segments_a[run]],
+                [tuple(describe(h) for h in seg) for seg in self.segments_b[run]],
+            )
+            for run in range(self.runs)
+        ]
+
+    def merge_inline(self, run: int, counters: Counters) -> tuple[np.ndarray, np.ndarray]:
+        """Merge one run in-process (the no-pool fallback)."""
+        sides = []
+        for segments in (self.segments_a, self.segments_b):
+            parts = [
+                tuple(self.spill.read(handle) for handle in seg)
+                for seg in segments[run]
+            ]
+            sides.append(concat_segments(parts, self.layout.dims))
+        return merge_run_arrays(self.layout, sides[0], sides[1], counters)
+
+    def release(self) -> None:
+        """Free every spilled segment; close a private manager.  Idempotent —
+        callers run this in a ``finally``."""
+        if self.released:
+            return
+        self.released = True
+        for handle in self._handles:
+            self.spill.free(handle)
+        if self._owns_spill:
+            self.spill.close()
+
+
+# -- the strategy --------------------------------------------------------------
 
 
 @register
@@ -88,9 +242,16 @@ class SpillPBSMJoin(JoinStrategy):
     """
 
     name = "pbsm_spill"
-    # Forked shard workers would write through the parent's spill file
-    # descriptors concurrently; the sharded executor runs this inline.
-    forkable = False
+    # Shardable — but never by forking the whole strategy into workers: the
+    # tile_runs protocol below partitions in the parent and ships workers
+    # read-only MappedRun descriptors, so no spill file descriptor is ever
+    # shared across processes.
+    forkable = True
+    #: The sharded executor's contract: partition in the parent with
+    #: :meth:`plan_tile_runs`, merge runs in pool workers via
+    #: ``repro.serving.worker.merge_run_task``.  Generic element-range
+    #: sharding (pool or fork) must not be applied to this strategy.
+    shard_protocol = "tile_runs"
 
     def __init__(
         self,
@@ -129,6 +290,60 @@ class SpillPBSMJoin(JoinStrategy):
             if owns_spill:
                 spill.close()
 
+    def plan_tile_runs(
+        self, items_a: Sequence[Item], items_b: Sequence[Item], counters: Counters
+    ) -> SpillPlan | None:
+        """Partition for sharded merging; ``None`` when sharding is moot.
+
+        Runs passes 1–2 (histogram + gather/spill) in the calling process
+        and returns a :class:`SpillPlan` whose runs are independent merge
+        units.  Returns ``None`` for joins that would not spill (no budget,
+        or a working set that fits one run) — the executor then runs the
+        strategy inline, which is both correct and faster for those cases.
+        """
+        if not items_a or not items_b:
+            return None
+        chunk_budget = self._chunk_budget()
+        if chunk_budget is None:
+            return None
+        dims = items_a[0][1].dims
+        owns_spill = self.spill is None
+        spill = (
+            self.spill
+            if self.spill is not None
+            else SpillManager(
+                dir=self.spill_dir,
+                page_size=spill_page_size(chunk_budget),
+                counters=counters,
+            )
+        )
+        handles: list[SpillHandle] = []
+        try:
+            chunk_rows = self._chunk_rows(chunk_budget, dims)
+            layout, histogram, replicas = self._layout_and_histogram(
+                items_a, items_b, dims, chunk_budget, chunk_rows, counters
+            )
+            runs, run_of_tile = self._partition_runs(
+                histogram, replicas, dims, chunk_budget
+            )
+            if runs < 2:
+                if owns_spill:
+                    spill.close()
+                return None
+            segments_a, segments_b = self._gather_segments(
+                items_a, items_b, layout, run_of_tile, runs, chunk_rows,
+                spill, handles, spilling=True,
+            )
+            return SpillPlan(
+                layout, runs, segments_a, segments_b, spill, handles, owns_spill
+            )
+        except BaseException:
+            for handle in handles:
+                spill.free(handle)
+            if owns_spill:
+                spill.close()
+            raise
+
     def _join_staged(
         self,
         items_a: Sequence[Item],
@@ -139,116 +354,53 @@ class SpillPBSMJoin(JoinStrategy):
         counters: Counters,
     ) -> list[tuple[int, int]]:
         chunk_rows = self._chunk_rows(chunk_budget, dims)
-        hull_lo, hull_hi = _chunked_hull(items_a, chunk_rows)
-        lo_b, hi_b = _chunked_hull(items_b, chunk_rows)
-        hull_lo, hull_hi = np.minimum(hull_lo, lo_b), np.maximum(hull_hi, hi_b)
-        tiles = (
-            self.tiles_per_axis
-            if self.tiles_per_axis is not None
-            else _default_tiles(len(items_a) + len(items_b), dims)
+
+        # Pass 1: global tiling + per-tile replica histogram.
+        layout, histogram, replicas = self._layout_and_histogram(
+            items_a, items_b, dims, chunk_budget, chunk_rows, counters
         )
-        sides, strides = kernels.tile_layout(hull_lo, hull_hi, tiles)
-        tile_count = tiles**dims
-        rep_bytes = _replica_bytes(dims)
-
-        # Pass 1: per-tile replica histogram, in bounded chunks.
-        histogram = np.zeros(tile_count, dtype=np.int64)
-        replicas = 0
-        for items in (items_a, items_b):
-            for chunk in _chunks(items, chunk_rows):
-                _, boxes = kernels.pack_items(chunk)
-                with self.budget.reserving(boxes.nbytes, force=True):
-                    _, keys = kernels._tile_replicas(boxes, hull_lo, sides, strides, tiles)
-                    np.add.at(histogram, keys, 1)
-                    replicas += keys.shape[0]
-        counters.cells_probed += replicas
-
-        total_bytes = replicas * rep_bytes
-        if chunk_budget is None or total_bytes <= chunk_budget:
-            # Everything fits in one partition: merge in memory, no spill.
-            run_of_tile = np.zeros(tile_count, dtype=np.int64)
-            runs = 1
-        else:
-            # Contiguous tile ranges whose replica bytes fit the chunk
-            # budget; a single over-budget tile becomes its own run.
-            prefix = np.cumsum(histogram * rep_bytes) - histogram * rep_bytes
-            run_of_tile = prefix // chunk_budget
-            runs = int(run_of_tile[-1]) + 1 if tile_count else 1
+        runs, run_of_tile = self._partition_runs(histogram, replicas, dims, chunk_budget)
 
         # Pass 2: gather replicas per run; spill when there is > 1 run.
-        segments_a: list[list[tuple[SpillHandle, SpillHandle, SpillHandle]]]
-        segments_a = [[] for _ in range(runs)]
-        segments_b = [[] for _ in range(runs)]
-        resident_a: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]]
-        resident_a = [[] for _ in range(runs)]
-        resident_b = [[] for _ in range(runs)]
         spilling = runs > 1
         # Every handle this join creates, so the finally can release them
         # even when the merge dies mid-run on a *session-shared* manager
         # (a private manager is torn down wholesale by the caller).
         all_handles: list[SpillHandle] = []
         try:
-            for items, segments, resident in (
-                (items_a, segments_a, resident_a),
-                (items_b, segments_b, resident_b),
-            ):
-                for chunk in _chunks(items, chunk_rows):
-                    eids, boxes = kernels.pack_items(chunk)
-                    with self.budget.reserving(2 * boxes.nbytes, force=True):
-                        rows, keys = kernels._tile_replicas(boxes, hull_lo, sides, strides, tiles)
-                        run_ids = run_of_tile[keys]
-                        order = np.argsort(run_ids, kind="stable")
-                        rows, keys, run_ids = rows[order], keys[order], run_ids[order]
-                        uniq_runs, starts = np.unique(run_ids, return_index=True)
-                        edges = np.append(starts, run_ids.shape[0])
-                        for run, seg_lo, seg_hi in zip(uniq_runs.tolist(), edges[:-1], edges[1:]):
-                            sl = slice(seg_lo, seg_hi)
-                            seg = (eids[rows[sl]], boxes[rows[sl]], keys[sl])
-                            if spilling:
-                                handles = tuple(
-                                    spill.spill(arr, tag=self.name) for arr in seg
-                                )
-                                all_handles.extend(handles)
-                                segments[run].append(handles)
-                            else:
-                                resident[run].append(seg)
+            segments_a, segments_b = self._gather_segments(
+                items_a, items_b, layout, run_of_tile, runs, chunk_rows,
+                spill, all_handles, spilling,
+            )
 
             # Pass 3: merge runs one at a time.
             out_a: list[np.ndarray] = []
             out_b: list[np.ndarray] = []
             for run in range(runs):
-                side_arrays = []
+                side_arrays: list[Segment] = []
                 run_bytes = 0
-                for segments, resident in ((segments_a, resident_a), (segments_b, resident_b)):
+                for segments in (segments_a, segments_b):
                     if spilling:
                         parts = [
-                            tuple(spill.read(handle) for handle in seg) for seg in segments[run]
+                            tuple(spill.read(handle) for handle in seg)
+                            for seg in segments[run]
                         ]
-                        # Prompt frees let later runs reuse the page slots.
+                    else:
+                        parts = segments[run]
+                    side_arrays.append(concat_segments(parts, dims))
+                    run_bytes += sum(arr.nbytes for arr in side_arrays[-1])
+                with self.budget.reserving(run_bytes, force=True):
+                    ids_a, ids_b = merge_run_arrays(
+                        layout, side_arrays[0], side_arrays[1], counters
+                    )
+                # merge_run_arrays' sorts copied out of any zero-copy views,
+                # so the run's pages can be released for slot reuse now.
+                if spilling:
+                    for segments in (segments_a, segments_b):
                         for seg in segments[run]:
                             for handle in seg:
                                 spill.free(handle)
-                    else:
-                        parts = resident[run]
-                    side_arrays.append(_concat_segments(parts, dims))
-                    run_bytes += sum(arr.nbytes for arr in side_arrays[-1])
-                (eids_ra, boxes_ra, keys_ra), (eids_rb, boxes_rb, keys_rb) = side_arrays
-                if eids_ra.shape[0] == 0 or eids_rb.shape[0] == 0:
-                    continue
-                with self.budget.reserving(run_bytes, force=True):
-                    slab = self._slab_pairs(chunk_budget, dims)
-                    for eids_r, boxes_r, keys_r in side_arrays:
-                        order = np.argsort(keys_r, kind="stable")
-                        eids_r[:], boxes_r[:], keys_r[:] = (
-                            eids_r[order],
-                            boxes_r[order],
-                            keys_r[order],
-                        )
-                    ids_a, ids_b = kernels.replica_tile_pairs(
-                        eids_ra, boxes_ra, keys_ra,
-                        eids_rb, boxes_rb, keys_rb,
-                        hull_lo, sides, strides, tiles, counters, slab_pairs=slab,
-                    )
+                if ids_a.shape[0]:
                     out_a.append(ids_a)
                     out_b.append(ids_b)
         finally:
@@ -260,6 +412,112 @@ class SpillPBSMJoin(JoinStrategy):
         all_a = np.concatenate(out_a)
         all_b = np.concatenate(out_b)
         return list(zip(all_a.tolist(), all_b.tolist()))
+
+    # -- staged passes ---------------------------------------------------------
+
+    def _layout_and_histogram(
+        self,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item],
+        dims: int,
+        chunk_budget: int | None,
+        chunk_rows: int,
+        counters: Counters,
+    ) -> tuple[TileRunLayout, np.ndarray, int]:
+        """Pass 1: the global tiling plus the per-tile replica histogram."""
+        hull_lo, hull_hi = _chunked_hull(items_a, chunk_rows)
+        lo_b, hi_b = _chunked_hull(items_b, chunk_rows)
+        hull_lo, hull_hi = np.minimum(hull_lo, lo_b), np.maximum(hull_hi, hi_b)
+        tiles = (
+            self.tiles_per_axis
+            if self.tiles_per_axis is not None
+            else _default_tiles(len(items_a) + len(items_b), dims)
+        )
+        sides, strides = kernels.tile_layout(hull_lo, hull_hi, tiles)
+        tile_count = tiles**dims
+
+        histogram = np.zeros(tile_count, dtype=np.int64)
+        replicas = 0
+        for items in (items_a, items_b):
+            for chunk in _chunks(items, chunk_rows):
+                _, boxes = kernels.pack_items(chunk)
+                with self.budget.reserving(boxes.nbytes, force=True):
+                    _, keys = kernels._tile_replicas(boxes, hull_lo, sides, strides, tiles)
+                    np.add.at(histogram, keys, 1)
+                    replicas += keys.shape[0]
+        counters.cells_probed += replicas
+        layout = TileRunLayout(
+            hull_lo=hull_lo,
+            sides=sides,
+            strides=strides,
+            tiles=tiles,
+            dims=dims,
+            slab_pairs=self._slab_pairs(chunk_budget, dims),
+        )
+        return layout, histogram, replicas
+
+    def _partition_runs(
+        self, histogram: np.ndarray, replicas: int, dims: int, chunk_budget: int | None
+    ) -> tuple[int, np.ndarray]:
+        """Group contiguous tile ranges into budget-sized runs."""
+        tile_count = histogram.shape[0]
+        rep_bytes = _replica_bytes(dims)
+        total_bytes = replicas * rep_bytes
+        if chunk_budget is None or total_bytes <= chunk_budget:
+            # Everything fits in one partition: merge in memory, no spill.
+            return 1, np.zeros(tile_count, dtype=np.int64)
+        # Contiguous tile ranges whose replica bytes fit the chunk budget;
+        # a single over-budget tile becomes its own run.
+        prefix = np.cumsum(histogram * rep_bytes) - histogram * rep_bytes
+        run_of_tile = prefix // chunk_budget
+        runs = int(run_of_tile[-1]) + 1 if tile_count else 1
+        return runs, run_of_tile
+
+    def _gather_segments(
+        self,
+        items_a: Sequence[Item],
+        items_b: Sequence[Item],
+        layout: TileRunLayout,
+        run_of_tile: np.ndarray,
+        runs: int,
+        chunk_rows: int,
+        spill: SpillManager,
+        handles: list[SpillHandle],
+        spilling: bool,
+    ) -> tuple[list[list], list[list]]:
+        """Pass 2: gather replicas per run in bounded chunks.
+
+        Returns ``(segments_a, segments_b)``; each run's list holds
+        ``(eids, boxes, keys)`` triples of :class:`SpillHandle`\\ s when
+        ``spilling`` else of resident arrays.  Every created handle is also
+        appended to ``handles`` so any caller's error path can release them.
+        """
+        segments_a: list[list] = [[] for _ in range(runs)]
+        segments_b: list[list] = [[] for _ in range(runs)]
+        for items, segments in ((items_a, segments_a), (items_b, segments_b)):
+            for chunk in _chunks(items, chunk_rows):
+                eids, boxes = kernels.pack_items(chunk)
+                with self.budget.reserving(2 * boxes.nbytes, force=True):
+                    rows, keys = kernels._tile_replicas(
+                        boxes, layout.hull_lo, layout.sides, layout.strides, layout.tiles
+                    )
+                    run_ids = run_of_tile[keys]
+                    order = np.argsort(run_ids, kind="stable")
+                    rows, keys, run_ids = rows[order], keys[order], run_ids[order]
+                    uniq_runs, starts = np.unique(run_ids, return_index=True)
+                    edges = np.append(starts, run_ids.shape[0])
+                    for run, seg_lo, seg_hi in zip(uniq_runs.tolist(), edges[:-1], edges[1:]):
+                        sl = slice(seg_lo, seg_hi)
+                        seg = (eids[rows[sl]], boxes[rows[sl]], keys[sl])
+                        if spilling:
+                            spilled = tuple(
+                                spill.spill(arr, tag=self.name) for arr in seg
+                            )
+                            handles.extend(spilled)
+                            segments[run].append(spilled)
+                        else:
+                            segments[run].append(seg)
+        return segments_a, segments_b
 
     # -- sizing ---------------------------------------------------------------
 
@@ -303,15 +561,5 @@ def _chunked_hull(items: Sequence[Item], chunk_rows: int) -> tuple[np.ndarray, n
     return lo, hi
 
 
-def _concat_segments(
-    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]], dims: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    if not parts:
-        return (
-            np.empty(0, dtype=np.int64),
-            np.empty((0, 2, dims), dtype=np.float64),
-            np.empty(0, dtype=np.int64),
-        )
-    if len(parts) == 1:
-        return parts[0]
-    return tuple(np.concatenate(field) for field in zip(*parts))  # type: ignore[return-value]
+# Kept for callers/tests that imported the private name.
+_concat_segments = concat_segments

@@ -3,22 +3,33 @@
 When a strategy's working set exceeds its :class:`~repro.exec.budget
 .MemoryBudget`, it ships arrays here.  A spill write streams the array's
 bytes as fixed-size pages through a real on-disk
-:class:`~repro.storage.pagestore.FilePageStore` (so the memory is genuinely
-released), and reads come back through a bounded
-:class:`~repro.storage.buffer_pool.BufferPool` — the same two components the
-:class:`~repro.indexes.disk_rtree.DiskRTree` runs on, so page-transfer
-accounting is uniform across the library.
+:class:`~repro.storage.pagestore.MappedPageStore` (so the memory is genuinely
+released), and reads come back one of two ways:
 
-A spilled array is *typed*: its :class:`SpillHandle` carries dtype and shape,
-and :meth:`SpillManager.read_rows` reconstructs any contiguous row range by
-fetching only the pages that cover it (the primitive the external bulk load's
-merge phase is built on).
+* **zero-copy** — a handle whose pages landed on consecutive slots (the
+  common case: allocation is sequential, and freed slots are reused lowest
+  first) is one contiguous byte range of the file, so any row range
+  ``[lo, hi)`` is served as a NumPy *view* over the store's mmap — no page
+  gather, no copy, charged to ``zero_copy_reads`` / ``mapped_bytes``;
+* **pooled gather** — a fragmented handle falls back to page-wise reads
+  through a bounded :class:`~repro.storage.buffer_pool.BufferPool`, exactly
+  the pre-mmap path, keeping residency bounded no matter how much spilled.
+
+A spilled array is *typed*: its :class:`SpillHandle` carries dtype and shape.
+Because the backing store is a plain file, a handle can also be exported as a
+picklable :class:`MappedRun` descriptor (:meth:`SpillManager.describe`):
+any process maps the file read-only and reconstructs the array — or a row
+range of it — with :func:`mapped_run_rows`, again zero-copy when contiguous.
+That is how pool workers attach spill segments by path+descriptor, the same
+shape as their shared-memory snapshot attach.
 
 Lifecycle is explicit: the manager owns one tmpdir (created on demand,
 removed on :meth:`close`), every handle can be freed individually, and
 ``close()`` is idempotent — sessions call it from their own ``close()``,
 strategies from ``finally`` blocks, so an error path never leaves orphan
-spill files behind.
+spill files behind.  Descriptors are only valid while the manager (and the
+handles they describe) are alive — the parent frees handles *after* worker
+results return.
 """
 
 from __future__ import annotations
@@ -26,18 +37,19 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.instrumentation.counters import Counters
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.pagestore import FilePageStore
+from repro.storage.pagestore import MappedPageStore
 
 
 class SpillHandle:
     """One spilled array: page run + the dtype/shape to reassemble it."""
 
-    __slots__ = ("pages", "dtype", "shape", "nbytes", "tag", "live")
+    __slots__ = ("pages", "dtype", "shape", "nbytes", "tag", "live", "contiguous")
 
     def __init__(
         self,
@@ -53,6 +65,11 @@ class SpillHandle:
         self.nbytes = nbytes
         self.tag = tag
         self.live = True
+        #: Pages on consecutive slots — the whole array is one byte range of
+        #: the spill file, eligible for zero-copy mapped reads.
+        self.contiguous = all(
+            later == earlier + 1 for earlier, later in zip(pages, pages[1:])
+        )
 
     @property
     def rows(self) -> int:
@@ -70,6 +87,78 @@ class SpillHandle:
         return f"<SpillHandle {state} {self.dtype}{self.shape} tag={self.tag!r}>"
 
 
+@dataclass(frozen=True)
+class MappedRun:
+    """Picklable description of one spilled array in one mapped file.
+
+    Everything another process needs to reconstruct the array without the
+    parent shipping a byte: the file path, the page geometry, and the type.
+    ``pages`` is kept (not just the first slot) so fragmented runs can still
+    be gathered; :attr:`contiguous` callers take the zero-copy view path.
+    """
+
+    path: str
+    page_size: int
+    pages: tuple[int, ...]
+    dtype: str
+    shape: tuple[int, ...]
+    nbytes: int
+
+    @property
+    def rows(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+    @property
+    def row_bytes(self) -> int:
+        tail = 1
+        for extent in self.shape[1:]:
+            tail *= extent
+        return int(np.dtype(self.dtype).itemsize * tail)
+
+    @property
+    def contiguous(self) -> bool:
+        return all(b == a + 1 for a, b in zip(self.pages, self.pages[1:]))
+
+
+def mapped_run_rows(
+    mapping, run: MappedRun, lo: int, hi: int, counters: Counters | None = None
+) -> np.ndarray:
+    """Rows ``[lo, hi)`` of a :class:`MappedRun` out of ``mapping`` (any
+    buffer over the spill file — typically a read-only ``mmap``).
+
+    Contiguous runs come back as a zero-copy view (charged to
+    ``zero_copy_reads`` / ``mapped_bytes``); fragmented runs gather their
+    covering pages with copies.  This is the worker-side attach primitive:
+    it needs no :class:`SpillManager`, only the mapped file.
+    """
+    if not 0 <= lo <= hi <= run.rows:
+        raise ValueError(f"row range [{lo}, {hi}) out of [0, {run.rows})")
+    dtype = np.dtype(run.dtype)
+    shape = (hi - lo, *run.shape[1:])
+    row_bytes = run.row_bytes
+    if hi == lo or row_bytes == 0:
+        return np.empty(shape, dtype=dtype)
+    start, stop = lo * row_bytes, hi * row_bytes
+    if run.contiguous:
+        offset = run.pages[0] * run.page_size + start
+        view = np.frombuffer(mapping, dtype=np.uint8, count=stop - start, offset=offset)
+        if counters is not None:
+            counters.zero_copy_reads += 1
+            counters.mapped_bytes += stop - start
+        return view.view(dtype).reshape(shape)
+    page_size = run.page_size
+    first, last = start // page_size, (stop - 1) // page_size
+    buffer = np.empty((last - first + 1) * page_size, dtype=np.uint8)
+    for position, page_index in enumerate(range(first, last + 1)):
+        offset = run.pages[page_index] * page_size
+        length = min(page_size, run.nbytes - page_index * page_size)
+        buffer[position * page_size : position * page_size + length] = np.frombuffer(
+            mapping, dtype=np.uint8, count=length, offset=offset
+        )
+    window = buffer[start - first * page_size : stop - first * page_size].copy()
+    return window.view(dtype).reshape(shape)
+
+
 class SpillManager:
     """Writes and reads NumPy arrays as page runs in one spill file.
 
@@ -83,10 +172,11 @@ class SpillManager:
         Bytes per page (default 1 MiB — large pages keep the page count and
         Python-level overhead low for array streaming).
     pool_pages:
-        Read-path buffer pool capacity in pages.  Spill *writes* go
-        write-through (straight to the store) so no dirty frame pins
-        memory; only reads are cached, and eviction keeps residency at or
-        under this page budget no matter how much is spilled.
+        Read-path buffer pool capacity in pages, used only by the
+        *fragmented* fallback path.  Spill *writes* go write-through
+        (straight to the store) so no dirty frame pins memory; contiguous
+        reads are zero-copy mapped views (no residency at all), and the
+        fragmented gather path caches at most this many pages.
     counters:
         Shared counters: page transfers land in ``pages_read`` /
         ``pages_written``, logical traffic in ``spill_bytes_written`` /
@@ -113,7 +203,7 @@ class SpillManager:
         # directory truncate each other's live spill file.
         fd, self.path = tempfile.mkstemp(prefix="spill-", suffix=".pages", dir=dir)
         os.close(fd)
-        self.store = FilePageStore(self.path, page_size=page_size, counters=self.counters)
+        self.store = MappedPageStore(self.path, page_size=page_size, counters=self.counters)
         self.pool = BufferPool(self.store, capacity=pool_pages)
         self.closed = False
         self._live = 0
@@ -146,7 +236,13 @@ class SpillManager:
         return self.read_rows(handle, 0, handle.rows)
 
     def read_rows(self, handle: SpillHandle, lo: int, hi: int) -> np.ndarray:
-        """Reassemble rows ``[lo, hi)``, fetching only the covering pages."""
+        """Rows ``[lo, hi)`` of a spilled array.
+
+        Contiguous handles come back as a **read-only zero-copy view** over
+        the store's mmap (do not mutate in place — rebind through fancy
+        indexing instead); fragmented handles fall back to gathering their
+        covering pages through the bounded buffer pool.
+        """
         self._check_open()
         if not handle.live:
             raise ValueError(f"spill handle already freed: {handle!r}")
@@ -157,6 +253,10 @@ class SpillManager:
         if hi == lo or row_bytes == 0:
             return np.empty(shape, dtype=handle.dtype)
         start, stop = lo * row_bytes, hi * row_bytes
+        if handle.contiguous:
+            view = self.store.run_view(handle.pages[0], stop - start, offset=start)
+            self.counters.spill_bytes_read += stop - start
+            return view.view(handle.dtype).reshape(shape)
         page_size = self.store.page_size
         first, last = start // page_size, (stop - 1) // page_size
         buffer = np.empty((last - first + 1) * page_size, dtype=np.uint8)
@@ -168,6 +268,27 @@ class SpillManager:
         self.counters.spill_bytes_read += stop - start
         window = buffer[start - first * page_size : stop - first * page_size].copy()
         return window.view(handle.dtype).reshape(shape)
+
+    def describe(self, handle: SpillHandle) -> MappedRun:
+        """A picklable :class:`MappedRun` descriptor for ``handle``.
+
+        Flushes buffered writes first, so any process that maps
+        :attr:`path` sees the run's bytes.  The descriptor stays valid until
+        the handle is freed (or the manager closed) — callers dispatching it
+        to workers free the handle only after the results return.
+        """
+        self._check_open()
+        if not handle.live:
+            raise ValueError(f"spill handle already freed: {handle!r}")
+        self.store.sync()
+        return MappedRun(
+            path=self.path,
+            page_size=self.store.page_size,
+            pages=handle.pages,
+            dtype=handle.dtype.str,
+            shape=handle.shape,
+            nbytes=handle.nbytes,
+        )
 
     def free(self, handle: SpillHandle) -> None:
         """Release a spilled array's pages for reuse.  Idempotent."""

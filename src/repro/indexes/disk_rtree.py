@@ -9,11 +9,21 @@ to reproduce it.
 The tree is built with STR packing (as in the paper's Appendix A) and supports
 dynamic maintenance; structure and instrumentation mirror
 :class:`~repro.indexes.rtree.RTree`, with page transfers charged on top.
+
+With ``mapped=True`` nodes are stored as fixed binary records in a real file
+behind :class:`~repro.storage.pagestore.MappedPageStore`, and the read path
+serves **zero-copy NumPy views** of node pages through the buffer pool
+(:meth:`BufferPool.read_view`): the pool's bounded residency (capacity,
+hits/misses) is unchanged, but a miss maps the page instead of copying it.
+Writes go write-through with a ``pool.drop`` so no stale view frame can
+answer a rewritten page.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import tempfile
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -23,7 +33,7 @@ from repro.indexes.base import Item, KNNResult, SpatialIndex, validate_items
 from repro.indexes.bulkload import _tile
 from repro.instrumentation.counters import Counters
 from repro.storage.buffer_pool import BufferPool
-from repro.storage.pagestore import PageStore
+from repro.storage.pagestore import MappedPageStore, PageStore
 
 # A node payload is (is_leaf, entries); entries are (AABB, eid | page_id).
 _NodePayload = tuple[bool, list[tuple[AABB, int]]]
@@ -40,6 +50,12 @@ class DiskRTree(SpatialIndex):
         default of 64 keeps nodes page-aligned.
     buffer_pages:
         LRU buffer pool capacity in pages (0 models a poolless cold run).
+    mapped:
+        Store nodes as binary records in a real mapped file and serve reads
+        as zero-copy views (``int64 [is_leaf, count]`` header, ``float64``
+        boxes, ``int64`` refs per page).  Node capacity is then bounded by
+        ``page_size``; the encoder raises if ``max_entries`` boxes of the
+        data's dimensionality cannot fit one page.
     """
 
     def __init__(
@@ -49,13 +65,15 @@ class DiskRTree(SpatialIndex):
         page_size: int = 4096,
         buffer_pages: int = 64,
         counters: Counters | None = None,
+        mapped: bool = False,
     ) -> None:
         super().__init__(counters)
         if max_entries < 4:
             raise ValueError(f"max_entries must be >= 4, got {max_entries}")
         self.max_entries = max_entries
         self.min_entries = min_entries if min_entries is not None else max(2, max_entries * 2 // 5)
-        self.store = PageStore(page_size=page_size, counters=self.counters)
+        self.mapped = mapped
+        self.store = self._new_store(page_size)
         self.pool = BufferPool(self.store, capacity=buffer_pages)
         self._root_page: int | None = None
         self._height = 0
@@ -68,22 +86,110 @@ class DiskRTree(SpatialIndex):
         """Drop the buffer pool — the paper's between-queries cache clean."""
         self.pool.clear()
 
+    def close(self) -> None:
+        """Release the backing store (mapped mode unlinks its file)."""
+        self.pool.drop_all()
+        if isinstance(self.store, MappedPageStore):
+            self.store.close()
+
+    def _new_store(self, page_size: int) -> PageStore:
+        if not self.mapped:
+            return PageStore(page_size=page_size, counters=self.counters)
+        fd, path = tempfile.mkstemp(prefix="disk-rtree-", suffix=".pages")
+        os.close(fd)
+        return MappedPageStore(path, page_size=page_size, counters=self.counters)
+
+    def _reset_storage(self) -> None:
+        """Fresh store + pool for a rebuild; mapped files are unlinked."""
+        page_size = self.store.page_size
+        capacity = self.pool.capacity
+        self.close()
+        self.store = self._new_store(page_size)
+        self.pool = BufferPool(self.store, capacity=capacity)
+
     def _read(self, page_id: int) -> _NodePayload:
+        if self.mapped:
+            return self._decode_node(self.pool.read_view(page_id))
         return self.pool.read(page_id)
 
     def _write(self, page_id: int, payload: _NodePayload) -> None:
+        if self.mapped:
+            # Write-through: a mapped frame is a read-only view of the file,
+            # so write-back is meaningless and a stale frame is a hazard.
+            self.store.write(page_id, self._encode_node(payload))
+            self.pool.drop(page_id)
+            return
         self.pool.write(page_id, payload)
 
     def _allocate(self, payload: _NodePayload) -> int:
+        if self.mapped:
+            return self.store.allocate(self._encode_node(payload))
         page_id = self.store.allocate(payload)
         return page_id
+
+    # -- mapped node codec --------------------------------------------------
+
+    _HEADER_BYTES = 16  # int64 [is_leaf, count]
+
+    def _encode_node(self, payload: _NodePayload) -> bytes:
+        is_leaf, entries = payload
+        count = len(entries)
+        header = np.array([1 if is_leaf else 0, count], dtype=np.int64)
+        if not count:
+            return header.tobytes()
+        boxes = boxes_to_array([box for box, _ in entries])
+        refs = np.fromiter((ref for _, ref in entries), dtype=np.int64, count=count)
+        blob = header.tobytes() + boxes.tobytes() + refs.tobytes()
+        if len(blob) > self.store.page_size:
+            raise ValueError(
+                f"node of {count} {boxes.shape[2]}-d entries needs {len(blob)} "
+                f"bytes; page size is {self.store.page_size} — lower "
+                f"max_entries for mapped mode"
+            )
+        return blob
+
+    def _node_views(self, buf: np.ndarray) -> tuple[bool, np.ndarray, np.ndarray]:
+        """Decode one mapped page buffer into ``(is_leaf, boxes, refs)``
+        where boxes/refs are zero-copy views into the mapping."""
+        header = buf[: self._HEADER_BYTES].view(np.int64)
+        is_leaf, count = bool(header[0]), int(header[1])
+        dims = self._dims
+        if not count or dims is None:
+            return is_leaf, np.empty((0, 2, dims or 0)), np.empty(0, dtype=np.int64)
+        box_end = self._HEADER_BYTES + count * 2 * dims * 8
+        boxes = buf[self._HEADER_BYTES : box_end].view(np.float64)
+        refs = buf[box_end : box_end + count * 8].view(np.int64)
+        return is_leaf, boxes.reshape(count, 2, dims), refs
+
+    def _decode_node(self, buf: np.ndarray) -> _NodePayload:
+        is_leaf, boxes, refs = self._node_views(buf)
+        entries = [
+            (AABB(tuple(box[0]), tuple(box[1])), int(ref))
+            for box, ref in zip(boxes, refs)
+        ]
+        return is_leaf, entries
+
+    def _node_arrays(self, page_id: int) -> tuple[bool, np.ndarray, np.ndarray]:
+        """One node as ``(is_leaf, boxes (n,2,d), refs int64)``.
+
+        Mapped mode serves the arrays as zero-copy views of the pooled page
+        view — no byte copy, no AABB materialization; object mode packs the
+        payload's boxes.  Residency accounting is the pool's either way.
+        """
+        if self.mapped:
+            return self._node_views(self.pool.read_view(page_id))
+        is_leaf, entries = self.pool.read(page_id)
+        boxes = boxes_to_array([box for box, _ in entries], dims=self._dims)
+        refs = np.fromiter(
+            (ref for _, ref in entries), dtype=np.int64, count=len(entries)
+        )
+        return is_leaf, boxes, refs
 
     # -- maintenance -------------------------------------------------------------
 
     def bulk_load(self, items: Iterable[Item]) -> None:
         materialized = validate_items(items)
-        self.store = PageStore(page_size=self.store.page_size, counters=self.counters)
-        self.pool = BufferPool(self.store, capacity=self.pool.capacity)
+        self._reset_storage()
         if not materialized:
             self._root_page = None
             self._height = 0
@@ -117,6 +223,7 @@ class DiskRTree(SpatialIndex):
         items: Iterable[Item],
         budget: object = None,
         spill_dir: str | None = None,
+        workers: int | None = None,
     ) -> None:
         """STR rebuild with the build working set bounded by ``budget``.
 
@@ -125,12 +232,12 @@ class DiskRTree(SpatialIndex):
         the page store one at a time — the natural fit for this index: the
         leaf level never exists in memory at all, only the one-entry-per-
         leaf skeleton the upper levels tile (``max_entries``-fold smaller
-        per level).  ``items`` is consumed streaming.
+        per level).  ``items`` is consumed streaming; ``workers`` >= 2
+        tiles spilled merge slabs on the serving pool.
         """
         from repro.exec.external_build import external_leaf_groups
 
-        self.store = PageStore(page_size=self.store.page_size, counters=self.counters)
-        self.pool = BufferPool(self.store, capacity=self.pool.capacity)
+        self._reset_storage()
         pages: list[int] = []
         boxes: list[AABB] = []
         size = 0
@@ -140,6 +247,7 @@ class DiskRTree(SpatialIndex):
             budget=budget,  # type: ignore[arg-type]
             spill_dir=spill_dir,
             counters=self.counters,
+            workers=workers,
         ):
             if not pages:
                 self._dims = group[0][0].dims
@@ -247,10 +355,11 @@ class DiskRTree(SpatialIndex):
         stack: list[tuple[int, np.ndarray]] = [(self._root_page, np.arange(m))]
         while stack:
             page_id, active = stack.pop()
-            is_leaf, entries = self._read(page_id)
-            if not entries:
+            # Arrays straight from the node page: in mapped mode these are
+            # zero-copy views of the pooled page view.
+            is_leaf, entry_boxes, refs = self._node_arrays(page_id)
+            if entry_boxes.shape[0] == 0:
                 continue
-            entry_boxes = boxes_to_array([box for box, _ in entries])
             pending = queries[active]
             overlap = np.all(
                 (entry_boxes[:, None, 0, :] <= pending[None, :, 1, :])
@@ -261,14 +370,14 @@ class DiskRTree(SpatialIndex):
                 counters.elem_tests += overlap.size
                 rows, cols = np.nonzero(overlap)
                 for entry_i, query_i in zip(rows.tolist(), cols.tolist()):
-                    results[active[query_i]].append(entries[entry_i][1])
+                    results[active[query_i]].append(int(refs[entry_i]))
             else:
                 counters.node_tests += overlap.size
-                for entry_i, (_, child_page) in enumerate(entries):
+                for entry_i in range(entry_boxes.shape[0]):
                     sub = active[overlap[entry_i]]
                     if sub.size:
                         counters.pointer_follows += 1
-                        stack.append((child_page, sub))
+                        stack.append((int(refs[entry_i]), sub))
         return results
 
     def knn(self, point: Sequence[float], k: int) -> KNNResult:
@@ -329,14 +438,8 @@ class DiskRTree(SpatialIndex):
             cached = packed.get(handle)  # type: ignore[arg-type]
             if cached is not None:
                 return cached
-            is_leaf, entries = self._read(handle)  # type: ignore[arg-type]
-            boxes = boxes_to_array([box for box, _ in entries], dims=pts.shape[1])
-            if is_leaf:
-                refs: object = np.fromiter(
-                    (ref for _, ref in entries), dtype=np.int64, count=len(entries)
-                )
-            else:
-                refs = [child for _, child in entries]
+            is_leaf, boxes, ref_array = self._node_arrays(handle)  # type: ignore[arg-type]
+            refs: object = ref_array if is_leaf else [int(r) for r in ref_array]
             packed[handle] = (is_leaf, boxes, refs)  # type: ignore[index]
             return packed[handle]  # type: ignore[index]
 

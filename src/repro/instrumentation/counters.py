@@ -45,7 +45,14 @@ class Counters:
       violated and had to be re-evaluated;
     * ``approx_descents`` / ``leaves_scanned`` — approximate kNN
       (:mod:`repro.approx`): queries answered by defeatist (no-backtrack)
-      spill-tree descent, and the leaf buckets brute-forced to answer them.
+      spill-tree descent, and the leaf buckets brute-forced to answer them;
+    * ``zero_copy_reads`` / ``mapped_bytes`` — reads served as zero-copy
+      NumPy views over an mmap-backed page store
+      (:class:`~repro.storage.pagestore.MappedPageStore`) and the logical
+      bytes those views exposed without a copy;
+    * ``tile_runs_dispatched`` — mapped work units (spilled join tile runs,
+      external-build slabs) handed to pool workers, which attach the spill
+      file read-only instead of receiving the arrays by pickle.
     """
 
     node_tests: int = 0
@@ -69,6 +76,9 @@ class Counters:
     safe_region_invalidations: int = 0
     approx_descents: int = 0
     leaves_scanned: int = 0
+    zero_copy_reads: int = 0
+    mapped_bytes: int = 0
+    tile_runs_dispatched: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -338,6 +338,92 @@ class ShardedJoinExecutor(JoinExecutor):
             counters.merge(shard_counters)
         return pairs
 
+    def _run_inline(
+        self,
+        mode: str,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        probes: Sequence[Item],
+        epsilon: float,
+        counters: Counters,
+    ) -> Pairs:
+        if mode == "pair":
+            return self._fallback.pair_pairs(strategy, items_a, probes, counters)
+        if mode == "self":
+            return self._fallback.self_pairs(strategy, probes, counters)
+        if mode == "distance_pair":
+            return self._fallback.distance_pairs(strategy, items_a, probes, epsilon, counters)
+        return self._fallback.distance_pairs(strategy, probes, None, epsilon, counters)
+
+    def _run_tile_runs(
+        self,
+        mode: str,
+        strategy: JoinStrategy,
+        items_a: Sequence[Item],
+        probes: Sequence[Item],
+        epsilon: float,
+        counters: Counters,
+    ) -> Pairs:
+        """The ``tile_runs`` shard protocol (``pbsm_spill``).
+
+        The parent partitions once (histogram + gather/spill), then hands
+        workers *tile runs* — spilled ``(eids, boxes, keys)`` segment ranges
+        exported as :class:`~repro.exec.spill.MappedRun` descriptors — to
+        merge against their own read-only mapping of the spill file.  A tile
+        lives in exactly one run and the reference-point dedup is global, so
+        per-run results are disjoint and concatenate to the exact inline
+        answer, in the same order.  Self and distance modes reduce to the
+        binary plan exactly as the strategy's own defaults do (join the set
+        against itself and keep ``a < b``; expand boxes by ε/2).
+        """
+        if mode == "pair":
+            build, probe_side = items_a, probes
+        elif mode == "self":
+            build = probe_side = probes
+        elif mode == "distance_pair":
+            build = [(eid, box.expanded(epsilon / 2.0)) for eid, box in items_a]
+            probe_side = [(eid, box.expanded(epsilon / 2.0)) for eid, box in probes]
+        else:  # distance_self
+            build = probe_side = [
+                (eid, box.expanded(epsilon / 2.0)) for eid, box in probes
+            ]
+        self_mode = mode in ("self", "distance_self")
+
+        plan = strategy.plan_tile_runs(build, probe_side, counters)
+        if plan is None:
+            # The join would not spill — the inline strategy is both exact
+            # and faster than shipping a single resident run anywhere.
+            return self._run_inline(mode, strategy, items_a, probes, epsilon, counters)
+        try:
+            parts = None
+            pool = self._resolve_pool()
+            if pool is not None:
+                try:
+                    tasks = plan.run_tasks()
+                    parts = pool.run_tile_runs(tasks)
+                    counters.tile_runs_dispatched += len(tasks)
+                except Exception:
+                    # Pool-infrastructure failure: the inline merge below
+                    # reproduces any genuine join error.
+                    parts = None
+            if parts is not None:
+                id_arrays = []
+                for ids_a, ids_b, worker_counters in parts:
+                    counters.merge(worker_counters)
+                    id_arrays.append((ids_a, ids_b))
+            else:
+                id_arrays = [
+                    plan.merge_inline(run, counters) for run in range(plan.runs)
+                ]
+        finally:
+            plan.release()
+        pairs: Pairs = []
+        for ids_a, ids_b in id_arrays:
+            pairs.extend(zip(ids_a.tolist(), ids_b.tolist()))
+        if self_mode:
+            pairs = [(a, b) for a, b in pairs if a < b]
+        return pairs
+
     def _run(
         self,
         mode: str,
@@ -347,6 +433,11 @@ class ShardedJoinExecutor(JoinExecutor):
         epsilon: float,
         counters: Counters,
     ) -> Pairs:
+        # Custom shard protocols come first: the spill join must never take
+        # the generic fork/pool paths (forked children would duplicate the
+        # partition passes; its contract is parent-partition + mapped runs).
+        if getattr(strategy, "shard_protocol", None) == "tile_runs":
+            return self._run_tile_runs(mode, strategy, items_a, probes, epsilon, counters)
         shards = min(self.workers, len(probes) // self.min_shard)
         use_pool = shards >= 2 and strategy.binary and strategy.forkable
         if use_pool:
@@ -361,13 +452,7 @@ class ShardedJoinExecutor(JoinExecutor):
                     # below reproduce any genuine join error.
                     pass
         if shards < 2 or not strategy.binary or not strategy.forkable or not _fork_is_safe():
-            if mode == "pair":
-                return self._fallback.pair_pairs(strategy, items_a, probes, counters)
-            if mode == "self":
-                return self._fallback.self_pairs(strategy, probes, counters)
-            if mode == "distance_pair":
-                return self._fallback.distance_pairs(strategy, items_a, probes, epsilon, counters)
-            return self._fallback.distance_pairs(strategy, probes, None, epsilon, counters)
+            return self._run_inline(mode, strategy, items_a, probes, epsilon, counters)
 
         if mode in ("self", "distance_self"):
             # Direct self-join sharding needs id-contiguous chunks: worker k
@@ -678,6 +763,9 @@ class JoinSession:
         self.stats.tiles_spilled += delta.tiles_spilled
         self.stats.spill_bytes_written += delta.spill_bytes_written
         self.stats.spill_bytes_read += delta.spill_bytes_read
+        self.stats.zero_copy_reads += delta.zero_copy_reads
+        self.stats.mapped_bytes += delta.mapped_bytes
+        self.stats.tile_runs_dispatched += delta.tile_runs_dispatched
         self.stats.budget_high_water = max(
             self.stats.budget_high_water, self.budget.high_water
         )

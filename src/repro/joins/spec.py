@@ -177,6 +177,12 @@ class JoinStats:
     ``budget_high_water`` the closest the session's
     :class:`~repro.exec.budget.MemoryBudget` came to its limit (a gauge —
     merges take the max, not the sum).
+
+    The zero-copy storage fields complete the funnel: ``zero_copy_reads`` /
+    ``mapped_bytes`` count spill reads served as NumPy views over the
+    mmap-backed page store (and the bytes those views exposed without a
+    copy), and ``tile_runs_dispatched`` the spilled tile runs handed to
+    pool workers as mapped-file descriptors by the sharded executor.
     """
 
     joins: int = 0
@@ -187,6 +193,9 @@ class JoinStats:
     tiles_spilled: int = 0
     spill_bytes_written: int = 0
     spill_bytes_read: int = 0
+    zero_copy_reads: int = 0
+    mapped_bytes: int = 0
+    tile_runs_dispatched: int = 0
     budget_high_water: int = 0
     strategy_runs: dict[str, int] = field(default_factory=dict)
     executor_runs: dict[str, int] = field(default_factory=dict)
@@ -213,6 +222,9 @@ class JoinStats:
         self.tiles_spilled += other.tiles_spilled
         self.spill_bytes_written += other.spill_bytes_written
         self.spill_bytes_read += other.spill_bytes_read
+        self.zero_copy_reads += other.zero_copy_reads
+        self.mapped_bytes += other.mapped_bytes
+        self.tile_runs_dispatched += other.tile_runs_dispatched
         self.budget_high_water = max(self.budget_high_water, other.budget_high_water)
         for name, runs in other.strategy_runs.items():
             self.strategy_runs[name] = self.strategy_runs.get(name, 0) + runs

@@ -51,9 +51,15 @@ class JoinStrategy(ABC):
     #: Whether the strategy answers binary (A ⋈ B) joins.
     binary: bool = True
     #: Whether the strategy is safe to run inside forked shard workers.
-    #: Spill-backed strategies are not: forked children would write through
-    #: the parent's spill file descriptors concurrently.
+    #: A strategy holding writable process state (e.g. open file
+    #: descriptors forked children would write through) must set False.
     forkable: bool = True
+    #: Custom sharding contract, checked by the sharded executor *before*
+    #: its generic element-range paths.  ``"tile_runs"`` (the spill join)
+    #: means: partition in the parent via ``plan_tile_runs`` and merge the
+    #: resulting mapped runs in pool workers — never fork the strategy
+    #: wholesale.  ``None`` means generic sharding applies.
+    shard_protocol: str | None = None
 
     @abstractmethod
     def join(self, items_a: Sequence[Item], items_b: Sequence[Item], counters: Counters) -> Pairs:

@@ -311,6 +311,32 @@ class WorkerPool:
         self.shards_run += len(tasks)
         return parts
 
+    def run_tile_runs(self, tasks: list[tuple]) -> list[tuple]:
+        """Merge spilled PBSM tile runs in the workers.
+
+        Each task is ``(layout, segments_a, segments_b)`` with the segments
+        as :class:`~repro.exec.spill.MappedRun` descriptor triples (see
+        :meth:`repro.exec.external_join.SpillPlan.run_tasks`); workers map
+        the spill file read-only and return ``(ids_a, ids_b, counters)``.
+        The caller must keep the described handles live until this returns —
+        a crash retry remaps the same descriptors.
+        """
+        parts = self._map(_worker.merge_run_task, tasks)
+        self.shards_run += len(tasks)
+        return parts
+
+    def run_slab_tasks(self, tasks: list[tuple]) -> list[tuple]:
+        """Tile external-build STR slabs in the workers.
+
+        Each task is ``(dims, max_entries, [(eids_run, boxes_run, lo, hi),
+        ...])``; workers gather their slab rows from the mapped spill file
+        and return ``(groups, counters)`` with each group packed as
+        ``(boxes_array, eids_array)``.
+        """
+        parts = self._map(_worker.str_slab_task, tasks)
+        self.shards_run += len(tasks)
+        return parts
+
 
 # -- the shared default pool ---------------------------------------------------
 

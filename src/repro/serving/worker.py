@@ -10,10 +10,19 @@ probe arrays in and result arrays out.
 The parent issues a fresh token whenever an index mutates, so a token is an
 immutable name for one exported snapshot; the small LRU here releases the
 mappings of superseded tokens.
+
+Spilled data takes the same shape with files instead of shm: the parent
+ships picklable :class:`~repro.exec.spill.MappedRun` descriptors, and the
+worker maps the spill file read-only **once per file** (cached by path, like
+the token cache) and serves every segment as a zero-copy view.  Workers
+never hold a writable descriptor to the spill file — the parent owns its
+lifetime — so a worker crash leaks nothing and a pool retry just remaps.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 from collections import OrderedDict
 
 import numpy as np
@@ -61,6 +70,132 @@ def _reset_cache() -> None:
     while _CACHE:
         _, entry = _CACHE.popitem()
         entry.attached.release()
+    _reset_maps()
+
+
+# -- mapped spill files --------------------------------------------------------
+
+#: Read-only mappings of parent spill files, one live mapping per path.
+_MAPS: dict[str, tuple[mmap.mmap, int]] = {}
+#: Superseded mappings that zero-copy views may still pin (a closed-on-GC
+#: mapping mirrors MappedPageStore's retire-don't-close policy).
+_RETIRED_MAPS: list[mmap.mmap] = []
+
+
+def _reset_maps() -> None:
+    """Drop every cached spill-file mapping (tests only)."""
+    while _MAPS:
+        _, (mapping, _) = _MAPS.popitem()
+        try:
+            mapping.close()
+        except BufferError:  # a live view still exports the buffer
+            _RETIRED_MAPS.append(mapping)
+
+
+def _mapping_for(path: str, min_size: int) -> mmap.mmap:
+    """The worker's read-only mapping of one spill file.
+
+    Cached per path; when the file has grown past the cached mapping, a
+    larger mapping replaces it and the old one is retired (views served
+    earlier keep their buffer).  The parent flushed its writes before
+    describing the runs, so the bytes are visible here through the kernel's
+    page cache.
+    """
+    entry = _MAPS.get(path)
+    if entry is not None and entry[1] >= min_size:
+        return entry[0]
+    with open(path, "rb") as handle:
+        size = os.fstat(handle.fileno()).st_size
+        if size < min_size:
+            raise ValueError(
+                f"spill file {path!r} is {size} bytes; task needs {min_size}"
+            )
+        mapping = mmap.mmap(handle.fileno(), size, access=mmap.ACCESS_READ)
+    if entry is not None:
+        _RETIRED_MAPS.append(entry[0])
+    _MAPS[path] = (mapping, size)
+    return mapping
+
+
+def _run_extent(run) -> int:
+    """Last byte offset (exclusive) a :class:`MappedRun`'s pages reach."""
+    page_size = run.page_size
+    return max(
+        page * page_size + min(page_size, run.nbytes - index * page_size)
+        for index, page in enumerate(run.pages)
+    )
+
+
+def _attach_run(run, counters: Counters) -> np.ndarray:
+    """One spilled array out of the mapped file (zero-copy when contiguous)."""
+    from repro.exec.spill import mapped_run_rows
+
+    mapping = _mapping_for(run.path, _run_extent(run))
+    counters.spill_bytes_read += run.nbytes
+    return mapped_run_rows(mapping, run, 0, run.rows, counters)
+
+
+def merge_run_task(layout, segments_a, segments_b):
+    """Merge one spilled PBSM tile run into result id pairs.
+
+    The sharded executor's ``tile_runs`` protocol: ``segments_a`` /
+    ``segments_b`` are lists of ``(eids, boxes, keys)``
+    :class:`~repro.exec.spill.MappedRun` triples in the parent's gather
+    order, so concatenation — and therefore the stable key sort and the
+    kernel's pair order — is bit-identical to the inline merge loop.
+    """
+    from repro.exec.external_join import concat_segments, merge_run_arrays
+
+    counters = Counters()
+    sides = []
+    for segments in (segments_a, segments_b):
+        parts = [
+            tuple(_attach_run(run, counters) for run in seg) for seg in segments
+        ]
+        sides.append(concat_segments(parts, layout.dims))
+    ids_a, ids_b = merge_run_arrays(layout, sides[0], sides[1], counters)
+    return ids_a, ids_b, counters
+
+
+def str_slab_task(dims: int, max_entries: int, segments):
+    """Tile one STR slab of an external build into leaf groups.
+
+    ``segments`` is ``[(eids_run, boxes_run, lo, hi), ...]`` in run order —
+    the same gather order as the inline slab loop, so the recursive tiler
+    sees an identical entry list.  Returns ``(groups, counters)`` where each
+    group is an ``(boxes_array, eids_array)`` pair (arrays, not AABBs, to
+    keep result pickling cheap).
+    """
+    from repro.geometry.aabb import AABB, boxes_to_array
+    from repro.indexes.bulkload import _tile_recursive
+
+    counters = Counters()
+    entries = []
+    for eids_run, boxes_run, lo, hi in segments:
+        boxes = _attach_slice(boxes_run, lo, hi, counters)
+        eids = _attach_slice(eids_run, lo, hi, counters)
+        entries.extend(
+            (AABB(box[0], box[1]), int(eid)) for box, eid in zip(boxes, eids)
+        )
+    groups: list[list] = []
+    _tile_recursive(entries, min(1, dims - 1), dims, max_entries, groups)
+    packed = [
+        (
+            boxes_to_array([box for box, _ in group]),
+            np.fromiter((eid for _, eid in group), dtype=np.int64, count=len(group)),
+        )
+        for group in groups
+    ]
+    return packed, counters
+
+
+def _attach_slice(run, lo: int, hi: int, counters: Counters) -> np.ndarray:
+    """Rows ``[lo, hi)`` of a mapped run (zero-copy when contiguous)."""
+    from repro.exec.spill import mapped_run_rows
+
+    mapping = _mapping_for(run.path, _run_extent(run))
+    counters.spill_bytes_read += (hi - lo) * run.row_bytes
+    return mapped_run_rows(mapping, run, lo, hi, counters)
 
 
 def query_shard_task(

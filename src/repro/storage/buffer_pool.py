@@ -52,6 +52,26 @@ class BufferPool:
         self._admit(page_id, payload)
         return payload
 
+    def read_view(self, page_id: int) -> Any:
+        """Fetch a page as a zero-copy view through the pool.
+
+        Requires a store with a view read path
+        (:class:`~repro.storage.pagestore.MappedPageStore`).  The frames
+        then cache *views*, not copies: residency accounting (hits, misses,
+        the ``capacity`` bound on resident frames) is identical to
+        :meth:`read`, but a miss costs one mapped view instead of a byte
+        copy.  Callers must not mix :meth:`write` (write-back of a read-only
+        view is meaningless) — mapped stores are written write-through.
+        """
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        payload = self.store.read_view(page_id)
+        self._admit(page_id, payload)
+        return payload
+
     def write(self, page_id: int, payload: Any) -> None:
         """Update a page in the pool, deferring the disk write (write-back)."""
         if page_id not in self._frames:

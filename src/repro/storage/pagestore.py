@@ -9,12 +9,22 @@ that every read and write is charged to a :class:`Counters` object, which the
 accounting, but payloads are byte blobs persisted in one real file, so evicted
 data genuinely leaves main memory.  It is the substrate the out-of-core
 subsystem (:mod:`repro.exec.spill`) writes tile and partition arrays through.
+
+:class:`MappedPageStore` completes the read side: the same file, but reads
+can come back as **zero-copy NumPy views** over an ``mmap`` of the backing
+file.  Writers still go through the slot protocol (plain file writes — the
+kernel's unified page cache keeps the mapping coherent), so one store serves
+any number of readers, in this process or another, without a copy per read.
 """
 
 from __future__ import annotations
 
+import heapq
+import mmap
 import os
 from typing import Any
+
+import numpy as np
 
 from repro.instrumentation.counters import Counters
 
@@ -108,8 +118,14 @@ class FilePageStore(PageStore):
         return len(self._lengths)
 
     def allocate(self, payload: bytes | None = None) -> int:
-        """Reserve a page slot, optionally writing an initial payload."""
-        page_id = self._free_slots.pop() if self._free_slots else self._slots
+        """Reserve a page slot, optionally writing an initial payload.
+
+        Freed slots are reused **lowest slot first** (a heap, not a LIFO
+        stack): multi-page allocations that follow multi-page frees land on
+        consecutive slots again, which keeps spilled arrays contiguous in
+        the file — the property the zero-copy mapped read path needs.
+        """
+        page_id = heapq.heappop(self._free_slots) if self._free_slots else self._slots
         if page_id == self._slots:
             self._slots += 1
         self._lengths[page_id] = 0
@@ -134,7 +150,7 @@ class FilePageStore(PageStore):
         if page_id not in self._lengths:
             raise KeyError(f"page {page_id} was never allocated")
         del self._lengths[page_id]
-        self._free_slots.append(page_id)
+        heapq.heappush(self._free_slots, page_id)
 
     def peek(self, page_id: int) -> bytes:
         return self._read_at(page_id)
@@ -146,6 +162,19 @@ class FilePageStore(PageStore):
     def file_bytes(self) -> int:
         """Current size of the backing file (high-water, not live bytes)."""
         return self._slots * self.page_size
+
+    def fragmentation(self) -> float:
+        """Share of the file's slot high-water currently on the free list.
+
+        0.0 is a fully packed file; values near 1.0 mean the file is mostly
+        holes — allocations keep landing in freed interior slots and spilled
+        multi-page arrays are likely to be split across non-consecutive
+        slots (forcing the copying read path in
+        :class:`~repro.exec.spill.SpillManager`).
+        """
+        if self._slots == 0:
+            return 0.0
+        return len(self._free_slots) / self._slots
 
     def close(self, *, unlink: bool = True) -> None:
         """Close (and by default remove) the backing file.  Idempotent."""
@@ -173,3 +202,123 @@ class FilePageStore(PageStore):
             return b""
         self._file.seek(page_id * self.page_size)
         return self._file.read(length)
+
+
+class MappedPageStore(FilePageStore):
+    """A :class:`FilePageStore` whose reads can be zero-copy mmap views.
+
+    The write side is unchanged — the slot protocol appends/overwrites byte
+    blobs through the file descriptor — but the read side adds
+    :meth:`read_view` / :meth:`run_view`, which return NumPy arrays backed
+    directly by an ``mmap`` of the file: no page buffer, no ``bytes`` copy,
+    no per-read allocation.  File writes and the read-only mapping stay
+    coherent through the kernel's unified page cache, so a view taken before
+    a later write to a *different* page never moves or staled (views of
+    pages the caller then overwrites are the caller's hazard, exactly like
+    any shared-memory protocol).
+
+    Growth is handled by remapping: when the file has grown past the mapped
+    length, a larger mapping is created and the old one is *retired, not
+    closed* — NumPy views exported from it keep their buffer alive, and the
+    underlying file regions never move.  ``close()`` releases whatever can
+    be released and leaves the rest to garbage collection.
+
+    Views served before any page exists, or of freed pages, raise exactly
+    like :meth:`read`.  Every view charges ``pages_read`` (transfer
+    accounting is uniform with the copying stores) plus the zero-copy
+    telemetry: ``zero_copy_reads`` and ``mapped_bytes``.
+    """
+
+    def __init__(
+        self, path: str, page_size: int = 1 << 20, counters: Counters | None = None
+    ) -> None:
+        super().__init__(path, page_size=page_size, counters=counters)
+        self._map: mmap.mmap | None = None
+        self._mapped_slots = 0
+        self._retired_maps: list[mmap.mmap] = []
+        self._unflushed = False
+
+    # -- zero-copy reads ------------------------------------------------------
+
+    def read_view(self, page_id: int) -> np.ndarray:
+        """One page's payload as a read-only zero-copy ``uint8`` view."""
+        if page_id not in self._lengths:
+            raise KeyError(f"page {page_id} was never allocated")
+        length = self._lengths[page_id]
+        self.counters.pages_read += 1
+        self.counters.zero_copy_reads += 1
+        self.counters.mapped_bytes += length
+        if length == 0:
+            return np.empty(0, dtype=np.uint8)
+        mapping = self._ensure_mapped(page_id + 1)
+        return np.frombuffer(
+            mapping, dtype=np.uint8, count=length, offset=page_id * self.page_size
+        )
+
+    def run_view(self, first_page: int, nbytes: int, *, offset: int = 0) -> np.ndarray:
+        """A zero-copy view of ``nbytes`` starting ``offset`` bytes into the
+        page run that begins at ``first_page``.
+
+        The caller guarantees the run occupies *consecutive* slots (the
+        invariant :class:`~repro.exec.spill.SpillManager` tracks per
+        handle); page-transfer accounting charges every covering page.
+        """
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8)
+        start = first_page * self.page_size + offset
+        stop = start + nbytes
+        slots_needed = -(-stop // self.page_size)
+        if slots_needed > self._slots:
+            raise ValueError(
+                f"run view [{start}, {stop}) reaches past the allocated "
+                f"{self._slots} slots"
+            )
+        self.counters.pages_read += (stop - 1) // self.page_size - start // self.page_size + 1
+        self.counters.zero_copy_reads += 1
+        self.counters.mapped_bytes += nbytes
+        mapping = self._ensure_mapped(slots_needed)
+        return np.frombuffer(mapping, dtype=np.uint8, count=nbytes, offset=start)
+
+    def sync(self) -> None:
+        """Make every buffered write visible to mappings (this process's and
+        any other process that maps the file)."""
+        if self._unflushed and not self.closed:
+            self._file.flush()
+            self._unflushed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, *, unlink: bool = True) -> None:
+        if self.closed:
+            return
+        for mapping in (*self._retired_maps, *([self._map] if self._map else [])):
+            try:
+                mapping.close()
+            except BufferError:  # a live view still exports this buffer
+                pass  # the GC closes it once the last view dies
+        self._retired_maps.clear()
+        self._map = None
+        self._mapped_slots = 0
+        super().close(unlink=unlink)
+
+    # -- internals ------------------------------------------------------------
+
+    def _write_at(self, page_id: int, payload: bytes) -> None:
+        super()._write_at(page_id, payload)
+        self._unflushed = True
+
+    def _ensure_mapped(self, slots_needed: int) -> mmap.mmap:
+        self.sync()
+        if self._map is not None and self._mapped_slots >= slots_needed:
+            return self._map
+        size = self._slots * self.page_size  # map the whole high-water once
+        # A partial final page leaves the file short of the slot boundary;
+        # mmap cannot extend past EOF, so round the file up first.
+        if os.fstat(self._file.fileno()).st_size < size:
+            os.ftruncate(self._file.fileno(), size)
+        mapping = mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ)
+        if self._map is not None:
+            self._retired_maps.append(self._map)  # live views may pin it
+        self._map = mapping
+        self._mapped_slots = self._slots
+        return mapping

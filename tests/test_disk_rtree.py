@@ -88,3 +88,122 @@ class TestPageAccounting:
         large = DiskRTree(max_entries=16)
         large.bulk_load(make_items(2000, seed=1))
         assert large.page_count() > small.page_count()
+
+
+class TestMappedMode:
+    """ISSUE 9: ``mapped=True`` stores nodes as binary pages in a real file
+    (:class:`~repro.storage.pagestore.MappedPageStore`) and the read path
+    serves zero-copy views through the buffer pool — answers, maintenance
+    and residency accounting must match the object store exactly."""
+
+    def _pair(self, items, **kwargs):
+        plain = DiskRTree(**kwargs)
+        plain.bulk_load(items)
+        mapped = DiskRTree(mapped=True, **kwargs)
+        mapped.bulk_load(items)
+        return plain, mapped
+
+    def test_query_parity_with_object_store(self, items_3d, queries_3d):
+        plain, mapped = self._pair(items_3d, max_entries=16)
+        try:
+            for query in queries_3d:
+                assert sorted(mapped.range_query(query)) == sorted(
+                    plain.range_query(query)
+                )
+            batched_plain = plain.batch_range_query(queries_3d)
+            batched_mapped = mapped.batch_range_query(queries_3d)
+            assert [sorted(r) for r in batched_mapped] == [
+                sorted(r) for r in batched_plain
+            ]
+            points = [(30.0, 60.0, 10.0), (80.0, 80.0, 80.0)]
+            assert mapped.batch_knn(points, 6) == plain.batch_knn(points, 6)
+            assert mapped.knn(points[0], 6) == plain.knn(points[0], 6)
+        finally:
+            mapped.close()
+
+    def test_dynamic_workload_parity(self):
+        items = make_items(300, seed=9)
+        plain = DiskRTree(max_entries=8)
+        mapped = DiskRTree(max_entries=8, mapped=True)
+        live = {}
+        for eid, box in items:
+            plain.insert(eid, box)
+            mapped.insert(eid, box)
+            live[eid] = box
+        for eid in list(live)[::3]:
+            box = live.pop(eid)
+            plain.delete(eid, box)
+            mapped.delete(eid, box)
+        try:
+            assert len(mapped) == len(plain) == len(live)
+            for query in make_queries(30, seed=10):
+                assert sorted(mapped.range_query(query)) == sorted(
+                    plain.range_query(query)
+                )
+        finally:
+            mapped.close()
+
+    def test_zero_copy_reads_keep_pool_residency_bounded(self):
+        items = make_items(2000, seed=11)
+        tree = DiskRTree(max_entries=16, buffer_pages=8, mapped=True)
+        tree.bulk_load(items)
+        try:
+            tree.clear_cache()
+            before = tree.counters.snapshot()
+            tree.batch_range_query(make_queries(40, seed=12))
+            delta = tree.counters.diff(before)
+            # Every pool miss was served as a mapped view, not a copy...
+            assert delta.zero_copy_reads > 0
+            assert delta.mapped_bytes > 0
+            assert delta.pages_read == delta.zero_copy_reads
+            # ...and the view frames still obey the pool's capacity bound.
+            assert len(tree.pool) <= tree.pool.capacity
+            assert tree.pool.misses > 0
+        finally:
+            tree.close()
+
+    def test_warm_pool_skips_mapped_reads_like_object_mode(self):
+        items = make_items(1000, seed=13)
+        query = AABB((10, 10, 10), (30, 30, 30))
+        tree = DiskRTree(max_entries=32, buffer_pages=512, mapped=True)
+        tree.bulk_load(items)
+        try:
+            tree.clear_cache()
+            before = tree.counters.snapshot()
+            tree.range_query(query)
+            cold = tree.counters.diff(before).zero_copy_reads
+            before = tree.counters.snapshot()
+            tree.range_query(query)
+            assert tree.counters.diff(before).zero_copy_reads == 0  # all hits
+            assert cold > 0
+        finally:
+            tree.close()
+
+    def test_close_unlinks_the_backing_file(self):
+        import os
+
+        tree = DiskRTree(max_entries=16, mapped=True)
+        tree.bulk_load(make_items(200, seed=14))
+        path = tree.store.path
+        assert os.path.exists(path)
+        tree.close()
+        assert not os.path.exists(path)
+
+    def test_rebuild_replaces_the_backing_file(self):
+        import os
+
+        tree = DiskRTree(max_entries=16, mapped=True)
+        tree.bulk_load(make_items(200, seed=15))
+        first = tree.store.path
+        tree.bulk_load(make_items(300, seed=16))
+        assert tree.store.path != first
+        assert not os.path.exists(first)
+        tree.close()
+
+    def test_oversized_node_raises_before_write(self):
+        # 100 3-d entries need 16 + 100*(48+8) bytes > 4096: the codec must
+        # refuse rather than truncate.
+        tree = DiskRTree(max_entries=100, mapped=True)
+        with pytest.raises(ValueError, match="mapped mode"):
+            tree.bulk_load(make_items(500, seed=17))
+        tree.close()

@@ -22,6 +22,7 @@ These tests pin the contracts ISSUE 6 introduces:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import multiprocessing
 import os
 import random
@@ -53,6 +54,7 @@ from repro import (
 from repro.approx import SpillTree
 from repro.engine.session import BatchExecutor
 from repro.indexes.linear_scan import LinearScan
+from repro.instrumentation.counters import Counters
 from repro.joins.session import InlineJoinExecutor
 from repro.serving.async_executor import AsyncExecutor
 from repro.serving.shm import AttachedArrays, SegmentGroup, live_segment_names
@@ -361,6 +363,90 @@ class TestTreeAndSpillPayloads:
         entry = pool.ensure_index(spill)
         assert entry.kind == "spill"
         assert pool.exports == 1
+
+
+class TestMappedSpillRuns:
+    """ISSUE 9: workers attach spill files by path+descriptor the same way
+    they attach shm index payloads — N processes map ONE spill file
+    read-only and merge their tile runs concurrently, with no byte copied
+    on the read path and no descriptor inherited (the spawn param proves
+    the attach is purely path-based)."""
+
+    def _spilled_plan(self, seed):
+        from repro.exec.external_join import SpillPBSMJoin
+
+        items_a = make_items(1200, seed=seed)
+        items_b = [(eid + 10_000, box) for eid, box in make_items(1100, seed=seed + 1)]
+        strategy = SpillPBSMJoin(budget=150_000)
+        counters = Counters()
+        plan = strategy.plan_tile_runs(items_a, items_b, counters)
+        assert plan is not None and plan.runs >= 2
+        return plan, counters
+
+    def test_concurrent_workers_map_one_spill_file(self, pool):
+        plan, plan_counters = self._spilled_plan(81)
+        try:
+            before = plan_counters.snapshot()
+            expected = [
+                tuple(arr.tolist() for arr in plan.merge_inline(run, Counters()))
+                for run in range(plan.runs)
+            ]
+            # Segment reads are charged to the spill manager's counters.
+            inline_reads = plan_counters.diff(before)
+            parts = pool.run_tile_runs(plan.run_tasks())
+            worker_counters = Counters()
+            got = []
+            for ids_a, ids_b, counters in parts:
+                worker_counters.merge(counters)
+                got.append((ids_a.tolist(), ids_b.tolist()))
+            # Exactness: every run's id arrays, bit for bit, run for run.
+            assert got == expected
+            # No copy amplification: the workers read exactly the bytes the
+            # inline merge reads — each segment once, as a mapped view.
+            assert worker_counters.spill_bytes_read == inline_reads.spill_bytes_read
+            assert worker_counters.zero_copy_reads > 0
+        finally:
+            plan.release()
+
+    def test_worker_crash_recovers_and_spill_dir_is_released(self, loaded):
+        items = make_items(1400, seed=83)
+        with WorkerPool(workers=2) as pool:
+            session = JoinSession(
+                budget=100_000,
+                executor=ShardedJoinExecutor(workers=2, min_shard=64, pool=pool),
+            )
+            expected = sorted(JoinSession(budget=100_000).run(SelfJoinSpec(items)))
+            assert sorted(session.run(SelfJoinSpec(items))) == expected
+            assert session.stats.strategy_runs.get("pbsm_spill") == 1
+            assert session.stats.tile_runs_dispatched > 0
+            spill_dir = session.spill_manager().dir
+            assert os.path.isdir(spill_dir)
+            for process in list(pool._executor._processes.values()):
+                os.kill(process.pid, signal.SIGKILL)
+            time.sleep(0.1)
+            # The rerun must stay exact whether the retry path resurrects
+            # the pool or the executor falls back to the inline merge.
+            assert sorted(session.run(SelfJoinSpec(items))) == expected
+            session.close()
+            # Worker-side read-only mappings never pin the parent's spill
+            # files: close() removes the tmpdir immediately.
+            assert not os.path.exists(spill_dir)
+
+    def test_mapped_attach_rejects_truncated_files(self, pool):
+        # A descriptor pointing past EOF (stale handle, truncated file) must
+        # fail loudly in the worker, not map garbage.
+        plan, _ = self._spilled_plan(85)
+        try:
+            tasks = plan.run_tasks()
+            layout, segments_a, segments_b = tasks[0]
+            run = segments_a[0][0]
+            bogus = dataclasses.replace(run, pages=(10_000,))
+            with pytest.raises(Exception):
+                pool.run_tile_runs(
+                    [(layout, [(bogus,) + segments_a[0][1:]], segments_b)]
+                )
+        finally:
+            plan.release()
 
 
 # -- the async serving tier ----------------------------------------------------

@@ -433,3 +433,161 @@ class TestQuerySessionBudget:
         session = QuerySession(index)
         session.range_query(make_queries(20, seed=55))
         assert "spill:" not in session_report(session)
+
+
+class TestShardedSpillJoin:
+    """ISSUE 9 tentpole: the ``tile_runs`` shard protocol.
+
+    ``pbsm_spill`` partitions in the parent and hands pool workers spilled
+    tile *runs* as MappedRun descriptors; each worker maps the spill file
+    read-only and merges with the shared kernel.  A tile lives in exactly
+    one run and the reference-point dedup is global, so the sharded pair
+    list must be **bit-identical** (same order, not just same set) to the
+    inline out-of-core merge.
+    """
+
+    BUDGET = 150_000
+
+    def _executor(self):
+        from repro.joins.session import ShardedJoinExecutor
+
+        return ShardedJoinExecutor(workers=2, min_shard=64)
+
+    def test_pair_join_bit_identical_to_inline(self):
+        items_a = _sides(1200, seed=60)
+        items_b = _offset(_sides(1100, seed=61), 10_000)
+        strategy = SpillPBSMJoin(budget=self.BUDGET)
+        inline_counters = Counters()
+        expected = strategy.join(items_a, items_b, inline_counters)
+        assert inline_counters.tiles_spilled > 0  # the regime under test
+        counters = Counters()
+        got = self._executor().pair_pairs(
+            SpillPBSMJoin(budget=self.BUDGET), items_a, items_b, counters
+        )
+        assert got == expected  # identical list, not just identical set
+        assert counters.tile_runs_dispatched > 0
+        assert counters.zero_copy_reads > 0
+        # No copy amplification: the sharded merge reads exactly the bytes
+        # the inline merge reads — every segment once, straight off the map.
+        assert counters.spill_bytes_read == inline_counters.spill_bytes_read
+
+    def test_self_join_bit_identical_to_inline(self):
+        from repro.joins.session import InlineJoinExecutor
+
+        items = _sides(1400, seed=62)
+        expected = InlineJoinExecutor().self_pairs(
+            SpillPBSMJoin(budget=self.BUDGET), items, Counters()
+        )
+        counters = Counters()
+        got = self._executor().self_pairs(
+            SpillPBSMJoin(budget=self.BUDGET), items, counters
+        )
+        assert got == expected
+        assert counters.tile_runs_dispatched > 0
+
+    def test_distance_join_bit_identical_to_inline(self):
+        from repro.joins.session import InlineJoinExecutor
+
+        items = _sides(1200, seed=63)
+        epsilon = 1.5
+        expected = InlineJoinExecutor().distance_pairs(
+            SpillPBSMJoin(budget=self.BUDGET), items, None, epsilon, Counters()
+        )
+        counters = Counters()
+        got = self._executor().distance_pairs(
+            SpillPBSMJoin(budget=self.BUDGET), items, None, epsilon, counters
+        )
+        assert got == expected
+
+    def test_resident_joins_plan_none_and_run_inline(self):
+        # Below-budget inputs never spill: plan_tile_runs declines and the
+        # executor answers through the plain inline strategy.
+        items_a = _sides(200, seed=64)
+        items_b = _offset(_sides(200, seed=65), 10_000)
+        strategy = SpillPBSMJoin(budget=None)
+        assert strategy.plan_tile_runs(items_a, items_b, Counters()) is None
+        counters = Counters()
+        got = self._executor().pair_pairs(strategy, items_a, items_b, counters)
+        assert sorted(got) == sorted(
+            make_join_strategy("pbsm").join(items_a, items_b, Counters())
+        )
+        assert counters.tile_runs_dispatched == 0
+
+    def test_session_threads_mapped_telemetry(self):
+        from repro.joins.session import ShardedJoinExecutor
+
+        items_a = _sides(1500, seed=66)
+        items_b = _offset(_sides(1500, seed=67), 10_000)
+        with JoinSession(
+            budget=self.BUDGET, executor=ShardedJoinExecutor(workers=2, min_shard=64)
+        ) as session:
+            pairs = session.run(PairJoinSpec(items_a, items_b))
+            assert session.stats.strategy_runs.get("pbsm_spill") == 1
+            assert session.stats.tile_runs_dispatched > 0
+            assert session.stats.zero_copy_reads > 0
+            assert session.stats.mapped_bytes > 0
+            report = join_report(session)
+            assert "mapped:" in report and "tile-runs=" in report
+        expected = sorted(make_join_strategy("pbsm").join(items_a, items_b, Counters()))
+        assert sorted(pairs) == expected
+
+
+class TestParallelExternalBuild:
+    """ISSUE 9: the mapped-slab path parallelizes the external STR merge.
+
+    Pool workers tile whole slabs from their own read-only mapping of the
+    run file; group order (and therefore the packed tree) must be identical
+    to the single-process merge.
+    """
+
+    def _items(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0.0, 400.0, size=(n, 2))
+        return [
+            (i, AABB(tuple(l), tuple(l + rng.uniform(0.5, 2.0, 2))))
+            for i, l in enumerate(lo)
+        ]
+
+    def test_leaf_groups_identical_to_inline(self):
+        from repro.exec.external_build import external_leaf_groups
+
+        items = self._items(6000, seed=70)
+        inline = list(external_leaf_groups(iter(items), 16, 100_000, counters=Counters()))
+        counters = Counters()
+        parallel = list(
+            external_leaf_groups(iter(items), 16, 100_000, counters=counters, workers=2)
+        )
+        assert parallel == inline  # same groups, same order
+        assert counters.tile_runs_dispatched > 0
+        assert counters.zero_copy_reads > 0
+
+    @pytest.mark.parametrize("cls", [RTree, DiskRTree])
+    def test_indexes_build_identically_with_workers(self, cls):
+        items = self._items(5000, seed=71)
+        solo = cls(max_entries=16)
+        solo.bulk_load_external(iter(items), budget=80_000)
+        pooled = cls(max_entries=16)
+        pooled.bulk_load_external(iter(items), budget=80_000, workers=2)
+        assert len(pooled) == len(items)
+        assert pooled.counters.tile_runs_dispatched > 0
+        queries = [
+            AABB((40.0 * i, 30.0 * i), (40.0 * i + 50.0, 30.0 * i + 50.0))
+            for i in range(8)
+        ]
+        for got, expected in zip(
+            pooled.batch_range_query(queries), solo.batch_range_query(queries)
+        ):
+            assert sorted(got) == sorted(expected)
+
+    def test_resident_build_skips_the_pool(self):
+        # Unbudgeted builds keep every run resident — nothing to map, so the
+        # workers path must decline rather than ship arrays around.
+        from repro.exec.external_build import external_leaf_groups
+
+        items = self._items(800, seed=72)
+        counters = Counters()
+        groups = list(
+            external_leaf_groups(iter(items), 16, None, counters=counters, workers=2)
+        )
+        assert sum(len(g) for g in groups) == len(items)
+        assert counters.tile_runs_dispatched == 0

@@ -8,7 +8,78 @@ import pytest
 from repro.instrumentation.counters import Counters
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.cache import Arena, CacheSimulator
-from repro.storage.pagestore import FilePageStore, PageStore
+from repro.storage.pagestore import FilePageStore, MappedPageStore, PageStore
+
+
+class TestMappedPageStore:
+    """ISSUE 9 tentpole: zero-copy mmap views over the file page store."""
+
+    def test_read_view_roundtrip_and_counters(self, tmp_path):
+        counters = Counters()
+        store = MappedPageStore(
+            str(tmp_path / "pages.bin"), page_size=64, counters=counters
+        )
+        pid = store.allocate(b"hello mapped world")
+        view = store.read_view(pid)
+        assert bytes(view) == b"hello mapped world"
+        assert not view.flags.owndata  # a view over the mmap
+        assert not view.flags.writeable
+        assert counters.pages_read == 1
+        assert counters.zero_copy_reads == 1
+        assert counters.mapped_bytes == len(b"hello mapped world")
+        assert store.read(pid) == b"hello mapped world"  # byte path still works
+        store.close()
+
+    def test_views_see_later_writes_through_page_cache(self, tmp_path):
+        store = MappedPageStore(str(tmp_path / "pages.bin"), page_size=16)
+        pid = store.allocate(b"aaaaaaaa")
+        assert bytes(store.read_view(pid)) == b"aaaaaaaa"
+        store.write(pid, b"bbbbbbbb")
+        # A fresh view reflects the write: file writes and the read-only
+        # mapping are coherent through the kernel's unified page cache.
+        assert bytes(store.read_view(pid)) == b"bbbbbbbb"
+        store.close()
+
+    def test_growth_remaps_without_invalidating_old_views(self, tmp_path):
+        store = MappedPageStore(str(tmp_path / "pages.bin"), page_size=16)
+        first = store.allocate(b"0123456789abcdef")
+        early_view = store.read_view(first)
+        for i in range(8):  # grow the file well past the first mapping
+            store.allocate(bytes([i]) * 16)
+        late_view = store.read_view(8)
+        assert bytes(late_view) == bytes([7]) * 16
+        # The early view's buffer (the retired mapping) is still alive.
+        assert bytes(early_view) == b"0123456789abcdef"
+        store.close()  # BufferError-safe: live views keep retired maps open
+
+    def test_run_view_spans_pages(self, tmp_path):
+        counters = Counters()
+        store = MappedPageStore(
+            str(tmp_path / "pages.bin"), page_size=16, counters=counters
+        )
+        payload = bytes(range(48))
+        for start in range(0, 48, 16):
+            store.allocate(payload[start : start + 16])
+        run = store.run_view(0, 40, offset=4)
+        assert bytes(run) == payload[4:44]
+        assert counters.zero_copy_reads == 1
+        assert counters.pages_read == 3  # the covering pages are charged
+        with pytest.raises(ValueError):
+            store.run_view(2, 32)  # reaches past the allocated slots
+        store.close()
+
+    def test_buffer_pool_read_view_keeps_residency_accounting(self, tmp_path):
+        store = MappedPageStore(str(tmp_path / "pages.bin"), page_size=16)
+        pids = [store.allocate(bytes([i]) * 8) for i in range(4)]
+        pool = BufferPool(store, capacity=2)
+        for pid in pids:
+            view = pool.read_view(pid)
+            assert bytes(view) == store.peek(pid)
+        assert len(pool) <= 2
+        assert pool.misses == 4
+        pool.read_view(pids[-1])
+        assert pool.hits == 1  # warm frames serve the cached view
+        store.close()
 
 
 class TestPageStore:
@@ -134,6 +205,29 @@ class TestFilePageStore:
             store.read(999)
         store.close()
 
+    def test_free_slots_reused_lowest_first(self, tmp_path):
+        # The free list is a heap, not a LIFO stack: after freeing slots
+        # out of order, allocations return them ascending — so a multi-page
+        # allocation that follows a multi-page free lands contiguous again.
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=16)
+        pids = [store.allocate(bytes([i]) * 4) for i in range(6)]
+        for pid in (pids[4], pids[1], pids[3], pids[2]):
+            store.free(pid)
+        assert [store.allocate(b"x") for _ in range(4)] == [1, 2, 3, 4]
+        store.close()
+
+    def test_fragmentation_gauge(self, tmp_path):
+        store = FilePageStore(str(tmp_path / "pages.bin"), page_size=16)
+        assert store.fragmentation() == 0.0  # empty store: no holes
+        pids = [store.allocate(b"p") for i in range(4)]
+        assert store.fragmentation() == 0.0  # fully packed
+        store.free(pids[0])
+        store.free(pids[2])
+        assert store.fragmentation() == pytest.approx(0.5)
+        store.allocate(b"q")  # refills slot 0
+        assert store.fragmentation() == pytest.approx(0.25)
+        store.close()
+
     def test_oversized_payload_rejected(self, tmp_path):
         store = FilePageStore(str(tmp_path / "pages.bin"), page_size=4)
         with pytest.raises(ValueError):
@@ -192,17 +286,46 @@ class TestSpillLifecycle:
             )
         assert os.listdir(tmp_path) == []
 
+    def test_contiguous_reads_are_zero_copy_views(self, tmp_path):
+        from repro.exec.spill import SpillManager
+
+        counters = Counters()
+        with SpillManager(
+            dir=str(tmp_path), page_size=1024, counters=counters
+        ) as spill:
+            data = np.random.default_rng(7).uniform(size=2048)  # 16 pages
+            handle = spill.spill(data)
+            assert handle.contiguous
+            whole = spill.read(handle)
+            np.testing.assert_array_equal(whole, data)
+            assert not whole.flags.owndata  # a view over the mmap, not a copy
+            assert not whole.flags.writeable
+            window = spill.read_rows(handle, 100, 1900)
+            np.testing.assert_array_equal(window, data[100:1900])
+            assert not window.flags.owndata
+            assert counters.zero_copy_reads == 2
+            assert counters.mapped_bytes == (2048 + 1800) * 8
+            assert spill.pool.misses == 0  # the pool never saw these reads
+
     def test_pool_residency_bounded_under_spill_pressure(self, tmp_path):
+        # Fragmented handles (pages on non-consecutive slots) cannot be
+        # served as one mapped view; they fall back to the bounded pool.
         from repro.exec.spill import SpillManager
 
         pool_pages = 4
         with SpillManager(
             dir=str(tmp_path), page_size=1024, pool_pages=pool_pages
         ) as spill:
+            early = spill.spill(np.random.default_rng(0).uniform(size=1024))  # slots 0-7
+            spill.spill(np.random.default_rng(1).uniform(size=1024))  # slots 8-15
+            spill.free(early)
             handles = [
-                spill.spill(np.random.default_rng(i).uniform(size=2048))  # 16 pages
-                for i in range(5)
+                # The first reuses freed slots 0-7 then extends past the
+                # keeper at 8-15: pages land on two disjoint slot ranges.
+                spill.spill(np.random.default_rng(2 + i).uniform(size=2048))
+                for i in range(4)
             ]
+            assert any(not handle.contiguous for handle in handles)
             for handle in handles:
                 spill.read(handle)
                 assert len(spill.pool) <= pool_pages
