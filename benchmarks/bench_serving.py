@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import multiprocessing
 import os
 import sys
@@ -43,10 +44,14 @@ from repro import (
     KNNQuery,
     QuerySession,
     RangeQuery,
+    SelfJoinSpec,
     ServingSession,
     ShardedExecutor,
     UniformGrid,
     WorkerPool,
+    enable_tracing,
+    get_tracer,
+    tracing_enabled,
 )
 from repro.analysis.reporting import format_table
 from repro.engine.session import _fork_is_safe
@@ -58,6 +63,12 @@ QUICK_N, QUICK_M = 10_000, 1_000
 CLIENTS = 8
 REQUESTS_PER_CLIENT_FULL = 150
 REQUESTS_PER_CLIENT_QUICK = 30
+
+# Observability artifacts (ISSUE 10): a short traced pass runs *after* the
+# timed workload, so the exported trace shows real pool traffic without
+# perturbing the measured qps/latency numbers.
+TRACE_ARTIFACT = "BENCH_serving_trace.json"
+METRICS_ARTIFACT = "BENCH_serving_metrics.json"
 
 
 def best_of(fn, rounds: int = 3) -> float:
@@ -111,8 +122,30 @@ async def _client(serving, oracle, boxes, points, latencies, check: bool):
             assert [eid for _, eid in neighbours] == [eid for _, eid in exact]
 
 
+async def _export_artifacts(serving, oracle, workload, items) -> None:
+    """One traced round through the live session, then write the
+    Chrome-trace JSON and the merged metrics snapshot for CI to upload.
+    The pooled self-join is what puts *worker* spans in the trace: single
+    awaited queries batch too narrowly to shard, but the join fans out
+    across the pool and its worker spans merge back under the flush span."""
+    was_enabled = tracing_enabled()
+    tracer = enable_tracing()
+    tracer.clear()
+    try:
+        boxes, points = workload
+        await _client(serving, oracle, boxes[:4], points[:4], [], check=False)
+        await serving.join(SelfJoinSpec(items[: max(len(items) // 2, 6_000)]))
+    finally:
+        tracer.enabled = was_enabled
+    events = serving.export_trace(TRACE_ARTIFACT)
+    assert events, "traced pass produced no spans"
+    with open(METRICS_ARTIFACT, "w") as fh:
+        fh.write(serving.metrics_json(indent=1))
+    tracer.clear()
+
+
 def bench_async_serving(
-    grid, oracle, pool: WorkerPool, requests_per_client: int, check: bool
+    grid, oracle, pool: WorkerPool, requests_per_client: int, check: bool, items
 ) -> dict[str, float]:
     rng = np.random.default_rng(3)
     per_client: list[tuple[list[AABB], list[tuple[float, ...]]]] = []
@@ -137,6 +170,7 @@ def bench_async_serving(
             stats = serving.queries.stats
             assert stats.queue_high_water >= 2, "clients never overlapped in the queue"
             assert sum(stats.flush_triggers.values()) == stats.flushes
+            await _export_artifacts(serving, oracle, per_client[0], items)
             return elapsed
 
     elapsed = asyncio.run(main())
@@ -163,7 +197,7 @@ def run(quick: bool = False) -> dict[str, float]:
         sharded = bench_pool_vs_fork(grid, queries, m, pool)
         # Oracle-check every async answer at quick scale; at full scale spot
         # throughput (the correctness pin lives in tests/test_serving.py).
-        serving = bench_async_serving(grid, oracle, pool, requests, check=quick)
+        serving = bench_async_serving(grid, oracle, pool, requests, check=quick, items=items)
 
     emit(
         f"Serving tier — n={n:,}, m={m:,}, {cpus} CPUs visible\n"
@@ -193,6 +227,23 @@ def test_serving_bench_quick_scale():
     results = run(quick=True)
     assert results["exports"] == 1.0  # one snapshot across every flush
     assert results["requests"] == 2.0 * CLIENTS * REQUESTS_PER_CLIENT_QUICK
+    # The observability artifacts CI uploads are well-formed and non-empty.
+    with open(TRACE_ARTIFACT) as fh:
+        trace = json.load(fh)
+    events = trace["traceEvents"]
+    assert any(
+        event["name"] == "serving.flush" for event in events
+    ), "trace artifact is missing serving.flush spans"
+    worker_events = [event for event in events if event["name"].startswith("worker.")]
+    assert worker_events, "trace artifact has no pool-worker spans"
+    parent_pid = os.getpid()
+    assert any(event["pid"] != parent_pid for event in worker_events), (
+        "worker spans all carry the parent pid — pool propagation broke"
+    )
+    with open(METRICS_ARTIFACT) as fh:
+        metrics = json.load(fh)
+    assert metrics["query.flushes"]["value"] > 0
+    assert metrics["serving.flush.seconds"]["count"] > 0
 
 
 def main() -> None:

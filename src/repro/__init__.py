@@ -192,6 +192,18 @@ from repro.approx import (
 from repro.moving import BottomUpRTree, BufferedRTree, LURTree, ThrowawayIndex, TPRIndex
 from repro.mesh import DLS, FLAT, Mesh, Octopus
 from repro.sim import TimeSteppedSimulation
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    global_registry,
+    render_json,
+    render_prometheus,
+    span,
+    tracing_enabled,
+)
 
 __version__ = "1.0.0"
 
@@ -289,5 +301,15 @@ __all__ = [
     "Octopus",
     "FLAT",
     "TimeSteppedSimulation",
+    "MetricsRegistry",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "global_registry",
+    "render_json",
+    "render_prometheus",
+    "span",
+    "tracing_enabled",
     "__version__",
 ]

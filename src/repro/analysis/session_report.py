@@ -16,6 +16,7 @@ from repro.continuous.session import ContinuousSession
 from repro.engine import QuerySession, SessionStats
 from repro.joins.session import JoinSession
 from repro.joins.spec import JoinStats
+from repro.obs import Histogram, MetricsRegistry
 
 
 def session_summary_rows(stats: SessionStats) -> list[list[object]]:
@@ -74,18 +75,47 @@ def _approx_line(stats: SessionStats) -> str | None:
     )
 
 
-def _serving_line(stats: SessionStats | JoinStats) -> str | None:
+def _serving_line(
+    stats: SessionStats | JoinStats,
+    metrics: MetricsRegistry | None = None,
+    prefix: str = "query",
+) -> str | None:
     """The async serving-tier telemetry, rendered once an event-loop
-    executor has attributed flushes to causes."""
-    if not stats.flush_triggers and not stats.queue_high_water:
+    executor has attributed flushes to causes.
+
+    Rendered from the session's metrics registry when one is supplied (the
+    sessions mirror every serving stat there); the legacy stats fields are
+    the fallback so snapshots merged from elsewhere still report.
+    """
+    if metrics is not None:
+        head = "serving.flush.trigger."
+        triggers = {
+            name[len(head):]: int(metrics.value(name))
+            for name in metrics.names()
+            if name.startswith(head)
+        }
+        high_water = int(metrics.value(f"{prefix}.queue.high_water"))
+        hist = metrics.get(f"{prefix}.flush.seconds")
+        flush_wall = hist.total if isinstance(hist, Histogram) else 0.0
+        if not triggers and not high_water:
+            # A session that never rode the async tier mirrors nothing under
+            # serving.*; fall through to the stats fields (merged snapshots).
+            triggers = stats.flush_triggers
+            high_water = stats.queue_high_water
+            flush_wall = stats.flush_seconds
+    else:
+        triggers = stats.flush_triggers
+        high_water = stats.queue_high_water
+        flush_wall = stats.flush_seconds
+    if not triggers and not high_water:
         return None
     causes = ",".join(
-        f"{cause}:{count}" for cause, count in sorted(stats.flush_triggers.items())
+        f"{cause}:{count}" for cause, count in sorted(triggers.items())
     )
     return (
         f"serving: triggers={causes or '-'} "
-        f"queue-high-water={stats.queue_high_water:,} "
-        f"flush-wall={stats.flush_seconds:.3f}s"
+        f"queue-high-water={high_water:,} "
+        f"flush-wall={flush_wall:.3f}s"
     )
 
 
@@ -116,7 +146,7 @@ def query_session_report(session: QuerySession) -> str:
     approx = _approx_line(stats)
     if approx is not None:
         header = f"{header}\n{approx}"
-    serving = _serving_line(stats)
+    serving = _serving_line(stats, getattr(session, "metrics", None), "query")
     if serving is not None:
         header = f"{header}\n{serving}"
     table = format_table(
@@ -157,7 +187,7 @@ def join_report(session: JoinSession) -> str:
     )
     if mapped is not None:
         header = f"{header}\n{mapped}"
-    serving = _serving_line(stats)
+    serving = _serving_line(stats, getattr(session, "metrics", None), "join")
     if serving is not None:
         header = f"{header}\n{serving}"
     strategy_table = format_table(

@@ -43,6 +43,7 @@ from repro.geometry.aabb import AABB, as_point_array, batch_min_distance_to_poin
 from repro.indexes.base import Item, KNNResult, validate_items
 from repro.indexes.linear_scan import LinearScan
 from repro.instrumentation.counters import Counters
+from repro.obs import global_registry
 
 #: A split only stands when both children are at most this fraction of the
 #: parent; past it the overlap has stopped shrinking the node (ties or a
@@ -304,6 +305,7 @@ class SpillTree(LinearScan):
         tree = self._ensure_tree()
         counters = self.counters
         counters.approx_descents += m
+        leaves_before = counters.leaves_scanned
         kk = min(k, n)
         results: list[KNNResult] = [[] for _ in range(m)]
         stack: list[tuple[int, np.ndarray]] = [(0, np.arange(m))]
@@ -348,6 +350,11 @@ class SpillTree(LinearScan):
                     zip(row_d[chosen].tolist(), cand_eids[chosen].tolist())
                 )
             counters.heap_ops += kk_leaf * rows.shape[0]
+        registry = global_registry()
+        registry.counter("approx.descents").inc(m)
+        registry.counter("approx.leaves_scanned").inc(
+            counters.leaves_scanned - leaves_before
+        )
         return results
 
     def approx_knn(self, point: Sequence[float], k: int) -> KNNResult:

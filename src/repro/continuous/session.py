@@ -34,12 +34,15 @@ evaluation leaks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.geometry.aabb import AABB
 from repro.indexes.base import Item, validate_items
 from repro.instrumentation.counters import Counters
+from repro.obs import MetricsRegistry
+from repro.obs import span as _span
 
 from repro.continuous.policies import POLICY_CLASSES, MaintenancePolicy, RecomputePolicy
 from repro.continuous.spec import (
@@ -185,6 +188,7 @@ class ContinuousSession:
         predictive_options: dict[str, Any] | None = None,
         executor_factory: Callable[[], Any] | None = None,
         keep_history: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if policy != AUTO and policy not in POLICY_CLASSES:
             raise ValueError(f"unknown policy: {policy!r}")
@@ -209,6 +213,10 @@ class ContinuousSession:
         self.executor_factory = executor_factory
         self.keep_history = keep_history
         self.stats = ContinuousStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_ticks = self.metrics.counter("continuous.ticks")
+        self._m_updates = self.metrics.counter("continuous.updates")
+        self._m_tick_seconds = self.metrics.histogram("continuous.tick.seconds")
         self.ticks = 0
         self._subs: dict[int, Subscription] = {}
         self._policies: dict[str, MaintenancePolicy] = {}
@@ -284,68 +292,84 @@ class ContinuousSession:
         policy raises, the remaining subscriptions still complete, the
         failing subscription is queued for next-tick resync, and the first
         error re-raises after the tick's bookkeeping."""
+        tick_start = time.perf_counter()
         batch = normalize_updates(updates, self._state)
         self.ticks += 1
         self.stats.ticks += 1
         self.stats.updates += batch.size
-        for eid, (_, new) in batch.moved.items():
-            self._state[eid] = new
-        self._state.update(batch.inserted)
-        for eid in batch.deleted:
-            del self._state[eid]
-        for instantiated in self._policies.values():
-            instantiated.apply(batch)
-        self._observe(batch)
+        self._m_ticks.inc()
+        self._m_updates.inc(batch.size)
+        try:
+            with _span(
+                "continuous.tick",
+                counters=self.counters,
+                tick=self.ticks,
+                updates=batch.size,
+                subscriptions=len(self._subs),
+            ):
+                for eid, (_, new) in batch.moved.items():
+                    self._state[eid] = new
+                self._state.update(batch.inserted)
+                for eid in batch.deleted:
+                    del self._state[eid]
+                for instantiated in self._policies.values():
+                    instantiated.apply(batch)
+                self._observe(batch)
 
-        deltas: dict[int, Delta] = {}
-        first_error: Exception | None = None
-        for sub in self.subscriptions:
-            resync = sub.dirty
-            name = "recompute" if resync else self._route(sub)
-            policy = self._policy(name)
-            if sub.routed != name:
-                if sub.routed is not None:
-                    self._policies[sub.routed].forget(sub)
-                policy.adopt(sub)
-                sub.routed = name
-            try:
-                added, removed = policy.evaluate(sub, batch)
-            except Exception as exc:
-                sub.dirty = True
-                self.stats.faults += 1
-                # Whatever per-spec state the policy half-mutated is dead:
-                # drop it now, and let the resync's adopt() rebuild it from
-                # the last emitted result, which evaluate() never got far
-                # enough to commit.
-                policy.forget(sub)
-                sub.routed = None
-                if first_error is None:
-                    first_error = exc
-                continue
-            if resync:
-                sub.dirty = False
-                self.stats.resyncs += 1
-                # Hand the subscription straight back: the planner's policy
-                # re-adopts from the freshly committed result, so the next
-                # tick maintains incrementally again instead of paying a
-                # second recompute.
-                target = self._route(sub)
-                if target != sub.routed:
-                    self._policies[sub.routed].forget(sub)
-                    self._policy(target).adopt(sub)
-                    sub.routed = target
-            self.stats.record_route(RESYNC if resync else name)
-            delta = Delta(tick=self.ticks, added=frozenset(added), removed=frozenset(removed))
-            sub.latest = delta
-            if self.keep_history:
-                sub.deltas.append(delta)
-            deltas[sub.cqid] = delta
-            self.stats.record_delta(sub.kind, delta)
-            for listener in sub.listeners:
-                listener(sub, delta)
-        if first_error is not None:
-            raise first_error
-        return deltas
+                deltas: dict[int, Delta] = {}
+                first_error: Exception | None = None
+                for sub in self.subscriptions:
+                    resync = sub.dirty
+                    name = "recompute" if resync else self._route(sub)
+                    policy = self._policy(name)
+                    if sub.routed != name:
+                        if sub.routed is not None:
+                            self._policies[sub.routed].forget(sub)
+                        policy.adopt(sub)
+                        sub.routed = name
+                    try:
+                        added, removed = policy.evaluate(sub, batch)
+                    except Exception as exc:
+                        sub.dirty = True
+                        self.stats.faults += 1
+                        self.metrics.counter("continuous.faults").inc()
+                        # Whatever per-spec state the policy half-mutated is
+                        # dead: drop it now, and let the resync's adopt()
+                        # rebuild it from the last emitted result, which
+                        # evaluate() never got far enough to commit.
+                        policy.forget(sub)
+                        sub.routed = None
+                        if first_error is None:
+                            first_error = exc
+                        continue
+                    if resync:
+                        sub.dirty = False
+                        self.stats.resyncs += 1
+                        # Hand the subscription straight back: the planner's
+                        # policy re-adopts from the freshly committed result,
+                        # so the next tick maintains incrementally again
+                        # instead of paying a second recompute.
+                        target = self._route(sub)
+                        if target != sub.routed:
+                            self._policies[sub.routed].forget(sub)
+                            self._policy(target).adopt(sub)
+                            sub.routed = target
+                    routed = RESYNC if resync else name
+                    self.stats.record_route(routed)
+                    self.metrics.counter(f"continuous.route.{routed}").inc()
+                    delta = Delta(tick=self.ticks, added=frozenset(added), removed=frozenset(removed))
+                    sub.latest = delta
+                    if self.keep_history:
+                        sub.deltas.append(delta)
+                    deltas[sub.cqid] = delta
+                    self.stats.record_delta(sub.kind, delta)
+                    for listener in sub.listeners:
+                        listener(sub, delta)
+                if first_error is not None:
+                    raise first_error
+                return deltas
+        finally:
+            self._m_tick_seconds.observe(time.perf_counter() - tick_start)
 
     # -- the planner -------------------------------------------------------------
 

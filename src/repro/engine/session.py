@@ -55,6 +55,9 @@ from repro.engine.batch import BatchQueryEngine, BatchStats
 from repro.exec.budget import MemoryBudget
 from repro.geometry.aabb import AABB, as_box_array, as_point_array
 from repro.indexes.base import KNNResult, SpatialIndex
+from repro.obs import MetricsRegistry, capture_worker, ingest_telemetry
+from repro.obs import propagation_context as _obs_context
+from repro.obs import span as _span
 
 _QIDS = itertools.count()
 
@@ -350,26 +353,28 @@ def _run_on_engine(engine: BatchQueryEngine, batch: QueryBatch) -> list:
     raise ValueError(f"unknown batch kind: {batch.kind!r}")
 
 
-# Worker-side view of (index, kind, k, dedup, accuracy).  Assigned only
-# inside the forked children via the pool initializer — each pool hands its
-# own state object to its own workers, so concurrent sessions/threads in the
-# parent never race on it.
-_SHARD_STATE: tuple[SpatialIndex, str, int | None, bool, float | None] | None = None
+# Worker-side view of (index, kind, k, dedup, accuracy, obs_ctx).  Assigned
+# only inside the forked children via the pool initializer — each pool hands
+# its own state object to its own workers, so concurrent sessions/threads in
+# the parent never race on it.
+_SHARD_STATE: tuple | None = None
 
 
-def _init_shard(state: tuple[SpatialIndex, str, int | None, bool, float | None]) -> None:
+def _init_shard(state: tuple) -> None:
     global _SHARD_STATE
     _SHARD_STATE = state
 
 
-def _run_shard(chunk: np.ndarray) -> tuple[list, BatchStats]:
+def _run_shard(chunk: np.ndarray) -> tuple[list, BatchStats, dict | None]:
     assert _SHARD_STATE is not None, "shard worker started without state"
-    index, kind, k, dedup, accuracy = _SHARD_STATE
-    engine = BatchQueryEngine.kernel(index, dedup=dedup)
-    results = _run_on_engine(
-        engine, QueryBatch(kind=kind, payload=chunk, k=k, accuracy=accuracy)
-    )
-    return results, engine.stats
+    index, kind, k, dedup, accuracy, obs_ctx = _SHARD_STATE
+    with capture_worker("query_shard", obs_ctx, kind=kind) as cap:
+        engine = BatchQueryEngine.kernel(index, dedup=dedup)
+        results = _run_on_engine(
+            engine, QueryBatch(kind=kind, payload=chunk, k=k, accuracy=accuracy)
+        )
+        cap.set_attr("queries", int(chunk.shape[0]))
+    return results, engine.stats, cap.telemetry
 
 
 def _fork_is_safe() -> bool:
@@ -506,16 +511,17 @@ class ShardedExecutor(Executor):
 
         # The initializer's state rides into each child through fork (no
         # pickling of the index), and is assigned only worker-side.
-        state = (index, batch.kind, batch.k, dedup, batch.accuracy)
+        state = (index, batch.kind, batch.k, dedup, batch.accuracy, _obs_context())
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=shards, initializer=_init_shard, initargs=(state,)) as pool:
             parts = pool.map(_run_shard, chunks)
 
         results: list = []
         stats = BatchStats()
-        for shard_results, shard_stats in parts:
+        for shard_results, shard_stats, telemetry in parts:
             results.extend(shard_results)
             stats.merge(shard_stats)
+            ingest_telemetry(telemetry)
         # The shards executed one logical batch between them.
         stats.batches = 1
         return self._fan_out(results, stats, inverse, dropped)
@@ -678,6 +684,7 @@ class QuerySession:
         dedup: bool = True,
         inline_cutoff: int = INLINE_CUTOFF,
         budget: MemoryBudget | int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.index = index
         self.dedup = dedup
@@ -689,6 +696,13 @@ class QuerySession:
         self.stats = SessionStats()
         self._inline = InlineExecutor()
         self._batch = BatchExecutor()
+        # Registry mirrors of the stats fields, cached once so the submit
+        # hot path pays one attribute bump, not a name lookup.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_submitted = self.metrics.counter("query.submitted")
+        self._m_high_water = self.metrics.gauge("query.queue.high_water")
+        self._m_flushes = self.metrics.counter("query.flushes")
+        self._m_flush_seconds = self.metrics.histogram("query.flush.seconds")
         # Concurrency: `_lock` guards the buffer and submission tallies;
         # `_flush_lock` serializes whole flushes (drain → execute → resolve),
         # so a competing flush-on-read blocks until every drained handle has
@@ -755,6 +769,8 @@ class QuerySession:
             depth = len(self._buffer)
             if depth > self.stats.queue_high_water:
                 self.stats.queue_high_water = depth
+            self._m_submitted.inc(count)
+            self._m_high_water.track_max(depth)
 
     def submit(self, query: Query) -> ResultHandle:
         """Buffer one query value; returns its deferred handle."""
@@ -867,22 +883,26 @@ class QuerySession:
             start = time.perf_counter()
             first_error: Exception | None = None
             try:
-                for (kind, k, accuracy), submissions in groups:
-                    try:
-                        self._run_group(kind, k, accuracy, submissions)
-                    except Exception as error:
-                        # Confine ordinary errors to the group that raised
-                        # them; BaseExceptions (KeyboardInterrupt,
-                        # SystemExit) propagate immediately — unexecuted
-                        # submissions stay unsettled and their reads raise
-                        # RuntimeError.
-                        for sub in submissions:
-                            if not sub.handle.resolved:
-                                sub.handle._fail(error)
-                        if first_error is None:
-                            first_error = error
+                with _span("query.flush", groups=len(groups)):
+                    for (kind, k, accuracy), submissions in groups:
+                        try:
+                            self._run_group(kind, k, accuracy, submissions)
+                        except Exception as error:
+                            # Confine ordinary errors to the group that raised
+                            # them; BaseExceptions (KeyboardInterrupt,
+                            # SystemExit) propagate immediately — unexecuted
+                            # submissions stay unsettled and their reads raise
+                            # RuntimeError.
+                            for sub in submissions:
+                                if not sub.handle.resolved:
+                                    sub.handle._fail(error)
+                            if first_error is None:
+                                first_error = error
             finally:
-                self.stats.flush_seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.stats.flush_seconds += elapsed
+                self._m_flushes.inc()
+                self._m_flush_seconds.observe(elapsed)
             if first_error is not None:
                 raise first_error
 
@@ -910,13 +930,22 @@ class QuerySession:
         # served for *these* queries land in this batch's stats.
         counters = getattr(self.index, "counters", None)
         before = counters.snapshot() if counters is not None else None
-        results, stats = self._run_batch(executor, batch)
+        with _span(
+            "query.group",
+            counters=counters,
+            kind=kind,
+            size=batch.size,
+            executor=executor.name,
+        ):
+            results, stats = self._run_batch(executor, batch)
         if before is not None:
             delta = counters.diff(before)
             stats.zero_copy_reads += delta.zero_copy_reads
             stats.mapped_bytes += delta.mapped_bytes
             stats.tile_runs_dispatched += delta.tile_runs_dispatched
         self.stats.record_run(executor.name, stats)
+        self.metrics.counter(f"query.executor.{executor.name}").inc()
+        self.metrics.counter("query.queries").inc(batch.size)
         offset = 0
         for sub in submissions:
             n = sub.payload.shape[0]

@@ -50,6 +50,7 @@ from repro.indexes.base import Item
 from repro.instrumentation.counters import Counters
 from repro.joins import kernels
 from repro.joins.strategies import JoinStrategy, _default_tiles, register
+from repro.obs import span as _span
 
 #: Below this, chunking is all overhead: the partition passes never shrink
 #: their row chunks past it even under tiny budgets.
@@ -319,21 +320,28 @@ class SpillPBSMJoin(JoinStrategy):
         )
         handles: list[SpillHandle] = []
         try:
-            chunk_rows = self._chunk_rows(chunk_budget, dims)
-            layout, histogram, replicas = self._layout_and_histogram(
-                items_a, items_b, dims, chunk_budget, chunk_rows, counters
-            )
-            runs, run_of_tile = self._partition_runs(
-                histogram, replicas, dims, chunk_budget
-            )
-            if runs < 2:
-                if owns_spill:
-                    spill.close()
-                return None
-            segments_a, segments_b = self._gather_segments(
-                items_a, items_b, layout, run_of_tile, runs, chunk_rows,
-                spill, handles, spilling=True,
-            )
+            with _span(
+                "join.spill.partition",
+                counters=counters,
+                size_a=len(items_a),
+                size_b=len(items_b),
+            ) as partition_span:
+                chunk_rows = self._chunk_rows(chunk_budget, dims)
+                layout, histogram, replicas = self._layout_and_histogram(
+                    items_a, items_b, dims, chunk_budget, chunk_rows, counters
+                )
+                runs, run_of_tile = self._partition_runs(
+                    histogram, replicas, dims, chunk_budget
+                )
+                partition_span.set_attr("runs", runs)
+                if runs < 2:
+                    if owns_spill:
+                        spill.close()
+                    return None
+                segments_a, segments_b = self._gather_segments(
+                    items_a, items_b, layout, run_of_tile, runs, chunk_rows,
+                    spill, handles, spilling=True,
+                )
             return SpillPlan(
                 layout, runs, segments_a, segments_b, spill, handles, owns_spill
             )
@@ -355,14 +363,23 @@ class SpillPBSMJoin(JoinStrategy):
     ) -> list[tuple[int, int]]:
         chunk_rows = self._chunk_rows(chunk_budget, dims)
 
-        # Pass 1: global tiling + per-tile replica histogram.
-        layout, histogram, replicas = self._layout_and_histogram(
-            items_a, items_b, dims, chunk_budget, chunk_rows, counters
-        )
-        runs, run_of_tile = self._partition_runs(histogram, replicas, dims, chunk_budget)
+        with _span(
+            "join.spill.partition",
+            counters=counters,
+            size_a=len(items_a),
+            size_b=len(items_b),
+        ) as partition_span:
+            # Pass 1: global tiling + per-tile replica histogram.
+            layout, histogram, replicas = self._layout_and_histogram(
+                items_a, items_b, dims, chunk_budget, chunk_rows, counters
+            )
+            runs, run_of_tile = self._partition_runs(
+                histogram, replicas, dims, chunk_budget
+            )
+            partition_span.set_attr("runs", runs)
 
-        # Pass 2: gather replicas per run; spill when there is > 1 run.
-        spilling = runs > 1
+            # Pass 2: gather replicas per run; spill when there is > 1 run.
+            spilling = runs > 1
         # Every handle this join creates, so the finally can release them
         # even when the merge dies mid-run on a *session-shared* manager
         # (a private manager is torn down wholesale by the caller).
@@ -377,22 +394,26 @@ class SpillPBSMJoin(JoinStrategy):
             out_a: list[np.ndarray] = []
             out_b: list[np.ndarray] = []
             for run in range(runs):
-                side_arrays: list[Segment] = []
-                run_bytes = 0
-                for segments in (segments_a, segments_b):
-                    if spilling:
-                        parts = [
-                            tuple(spill.read(handle) for handle in seg)
-                            for seg in segments[run]
-                        ]
-                    else:
-                        parts = segments[run]
-                    side_arrays.append(concat_segments(parts, dims))
-                    run_bytes += sum(arr.nbytes for arr in side_arrays[-1])
-                with self.budget.reserving(run_bytes, force=True):
-                    ids_a, ids_b = merge_run_arrays(
-                        layout, side_arrays[0], side_arrays[1], counters
-                    )
+                with _span(
+                    "join.spill.merge", counters=counters, run=run
+                ) as merge_span:
+                    side_arrays: list[Segment] = []
+                    run_bytes = 0
+                    for segments in (segments_a, segments_b):
+                        if spilling:
+                            parts = [
+                                tuple(spill.read(handle) for handle in seg)
+                                for seg in segments[run]
+                            ]
+                        else:
+                            parts = segments[run]
+                        side_arrays.append(concat_segments(parts, dims))
+                        run_bytes += sum(arr.nbytes for arr in side_arrays[-1])
+                    with self.budget.reserving(run_bytes, force=True):
+                        ids_a, ids_b = merge_run_arrays(
+                            layout, side_arrays[0], side_arrays[1], counters
+                        )
+                    merge_span.set_attr("pairs", int(ids_a.shape[0]))
                 # merge_run_arrays' sorts copied out of any zero-copy views,
                 # so the run's pages can be released for slot reuse now.
                 if spilling:

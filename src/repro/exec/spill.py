@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.instrumentation.counters import Counters
+from repro.obs import global_registry
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pagestore import MappedPageStore
 
@@ -207,6 +208,12 @@ class SpillManager:
         self.pool = BufferPool(self.store, capacity=pool_pages)
         self.closed = False
         self._live = 0
+        # Registry mirrors of the spill I/O counters, cached once so the
+        # per-call cost is an attribute bump.
+        registry = global_registry()
+        self._m_bytes_written = registry.counter("spill.bytes_written")
+        self._m_bytes_read = registry.counter("spill.bytes_read")
+        self._m_tiles = registry.counter("spill.tiles")
 
     # -- spill / read ---------------------------------------------------------
 
@@ -228,6 +235,8 @@ class SpillManager:
         handle = SpillHandle(pages, data.dtype, data.shape, int(data.nbytes), tag)
         self.counters.tiles_spilled += 1
         self.counters.spill_bytes_written += handle.nbytes
+        self._m_tiles.inc()
+        self._m_bytes_written.inc(handle.nbytes)
         self._live += 1
         return handle
 
@@ -256,6 +265,7 @@ class SpillManager:
         if handle.contiguous:
             view = self.store.run_view(handle.pages[0], stop - start, offset=start)
             self.counters.spill_bytes_read += stop - start
+            self._m_bytes_read.inc(stop - start)
             return view.view(handle.dtype).reshape(shape)
         page_size = self.store.page_size
         first, last = start // page_size, (stop - 1) // page_size
@@ -266,6 +276,7 @@ class SpillManager:
             buffer[position : position + len(chunk)] = np.frombuffer(chunk, np.uint8)
             position += page_size
         self.counters.spill_bytes_read += stop - start
+        self._m_bytes_read.inc(stop - start)
         window = buffer[start - first * page_size : stop - first * page_size].copy()
         return window.view(handle.dtype).reshape(shape)
 

@@ -48,7 +48,12 @@ def point_segment_distance(
     ap = [q - p for p, q in zip(a, point)]
     denom = sum(d * d for d in ab)
     if denom < _EPS:
-        return point_point_distance(point, a)
+        # A (near-)degenerate segment still has two endpoints a hair
+        # apart; take the nearer one so the distance never exceeds the
+        # distance to either endpoint.
+        return min(
+            point_point_distance(point, a), point_point_distance(point, b)
+        )
     t = sum(d * e for d, e in zip(ab, ap)) / denom
     t = max(0.0, min(1.0, t))
     closest = [p + t * d for p, d in zip(a, ab)]

@@ -169,6 +169,42 @@ class DiskRTree(SpatialIndex):
         ]
         return is_leaf, entries
 
+    def _encode_arrays(
+        self, is_leaf: bool, boxes: np.ndarray, refs: np.ndarray
+    ) -> bytes:
+        """:meth:`_encode_node` without the object payload: arrays in,
+        record out.  The scalar maintenance path feeds node views (or copies
+        of them) straight back through here, so an insert or delete never
+        materializes per-entry ``AABB`` objects."""
+        count = int(refs.shape[0])
+        header = np.array([1 if is_leaf else 0, count], dtype=np.int64)
+        if not count:
+            return header.tobytes()
+        blob = (
+            header.tobytes()
+            + np.ascontiguousarray(boxes, dtype=np.float64).tobytes()
+            + np.ascontiguousarray(refs, dtype=np.int64).tobytes()
+        )
+        if len(blob) > self.store.page_size:
+            raise ValueError(
+                f"node of {count} {boxes.shape[2]}-d entries needs {len(blob)} "
+                f"bytes; page size is {self.store.page_size} — lower "
+                f"max_entries for mapped mode"
+            )
+        return blob
+
+    def _write_arrays(
+        self, page_id: int, is_leaf: bool, boxes: np.ndarray, refs: np.ndarray
+    ) -> None:
+        # Write-through + drop, exactly like the mapped branch of _write.
+        self.store.write(page_id, self._encode_arrays(is_leaf, boxes, refs))
+        self.pool.drop(page_id)
+
+    def _allocate_arrays(
+        self, is_leaf: bool, boxes: np.ndarray, refs: np.ndarray
+    ) -> int:
+        return self.store.allocate(self._encode_arrays(is_leaf, boxes, refs))
+
     def _node_arrays(self, page_id: int) -> tuple[bool, np.ndarray, np.ndarray]:
         """One node as ``(is_leaf, boxes (n,2,d), refs int64)``.
 
@@ -265,6 +301,9 @@ class DiskRTree(SpatialIndex):
     def insert(self, eid: int, box: AABB) -> None:
         if self._dims is None:
             self._dims = box.dims
+        if self.mapped:
+            self._insert_mapped(eid, np.array([box.lo, box.hi], dtype=np.float64))
+            return
         if self._root_page is None:
             self._root_page = self._allocate((True, [(box, eid)]))
             self._height = 1
@@ -282,9 +321,66 @@ class DiskRTree(SpatialIndex):
         self._size += 1
         self.counters.inserts += 1
 
+    def _insert_mapped(self, eid: int, box: np.ndarray) -> None:
+        """Mapped-mode scalar insert: node pages stay arrays end to end."""
+        if self._root_page is None:
+            self._root_page = self._allocate_arrays(
+                True, box[None], np.array([eid], dtype=np.int64)
+            )
+            self._height = 1
+            self._size = 1
+            self.counters.inserts += 1
+            return
+        split = self._insert_recursive_arrays(
+            self._root_page, self._height - 1, box, eid, 0
+        )
+        if split is not None:
+            left_box, right_box, right_page = split
+            self._root_page = self._allocate_arrays(
+                False,
+                np.stack([left_box, right_box]),
+                np.array([self._root_page, right_page], dtype=np.int64),
+            )
+            self._height += 1
+        self._size += 1
+        self.counters.inserts += 1
+
     def delete(self, eid: int, box: AABB) -> None:
         if self._root_page is None:
             raise KeyError(f"element {eid} not in index")
+        if self.mapped:
+            arr = np.array([box.lo, box.hi], dtype=np.float64)
+            orphan_arrays: list[tuple[int, np.ndarray]] = []
+            found = self._delete_recursive_arrays(
+                self._root_page, self._height - 1, eid, arr, orphan_arrays
+            )
+            if not found:
+                raise KeyError(f"element {eid} with box {box} not in index")
+            self._size -= 1
+            self.counters.deletes += 1
+            # Shrink a single-child inner root.
+            while self._height > 1:
+                is_leaf, _, refs = self._node_arrays(self._root_page)
+                if is_leaf or refs.shape[0] != 1:
+                    break
+                self._root_page = int(refs[0])
+                self._height -= 1
+            for orphan_eid, orphan_box in orphan_arrays:
+                split = self._insert_recursive_arrays(
+                    self._root_page, self._height - 1, orphan_box, orphan_eid, 0
+                )
+                if split is not None:
+                    left_box, right_box, right_page = split
+                    self._root_page = self._allocate_arrays(
+                        False,
+                        np.stack([left_box, right_box]),
+                        np.array([self._root_page, right_page], dtype=np.int64),
+                    )
+                    self._height += 1
+            if self._size == 0:
+                self._root_page = None
+                self._height = 0
+            return
         orphans: list[tuple[int, AABB]] = []
         found = self._delete_recursive(self._root_page, self._height - 1, eid, box, orphans)
         if not found:
@@ -534,6 +630,126 @@ class DiskRTree(SpatialIndex):
         for _, child_page in entries:
             self._collect_items(child_page, out)
 
+    # -- mapped scalar maintenance ---------------------------------------------
+    #
+    # The batch query paths already serve mapped nodes as zero-copy array
+    # views (`_node_arrays`); these recursions give scalar insert/delete the
+    # same treatment — no per-entry AABB materialization, node records are
+    # re-encoded straight from arrays.  Structure, tie-breaks and counter
+    # charges mirror the object-payload recursions bit for bit (min/max
+    # unions, sequential volume products and stable center sorts reproduce
+    # the AABB arithmetic exactly), so both modes grow identical trees.
+
+    def _insert_recursive_arrays(
+        self, page_id: int, level: int, box: np.ndarray, ref: int, target_level: int
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Returns (this_node_mbr, sibling_mbr, sibling_page) after a split."""
+        is_leaf, boxes, refs = self._node_arrays(page_id)
+        if level == target_level:
+            new_boxes = np.concatenate([boxes, box[None]])
+            new_refs = np.append(refs, np.int64(ref))
+        else:
+            best = _least_enlargement_arrays(boxes, box)
+            child_page = int(refs[best])
+            child_split = self._insert_recursive_arrays(
+                child_page, level - 1, box, ref, target_level
+            )
+            # Copy out of the mapped views before mutating: the child
+            # recursion re-encoded other pages, this node's record is about
+            # to be rewritten underneath any live view of it.
+            new_boxes = boxes.copy()
+            new_refs = refs.copy()
+            if child_split is None:
+                new_boxes[best, 0] = np.minimum(new_boxes[best, 0], box[0])
+                new_boxes[best, 1] = np.maximum(new_boxes[best, 1], box[1])
+            else:
+                child_box, sibling_box, sibling_page = child_split
+                new_boxes[best] = child_box
+                new_boxes = np.concatenate([new_boxes, sibling_box[None]])
+                new_refs = np.append(new_refs, np.int64(sibling_page))
+        if new_refs.shape[0] > self.max_entries:
+            centers = (new_boxes[:, 0, 0] + new_boxes[:, 1, 0]) / 2.0
+            order = np.argsort(centers, kind="stable")
+            half = order.shape[0] // 2
+            left, right = order[:half], order[half:]
+            left_boxes, left_refs = new_boxes[left], new_refs[left]
+            right_boxes, right_refs = new_boxes[right], new_refs[right]
+            self._write_arrays(page_id, is_leaf, left_boxes, left_refs)
+            sibling_page = self._allocate_arrays(is_leaf, right_boxes, right_refs)
+            left_mbr = np.stack(
+                [left_boxes[:, 0].min(axis=0), left_boxes[:, 1].max(axis=0)]
+            )
+            right_mbr = np.stack(
+                [right_boxes[:, 0].min(axis=0), right_boxes[:, 1].max(axis=0)]
+            )
+            return left_mbr, right_mbr, sibling_page
+        self._write_arrays(page_id, is_leaf, new_boxes, new_refs)
+        return None
+
+    def _delete_recursive_arrays(
+        self,
+        page_id: int,
+        level: int,
+        eid: int,
+        box: np.ndarray,
+        orphans: list[tuple[int, np.ndarray]],
+    ) -> bool:
+        is_leaf, boxes, refs = self._node_arrays(page_id)
+        if is_leaf:
+            if refs.shape[0] == 0:
+                return False
+            match = (
+                (refs == eid)
+                & np.all(boxes[:, 0] == box[0], axis=1)
+                & np.all(boxes[:, 1] == box[1], axis=1)
+            )
+            hits = np.nonzero(match)[0]
+            if hits.shape[0] == 0:
+                return False
+            keep = np.ones(refs.shape[0], dtype=bool)
+            keep[int(hits[0])] = False
+            self._write_arrays(page_id, True, boxes[keep], refs[keep])
+            return True
+        for i in range(refs.shape[0]):
+            self.counters.node_tests += 1
+            if not (np.all(boxes[i, 0] <= box[1]) and np.all(box[0] <= boxes[i, 1])):
+                continue
+            child_page = int(refs[i])
+            if self._delete_recursive_arrays(child_page, level - 1, eid, box, orphans):
+                _, child_boxes, child_refs = self._node_arrays(child_page)
+                if child_refs.shape[0] < self.min_entries:
+                    # Dissolve the child: collect its leaf items as orphans
+                    # (the caller reinserts them; logical size is unchanged).
+                    keep = np.ones(refs.shape[0], dtype=bool)
+                    keep[i] = False
+                    self._collect_items_arrays(child_page, orphans)
+                    self._write_arrays(page_id, False, boxes[keep], refs[keep])
+                elif child_refs.shape[0]:
+                    new_boxes = boxes.copy()
+                    new_boxes[i, 0] = child_boxes[:, 0].min(axis=0)
+                    new_boxes[i, 1] = child_boxes[:, 1].max(axis=0)
+                    self._write_arrays(page_id, False, new_boxes, refs)
+                else:
+                    keep = np.ones(refs.shape[0], dtype=bool)
+                    keep[i] = False
+                    self._write_arrays(page_id, False, boxes[keep], refs[keep])
+                return True
+        return False
+
+    def _collect_items_arrays(
+        self, page_id: int, out: list[tuple[int, np.ndarray]]
+    ) -> None:
+        is_leaf, boxes, refs = self._node_arrays(page_id)
+        if is_leaf:
+            # Copy each row out of the view: reinserting an earlier orphan
+            # rewrites pages, and a live view of a rewritten page is stale.
+            out.extend(
+                (int(ref), boxes[j].copy()) for j, ref in enumerate(refs)
+            )
+            return
+        for ref in refs.copy():
+            self._collect_items_arrays(int(ref), out)
+
 
 def _least_enlargement(entries: list[tuple[AABB, int]], box: AABB) -> int:
     """Guttman's subtree choice: least volume enlargement, ties by volume."""
@@ -545,3 +761,17 @@ def _least_enlargement(entries: list[tuple[AABB, int]], box: AABB) -> int:
             best_key = key
             best_index = i
     return best_index
+
+
+def _least_enlargement_arrays(boxes: np.ndarray, box: np.ndarray) -> int:
+    """:func:`_least_enlargement` over a ``(n, 2, d)`` box array.
+
+    ``multiply.reduce`` over the last axis folds left to right like the
+    scalar ``volume`` loop, and the stable lexsort keeps the first index on
+    ties, so the chosen subtree is identical to the object-payload walk.
+    """
+    extents = boxes[:, 1, :] - boxes[:, 0, :]
+    volumes = np.multiply.reduce(extents, axis=1)
+    joined = np.maximum(boxes[:, 1, :], box[1]) - np.minimum(boxes[:, 0, :], box[0])
+    enlargements = np.multiply.reduce(joined, axis=1) - volumes
+    return int(np.lexsort((volumes, enlargements))[0])

@@ -48,6 +48,9 @@ import numpy as np
 
 from repro.engine.session import _fork_is_safe
 from repro.exec.budget import MemoryBudget, pbsm_working_set_bytes
+from repro.obs import MetricsRegistry, capture_worker, ingest_telemetry
+from repro.obs import propagation_context as _obs_context
+from repro.obs import span as _span
 from repro.exec.external_join import SpillPBSMJoin, spill_page_size
 from repro.exec.spill import SpillManager
 from repro.geometry.refine import batch_box_gaps, batch_capsule_gaps, pack_segments
@@ -188,10 +191,10 @@ class InlineJoinExecutor(JoinExecutor):
         return strategy.distance_candidates(items_a, items_b, epsilon, counters)
 
 
-# Worker-side view of (strategy, build items, probe items, epsilon, mode);
-# assigned only inside forked children via the pool initializer, so
-# concurrent sessions in the parent never race on it.
-_JOIN_SHARD_STATE: tuple[JoinStrategy, Sequence[Item], Sequence[Item], float, str] | None = None
+# Worker-side view of (strategy, build items, probe items, epsilon, mode,
+# obs_ctx); assigned only inside forked children via the pool initializer,
+# so concurrent sessions in the parent never race on it.
+_JOIN_SHARD_STATE: tuple | None = None
 
 
 def _init_join_shard(state) -> None:
@@ -199,34 +202,36 @@ def _init_join_shard(state) -> None:
     _JOIN_SHARD_STATE = state
 
 
-def _run_join_shard(bounds: tuple[int, int]) -> tuple[Pairs, Counters]:
+def _run_join_shard(bounds: tuple[int, int]) -> tuple[Pairs, Counters, dict | None]:
     assert _JOIN_SHARD_STATE is not None, "join shard worker started without state"
-    strategy, items_a, probes, epsilon, mode = _JOIN_SHARD_STATE
+    strategy, items_a, probes, epsilon, mode, obs_ctx = _JOIN_SHARD_STATE
     chunk = probes[bounds[0] : bounds[1]]
     counters = Counters()
-    if mode == "pair":
-        pairs = strategy.join(items_a, chunk, counters)
-    elif mode == "self":
-        # Direct self-join sharding: the full set arrives sorted by id and
-        # chunks are contiguous, so this shard's probes can only form new
-        # pairs with the id-*prefix* ending at the chunk — joining against
-        # the whole set (the old binary expansion) would test every pair
-        # from both sides.  Reporter rule unchanged: the shard holding the
-        # pair's larger id emits it, so no hashing, no double counting.
-        pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
-    elif mode == "distance_pair":
-        pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
-    elif mode == "distance_self":
-        pairs = [
-            (a, b)
-            for a, b in strategy.distance_candidates(
-                items_a[: bounds[1]], chunk, epsilon, counters
-            )
-            if a < b
-        ]
-    else:  # pragma: no cover - executor only emits the four modes
-        raise ValueError(f"unknown join shard mode: {mode!r}")
-    return pairs, counters
+    with capture_worker("join_shard", obs_ctx, mode=mode, counters=counters) as cap:
+        if mode == "pair":
+            pairs = strategy.join(items_a, chunk, counters)
+        elif mode == "self":
+            # Direct self-join sharding: the full set arrives sorted by id and
+            # chunks are contiguous, so this shard's probes can only form new
+            # pairs with the id-*prefix* ending at the chunk — joining against
+            # the whole set (the old binary expansion) would test every pair
+            # from both sides.  Reporter rule unchanged: the shard holding the
+            # pair's larger id emits it, so no hashing, no double counting.
+            pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
+        elif mode == "distance_pair":
+            pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
+        elif mode == "distance_self":
+            pairs = [
+                (a, b)
+                for a, b in strategy.distance_candidates(
+                    items_a[: bounds[1]], chunk, epsilon, counters
+                )
+                if a < b
+            ]
+        else:  # pragma: no cover - executor only emits the four modes
+            raise ValueError(f"unknown join shard mode: {mode!r}")
+        cap.set_attr("pairs", len(pairs))
+    return pairs, counters, cap.telemetry
 
 
 class ShardedJoinExecutor(JoinExecutor):
@@ -461,14 +466,15 @@ class ShardedJoinExecutor(JoinExecutor):
             items_a = probes = ordered
 
         edges = np.linspace(0, len(probes), shards + 1).astype(int)
-        state = (strategy, items_a, probes, epsilon, mode)
+        state = (strategy, items_a, probes, epsilon, mode, _obs_context())
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=shards, initializer=_init_join_shard, initargs=(state,)) as pool:
             parts = pool.map(_run_join_shard, list(zip(edges[:-1], edges[1:])))
         pairs: Pairs = []
-        for shard_pairs, shard_counters in parts:
+        for shard_pairs, shard_counters, telemetry in parts:
             pairs.extend(shard_pairs)
             counters.merge(shard_counters)
+            ingest_telemetry(telemetry)
         return pairs
 
     def self_pairs(self, strategy, items, counters):
@@ -569,6 +575,7 @@ class JoinSession:
         inline_cutoff: int = INLINE_JOIN_CUTOFF,
         budget: MemoryBudget | int | None = None,
         spill_dir: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if isinstance(strategy, str):
             strategy = make_join_strategy(strategy)
@@ -578,6 +585,12 @@ class JoinSession:
         self.counters = counters if counters is not None else Counters()
         self.inline_cutoff = inline_cutoff
         self.budget = MemoryBudget.coerce(budget)
+        # Registry mirrors of the stats fields, cached once per session.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_high_water = self.metrics.gauge("join.queue.high_water")
+        self._m_flushes = self.metrics.counter("join.flushes")
+        self._m_flush_seconds = self.metrics.histogram("join.flush.seconds")
+        self._m_spec_seconds = self.metrics.histogram("join.spec.seconds")
         self._spill_dir = spill_dir
         self._spill: SpillManager | None = None
         self._spill_strategy: SpillPBSMJoin | None = None
@@ -691,6 +704,7 @@ class JoinSession:
             self._pending.append((spec, handle, strategy))
             if len(self._pending) > self.stats.queue_high_water:
                 self.stats.queue_high_water = len(self._pending)
+            self._m_high_water.track_max(len(self._pending))
         return handle
 
     @property
@@ -719,17 +733,21 @@ class JoinSession:
             start = time.perf_counter()
             first_error: Exception | None = None
             try:
-                for spec, handle, strategy in pending:
-                    try:
-                        handle._resolve(self._execute(spec, strategy))
-                    except Exception as error:
-                        handle._fail(error)
-                        if self._spill is not None:
-                            self.close()
-                        if first_error is None:
-                            first_error = error
+                with _span("join.flush", specs=len(pending)):
+                    for spec, handle, strategy in pending:
+                        try:
+                            handle._resolve(self._execute(spec, strategy))
+                        except Exception as error:
+                            handle._fail(error)
+                            if self._spill is not None:
+                                self.close()
+                            if first_error is None:
+                                first_error = error
             finally:
-                self.stats.flush_seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.stats.flush_seconds += elapsed
+                self._m_flushes.inc()
+                self._m_flush_seconds.observe(elapsed)
             if first_error is not None:
                 raise first_error
 
@@ -743,20 +761,33 @@ class JoinSession:
         plan = self.plan(spec, strategy)
         strategy, executor = plan.strategy, plan.executor
         before = self.counters.snapshot()
-        if spec.kind == "self":
-            pairs = executor.self_pairs(strategy, spec.items, self.counters)
-            self.stats.candidates += len(pairs)
-            result: Any = sorted(pairs)
-            self.stats.pairs += len(result)
-        elif spec.kind == "pair":
-            pairs = executor.pair_pairs(strategy, spec.items_a, spec.items_b, self.counters)
-            self.stats.candidates += len(pairs)
-            result = sorted(pairs)
-            self.stats.pairs += len(result)
-        elif spec.kind == "distance":
-            result = self._execute_distance(spec, strategy, executor)
-        else:
-            result = self._execute_synapse(spec, strategy, executor)
+        spec_start = time.perf_counter()
+        with _span(
+            "join.spec",
+            counters=self.counters,
+            kind=spec.kind,
+            strategy=strategy.name,
+            executor=executor.name,
+            size=_spec_size(spec),
+        ):
+            if spec.kind == "self":
+                pairs = executor.self_pairs(strategy, spec.items, self.counters)
+                self.stats.candidates += len(pairs)
+                result: Any = sorted(pairs)
+                self.stats.pairs += len(result)
+            elif spec.kind == "pair":
+                pairs = executor.pair_pairs(strategy, spec.items_a, spec.items_b, self.counters)
+                self.stats.candidates += len(pairs)
+                result = sorted(pairs)
+                self.stats.pairs += len(result)
+            elif spec.kind == "distance":
+                result = self._execute_distance(spec, strategy, executor)
+            else:
+                result = self._execute_synapse(spec, strategy, executor)
+        self._m_spec_seconds.observe(time.perf_counter() - spec_start)
+        self.metrics.counter(f"join.strategy.{strategy.name}").inc()
+        self.metrics.counter(f"join.executor.{executor.name}").inc()
+        self.metrics.counter("join.specs").inc()
         self.stats.joins += 1
         delta = self.counters.diff(before)
         self.stats.comparisons += delta.comparisons

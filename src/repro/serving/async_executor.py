@@ -36,6 +36,14 @@ from repro.geometry.aabb import AABB
 from repro.indexes.base import KNNResult, SpatialIndex
 from repro.joins.session import JoinHandle, JoinSession
 from repro.joins.spec import JoinSpec
+from repro.obs import (
+    MetricsServer,
+    get_tracer,
+    global_registry,
+    render_json,
+    render_prometheus,
+)
+from repro.obs import span as _span
 
 
 @dataclass(frozen=True)
@@ -157,9 +165,10 @@ class AsyncExecutor:
             return
         start = time.perf_counter()
         try:
-            # The thread hop keeps the loop responsive during execution —
-            # new submissions buffer for the next flush meanwhile.
-            await asyncio.to_thread(self.session.flush)
+            with _span("serving.flush", trigger=trigger, requests=len(pending)):
+                # The thread hop keeps the loop responsive during execution —
+                # new submissions buffer for the next flush meanwhile.
+                await asyncio.to_thread(self.session.flush)
         except Exception:
             # The session already settled each affected handle with its
             # error; per-request `await handle` re-raises it.  The flush-
@@ -168,6 +177,10 @@ class AsyncExecutor:
         elapsed = time.perf_counter() - start
         self.flush_latencies.append(elapsed)
         self.session.stats.record_trigger(trigger)
+        metrics = getattr(self.session, "metrics", None)
+        if metrics is not None:
+            metrics.counter(f"serving.flush.trigger.{trigger}").inc()
+            metrics.histogram("serving.flush.seconds").observe(elapsed)
         for handle in pending:
             waiter = handle._waiter
             if waiter is not None and not waiter.done():
@@ -281,6 +294,43 @@ class ServingSession:
         if isinstance(request, (RangeQuery, KNNQuery, PointQuery)):
             return await self.query_executor.submit(request)
         return await self.join_executor.submit(request)
+
+    # -- observability ---------------------------------------------------------
+
+    def dump_metrics(self) -> dict[str, dict]:
+        """One merged snapshot of everything this session can see: the
+        query session's registry, the join session's registry, and the
+        process-global registry (storage/spill/approx layers plus the
+        worker-side deltas the pool merged back).  Counters and histogram
+        buckets add; gauges keep their max."""
+        from repro.obs import MetricsRegistry
+
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.queries.metrics.snapshot())
+        merged.merge_snapshot(self.joins.metrics.snapshot())
+        merged.merge_snapshot(global_registry().snapshot())
+        return merged.snapshot()
+
+    def metrics_text(self) -> str:
+        """The merged snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.dump_metrics())
+
+    def metrics_json(self, indent: int | None = None) -> str:
+        """The merged snapshot as JSON (histograms keep p50/p95/p99)."""
+        return render_json(self.dump_metrics(), indent=indent)
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0) -> MetricsServer:
+        """Start a live scrape endpoint over :meth:`dump_metrics`.
+
+        ``GET /metrics`` serves Prometheus text, ``GET /metrics.json`` the
+        JSON snapshot; ``port=0`` binds an ephemeral port (``server.port``).
+        The caller owns the returned server (``server.close()``)."""
+        return MetricsServer(self.dump_metrics, host=host, port=port)
+
+    def export_trace(self, path: str | None = None) -> list[dict]:
+        """This process's collected spans as Chrome ``trace_event`` JSON
+        (worker spans arrive here via the pool's telemetry merge)."""
+        return get_tracer().export_chrome(path)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -36,6 +36,7 @@ import numpy as np
 from repro.engine.batch import BatchStats
 from repro.indexes.base import Item, SpatialIndex
 from repro.instrumentation.counters import Counters
+from repro.obs import ingest_telemetry, propagation_context
 from repro.serving import worker as _worker
 from repro.serving.shm import SegmentGroup
 from repro.serving.snapshots import (
@@ -229,17 +230,52 @@ class WorkerPool:
     # -- execution -------------------------------------------------------------
 
     def _map(self, fn, tasks: list[tuple]) -> list[Any]:
-        """Run ``fn(*task)`` for every task, retrying once on a dead pool."""
+        """Run ``fn(*task)`` for every task, retrying once on a dead pool.
+
+        Exactly-once per completed task: results that landed before the
+        pool broke are kept, and only the tasks that died are resubmitted
+        to the recreated executor.  (The old retry-everything path re-ran
+        completed shards, double-counting their merged stats.)  A second
+        ``BrokenProcessPool`` propagates.
+        """
         with self._lock:
             executor = self._ensure_executor()
+        results: list[Any] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        futures: list = []
         try:
-            futures = [executor.submit(fn, *task) for task in tasks]
-            return [future.result() for future in futures]
+            for task in tasks:
+                futures.append(executor.submit(fn, *task))
         except BrokenProcessPool:
-            with self._lock:
-                executor = self._recreate_executor()
-            futures = [executor.submit(fn, *task) for task in tasks]
-            return [future.result() for future in futures]
+            pass  # unsubmitted tasks join the retry set below
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+                done[index] = True
+            except BrokenProcessPool:
+                pass
+        failed = [index for index, ok in enumerate(done) if not ok]
+        if not failed:
+            return results
+        with self._lock:
+            executor = self._recreate_executor()
+        futures = {index: executor.submit(fn, *tasks[index]) for index in failed}
+        for index, future in futures.items():
+            results[index] = future.result()
+        return results
+
+    def _map_telemetry(self, fn, tasks: list[tuple]) -> list[tuple]:
+        """:meth:`_map` for obs-aware worker tasks: appends the propagated
+        trace context to every task, strips the trailing telemetry element
+        from every part and folds it into this process's tracer/registry
+        (exactly once — retried tasks report only their surviving run)."""
+        ctx = propagation_context()
+        parts = self._map(fn, [(*task, ctx) for task in tasks])
+        stripped = []
+        for part in parts:
+            ingest_telemetry(part[-1])
+            stripped.append(part[:-1])
+        return stripped
 
     def run_query_shards(
         self,
@@ -272,7 +308,7 @@ class WorkerPool:
             for a, b in zip(bounds[:-1], bounds[1:])
             if b > a
         ]
-        parts = self._map(_worker.query_shard_task, tasks)
+        parts = self._map_telemetry(_worker.query_shard_task, tasks)
         results: list = []
         stats = BatchStats()
         for shard_results, shard_stats in parts:
@@ -307,7 +343,7 @@ class WorkerPool:
             for a, b in zip(edges[:-1], edges[1:])
             if b > a
         ]
-        parts = self._map(_worker.join_shard_task, tasks)
+        parts = self._map_telemetry(_worker.join_shard_task, tasks)
         self.shards_run += len(tasks)
         return parts
 
@@ -321,7 +357,7 @@ class WorkerPool:
         The caller must keep the described handles live until this returns —
         a crash retry remaps the same descriptors.
         """
-        parts = self._map(_worker.merge_run_task, tasks)
+        parts = self._map_telemetry(_worker.merge_run_task, tasks)
         self.shards_run += len(tasks)
         return parts
 
@@ -333,7 +369,7 @@ class WorkerPool:
         and return ``(groups, counters)`` with each group packed as
         ``(boxes_array, eids_array)``.
         """
-        parts = self._map(_worker.str_slab_task, tasks)
+        parts = self._map_telemetry(_worker.str_slab_task, tasks)
         self.shards_run += len(tasks)
         return parts
 

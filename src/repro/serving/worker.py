@@ -30,6 +30,7 @@ import numpy as np
 from repro.engine.batch import BatchQueryEngine, BatchStats
 from repro.indexes.base import Item, SpatialIndex
 from repro.instrumentation.counters import Counters
+from repro.obs import capture_worker, global_registry
 from repro.serving.shm import AttachedArrays
 from repro.serving.snapshots import build_worker_index, items_from_arrays
 
@@ -132,10 +133,11 @@ def _attach_run(run, counters: Counters) -> np.ndarray:
 
     mapping = _mapping_for(run.path, _run_extent(run))
     counters.spill_bytes_read += run.nbytes
+    global_registry().counter("spill.bytes_read").inc(run.nbytes)
     return mapped_run_rows(mapping, run, 0, run.rows, counters)
 
 
-def merge_run_task(layout, segments_a, segments_b):
+def merge_run_task(layout, segments_a, segments_b, obs_ctx=None):
     """Merge one spilled PBSM tile run into result id pairs.
 
     The sharded executor's ``tile_runs`` protocol: ``segments_a`` /
@@ -147,17 +149,19 @@ def merge_run_task(layout, segments_a, segments_b):
     from repro.exec.external_join import concat_segments, merge_run_arrays
 
     counters = Counters()
-    sides = []
-    for segments in (segments_a, segments_b):
-        parts = [
-            tuple(_attach_run(run, counters) for run in seg) for seg in segments
-        ]
-        sides.append(concat_segments(parts, layout.dims))
-    ids_a, ids_b = merge_run_arrays(layout, sides[0], sides[1], counters)
-    return ids_a, ids_b, counters
+    with capture_worker("merge_run", obs_ctx, counters=counters) as cap:
+        sides = []
+        for segments in (segments_a, segments_b):
+            parts = [
+                tuple(_attach_run(run, counters) for run in seg) for seg in segments
+            ]
+            sides.append(concat_segments(parts, layout.dims))
+        ids_a, ids_b = merge_run_arrays(layout, sides[0], sides[1], counters)
+        cap.set_attr("pairs", int(ids_a.shape[0]))
+    return ids_a, ids_b, counters, cap.telemetry
 
 
-def str_slab_task(dims: int, max_entries: int, segments):
+def str_slab_task(dims: int, max_entries: int, segments, obs_ctx=None):
     """Tile one STR slab of an external build into leaf groups.
 
     ``segments`` is ``[(eids_run, boxes_run, lo, hi), ...]`` in run order —
@@ -170,23 +174,25 @@ def str_slab_task(dims: int, max_entries: int, segments):
     from repro.indexes.bulkload import _tile_recursive
 
     counters = Counters()
-    entries = []
-    for eids_run, boxes_run, lo, hi in segments:
-        boxes = _attach_slice(boxes_run, lo, hi, counters)
-        eids = _attach_slice(eids_run, lo, hi, counters)
-        entries.extend(
-            (AABB(box[0], box[1]), int(eid)) for box, eid in zip(boxes, eids)
-        )
-    groups: list[list] = []
-    _tile_recursive(entries, min(1, dims - 1), dims, max_entries, groups)
-    packed = [
-        (
-            boxes_to_array([box for box, _ in group]),
-            np.fromiter((eid for _, eid in group), dtype=np.int64, count=len(group)),
-        )
-        for group in groups
-    ]
-    return packed, counters
+    with capture_worker("str_slab", obs_ctx, counters=counters) as cap:
+        entries = []
+        for eids_run, boxes_run, lo, hi in segments:
+            boxes = _attach_slice(boxes_run, lo, hi, counters)
+            eids = _attach_slice(eids_run, lo, hi, counters)
+            entries.extend(
+                (AABB(box[0], box[1]), int(eid)) for box, eid in zip(boxes, eids)
+            )
+        groups: list[list] = []
+        _tile_recursive(entries, min(1, dims - 1), dims, max_entries, groups)
+        packed = [
+            (
+                boxes_to_array([box for box, _ in group]),
+                np.fromiter((eid for _, eid in group), dtype=np.int64, count=len(group)),
+            )
+            for group in groups
+        ]
+        cap.set_attr("entries", len(entries))
+    return packed, counters, cap.telemetry
 
 
 def _attach_slice(run, lo: int, hi: int, counters: Counters) -> np.ndarray:
@@ -195,6 +201,7 @@ def _attach_slice(run, lo: int, hi: int, counters: Counters) -> np.ndarray:
 
     mapping = _mapping_for(run.path, _run_extent(run))
     counters.spill_bytes_read += (hi - lo) * run.row_bytes
+    global_registry().counter("spill.bytes_read").inc((hi - lo) * run.row_bytes)
     return mapped_run_rows(mapping, run, lo, hi, counters)
 
 
@@ -208,7 +215,8 @@ def query_shard_task(
     k: int | None,
     dedup: bool,
     accuracy: float | None = None,
-) -> tuple[list, BatchStats]:
+    obs_ctx: tuple[str, str] | None = None,
+) -> tuple[list, BatchStats, dict | None]:
     """Answer one probe chunk against a rehydrated index snapshot.
 
     ``accuracy`` is the parent planner's resolved routing decision: a float
@@ -217,14 +225,16 @@ def query_shard_task(
     serves exactly."""
     from repro.engine.session import QueryBatch, _run_on_engine
 
-    entry = _entry_for(token, meta)
-    if entry.index is None:
-        entry.index = build_worker_index(kind, entry.attached.arrays, scalars)
-    engine = BatchQueryEngine.kernel(entry.index, dedup=dedup)
-    results = _run_on_engine(
-        engine, QueryBatch(kind=batch_kind, payload=chunk, k=k, accuracy=accuracy)
-    )
-    return results, engine.stats
+    with capture_worker("query_shard", obs_ctx, kind=batch_kind) as cap:
+        entry = _entry_for(token, meta)
+        if entry.index is None:
+            entry.index = build_worker_index(kind, entry.attached.arrays, scalars)
+        engine = BatchQueryEngine.kernel(entry.index, dedup=dedup)
+        results = _run_on_engine(
+            engine, QueryBatch(kind=batch_kind, payload=chunk, k=k, accuracy=accuracy)
+        )
+        cap.set_attr("queries", int(chunk.shape[0]))
+    return results, engine.stats, cap.telemetry
 
 
 def _items_for(token: str, meta: Meta) -> list[Item]:
@@ -244,6 +254,7 @@ def join_shard_task(
     meta_b: Meta,
     bounds: tuple[int, int],
     epsilon: float,
+    obs_ctx: tuple[str, str] | None = None,
 ):
     """Join the build side against one probe chunk.
 
@@ -254,24 +265,26 @@ def join_shard_task(
     and the shard holding a pair's larger id reports it, so every pair
     lands in exactly one shard with no cross-shard dedup pass.
     """
-    items_a = _items_for(token_a, meta_a)
-    probes = items_a if token_b == token_a else _items_for(token_b, meta_b)
-    chunk = probes[bounds[0] : bounds[1]]
     counters = Counters()
-    if mode == "pair":
-        pairs = strategy.join(items_a, chunk, counters)
-    elif mode == "self":
-        pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
-    elif mode == "distance_pair":
-        pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
-    elif mode == "distance_self":
-        pairs = [
-            (a, b)
-            for a, b in strategy.distance_candidates(
-                items_a[: bounds[1]], chunk, epsilon, counters
-            )
-            if a < b
-        ]
-    else:  # pragma: no cover - the pool only emits the four modes
-        raise ValueError(f"unknown join shard mode: {mode!r}")
-    return pairs, counters
+    with capture_worker("join_shard", obs_ctx, mode=mode, counters=counters) as cap:
+        items_a = _items_for(token_a, meta_a)
+        probes = items_a if token_b == token_a else _items_for(token_b, meta_b)
+        chunk = probes[bounds[0] : bounds[1]]
+        if mode == "pair":
+            pairs = strategy.join(items_a, chunk, counters)
+        elif mode == "self":
+            pairs = [(a, b) for a, b in strategy.join(items_a[: bounds[1]], chunk, counters) if a < b]
+        elif mode == "distance_pair":
+            pairs = strategy.distance_candidates(items_a, chunk, epsilon, counters)
+        elif mode == "distance_self":
+            pairs = [
+                (a, b)
+                for a, b in strategy.distance_candidates(
+                    items_a[: bounds[1]], chunk, epsilon, counters
+                )
+                if a < b
+            ]
+        else:  # pragma: no cover - the pool only emits the four modes
+            raise ValueError(f"unknown join shard mode: {mode!r}")
+        cap.set_attr("pairs", len(pairs))
+    return pairs, counters, cap.telemetry

@@ -27,6 +27,8 @@ from typing import Any
 import numpy as np
 
 from repro.instrumentation.counters import Counters
+from repro.obs import global_registry
+from repro.obs import span as _span
 
 
 class PageStore:
@@ -311,14 +313,18 @@ class MappedPageStore(FilePageStore):
         self.sync()
         if self._map is not None and self._mapped_slots >= slots_needed:
             return self._map
-        size = self._slots * self.page_size  # map the whole high-water once
-        # A partial final page leaves the file short of the slot boundary;
-        # mmap cannot extend past EOF, so round the file up first.
-        if os.fstat(self._file.fileno()).st_size < size:
-            os.ftruncate(self._file.fileno(), size)
-        mapping = mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ)
-        if self._map is not None:
-            self._retired_maps.append(self._map)  # live views may pin it
-        self._map = mapping
-        self._mapped_slots = self._slots
+        with _span("storage.remap", slots=self._slots):
+            size = self._slots * self.page_size  # map the whole high-water once
+            # A partial final page leaves the file short of the slot boundary;
+            # mmap cannot extend past EOF, so round the file up first.
+            if os.fstat(self._file.fileno()).st_size < size:
+                os.ftruncate(self._file.fileno(), size)
+            mapping = mmap.mmap(self._file.fileno(), size, access=mmap.ACCESS_READ)
+            if self._map is not None:
+                self._retired_maps.append(self._map)  # live views may pin it
+            self._map = mapping
+            self._mapped_slots = self._slots
+        registry = global_registry()
+        registry.counter("storage.remaps").inc()
+        registry.gauge("storage.mapped_bytes").track_max(size)
         return mapping

@@ -1,0 +1,553 @@
+"""The observability layer: spans, cross-process metrics, live exposition.
+
+These tests pin the contracts ISSUE 10 introduces:
+
+* **metrics registry** — counters/gauges/fixed-bucket histograms with
+  sample-free percentiles, snapshot/merge/delta algebra (the pool's
+  worker→parent merge path), and the process-global registry;
+* **span tracer** — context-manager nesting, counter-delta attachment,
+  Chrome ``trace_event`` export, and a sub-microsecond disabled path;
+* **cross-process propagation** — a sharded ``pbsm_spill`` join under a
+  live WorkerPool (fork AND spawn) renders as ONE connected span tree,
+  with every ``worker.*`` span a descendant of the parent's
+  ``join.flush`` span;
+* **exactly-once pool retry** — results that landed before a worker
+  crash are kept, only the dead tasks rerun (the stats double-count
+  regression);
+* **serving exposition** — ``ServingSession.dump_metrics`` merges the
+  query/join/global registries into one snapshot, served as Prometheus
+  text and JSON over HTTP;
+* **mapped scalar maintenance** — ``DiskRTree(mapped=True)`` insert and
+  delete never decode object payloads and stay bit-parity with the
+  object-payload mode (ROADMAP zero-copy item (b)).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import random
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from conftest import make_items
+from repro import (
+    AABB,
+    JoinSession,
+    SelfJoinSpec,
+    ServingSession,
+    ShardedJoinExecutor,
+    UniformGrid,
+    WorkerPool,
+    shutdown_default_pool,
+)
+from repro.geometry.aabb import AABB as _AABB
+from repro.indexes.disk_rtree import DiskRTree
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    Span,
+    capture_worker,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    global_registry,
+    ingest_telemetry,
+    propagation_context,
+    snapshot_delta,
+    span,
+    tracing_enabled,
+)
+
+UNIVERSE = AABB((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts with a quiet tracer and a clear global registry."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.clear()
+    global_registry().clear()
+    yield
+    tracer.enabled = was_enabled
+    tracer.clear()
+    global_registry().clear()
+
+
+def build_grid(items):
+    grid = UniformGrid(universe=UNIVERSE, cell_size=5.0)
+    grid.bulk_load(items)
+    return grid
+
+
+# -- the metrics registry ------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_basics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x.count")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("x.count") == 5
+        gauge = registry.gauge("x.depth")
+        gauge.track_max(3)
+        gauge.track_max(1)
+        assert registry.value("x.depth") == 3
+        # get-or-create returns the same object
+        assert registry.counter("x.count") is counter
+
+    def test_histogram_percentiles_without_samples(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x.seconds")
+        for value in (0.001, 0.002, 0.004, 0.008, 0.1):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(0.115)
+        digest = hist.summary()
+        assert digest["min"] == pytest.approx(0.001)
+        assert digest["max"] == pytest.approx(0.1)
+        # Interpolated from buckets, clamped to the observed range.
+        assert digest["min"] <= digest["p50"] <= digest["p99"] <= digest["max"]
+
+    def test_merge_snapshot_adds_and_gauges_fold_max(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(3)
+        a.gauge("g").set(7)
+        a.histogram("h").observe(0.5)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        b.gauge("g").set(4)
+        b.histogram("h").observe(1.5)
+        b.merge_snapshot(a.snapshot())
+        assert b.value("c") == 5
+        assert b.value("g") == 7  # max-fold
+        assert b.get("h").count == 2
+
+    def test_snapshot_delta_drops_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("stable").inc(10)
+        before = registry.snapshot()
+        registry.counter("moved").inc(2)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert "moved" in delta
+        assert "stable" not in delta
+        assert delta["moved"]["value"] == 2
+
+
+# -- the span tracer -----------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_counter_deltas(self):
+        from repro.instrumentation.counters import Counters
+
+        tracer = enable_tracing()
+        counters = Counters()
+        with span("outer", kind="test") as outer:
+            with span("inner", counters=counters):
+                counters.node_tests += 7
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+        assert spans["inner"].attrs["counters.node_tests"] == 7
+        assert spans["outer"].attrs["kind"] == "test"
+        assert spans["outer"].end_ns >= spans["outer"].start_ns
+
+    def test_disabled_tracer_records_nothing(self):
+        disable_tracing()
+        assert not tracing_enabled()
+        with span("ghost") as ghost:
+            ghost.set_attr("ignored", 1)  # no-op handle
+        assert get_tracer().spans() == []
+        assert propagation_context() is None
+
+    def test_chrome_export_roundtrip(self, tmp_path):
+        enable_tracing()
+        with span("parent"):
+            with span("child"):
+                pass
+        path = tmp_path / "trace.json"
+        events = get_tracer().export_chrome(str(path))
+        assert len(events) == 2
+        loaded = json.loads(path.read_text())
+        assert {e["name"] for e in loaded["traceEvents"]} == {"parent", "child"}
+        for event in loaded["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_capture_worker_roundtrip(self):
+        # Parent side: open a span, capture its context.
+        tracer = enable_tracing()
+        with span("flush") as flush_span:
+            ctx = propagation_context()
+        assert ctx is not None
+        tracer.clear()
+
+        # "Worker" side: adopt the context, do metered work.
+        disable_tracing()
+        with capture_worker("shard", ctx, mode="test") as cap:
+            global_registry().counter("worker.widgets").inc(2)
+            cap.set_attr("chunk", 5)
+        assert not tracing_enabled()  # restored
+        telemetry = cap.telemetry
+        assert telemetry is not None
+        assert telemetry["metrics"]["worker.widgets"]["value"] == 2
+        (worker_span,) = telemetry["spans"]
+        assert worker_span["name"] == "worker.shard"
+        assert worker_span["parent_id"] == flush_span.span_id
+        assert worker_span["attrs"]["chunk"] == 5
+
+        # Parent side again: fold it back.  (Clear first: in-process the
+        # "worker" charged this same registry; a real worker charges its
+        # own process's registry and only the delta crosses back.)
+        global_registry().clear()
+        enable_tracing()
+        ingest_telemetry(telemetry)
+        assert global_registry().value("worker.widgets") == 2
+        (ingested,) = get_tracer().spans()
+        assert ingested.parent_id == flush_span.span_id
+
+    def test_capture_worker_ships_only_post_fork_spans(self):
+        # A forked worker inherits the parent's span list; the bracket must
+        # ship only spans recorded inside it, or ingest duplicates them.
+        tracer = enable_tracing()
+        with span("pre.fork"):
+            pass
+        with span("flush"):
+            ctx = propagation_context()
+        assert len(tracer.spans()) == 2
+        with capture_worker("shard", ctx) as cap:
+            pass
+        shipped = [s["name"] for s in cap.telemetry["spans"]]
+        assert shipped == ["worker.shard"]
+        # the parent-side spans are still exactly where they were
+        local = [s.name for s in tracer.spans()]
+        assert local.count("pre.fork") == 1
+        assert local.count("flush") == 1
+        assert "worker.shard" not in local
+
+
+# -- cross-process span trees --------------------------------------------------
+
+
+@pytest.fixture(params=["fork", "spawn"])
+def pool(request):
+    if request.param not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"platform lacks the {request.param!r} start method")
+    shutdown_default_pool()
+    p = WorkerPool(workers=2, context=request.param)
+    yield p
+    p.close()
+
+
+class TestPropagation:
+    def test_sharded_spill_join_is_one_span_tree(self, pool):
+        """The acceptance scenario: a sharded pbsm_spill join under a live
+        pool produces ONE connected trace with every worker span a
+        descendant of the join.flush span."""
+        items = make_items(1400, seed=83)
+        tracer = enable_tracing()
+        tracer.clear()
+        session = JoinSession(
+            budget=100_000,
+            executor=ShardedJoinExecutor(workers=2, min_shard=64, pool=pool),
+        )
+        try:
+            session.run(SelfJoinSpec(items))
+            spans = tracer.spans()
+        finally:
+            session.close()
+            disable_tracing()
+        assert session.stats.strategy_runs.get("pbsm_spill") == 1
+
+        assert spans, "tracing produced no spans"
+        trace_ids = {s.trace_id for s in spans}
+        assert len(trace_ids) == 1, f"disconnected traces: {trace_ids}"
+
+        by_id = {s.span_id: s for s in spans}
+        flush_spans = [s for s in spans if s.name == "join.flush"]
+        assert len(flush_spans) == 1
+        flush = flush_spans[0]
+
+        worker_spans = [s for s in spans if s.name.startswith("worker.")]
+        assert worker_spans, "no worker spans were merged back"
+        assert {s.name for s in worker_spans} == {"worker.merge_run"}
+        assert {s.pid for s in worker_spans} != {os.getpid()}
+
+        def ancestor_ids(node: Span) -> set[str]:
+            seen = set()
+            while node.parent_id is not None:
+                assert node.parent_id in by_id, (
+                    f"span {node.name} has dangling parent {node.parent_id}"
+                )
+                node = by_id[node.parent_id]
+                seen.add(node.span_id)
+            return seen
+
+        for worker_span in worker_spans:
+            assert flush.span_id in ancestor_ids(worker_span)
+        # The partition pass traced too, inside the same tree.
+        assert any(s.name == "join.spill.partition" for s in spans)
+
+
+# -- exactly-once retry --------------------------------------------------------
+
+
+def _bomb_task(log_path: str, flag_path: str, index: int, bomb_index: int):
+    with open(log_path, "a") as fh:
+        fh.write(f"{index}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    if index == bomb_index:
+        deadline = time.monotonic() + 30.0
+        # Wait for every other task's log line so their results are safely
+        # delivered before the crash, then die without creating a corpse
+        # note twice: the flag file arms exactly one detonation.
+        while time.monotonic() < deadline:
+            with open(log_path) as check:
+                lines = {line.strip() for line in check}
+            if lines >= {"0", "1"}:
+                break
+            time.sleep(0.01)
+        if not os.path.exists(flag_path):
+            with open(flag_path, "w"):
+                pass
+            time.sleep(0.5)  # let the finished results drain to the parent
+            os.kill(os.getpid(), signal.SIGKILL)
+    return index * 10
+
+
+class TestExactlyOnceRetry:
+    def test_completed_tasks_are_not_rerun_after_crash(self, tmp_path):
+        """The stats double-count regression: results that landed before
+        the pool broke are kept; only the dead task reruns."""
+        log_path = str(tmp_path / "executions.log")
+        flag_path = str(tmp_path / "armed.flag")
+        open(log_path, "w").close()
+        with WorkerPool(workers=2, context="fork") as pool:
+            tasks = [(log_path, flag_path, i, 2) for i in range(3)]
+            results = pool._map(_bomb_task, tasks)
+        assert results == [0, 10, 20]
+        with open(log_path) as fh:
+            executed = [int(line) for line in fh if line.strip()]
+        # 0 and 1 completed before the crash: executed exactly once each.
+        assert executed.count(0) == 1
+        assert executed.count(1) == 1
+        # the bomb task ran, died, and was retried exactly once
+        assert executed.count(2) == 2
+
+    def test_join_stats_exact_after_worker_crash(self):
+        """End-to-end: a crash-retried sharded spill join reports the same
+        pair count the no-pool baseline reports (no double merge)."""
+        items = make_items(1400, seed=83)
+        baseline = JoinSession(budget=100_000)
+        expected = sorted(baseline.run(SelfJoinSpec(items)))
+        expected_pairs = baseline.stats.pairs
+        with WorkerPool(workers=2, context="fork") as pool:
+            session = JoinSession(
+                budget=100_000,
+                executor=ShardedJoinExecutor(workers=2, min_shard=64, pool=pool),
+            )
+            try:
+                assert sorted(session.run(SelfJoinSpec(items))) == expected
+                first_run_pairs = session.stats.pairs
+                assert first_run_pairs == expected_pairs
+                for process in list(pool._executor._processes.values()):
+                    os.kill(process.pid, signal.SIGKILL)
+                time.sleep(0.1)
+                assert sorted(session.run(SelfJoinSpec(items))) == expected
+                assert session.stats.pairs == 2 * expected_pairs
+            finally:
+                session.close()
+
+
+# -- serving exposition --------------------------------------------------------
+
+
+class TestServingExposition:
+    def _run_workload(self, serving_kwargs=None):
+        items = make_items(600, seed=31)
+        grid = build_grid(items)
+
+        async def workload():
+            async with ServingSession(grid, **(serving_kwargs or {})) as serving:
+                rng = random.Random(5)
+                for _ in range(3):
+                    lo = [rng.uniform(0.0, 95.0) for _ in range(3)]
+                    hi = [c + rng.uniform(1.0, 6.0) for c in lo]
+                    await serving.range_query(AABB(lo, hi))
+                    await serving.knn(
+                        tuple(rng.uniform(0.0, 100.0) for _ in range(3)), 4
+                    )
+                await serving.join(SelfJoinSpec(tuple(items)))
+                snapshot = serving.dump_metrics()
+                text = serving.metrics_text()
+                payload = json.loads(serving.metrics_json())
+                return snapshot, text, payload
+
+        return asyncio.run(workload())
+
+    def test_dump_metrics_merges_all_registries(self, pool):
+        snapshot, text, payload = self._run_workload({"pool": pool, "workers": 2})
+        # session registries
+        assert snapshot["query.flushes"]["value"] >= 1
+        assert snapshot["join.flushes"]["value"] >= 1
+        assert snapshot["query.flush.seconds"]["count"] >= 1
+        # the async tier attributed every flush to a cause
+        triggers = [k for k in snapshot if k.startswith("serving.flush.trigger.")]
+        assert triggers
+        # Prometheus text: sanitized names, histogram suffixes
+        assert "query_flushes" in text
+        assert 'query_flush_seconds_bucket{le="+Inf"}' in text
+        assert "query_flush_seconds_count" in text
+        # JSON keeps the digest, drops the bucket vectors
+        assert "p99" in payload["query.flush.seconds"]
+        assert "buckets" not in payload["query.flush.seconds"]
+
+    def test_http_endpoints_serve_merged_snapshot(self):
+        snapshot, _, _ = self._run_workload()
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snapshot)
+        server = MetricsServer(registry.snapshot)
+        try:
+            with urllib.request.urlopen(f"{server.url}/metrics") as response:
+                text = response.read().decode()
+            assert "query_flushes" in text
+            with urllib.request.urlopen(f"{server.url}/metrics.json") as response:
+                payload = json.loads(response.read().decode())
+            assert payload["query.flushes"]["value"] >= 1
+        finally:
+            server.close()
+
+    def test_pool_merges_worker_metrics_into_parent_registry(self, pool):
+        """2+ workers, one merged snapshot: worker-side spill reads surface
+        in the parent's global registry via the telemetry merge."""
+        items = make_items(1400, seed=83)
+        session = JoinSession(
+            budget=100_000,
+            executor=ShardedJoinExecutor(workers=2, min_shard=64, pool=pool),
+        )
+        try:
+            session.run(SelfJoinSpec(items))
+        finally:
+            session.close()
+        # Workers read spilled runs; their registry deltas merged back here.
+        assert global_registry().value("spill.bytes_read") > 0
+        assert global_registry().value("spill.bytes_written") > 0
+
+
+# -- mapped scalar maintenance (ROADMAP zero-copy item (b)) --------------------
+
+
+class TestMappedScalarMaintenance:
+    @staticmethod
+    def _rand_box(rng):
+        lo = [rng.uniform(0, 100) for _ in range(3)]
+        hi = [l + rng.uniform(0, 5) for l in lo]
+        return _AABB(tuple(lo), tuple(hi))
+
+    def test_scalar_insert_delete_never_decode_objects(self, monkeypatch):
+        calls = []
+        original = DiskRTree._decode_node
+
+        def spy(self, buf):
+            calls.append(1)
+            return original(self, buf)
+
+        monkeypatch.setattr(DiskRTree, "_decode_node", spy)
+        rng = random.Random(11)
+        tree = DiskRTree(max_entries=8, mapped=True)
+        live = []
+        for i in range(300):
+            box = self._rand_box(rng)
+            tree.insert(i, box)
+            live.append((i, box))
+            if len(live) > 40 and rng.random() < 0.4:
+                eid, gone = live.pop(rng.randrange(len(live)))
+                tree.delete(eid, gone)
+        assert calls == [], "mapped scalar maintenance decoded object payloads"
+        tree.close()
+
+    def test_mapped_scalar_parity_with_object_mode(self):
+        rng = random.Random(7)
+        plain = DiskRTree(max_entries=8)
+        mapped = DiskRTree(max_entries=8, mapped=True)
+        live = []
+        for i in range(400):
+            box = self._rand_box(rng)
+            plain.insert(i, box)
+            mapped.insert(i, box)
+            live.append((i, box))
+            if len(live) > 50 and rng.random() < 0.4:
+                eid, gone = live.pop(rng.randrange(len(live)))
+                plain.delete(eid, gone)
+                mapped.delete(eid, gone)
+        try:
+            assert len(plain) == len(mapped)
+            assert plain.height == mapped.height
+            assert plain.page_count() == mapped.page_count()
+            query = _AABB((10.0, 10.0, 10.0), (60.0, 60.0, 60.0))
+            assert sorted(plain.range_query(query)) == sorted(
+                mapped.range_query(query)
+            )
+            assert plain.knn((30.0, 30.0, 30.0), 10) == mapped.knn(
+                (30.0, 30.0, 30.0), 10
+            )
+            # The tree-walk charges match structure for structure.
+            assert plain.counters.node_tests == mapped.counters.node_tests
+            assert plain.counters.inserts == mapped.counters.inserts
+            assert plain.counters.deletes == mapped.counters.deletes
+        finally:
+            mapped.close()
+
+    def test_delete_raises_for_missing_element(self):
+        tree = DiskRTree(max_entries=8, mapped=True)
+        box = _AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        tree.insert(1, box)
+        with pytest.raises(KeyError):
+            tree.delete(2, box)
+        with pytest.raises(KeyError):
+            tree.delete(1, _AABB((5.0, 5.0, 5.0), (6.0, 6.0, 6.0)))
+        tree.delete(1, box)
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            tree.delete(1, box)
+        tree.close()
+
+
+# -- report rendering over the registry ----------------------------------------
+
+
+class TestReportsOverRegistry:
+    def test_serving_line_renders_from_registry(self):
+        from repro.analysis.session_report import query_session_report
+
+        items = make_items(300, seed=13)
+        grid = build_grid(items)
+
+        async def workload():
+            async with ServingSession(grid) as serving:
+                for _ in range(2):
+                    await serving.range_query(
+                        AABB((0.0, 0.0, 0.0), (50.0, 50.0, 50.0))
+                    )
+                return query_session_report(serving.queries)
+
+        report = asyncio.run(workload())
+        assert "serving: triggers=" in report
+        assert "queue-high-water=" in report
+        assert "flush-wall=" in report
+        # registry and stats agree on the rendered values
+        line = [l for l in report.splitlines() if l.startswith("serving:")][0]
+        stats_triggers = sum(
+            int(part.split(":")[1])
+            for part in line.split("triggers=")[1].split(" ")[0].split(",")
+        )
+        assert stats_triggers >= 1
